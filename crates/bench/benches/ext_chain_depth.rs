@@ -1,0 +1,49 @@
+//! Extension table (not in the paper): CTQO vs. chain depth.
+//!
+//! The paper's mechanism has no depth limit; this bench sweeps synchronous
+//! chains of depth 2–6 with the millibottleneck at the *last* tier and
+//! tabulates where the drops surface, with and without an event-driven
+//! front tier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{print_comparison, Row};
+use ntier_core::experiment;
+
+fn regenerate() {
+    println!("\n=== Extension: CTQO vs. chain depth (stall at the last tier) ===");
+    let mut rows = Vec::new();
+    for depth in 2..=6usize {
+        let sync = experiment::chain_depth(depth, false, 7).run();
+        let hybrid = experiment::chain_depth(depth, true, 7).run();
+        rows.push(Row::new(
+            format!("depth {depth}, sync front"),
+            "drops at tier 0",
+            format!(
+                "{} @T0 / {} total",
+                sync.tiers[0].drops_total, sync.drops_total
+            ),
+        ));
+        rows.push(Row::new(
+            format!("depth {depth}, async front"),
+            "drops move to tier 1",
+            format!(
+                "{} @T0, {} @T1",
+                hybrid.tiers[0].drops_total, hybrid.tiers[1].drops_total
+            ),
+        ));
+    }
+    print_comparison("ext-chain-depth (prediction vs measured)", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("ext_chain_depth");
+    g.sample_size(10);
+    g.bench_function("depth6_sync", |b| {
+        b.iter(|| experiment::chain_depth(6, false, 7).run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 1 — semi-log request-frequency-by-response-time histograms at
+//! WL 4000 / 7000 / 8000, with the multi-modal 0/3/6/9 s clusters.
+//!
+//! Regenerates all three panels (printed below, with paper-vs-measured
+//! rows), then benchmarks the WL 4000 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{print_comparison, Row};
+use ntier_core::experiment as exp;
+use ntier_des::prelude::*;
+use ntier_telemetry::render;
+
+const HORIZON: SimDuration = SimDuration::from_secs(120);
+
+fn regenerate() {
+    let panels = [
+        ("Fig. 1(a) WL 4000", 4_000u32, "572 req/s", "43%"),
+        ("Fig. 1(b) WL 7000", 7_000, "990 req/s", "75%"),
+        ("Fig. 1(c) WL 8000", 8_000, "1103 req/s", "85%"),
+    ];
+    for (title, clients, paper_tput, paper_util) in panels {
+        let report = exp::fig1(clients, HORIZON, 42).run();
+        ntier_bench::save_bundle(&report, &format!("fig01_wl{clients}"));
+        println!("\n=== {title} ===");
+        println!("{}", render::semilog_histogram(&report.latency, 10, 48));
+        let modes: Vec<String> = report
+            .latency_modes()
+            .iter()
+            .map(|m| format!("{:.1}s (x{})", m.peak.as_secs_f64(), m.count))
+            .collect();
+        print_comparison(
+            title,
+            &[
+                Row::new("throughput", paper_tput, format!("{:.0} req/s", report.throughput)),
+                Row::new(
+                    "highest avg CPU util",
+                    paper_util,
+                    format!("{:.0}%", report.highest_mean_util() * 100.0),
+                ),
+                Row::new("latency modes", "0, 3, 6, 9 s", modes.join(", ")),
+                Row::new("dropped packets", "> 0", format!("{}", report.drops_total)),
+            ],
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    g.bench_function("wl4000_60s", |b| {
+        b.iter(|| exp::fig1(4_000, SimDuration::from_secs(60), 42).run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

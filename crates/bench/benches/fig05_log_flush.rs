@@ -1,0 +1,57 @@
+//! Fig. 5 — upstream CTQO from I/O (log-flush) millibottlenecks in MySQL
+//! every 30 s (`collectl`), Tomcat scaled to 4 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{save_bundle, figure_seconds, print_comparison, print_timeline, series_second_sums, Row};
+use ntier_core::experiment as exp;
+
+fn regenerate() {
+    let report = exp::fig5(42).run();
+    save_bundle(&report, "fig05");
+    print_timeline(
+        &report,
+        "Fig. 5 — upstream CTQO, I/O millibottlenecks in MySQL (flush marks 10/40/70 s)",
+    );
+    let vlrt = series_second_sums(&report.vlrt_by_completion, figure_seconds(&report));
+    let spike_seconds: Vec<String> = vlrt
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v > 0.0)
+        .map(|(s, _)| format!("{s}"))
+        .collect();
+    print_comparison(
+        "fig5",
+        &[
+            Row::new("drop site", "Apache (upstream)", {
+                report
+                    .tiers
+                    .iter()
+                    .filter(|t| t.drops_total > 0)
+                    .map(|t| t.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }),
+            Row::new(
+                "VLRT spike seconds",
+                "10, 40, 70 (+3 s tail)",
+                spike_seconds.join(", "),
+            ),
+            Row::new(
+                "MySQL drops",
+                "0 (pool-capped)",
+                format!("{}", report.tiers[2].drops_total),
+            ),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| exp::fig5(42).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 9 — NX=2, millibottlenecks in XTomcat: the post-stall batch release
+//! (up to LiteQDepth) floods MySQL — downstream CTQO at MySQL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_core::experiment as exp;
+
+fn regenerate() {
+    let report = exp::fig9(42).run();
+    save_bundle(&report, "fig09");
+    print_timeline(
+        &report,
+        "Fig. 9 — NX=2, millibottlenecks in XTomcat (marks 8/24/39 s)",
+    );
+    print_comparison(
+        "fig9",
+        &[
+            Row::new(
+                "XTomcat queue during stall",
+                "grows (buffered)",
+                format!("peak {}", report.tiers[1].peak_queue),
+            ),
+            Row::new("XTomcat drops", "0", format!("{}", report.tiers[1].drops_total)),
+            Row::new(
+                "MySQL drops",
+                "> 0 (batch flood)",
+                format!("{}", report.tiers[2].drops_total),
+            ),
+            Row::new(
+                "MySQL peak queue",
+                "228 (MaxSysQDepth)",
+                format!("{}", report.tiers[2].peak_queue),
+            ),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| exp::fig9(42).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 10 — NX=3 (Nginx–XTomcat–XMySQL), CPU millibottlenecks in XTomcat:
+//! no CTQO, no drops; every tier buffers in its lightweight queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_core::experiment as exp;
+
+fn regenerate() {
+    let report = exp::fig10(42).run();
+    save_bundle(&report, "fig10");
+    print_timeline(
+        &report,
+        "Fig. 10 — NX=3, millibottlenecks in XTomcat (marks 4/13/35 s)",
+    );
+    print_comparison(
+        "fig10",
+        &[
+            Row::new("drops (all tiers)", "0", format!("{}", report.drops_total)),
+            Row::new("VLRT requests", "0", format!("{}", report.vlrt_total)),
+            Row::new(
+                "Nginx/XTomcat queues track each other",
+                "yes",
+                format!(
+                    "peaks {} / {}",
+                    report.tiers[0].peak_queue, report.tiers[1].peak_queue
+                ),
+            ),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| exp::fig10(42).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 11 — NX=3, I/O (log-flush) millibottlenecks in XMySQL: all three
+//! asynchronous tiers hold requests in lightweight queues; no drops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_core::experiment as exp;
+
+fn regenerate() {
+    let report = exp::fig11(42).run();
+    save_bundle(&report, "fig11");
+    print_timeline(
+        &report,
+        "Fig. 11 — NX=3, I/O millibottlenecks in XMySQL (flush marks 13/43/73 s)",
+    );
+    print_comparison(
+        "fig11",
+        &[
+            Row::new("drops (all tiers)", "0", format!("{}", report.drops_total)),
+            Row::new("VLRT requests", "0", format!("{}", report.vlrt_total)),
+            Row::new(
+                "XMySQL queue peak",
+                "within LiteQDepth 2000",
+                format!("{}", report.tiers[2].peak_queue),
+            ),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| exp::fig11(42).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 12 — throughput vs. workload concurrency: the synchronous
+//! 2000-thread stack collapses (paper: 1159 → 374 req/s from 100 to 1600
+//! concurrent requests) while the asynchronous NX=3 stack stays high.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_bench::{print_comparison, Row};
+use ntier_core::experiment::{self as exp, FIG12_CONCURRENCIES};
+use ntier_telemetry::render;
+
+fn regenerate() {
+    println!("\n=== Fig. 12 — throughput vs. concurrency ===");
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    let mut endpoints = (0.0, 0.0);
+    for c in FIG12_CONCURRENCIES {
+        let sync = exp::fig12_sync(c, 42).run().throughput;
+        let asyn = exp::fig12_async(c, 42).run().throughput;
+        if c == 100 {
+            endpoints.0 = sync;
+        }
+        if c == 1_600 {
+            endpoints.1 = sync;
+        }
+        rows.push(Row::new(
+            format!("concurrency {c}"),
+            paper_row(c),
+            format!("{sync:.0} / {asyn:.0} req/s"),
+        ));
+        chart.push((format!("sync  @{c}"), sync));
+        chart.push((format!("async @{c}"), asyn));
+    }
+    rows.push(Row::new(
+        "sync collapse factor",
+        "3.1x (1159/374)",
+        format!("{:.1}x ({:.0}/{:.0})", endpoints.0 / endpoints.1, endpoints.0, endpoints.1),
+    ));
+    print_comparison("fig12 (sync / async)", &rows);
+    println!("{}", render::bar_chart(&chart, 40));
+}
+
+fn paper_row(c: u32) -> &'static str {
+    match c {
+        100 => "1159 / high",
+        1_600 => "374 / high",
+        _ => "declining / high",
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("sync_800", |b| b.iter(|| exp::fig12_sync(800, 42).run()));
+    g.bench_function("async_800", |b| b.iter(|| exp::fig12_async(800, 42).run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

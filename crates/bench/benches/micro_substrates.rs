@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the substrate hot paths: event queue, CPU/stall
+//! execution, latency histogram, request-mix sampling, and the end-to-end
+//! engine event rate. These bound the simulator's cost per simulated event.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ntier_core::engine::{Engine, Workload};
+use ntier_core::{SystemConfig, TierConfig};
+use ntier_des::prelude::*;
+use ntier_server::cpu::{CpuModel, StallTimeline};
+use ntier_telemetry::LatencyHistogram;
+use ntier_workload::RequestMix;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed_from(1);
+                (0..10_000u64)
+                    .map(|i| (SimTime::from_micros(rng.below(1_000_000)), i))
+                    .collect::<Vec<_>>()
+            },
+            |items| {
+                let mut q = EventQueue::with_capacity(10_000);
+                for (t, e) in items {
+                    q.push(t, e);
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cpu_stalls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_model");
+    let stalls = StallTimeline::from_intervals(
+        (0..100).map(|i| (SimTime::from_millis(i * 500), SimTime::from_millis(i * 500 + 50))),
+    );
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("run_10k_with_100_stalls", |b| {
+        b.iter(|| {
+            let mut cpu = CpuModel::new(1, stalls.clone());
+            let mut end = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                end = cpu
+                    .run(SimTime::from_micros(i * 40), SimDuration::from_micros(30))
+                    .end;
+            }
+            end
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_histogram");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("record_100k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::paper_default();
+            let mut rng = SimRng::seed_from(3);
+            for _ in 0..100_000 {
+                h.record(SimDuration::from_micros(rng.below(10_000_000)));
+            }
+            h.total()
+        })
+    });
+    g.finish();
+}
+
+fn bench_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_mix");
+    let mix = RequestMix::rubbos_browse();
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sample_10k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(5);
+            let mut total = SimDuration::ZERO;
+            for _ in 0..10_000 {
+                total = total + mix.sample(&mut rng).app_demand;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // ~10k requests through the full 3-tier chain.
+    g.bench_function("open_loop_10k_requests", |b| {
+        b.iter(|| {
+            let sys = SystemConfig::three_tier(
+                TierConfig::sync("Web", 150, 128),
+                TierConfig::sync("App", 150, 128).with_downstream_pool(50),
+                TierConfig::sync("Db", 100, 128),
+            );
+            let arrivals: Vec<SimTime> = (0..10_000).map(|i| SimTime::from_micros(i * 1_000)).collect();
+            Engine::new(
+                sys,
+                Workload::Open {
+                    arrivals,
+                    mix: RequestMix::rubbos_browse(),
+                },
+                SimDuration::from_secs(12),
+                7,
+            )
+            .run()
+            .completed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cpu_stalls,
+    bench_histogram,
+    bench_mix,
+    bench_engine
+);
+criterion_main!(benches);

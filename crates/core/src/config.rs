@@ -1,0 +1,318 @@
+//! System configuration: tiers, their server architecture, and capacities.
+//!
+//! A [`SystemConfig`] describes the 3-tier chain (web → app → db). Each tier
+//! is either *synchronous* (RPC: thread-per-request, bounded accept backlog,
+//! optionally a growable process group) or *asynchronous* (event-driven:
+//! large lightweight queue, continuation-based downstream calls). The
+//! capacity arithmetic of the paper — `MaxSysQDepth = threads + backlog` vs
+//! `LiteQDepth` — is all derivable from this type, see
+//! [`TierConfig::max_sys_q_depth`].
+
+use ntier_des::time::SimDuration;
+use ntier_interference::StallSchedule;
+use ntier_net::RetransmitPolicy;
+use ntier_server::ThreadOverheadModel;
+
+/// The server architecture of one tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TierKind {
+    /// RPC-style synchronous server: thread-per-request plus TCP backlog.
+    Sync {
+        /// Worker threads per process.
+        threads: usize,
+        /// TCP accept-backlog capacity.
+        backlog: usize,
+        /// Maximum processes (Apache prefork grows to this; 1 = fixed pool).
+        max_processes: usize,
+        /// Delay to spawn an additional process.
+        spawn_delay: SimDuration,
+    },
+    /// Event-driven asynchronous server: lightweight queue + small workers.
+    Async {
+        /// `LiteQDepth` — admission capacity (65535 for Nginx/XTomcat,
+        /// 2000 for XMySQL).
+        lite_q_depth: usize,
+        /// Worker threads/processes (pace CPU, never admission).
+        workers: u32,
+    },
+}
+
+impl TierKind {
+    /// `true` for RPC-style tiers.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, TierKind::Sync { .. })
+    }
+
+    /// Short human-readable architecture label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TierKind::Sync { .. } => "sync",
+            TierKind::Async { .. } => "async",
+        }
+    }
+}
+
+/// Configuration of one tier.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Display name ("Apache", "XTomcat", ...).
+    pub name: String,
+    /// Sync or async architecture.
+    pub kind: TierKind,
+    /// CPU cores available to the tier's VM.
+    pub cores: u32,
+    /// Millibottleneck schedule for this tier's CPU.
+    pub stalls: StallSchedule,
+    /// Connection-pool size used by *this tier's* calls to its downstream
+    /// neighbour (`Some(50)` for sync Tomcat's JDBC pool; `None` for async
+    /// connectors, which multiplex without a cap, and for the last tier).
+    pub downstream_pool: Option<usize>,
+    /// Demand inflation at high thread counts (Fig. 12); defaults to none.
+    pub overhead: ThreadOverheadModel,
+}
+
+impl TierConfig {
+    /// A synchronous tier with a fixed pool (no process spawning).
+    pub fn sync(name: impl Into<String>, threads: usize, backlog: usize) -> Self {
+        TierConfig {
+            name: name.into(),
+            kind: TierKind::Sync {
+                threads,
+                backlog,
+                max_processes: 1,
+                spawn_delay: SimDuration::ZERO,
+            },
+            cores: 1,
+            stalls: StallSchedule::none(),
+            downstream_pool: None,
+            overhead: ThreadOverheadModel::none(),
+        }
+    }
+
+    /// An asynchronous tier.
+    pub fn asynchronous(name: impl Into<String>, lite_q_depth: usize, workers: u32) -> Self {
+        TierConfig {
+            name: name.into(),
+            kind: TierKind::Async {
+                lite_q_depth,
+                workers,
+            },
+            cores: 1,
+            stalls: StallSchedule::none(),
+            downstream_pool: None,
+            overhead: ThreadOverheadModel::none(),
+        }
+    }
+
+    /// Enables process spawning (Apache prefork): up to `max_processes`
+    /// processes, each with the configured thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is asynchronous.
+    pub fn with_process_spawning(mut self, max_processes: usize, spawn_delay: SimDuration) -> Self {
+        match &mut self.kind {
+            TierKind::Sync {
+                max_processes: mp,
+                spawn_delay: sd,
+                ..
+            } => {
+                *mp = max_processes;
+                *sd = spawn_delay;
+            }
+            TierKind::Async { .. } => panic!("process spawning applies to sync tiers only"),
+        }
+        self
+    }
+
+    /// Sets the CPU core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the millibottleneck schedule.
+    pub fn with_stalls(mut self, stalls: StallSchedule) -> Self {
+        self.stalls = stalls;
+        self
+    }
+
+    /// Sets the downstream connection-pool size.
+    pub fn with_downstream_pool(mut self, size: usize) -> Self {
+        self.downstream_pool = Some(size);
+        self
+    }
+
+    /// Sets the thread-overhead model.
+    pub fn with_overhead(mut self, overhead: ThreadOverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// `MaxSysQDepth` for a sync tier at its *initial* process count:
+    /// `threads + backlog` (278 for Apache, 293 for the NX=1 Tomcat, 228 for
+    /// MySQL). Returns `None` for async tiers.
+    pub fn max_sys_q_depth(&self) -> Option<usize> {
+        match &self.kind {
+            TierKind::Sync {
+                threads, backlog, ..
+            } => Some(threads + backlog),
+            TierKind::Async { .. } => None,
+        }
+    }
+
+    /// `MaxSysQDepth` with every allowed process spawned (428 for Apache).
+    pub fn max_sys_q_depth_full(&self) -> Option<usize> {
+        match &self.kind {
+            TierKind::Sync {
+                threads,
+                backlog,
+                max_processes,
+                ..
+            } => Some(threads * max_processes + backlog),
+            TierKind::Async { .. } => None,
+        }
+    }
+
+    /// Admission capacity regardless of architecture: `MaxSysQDepth` or
+    /// `LiteQDepth`.
+    pub fn admission_capacity(&self) -> usize {
+        match &self.kind {
+            TierKind::Sync {
+                threads, backlog, ..
+            } => threads + backlog,
+            TierKind::Async { lite_q_depth, .. } => *lite_q_depth,
+        }
+    }
+}
+
+/// The whole 3-tier system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Tier 0 = web, tier 1 = app, tier 2 = db.
+    pub tiers: Vec<TierConfig>,
+    /// Client/inter-tier TCP retransmission schedule.
+    pub retransmit: RetransmitPolicy,
+    /// One-way per-hop message delay.
+    pub hop_delay: SimDuration,
+}
+
+impl SystemConfig {
+    /// Builds a 3-tier system (web, app, db).
+    pub fn three_tier(web: TierConfig, app: TierConfig, db: TierConfig) -> Self {
+        SystemConfig::chain(vec![web, app, db])
+    }
+
+    /// Builds a chain of arbitrary depth (tier 0 is client-facing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn chain(tiers: Vec<TierConfig>) -> Self {
+        assert!(!tiers.is_empty(), "a system needs at least one tier");
+        SystemConfig {
+            tiers,
+            retransmit: RetransmitPolicy::default(),
+            hop_delay: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Overrides the retransmission policy.
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.retransmit = policy;
+        self
+    }
+
+    /// Overrides the per-hop delay.
+    pub fn with_hop_delay(mut self, delay: SimDuration) -> Self {
+        self.hop_delay = delay;
+        self
+    }
+
+    /// Number of asynchronous tiers (the paper's `NX`).
+    pub fn nx(&self) -> usize {
+        self.tiers.iter().filter(|t| !t.kind.is_sync()).count()
+    }
+
+    /// `true` when every tier is synchronous (the CTQO-prone baseline).
+    pub fn is_fully_sync(&self) -> bool {
+        self.nx() == 0
+    }
+
+    /// `true` when every tier is asynchronous (NX=3 — CTQO-free).
+    pub fn is_fully_async(&self) -> bool {
+        self.nx() == self.tiers.len()
+    }
+
+    /// The tier index whose stall schedule is non-empty, if exactly one tier
+    /// stalls (the common experimental setup).
+    pub fn stalled_tier(&self) -> Option<usize> {
+        let stalled: Vec<usize> = self
+            .tiers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.stalls.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        match stalled.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntier_des::time::SimTime;
+
+    #[test]
+    fn max_sys_q_depth_matches_paper_values() {
+        let apache = TierConfig::sync("Apache", 150, 128)
+            .with_process_spawning(2, SimDuration::from_secs(1));
+        assert_eq!(apache.max_sys_q_depth(), Some(278));
+        assert_eq!(apache.max_sys_q_depth_full(), Some(428));
+
+        let tomcat_nx1 = TierConfig::sync("Tomcat", 165, 128);
+        assert_eq!(tomcat_nx1.max_sys_q_depth(), Some(293));
+
+        let mysql = TierConfig::sync("MySQL", 100, 128);
+        assert_eq!(mysql.max_sys_q_depth(), Some(228));
+
+        let nginx = TierConfig::asynchronous("Nginx", 65_535, 4);
+        assert_eq!(nginx.max_sys_q_depth(), None);
+        assert_eq!(nginx.admission_capacity(), 65_535);
+    }
+
+    #[test]
+    fn nx_counts_async_tiers() {
+        let sys = SystemConfig::three_tier(
+            TierConfig::asynchronous("Nginx", 65_535, 4),
+            TierConfig::sync("Tomcat", 165, 128),
+            TierConfig::sync("MySQL", 100, 128),
+        );
+        assert_eq!(sys.nx(), 1);
+        assert!(!sys.is_fully_sync());
+        assert!(!sys.is_fully_async());
+    }
+
+    #[test]
+    fn stalled_tier_requires_exactly_one() {
+        let stall = StallSchedule::at_marks([SimTime::from_secs(1)], SimDuration::from_millis(300));
+        let mut sys = SystemConfig::three_tier(
+            TierConfig::sync("A", 10, 10),
+            TierConfig::sync("B", 10, 10).with_stalls(stall.clone()),
+            TierConfig::sync("C", 10, 10),
+        );
+        assert_eq!(sys.stalled_tier(), Some(1));
+        sys.tiers[2].stalls = stall;
+        assert_eq!(sys.stalled_tier(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sync tiers only")]
+    fn spawning_on_async_tier_rejected() {
+        let _ = TierConfig::asynchronous("Nginx", 100, 1)
+            .with_process_spawning(2, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,195 @@
+//! CSV export of run reports.
+//!
+//! Every figure-bearing series of a [`RunReport`] serializes to a small CSV
+//! bundle so results can be re-plotted outside this crate (gnuplot,
+//! matplotlib, a spreadsheet). The bundle is produced as in-memory strings
+//! ([`csv_bundle`]) — pure and testable — with a thin filesystem wrapper
+//! ([`write_csv_bundle`]).
+
+use std::io;
+use std::path::Path;
+
+use ntier_telemetry::render::to_csv;
+
+use crate::report::RunReport;
+
+/// Serializes a report into `(file name, CSV content)` pairs:
+///
+/// * `summary.csv` — headline metrics;
+/// * `latency_histogram.csv` — bucket start (ms) and count, plus overflow;
+/// * `tier_<i>_<name>.csv` — per-50 ms-window queue peak, drops, VLRT,
+///   own CPU utilization and interferer utilization.
+pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
+    let mut files = Vec::with_capacity(report.tiers.len() + 2);
+
+    let summary_rows = vec![
+        vec!["horizon_secs".into(), format!("{:.3}", report.horizon.as_secs_f64())],
+        vec!["injected".into(), report.injected.to_string()],
+        vec!["completed".into(), report.completed.to_string()],
+        vec!["failed".into(), report.failed.to_string()],
+        vec!["in_flight_end".into(), report.in_flight_end.to_string()],
+        vec!["throughput_rps".into(), format!("{:.3}", report.throughput)],
+        vec!["drops_total".into(), report.drops_total.to_string()],
+        vec!["vlrt_total".into(), report.vlrt_total.to_string()],
+        vec![
+            "highest_mean_util".into(),
+            format!("{:.4}", report.highest_mean_util()),
+        ],
+    ];
+    files.push(("summary.csv".to_string(), to_csv(&["metric", "value"], &summary_rows)));
+
+    let mut hist_rows: Vec<Vec<String>> = report
+        .latency
+        .iter()
+        .map(|(start, count)| vec![start.as_millis().to_string(), count.to_string()])
+        .collect();
+    hist_rows.push(vec!["overflow".into(), report.latency.overflow().to_string()]);
+    files.push((
+        "latency_histogram.csv".to_string(),
+        to_csv(&["bucket_start_ms", "count"], &hist_rows),
+    ));
+
+    for (i, tier) in report.tiers.iter().enumerate() {
+        let utils = tier.util.utilizations();
+        let windows = tier
+            .queue_depth
+            .len()
+            .max(tier.drops.len())
+            .max(tier.vlrt.len())
+            .max(utils.len())
+            .max(tier.interferer_util.len());
+        let rows: Vec<Vec<String>> = (0..windows)
+            .map(|w| {
+                vec![
+                    (w as u64 * ntier_telemetry::MONITOR_WINDOW_MS).to_string(),
+                    format!("{:.0}", tier.queue_depth.window(w).max),
+                    format!("{:.0}", tier.drops.window(w).sum),
+                    format!("{:.0}", tier.vlrt.window(w).sum),
+                    format!("{:.4}", utils.get(w).copied().unwrap_or(0.0)),
+                    format!("{:.4}", tier.interferer_util.get(w).copied().unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        files.push((
+            format!("tier_{i}_{}.csv", sanitize(&tier.name)),
+            to_csv(
+                &[
+                    "window_start_ms",
+                    "queue_peak",
+                    "drops",
+                    "vlrt",
+                    "cpu_util",
+                    "interferer_util",
+                ],
+                &rows,
+            ),
+        ));
+    }
+    files
+}
+
+/// Writes the bundle under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or file writes.
+pub fn write_csv_bundle(report: &RunReport, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, content) in csv_bundle(report) {
+        std::fs::write(dir.join(name), content)?;
+    }
+    Ok(())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Workload};
+    use crate::{SystemConfig, TierConfig};
+    use ntier_des::prelude::*;
+    use ntier_workload::RequestMix;
+
+    fn small_report() -> RunReport {
+        Engine::new(
+            SystemConfig::three_tier(
+                TierConfig::sync("Web", 4, 2),
+                TierConfig::sync("App", 4, 2),
+                TierConfig::sync("Db", 4, 2),
+            ),
+            Workload::Open {
+                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                mix: RequestMix::view_story(),
+            },
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run()
+    }
+
+    #[test]
+    fn bundle_has_summary_histogram_and_tier_files() {
+        let bundle = csv_bundle(&small_report());
+        let names: Vec<&str> = bundle.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "summary.csv",
+                "latency_histogram.csv",
+                "tier_0_web.csv",
+                "tier_1_app.csv",
+                "tier_2_db.csv"
+            ]
+        );
+    }
+
+    #[test]
+    fn summary_contains_headline_numbers() {
+        let report = small_report();
+        let bundle = csv_bundle(&report);
+        let summary = &bundle[0].1;
+        assert!(summary.contains("completed,20"), "{summary}");
+        assert!(summary.contains("drops_total,0"));
+    }
+
+    #[test]
+    fn histogram_rows_sum_to_completed() {
+        let report = small_report();
+        let bundle = csv_bundle(&report);
+        let hist = &bundle[1].1;
+        let total: u64 = hist
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with("overflow"))
+            .map(|l| l.split(',').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, report.completed);
+    }
+
+    #[test]
+    fn tier_files_have_consistent_columns() {
+        let bundle = csv_bundle(&small_report());
+        for (name, content) in bundle.iter().skip(2) {
+            let mut lines = content.lines();
+            let header = lines.next().unwrap();
+            assert_eq!(header.split(',').count(), 6, "{name}");
+            for line in lines {
+                assert_eq!(line.split(',').count(), 6, "{name}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_bundle_creates_files() {
+        let dir = std::env::temp_dir().join(format!("ntier-csv-test-{}", std::process::id()));
+        write_csv_bundle(&small_report(), &dir).expect("write bundle");
+        assert!(dir.join("summary.csv").exists());
+        assert!(dir.join("tier_0_web.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,1054 @@
+//! The n-tier simulation engine.
+//!
+//! Wires the substrates together: workload generators inject requests; each
+//! request walks the tier chain according to its [`Plan`]; tiers admit
+//! messages through thread pools + backlogs (sync) or lightweight queues
+//! (async); CPUs execute slices around stall intervals; overflowing a tier
+//! drops the message and arms the TCP retransmission timer. Every mutation
+//! records into the telemetry series that regenerate the paper's figures.
+//!
+//! # Semantics (see DESIGN.md §5)
+//!
+//! * A **sync** tier thread is held for the full downstream round trip; a
+//!   tier with a configured connection pool additionally caps its
+//!   outstanding downstream calls (the sync Tomcat→MySQL JDBC pool of 50).
+//! * An **async** tier admits into its lightweight queue regardless of
+//!   worker availability; downstream calls are continuations and no thread
+//!   is held.
+//! * A message arriving at a full sync tier (all threads busy *and* backlog
+//!   full) is dropped; the sender retransmits per the configured policy
+//!   (default: +3 s per attempt, the RHEL 6.3 behaviour).
+//!
+//! The chain may have any depth ≥ 1: the paper's 3-tier experiments use
+//! [`crate::presets`]; deeper chains (and per-request custom plans) use
+//! [`SystemConfig::chain`] with [`Workload::OpenPlans`].
+//!
+//! # Example
+//!
+//! ```
+//! use ntier_core::engine::{Engine, Workload};
+//! use ntier_core::presets;
+//! use ntier_des::prelude::*;
+//! use ntier_workload::{ClosedLoopSpec, RequestMix};
+//!
+//! let system = presets::sync_three_tier();
+//! let workload = Workload::Closed {
+//!     spec: ClosedLoopSpec::rubbos(200),
+//!     mix: RequestMix::rubbos_browse(),
+//! };
+//! let report = Engine::new(system, workload, SimDuration::from_secs(10), 1).run();
+//! assert!(report.is_conserved());
+//! ```
+
+use std::collections::HashMap;
+
+use ntier_des::prelude::*;
+use ntier_net::{Backlog, RetransmitState, RetryDecision};
+use ntier_server::conn_pool::Lease;
+use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
+use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_workload::{ClosedLoopSpec, RequestMix};
+
+use crate::config::{SystemConfig, TierKind};
+use crate::plan::Plan;
+use crate::report::{ClassReport, DropRecord, RunReport, TierReport};
+
+/// The workload driving a run.
+#[derive(Debug)]
+pub enum Workload {
+    /// Closed-loop clients (RUBBoS style): each completes, thinks, resends.
+    /// Requires a 3-tier system (plans come from the request mix).
+    Closed {
+        /// Client population and think-time distribution.
+        spec: ClosedLoopSpec,
+        /// Request classes.
+        mix: RequestMix,
+    },
+    /// Open-loop: requests injected at the given (pre-generated) times.
+    /// Requires a 3-tier system.
+    Open {
+        /// Sorted injection times.
+        arrivals: Vec<SimTime>,
+        /// Request classes.
+        mix: RequestMix,
+    },
+    /// Open-loop with explicit per-request plans — supports chains of any
+    /// depth (the plan depth must equal the system depth).
+    OpenPlans {
+        /// `(injection time, plan)` pairs.
+        arrivals: Vec<(SimTime, Plan)>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    ClientSend { client: u32 },
+    Inject { idx: u32 },
+    Arrival { req: u32, tier: u8, visit: u16 },
+    SliceDone { req: u32, tier: u8, visit: u16 },
+    ReplyArrive { req: u32, tier: u8 },
+    SpawnDone { tier: u8 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: u32,
+    visit: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occupancy {
+    None,
+    Thread,
+    Admission,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassStats {
+    completed: u64,
+    vlrt: u64,
+    drops: u64,
+    latency_sum_us: u128,
+}
+
+#[derive(Debug)]
+struct RequestState {
+    injected_at: SimTime,
+    client: Option<u32>,
+    class: &'static str,
+    plan: Plan,
+    /// Index of the slice being (or about to be) executed, per tier.
+    slice_idx: Vec<usize>,
+    /// The visit currently active at each tier.
+    active_visit: Vec<u16>,
+    /// The next downstream visit index to consume, per tier.
+    next_visit: Vec<u16>,
+    retrans: RetransmitState,
+    drops: Vec<DropRecord>,
+    occupying: Vec<Occupancy>,
+    /// Whether this request currently holds a pooled connection at tier i.
+    conn_held: Vec<bool>,
+    done: bool,
+}
+
+#[derive(Debug)]
+enum TierState {
+    Sync(ProcessGroup),
+    Async(EventLoop),
+}
+
+#[derive(Debug)]
+struct TierRuntime {
+    state: TierState,
+    backlog: Backlog<Pending>,
+    cpu: CpuModel,
+    conn_pool: Option<ConnectionPool>,
+    util: UtilizationSeries,
+    queue_depth: WindowedSeries,
+    drops: WindowedSeries,
+    vlrt: WindowedSeries,
+    drops_total: u64,
+    peak_queue: usize,
+}
+
+impl TierRuntime {
+    fn depth(&self) -> usize {
+        match &self.state {
+            TierState::Sync(pg) => pg.busy() + self.backlog.len(),
+            TierState::Async(el) => el.in_flight(),
+        }
+    }
+}
+
+/// Outcome of an admission attempt, computed while the tier is mutably
+/// borrowed and acted on afterwards.
+#[derive(Debug, Clone, Copy)]
+enum Admit {
+    /// A thread/worker slot was claimed; start the visit.
+    Start(Occupancy),
+    /// Parked in the accept backlog.
+    Backlogged,
+    /// The message was dropped.
+    Dropped,
+}
+
+/// The simulation engine for one run.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: SystemConfig,
+    workload: Workload,
+    horizon: SimDuration,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    tiers: Vec<TierRuntime>,
+    requests: Vec<RequestState>,
+    rng_mix: SimRng,
+    rng_clients: SimRng,
+    latency: LatencyHistogram,
+    vlrt_by_completion: WindowedSeries,
+    injected: u64,
+    completed: u64,
+    failed: u64,
+    drops_total: u64,
+    vlrt_total: u64,
+    next_token: u64,
+    parked: HashMap<u64, (u32, usize, u16)>,
+    class_stats: HashMap<&'static str, ClassStats>,
+}
+
+impl Engine {
+    /// Creates an engine for `cfg` under `workload`, simulating `horizon`
+    /// with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has no tiers, if the last tier declares a downstream
+    /// pool, or if a mix-based workload is paired with a non-3-tier system.
+    pub fn new(cfg: SystemConfig, workload: Workload, horizon: SimDuration, seed: u64) -> Self {
+        assert!(!cfg.tiers.is_empty(), "a system needs at least one tier");
+        assert!(
+            cfg.tiers.last().expect("non-empty").downstream_pool.is_none(),
+            "the last tier has no downstream to pool connections for"
+        );
+        if matches!(workload, Workload::Closed { .. } | Workload::Open { .. }) {
+            assert_eq!(
+                cfg.tiers.len(),
+                3,
+                "mix-based workloads compile 3-tier plans; use Workload::OpenPlans for other depths"
+            );
+        }
+        let root = SimRng::seed_from(seed);
+        let tiers = cfg
+            .tiers
+            .iter()
+            .map(|tc| {
+                let stalls = StallTimeline::from_intervals(tc.stalls.intervals().iter().copied());
+                let (state, backlog_cap) = match &tc.kind {
+                    TierKind::Sync {
+                        threads,
+                        backlog,
+                        max_processes,
+                        spawn_delay,
+                    } => (
+                        TierState::Sync(ProcessGroup::new(*threads, *max_processes, *spawn_delay)),
+                        *backlog,
+                    ),
+                    TierKind::Async {
+                        lite_q_depth,
+                        workers,
+                    } => (TierState::Async(EventLoop::new(*lite_q_depth, *workers)), 0),
+                };
+                TierRuntime {
+                    state,
+                    backlog: Backlog::new(backlog_cap),
+                    cpu: CpuModel::new(tc.cores, stalls),
+                    conn_pool: tc.downstream_pool.map(ConnectionPool::new),
+                    util: UtilizationSeries::paper_default(tc.cores),
+                    queue_depth: WindowedSeries::paper_default(),
+                    drops: WindowedSeries::paper_default(),
+                    vlrt: WindowedSeries::paper_default(),
+                    drops_total: 0,
+                    peak_queue: 0,
+                }
+            })
+            .collect();
+        Engine {
+            cfg,
+            workload,
+            horizon,
+            queue: EventQueue::with_capacity(1 << 16),
+            now: SimTime::ZERO,
+            tiers,
+            requests: Vec::new(),
+            rng_mix: root.fork("mix"),
+            rng_clients: root.fork("clients"),
+            latency: LatencyHistogram::paper_default(),
+            vlrt_by_completion: WindowedSeries::paper_default(),
+            injected: 0,
+            completed: 0,
+            failed: 0,
+            drops_total: 0,
+            vlrt_total: 0,
+            next_token: 0,
+            parked: HashMap::new(),
+            class_stats: HashMap::new(),
+        }
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    pub fn run(mut self) -> RunReport {
+        self.schedule_workload();
+        let end = SimTime::ZERO + self.horizon;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > end {
+                break;
+            }
+            self.now = t;
+            self.handle(ev);
+        }
+        self.into_report()
+    }
+
+    fn schedule_workload(&mut self) {
+        match &self.workload {
+            Workload::Closed { spec, .. } => {
+                let clients = spec.clients();
+                let offsets: Vec<SimDuration> = (0..clients)
+                    .map(|_| spec.start_offset(&mut self.rng_clients))
+                    .collect();
+                for (c, offset) in offsets.into_iter().enumerate() {
+                    self.queue
+                        .push(SimTime::ZERO + offset, Event::ClientSend { client: c as u32 });
+                }
+            }
+            Workload::Open { arrivals, .. } => {
+                for (i, t) in arrivals.iter().enumerate() {
+                    self.queue.push(*t, Event::Inject { idx: i as u32 });
+                }
+            }
+            Workload::OpenPlans { arrivals } => {
+                for (i, (t, _)) in arrivals.iter().enumerate() {
+                    self.queue.push(*t, Event::Inject { idx: i as u32 });
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::ClientSend { client } => self.inject(Some(client), 0),
+            Event::Inject { idx } => self.inject(None, idx),
+            Event::Arrival { req, tier, visit } => self.on_arrival(req, tier as usize, visit),
+            Event::SliceDone { req, tier, visit } => self.on_slice_done(req, tier as usize, visit),
+            Event::ReplyArrive { req, tier } => self.on_reply(req, tier as usize),
+            Event::SpawnDone { tier } => self.on_spawn_done(tier as usize),
+        }
+    }
+
+    fn inject(&mut self, client: Option<u32>, idx: u32) {
+        let (class, plan) = match &self.workload {
+            Workload::Closed { mix, .. } => {
+                let s = mix.sample(&mut self.rng_mix);
+                (s.class, Plan::compile(&s))
+            }
+            Workload::Open { mix, .. } => {
+                let s = mix.sample(&mut self.rng_mix);
+                (s.class, Plan::compile(&s))
+            }
+            Workload::OpenPlans { arrivals } => ("custom", arrivals[idx as usize].1.clone()),
+        };
+        assert_eq!(
+            plan.depth(),
+            self.tiers.len(),
+            "plan depth must match the system's tier count"
+        );
+        let n = self.tiers.len();
+        let id = self.requests.len() as u32;
+        self.requests.push(RequestState {
+            injected_at: self.now,
+            client,
+            class,
+            plan,
+            slice_idx: vec![0; n],
+            active_visit: vec![0; n],
+            next_visit: vec![0; n],
+            retrans: RetransmitState::new(),
+            drops: Vec::new(),
+            occupying: vec![Occupancy::None; n],
+            conn_held: vec![false; n],
+            done: false,
+        });
+        self.injected += 1;
+        self.send(id, 0, 0);
+    }
+
+    /// Schedules a message (SYN/query/forward) to arrive at `tier`.
+    fn send(&mut self, req: u32, tier: usize, visit: u16) {
+        let at = self.now + self.cfg.hop_delay;
+        self.queue.push(
+            at,
+            Event::Arrival {
+                req,
+                tier: tier as u8,
+                visit,
+            },
+        );
+    }
+
+    fn on_arrival(&mut self, req: u32, tier: usize, visit: u16) {
+        if self.requests[req as usize].done {
+            return;
+        }
+        let mut spawn_at: Option<SimTime> = None;
+        let admit = {
+            let rt = &mut self.tiers[tier];
+            match &mut rt.state {
+                TierState::Sync(pg) => {
+                    if pg.try_acquire() {
+                        Admit::Start(Occupancy::Thread)
+                    } else {
+                        if pg.wants_spawn() {
+                            pg.begin_spawn();
+                            spawn_at = Some(self.now + pg.spawn_delay());
+                        }
+                        match rt.backlog.offer(Pending { req, visit }) {
+                            Ok(()) => Admit::Backlogged,
+                            Err(_) => Admit::Dropped,
+                        }
+                    }
+                }
+                TierState::Async(el) => {
+                    if el.try_admit() {
+                        Admit::Start(Occupancy::Admission)
+                    } else {
+                        Admit::Dropped
+                    }
+                }
+            }
+        };
+        if let Some(at) = spawn_at {
+            self.queue.push(at, Event::SpawnDone { tier: tier as u8 });
+        }
+        match admit {
+            Admit::Start(occ) => {
+                self.requests[req as usize].occupying[tier] = occ;
+                self.requests[req as usize].retrans = RetransmitState::new();
+                self.record_queue(tier);
+                self.begin_visit(req, tier, visit);
+            }
+            Admit::Backlogged => {
+                self.requests[req as usize].retrans = RetransmitState::new();
+                self.record_queue(tier);
+            }
+            Admit::Dropped => self.drop_message(req, tier, visit),
+        }
+    }
+
+    fn begin_visit(&mut self, req: u32, tier: usize, visit: u16) {
+        self.requests[req as usize].slice_idx[tier] = 0;
+        self.requests[req as usize].active_visit[tier] = visit;
+        self.exec_slice(req, tier, visit, 0);
+    }
+
+    fn exec_slice(&mut self, req: u32, tier: usize, visit: u16, slice: usize) {
+        let demand = self.requests[req as usize].plan.slices_at(tier, visit as usize)[slice];
+        let active = match &self.tiers[tier].state {
+            TierState::Sync(pg) => pg.busy(),
+            TierState::Async(el) => el.workers() as usize,
+        };
+        let effective = self.cfg.tiers[tier].overhead.effective_demand(demand, active);
+        let exec = self.tiers[tier].cpu.run(self.now, effective);
+        for (s, e) in &exec.segments {
+            self.tiers[tier].util.record_busy(*s, *e);
+        }
+        self.queue.push(
+            exec.end,
+            Event::SliceDone {
+                req,
+                tier: tier as u8,
+                visit,
+            },
+        );
+    }
+
+    fn on_slice_done(&mut self, req: u32, tier: usize, visit: u16) {
+        if self.requests[req as usize].done {
+            return;
+        }
+        let slice = self.requests[req as usize].slice_idx[tier];
+        let total = self.requests[req as usize]
+            .plan
+            .slices_at(tier, visit as usize)
+            .len();
+        if slice + 1 == total {
+            self.finish_visit(req, tier, visit);
+        } else {
+            self.issue_call(req, tier);
+        }
+    }
+
+    /// Issues the next downstream call from `tier` (the request's thread,
+    /// if sync, stays held).
+    fn issue_call(&mut self, req: u32, tier: usize) {
+        let target = tier + 1;
+        let target_visit = self.requests[req as usize].next_visit[target];
+        self.requests[req as usize].next_visit[target] = target_visit + 1;
+        if self.tiers[tier].conn_pool.is_some() {
+            let token = self.next_token;
+            self.next_token += 1;
+            let lease = self.tiers[tier]
+                .conn_pool
+                .as_mut()
+                .expect("pool checked above")
+                .acquire(token);
+            match lease {
+                Lease::Granted => {
+                    self.requests[req as usize].conn_held[tier] = true;
+                    self.send(req, target, target_visit);
+                }
+                Lease::Queued => {
+                    self.parked.insert(token, (req, target, target_visit));
+                }
+            }
+        } else {
+            self.send(req, target, target_visit);
+        }
+    }
+
+    fn finish_visit(&mut self, req: u32, tier: usize, _visit: u16) {
+        let released_thread = {
+            match &mut self.tiers[tier].state {
+                TierState::Sync(pg) => {
+                    pg.release();
+                    true
+                }
+                TierState::Async(el) => {
+                    el.complete();
+                    false
+                }
+            }
+        };
+        self.requests[req as usize].occupying[tier] = Occupancy::None;
+        if released_thread {
+            self.drain_backlog(tier);
+        }
+        self.record_queue(tier);
+        if tier == 0 {
+            self.complete_request(req);
+        } else {
+            self.queue.push(
+                self.now + self.cfg.hop_delay,
+                Event::ReplyArrive {
+                    req,
+                    tier: (tier - 1) as u8,
+                },
+            );
+        }
+    }
+
+    fn on_reply(&mut self, req: u32, tier: usize) {
+        if self.requests[req as usize].done {
+            return;
+        }
+        // A reply from downstream frees the caller's pooled connection; a
+        // parked call (its thread already held) inherits it and fires.
+        if self.requests[req as usize].conn_held[tier] {
+            self.requests[req as usize].conn_held[tier] = false;
+            self.release_conn(tier);
+        }
+        let next = self.requests[req as usize].slice_idx[tier] + 1;
+        self.requests[req as usize].slice_idx[tier] = next;
+        let visit = self.requests[req as usize].active_visit[tier];
+        self.exec_slice(req, tier, visit, next);
+    }
+
+    fn release_conn(&mut self, tier: usize) {
+        let handover = self.tiers[tier]
+            .conn_pool
+            .as_mut()
+            .expect("release_conn on tier without pool")
+            .release();
+        if let Some(token) = handover {
+            let (r2, target, visit) = self
+                .parked
+                .remove(&token)
+                .expect("pool handed over an unknown token");
+            self.requests[r2 as usize].conn_held[tier] = true;
+            self.send(r2, target, visit);
+        }
+    }
+
+    fn drain_backlog(&mut self, tier: usize) {
+        loop {
+            let pending = {
+                let rt = &mut self.tiers[tier];
+                match &mut rt.state {
+                    TierState::Sync(pg) => {
+                        if pg.is_exhausted() {
+                            None
+                        } else {
+                            rt.backlog.pop().map(|p| {
+                                let ok = pg.try_acquire();
+                                debug_assert!(ok, "idle thread disappeared");
+                                p
+                            })
+                        }
+                    }
+                    TierState::Async(_) => None,
+                }
+            };
+            let Some(p) = pending else { break };
+            self.requests[p.req as usize].occupying[tier] = Occupancy::Thread;
+            self.begin_visit(p.req, tier, p.visit);
+        }
+    }
+
+    fn on_spawn_done(&mut self, tier: usize) {
+        match &mut self.tiers[tier].state {
+            TierState::Sync(pg) => pg.complete_spawn(),
+            TierState::Async(_) => unreachable!("async tiers do not spawn"),
+        }
+        self.drain_backlog(tier);
+        self.record_queue(tier);
+    }
+
+    fn drop_message(&mut self, req: u32, tier: usize, visit: u16) {
+        self.drops_total += 1;
+        self.tiers[tier].drops_total += 1;
+        self.tiers[tier].drops.add(self.now, 1.0);
+        self.class_stats
+            .entry(self.requests[req as usize].class)
+            .or_default()
+            .drops += 1;
+        self.requests[req as usize].drops.push(DropRecord {
+            tier,
+            at: self.now,
+        });
+        let decision = self.requests[req as usize]
+            .retrans
+            .on_drop(&self.cfg.retransmit, self.now);
+        match decision {
+            RetryDecision::RetryAt(t) => {
+                self.queue.push(
+                    t,
+                    Event::Arrival {
+                        req,
+                        tier: tier as u8,
+                        visit,
+                    },
+                );
+            }
+            RetryDecision::GiveUp => self.fail_request(req),
+        }
+    }
+
+    fn fail_request(&mut self, req: u32) {
+        self.requests[req as usize].done = true;
+        self.failed += 1;
+        for tier in (0..self.tiers.len()).rev() {
+            if self.requests[req as usize].conn_held[tier] {
+                self.requests[req as usize].conn_held[tier] = false;
+                self.release_conn(tier);
+            }
+            let occ = self.requests[req as usize].occupying[tier];
+            match occ {
+                Occupancy::Thread => {
+                    match &mut self.tiers[tier].state {
+                        TierState::Sync(pg) => pg.release(),
+                        TierState::Async(_) => unreachable!("thread occupancy on async tier"),
+                    }
+                    self.requests[req as usize].occupying[tier] = Occupancy::None;
+                    self.drain_backlog(tier);
+                    self.record_queue(tier);
+                }
+                Occupancy::Admission => {
+                    match &mut self.tiers[tier].state {
+                        TierState::Async(el) => el.complete(),
+                        TierState::Sync(_) => unreachable!("admission occupancy on sync tier"),
+                    }
+                    self.requests[req as usize].occupying[tier] = Occupancy::None;
+                    self.record_queue(tier);
+                }
+                Occupancy::None => {}
+            }
+        }
+        self.client_next(req);
+    }
+
+    fn complete_request(&mut self, req: u32) {
+        self.requests[req as usize].done = true;
+        self.completed += 1;
+        let latency = self.now - self.requests[req as usize].injected_at;
+        self.latency.record(latency);
+        let stats = self
+            .class_stats
+            .entry(self.requests[req as usize].class)
+            .or_default();
+        stats.completed += 1;
+        stats.latency_sum_us += u128::from(latency.as_micros());
+        if latency >= SimDuration::from_millis(ntier_telemetry::VLRT_THRESHOLD_MS) {
+            stats.vlrt += 1;
+            self.vlrt_total += 1;
+            self.vlrt_by_completion.add(self.now, 1.0);
+            if let Some(first_drop) = self.requests[req as usize].drops.first().copied() {
+                self.tiers[first_drop.tier].vlrt.add(first_drop.at, 1.0);
+            }
+        }
+        self.client_next(req);
+    }
+
+    /// Closed-loop continuation: the owning client thinks, then sends again.
+    fn client_next(&mut self, req: u32) {
+        let Some(client) = self.requests[req as usize].client else {
+            return;
+        };
+        let Workload::Closed { spec, .. } = &self.workload else {
+            return;
+        };
+        let think = spec.think_time(&mut self.rng_clients);
+        let at = self.now + think;
+        if at <= SimTime::ZERO + self.horizon {
+            self.queue.push(at, Event::ClientSend { client });
+        }
+    }
+
+    fn record_queue(&mut self, tier: usize) {
+        let depth = self.tiers[tier].depth();
+        if depth > self.tiers[tier].peak_queue {
+            self.tiers[tier].peak_queue = depth;
+        }
+        self.tiers[tier].queue_depth.record(self.now, depth as f64);
+    }
+
+    fn into_report(self) -> RunReport {
+        let window = SimDuration::from_millis(ntier_telemetry::MONITOR_WINDOW_MS);
+        let tiers = self
+            .tiers
+            .into_iter()
+            .zip(self.cfg.tiers.iter())
+            .map(|(rt, tc)| TierReport {
+                name: tc.name.clone(),
+                arch: tc.kind.label(),
+                capacity: tc.admission_capacity(),
+                queue_depth: rt.queue_depth,
+                drops: rt.drops,
+                vlrt: rt.vlrt,
+                util: rt.util,
+                interferer_util: tc.stalls.interferer_utilization(window, self.horizon),
+                drops_total: rt.drops_total,
+                peak_queue: rt.peak_queue,
+                spawns: match &rt.state {
+                    TierState::Sync(pg) => pg.spawns_total(),
+                    TierState::Async(_) => 0,
+                },
+            })
+            .collect();
+        let mut classes: Vec<ClassReport> = self
+            .class_stats
+            .iter()
+            .map(|(class, s)| ClassReport {
+                class,
+                completed: s.completed,
+                vlrt: s.vlrt,
+                drops: s.drops,
+                mean_latency: if s.completed == 0 {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_micros((s.latency_sum_us / u128::from(s.completed)) as u64)
+                },
+            })
+            .collect();
+        classes.sort_by_key(|c| c.class);
+        let throughput = self.completed as f64 / self.horizon.as_secs_f64();
+        RunReport {
+            horizon: self.horizon,
+            injected: self.injected,
+            completed: self.completed,
+            failed: self.failed,
+            in_flight_end: self.injected - self.completed - self.failed,
+            throughput,
+            latency: self.latency,
+            vlrt_total: self.vlrt_total,
+            drops_total: self.drops_total,
+            tiers,
+            vlrt_by_completion: self.vlrt_by_completion,
+            classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TierConfig;
+    use ntier_interference::StallSchedule;
+    use ntier_workload::BurstSchedule;
+
+    fn tiny_sync_system() -> SystemConfig {
+        SystemConfig::three_tier(
+            TierConfig::sync("Web", 4, 2),
+            TierConfig::sync("App", 4, 2).with_downstream_pool(2),
+            TierConfig::sync("Db", 4, 2),
+        )
+    }
+
+    fn open_workload(arrivals: Vec<SimTime>) -> Workload {
+        Workload::Open {
+            arrivals,
+            mix: RequestMix::view_story(),
+        }
+    }
+
+    #[test]
+    fn single_request_completes_with_correct_latency() {
+        let sys = tiny_sync_system().with_hop_delay(SimDuration::ZERO);
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(1)]),
+            SimDuration::from_secs(1),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.drops_total, 0);
+        assert!(report.is_conserved());
+        // view_story: 0.05ms web + 0.75ms app + 2×0.15ms db ≈ 1.1 ms
+        let mean = report.latency.mean();
+        assert!(
+            mean >= SimDuration::from_micros(1_000) && mean <= SimDuration::from_micros(1_400),
+            "mean latency {mean}"
+        );
+    }
+
+    #[test]
+    fn hop_delay_adds_to_latency() {
+        let sys = tiny_sync_system().with_hop_delay(SimDuration::from_millis(1));
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(1)]),
+            SimDuration::from_secs(1),
+            1,
+        )
+        .run();
+        // hops: client->web, web->app, 2×(app->db, db->app), app->web(reply)
+        // = 7 one-way hops of 1 ms on top of ~1.1 ms of CPU.
+        let mean = report.latency.mean();
+        assert!(
+            mean >= SimDuration::from_millis(8) && mean < SimDuration::from_millis(9),
+            "mean latency {mean}"
+        );
+    }
+
+    #[test]
+    fn overload_without_burst_queues_but_does_not_drop() {
+        let arrivals: Vec<SimTime> = (0..50).map(|i| SimTime::from_millis(i * 10)).collect();
+        let report = Engine::new(
+            tiny_sync_system(),
+            open_workload(arrivals),
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 50);
+        assert_eq!(report.drops_total, 0);
+    }
+
+    #[test]
+    fn batch_beyond_capacity_drops_and_retransmits() {
+        // Web capacity = 4 threads + 2 backlog = 6; a batch of 24 drops at
+        // the web tier in waves of 6: retries at +3 s, +6 s, +9 s — the
+        // paper's multi-modal signature.
+        let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 24)]);
+        let report = Engine::new(
+            tiny_sync_system(),
+            open_workload(burst.arrivals()),
+            SimDuration::from_secs(12),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 24, "{}", report.summary());
+        assert!(report.drops_total > 0, "{}", report.summary());
+        assert_eq!(report.tiers[0].drops_total, report.drops_total);
+        assert!(report.vlrt_total > 0);
+        assert!(report.has_mode_near(3), "modes: {:?}", report.latency_modes());
+        assert!(report.has_mode_near(6), "modes: {:?}", report.latency_modes());
+        assert!(report.has_mode_near(9), "modes: {:?}", report.latency_modes());
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn stalled_app_tier_backs_up_into_web_upstream_ctqo() {
+        let stall = StallSchedule::at_marks([SimTime::from_millis(100)], SimDuration::from_millis(500));
+        let mut sys = tiny_sync_system();
+        sys.tiers[1] = sys.tiers[1].clone().with_stalls(stall);
+        let arrivals: Vec<SimTime> = (0..200).map(|i| SimTime::from_millis(50 + i * 3)).collect();
+        let report = Engine::new(sys, open_workload(arrivals), SimDuration::from_secs(10), 1).run();
+        assert!(report.tiers[0].drops_total > 0, "{}", report.summary());
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn async_tiers_absorb_the_same_batch_without_drops() {
+        let sys = SystemConfig::three_tier(
+            TierConfig::asynchronous("Web", 65_535, 4),
+            TierConfig::asynchronous("App", 65_535, 8),
+            TierConfig::asynchronous("Db", 2_000, 8),
+        );
+        let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 200)]);
+        let report = Engine::new(
+            sys,
+            open_workload(burst.arrivals()),
+            SimDuration::from_secs(8),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.drops_total, 0, "{}", report.summary());
+        assert_eq!(report.vlrt_total, 0);
+    }
+
+    #[test]
+    fn closed_loop_obeys_interactive_law() {
+        let sys = tiny_sync_system();
+        let workload = Workload::Closed {
+            spec: ClosedLoopSpec::rubbos(70),
+            mix: RequestMix::view_story(),
+        };
+        let report = Engine::new(sys, workload, SimDuration::from_secs(60), 3).run();
+        // N/(Z+R) = 70/7.0 ≈ 10 req/s
+        assert!(
+            (8.0..12.0).contains(&report.throughput),
+            "throughput {}",
+            report.throughput
+        );
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let mk = || {
+            Engine::new(
+                tiny_sync_system(),
+                Workload::Closed {
+                    spec: ClosedLoopSpec::rubbos(50),
+                    mix: RequestMix::rubbos_browse(),
+                },
+                SimDuration::from_secs(20),
+                42,
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.drops_total, b.drops_total);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+        assert_eq!(a.tiers[1].peak_queue, b.tiers[1].peak_queue);
+    }
+
+    #[test]
+    fn conn_pool_caps_outstanding_db_queries() {
+        let sys = SystemConfig::three_tier(
+            TierConfig::sync("Web", 64, 64),
+            TierConfig::sync("App", 64, 64).with_downstream_pool(2),
+            TierConfig::sync("Db", 4, 2),
+        );
+        let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 40)]);
+        let report = Engine::new(
+            sys,
+            open_workload(burst.arrivals()),
+            SimDuration::from_secs(5),
+            1,
+        )
+        .run();
+        assert!(report.tiers[2].peak_queue <= 2, "{}", report.summary());
+        assert_eq!(report.tiers[2].drops_total, 0);
+        assert_eq!(report.completed, 40);
+    }
+
+    #[test]
+    fn give_up_after_retry_budget_counts_failed() {
+        let mut sys = SystemConfig::three_tier(
+            TierConfig::sync("Web", 1, 0),
+            TierConfig::sync("App", 1, 0),
+            TierConfig::sync("Db", 1, 0),
+        );
+        sys.tiers[0] = sys.tiers[0].clone().with_stalls(StallSchedule::at_marks(
+            [SimTime::ZERO],
+            SimDuration::from_secs(30),
+        ));
+        let arrivals: Vec<SimTime> = (0..5).map(|i| SimTime::from_millis(1 + i)).collect();
+        let report = Engine::new(sys, open_workload(arrivals), SimDuration::from_secs(30), 1).run();
+        // First request takes the thread; the rest drop 4 times and give up.
+        assert_eq!(report.failed, 4, "{}", report.summary());
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn five_tier_pipeline_round_trips() {
+        let sys = SystemConfig::chain(
+            (0..5)
+                .map(|i| TierConfig::sync(format!("T{i}"), 8, 4))
+                .collect(),
+        )
+        .with_hop_delay(SimDuration::ZERO);
+        let plan = || {
+            Plan::pipeline(&[
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(200),
+                SimDuration::from_micros(300),
+                SimDuration::from_micros(200),
+                SimDuration::from_micros(100),
+            ])
+        };
+        let arrivals: Vec<(SimTime, Plan)> =
+            (0..30).map(|i| (SimTime::from_millis(i * 5), plan())).collect();
+        let report = Engine::new(
+            sys,
+            Workload::OpenPlans { arrivals },
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 30, "{}", report.summary());
+        assert_eq!(report.drops_total, 0);
+        assert_eq!(report.tiers.len(), 5);
+        // one lone request's latency = sum of demands = 0.9 ms
+        let first = report.latency.quantile(0.01).unwrap();
+        assert!(first <= SimDuration::from_millis(50), "{first}");
+    }
+
+    #[test]
+    fn deep_chain_upstream_ctqo_propagates_to_tier_zero() {
+        // Stall the LAST tier of a 5-tier sync chain with small pools: the
+        // overflow must surface at tier 0 — CTQO propagates any depth.
+        let stall = StallSchedule::at_marks([SimTime::from_millis(500)], SimDuration::from_millis(800));
+        let mut tiers: Vec<TierConfig> = (0..5).map(|i| TierConfig::sync(format!("T{i}"), 4, 2)).collect();
+        tiers[4] = tiers[4].clone().with_stalls(stall);
+        let sys = SystemConfig::chain(tiers);
+        let plan = || Plan::pipeline(&[SimDuration::from_micros(50); 5]);
+        let arrivals: Vec<(SimTime, Plan)> =
+            (0..400).map(|i| (SimTime::from_millis(300 + i * 2), plan())).collect();
+        let report = Engine::new(
+            sys,
+            Workload::OpenPlans { arrivals },
+            SimDuration::from_secs(15),
+            1,
+        )
+        .run();
+        assert!(report.tiers[0].drops_total > 0, "{}", report.summary());
+        assert_eq!(report.tiers[4].drops_total, 0, "{}", report.summary());
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "mix-based workloads compile 3-tier plans")]
+    fn mix_workload_rejects_non_three_tier_system() {
+        let sys = SystemConfig::chain(vec![
+            TierConfig::sync("A", 2, 2),
+            TierConfig::sync("B", 2, 2),
+        ]);
+        let _ = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(1)]),
+            SimDuration::from_secs(1),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no downstream to pool")]
+    fn last_tier_pool_rejected() {
+        let sys = SystemConfig::three_tier(
+            TierConfig::sync("Web", 2, 2),
+            TierConfig::sync("App", 2, 2),
+            TierConfig::sync("Db", 2, 2).with_downstream_pool(5),
+        );
+        let _ = Engine::new(
+            sys,
+            open_workload(vec![]),
+            SimDuration::from_secs(1),
+            1,
+        );
+    }
+}

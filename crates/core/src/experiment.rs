@@ -1,0 +1,367 @@
+//! Ready-made experiment specifications for every figure in the paper.
+//!
+//! Each `figN_*` function returns an [`ExperimentSpec`] wired exactly like
+//! the corresponding experiment: the same server ladder (NX=0..3), the same
+//! millibottleneck source and timing marks, and a workload calibrated to the
+//! paper's throughput/utilization operating points (see DESIGN.md §6). The
+//! bench harness in `crates/bench` runs these and prints paper-vs-measured
+//! rows; EXPERIMENTS.md records the outcomes.
+
+use ntier_des::prelude::*;
+use ntier_interference::{Colocation, LogFlush, StallSchedule};
+use ntier_server::ThreadOverheadModel;
+use ntier_workload::{ClosedLoopSpec, RequestMix};
+
+use crate::config::{SystemConfig, TierConfig};
+use crate::engine::{Engine, Workload};
+use crate::presets;
+use crate::report::RunReport;
+
+/// Warm-up offset applied to every millibottleneck mark: closed-loop
+/// clients ramp in over one think time (~7 s), so stalls are scheduled
+/// `WARMUP` after t=0 and figure timelines subtract it when rendering.
+pub const WARMUP: SimDuration = SimDuration::from_secs(10);
+
+fn rubbos_workload(clients: u32) -> Workload {
+    // Ramp = mean think time: the ramp arrival rate N/Z equals the steady
+    // rate, so there is no startup overload transient.
+    Workload::Closed {
+        spec: ClosedLoopSpec::rubbos(clients),
+        mix: RequestMix::rubbos_browse(),
+    }
+}
+
+/// A fully specified, runnable experiment.
+#[derive(Debug)]
+pub struct ExperimentSpec {
+    /// Experiment identifier ("fig1a", "fig3", ...).
+    pub name: &'static str,
+    /// The system under test.
+    pub system: SystemConfig,
+    /// The workload.
+    pub workload: Workload,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// Seed (same seed ⇒ identical report).
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Runs the experiment.
+    pub fn run(self) -> RunReport {
+        Engine::new(self.system, self.workload, self.horizon, self.seed).run()
+    }
+}
+
+/// Millibottleneck trains for the Fig. 1 endurance runs: clusters of 2–3
+/// bursts spaced ~3 s apart (the spacing Fig. 3's own marks show — bursts at
+/// 2 and 5 s), each stalling the app tier for 600 ms, with clusters arriving
+/// every ~30 s. The ~3 s spacing is what aligns retry windows with later
+/// bursts and produces the 6 s and 9 s latency modes.
+pub fn fig1_stall_train(horizon: SimDuration, seed: u64) -> StallSchedule {
+    let mut rng = SimRng::seed_from(seed).fork("fig1-stalls");
+    let mut marks = Vec::new();
+    let mut t = SimTime::ZERO + WARMUP + SimDuration::from_secs(5);
+    let end = SimTime::ZERO + horizon;
+    while t < end {
+        let bursts = 2 + rng.below(2); // 2..=3 bursts per cluster
+        for b in 0..bursts {
+            marks.push(t + SimDuration::from_secs(3) * b);
+        }
+        // next cluster 25–40 s later
+        t += SimDuration::from_millis(25_000 + rng.below(15_000));
+    }
+    StallSchedule::at_marks(marks, SimDuration::from_millis(600))
+}
+
+/// Fig. 1(a–c): the fully synchronous system at WL 4000 / 7000 / 8000 with
+/// recurring CPU millibottlenecks in Tomcat. `clients` selects the panel.
+pub fn fig1(clients: u32, horizon: SimDuration, seed: u64) -> ExperimentSpec {
+    let mut system = presets::sync_three_tier();
+    system.tiers[1] = system.tiers[1]
+        .clone()
+        .with_stalls(fig1_stall_train(horizon, seed));
+    ExperimentSpec {
+        name: "fig1",
+        system,
+        workload: Workload::Closed {
+            spec: ClosedLoopSpec::rubbos(clients),
+            mix: RequestMix::rubbos_browse(),
+        },
+        horizon,
+        seed,
+    }
+}
+
+/// Fig. 3: upstream CTQO from VM-consolidation CPU millibottlenecks in
+/// Tomcat, burst marks at 2/5/9/15 s (SysBursty batches of ~530 requests ≈
+/// 400 ms of stolen CPU), WL 7000, 20 s timeline.
+pub fn fig3(seed: u64) -> ExperimentSpec {
+    let hog = Colocation::new(530, SimDuration::from_micros(755)); // ≈400 ms
+    let stalls = hog.at_marks([12u64, 15, 19, 25].map(SimTime::from_secs)); // 2/5/9/15 + WARMUP
+    let mut system = presets::sync_three_tier();
+    system.tiers[1] = system.tiers[1].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "fig3",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(30),
+        seed,
+    }
+}
+
+/// Fig. 5: upstream CTQO from I/O (log-flush) millibottlenecks in MySQL
+/// every 30 s; Tomcat scaled to 4 cores; 80 s timeline.
+pub fn fig5(seed: u64) -> ExperimentSpec {
+    let mut system = presets::sync_three_tier();
+    system.tiers[1] = system.tiers[1].clone().with_cores(4);
+    system.tiers[2] = system.tiers[2]
+        .clone()
+        .with_stalls(
+            LogFlush::new(
+                SimTime::ZERO + WARMUP + SimDuration::from_secs(10),
+                SimDuration::from_secs(30),
+                SimDuration::from_millis(350),
+            )
+            .schedule(SimDuration::from_secs(90)),
+        );
+    ExperimentSpec {
+        name: "fig5",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(90),
+        seed,
+    }
+}
+
+/// Fig. 7: NX=1 (Nginx–Tomcat–MySQL) with CPU millibottlenecks in Tomcat at
+/// 7/26/42/57 s — downstream CTQO at Tomcat itself.
+pub fn fig7(seed: u64) -> ExperimentSpec {
+    let stalls = StallSchedule::at_marks(
+        [17u64, 36, 52, 67].map(SimTime::from_secs), // 7/26/42/57 + WARMUP
+        SimDuration::from_millis(400),
+    );
+    let mut system = presets::nx1();
+    system.tiers[1] = system.tiers[1].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "fig7",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(70),
+        seed,
+    }
+}
+
+/// §V-B's second case: NX=1 with millibottlenecks in MySQL — upstream CTQO
+/// at Tomcat (pool-mediated), Tomcat drops. The paper describes this case in
+/// text (graphs omitted for space).
+pub fn nx1_mysql_stall(seed: u64) -> ExperimentSpec {
+    let stalls = StallSchedule::at_marks(
+        [18u64, 33, 48, 63].map(SimTime::from_secs),
+        SimDuration::from_millis(450),
+    );
+    let mut system = presets::nx1();
+    system.tiers[2] = system.tiers[2].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "nx1-mysql-stall",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(70),
+        seed,
+    }
+}
+
+/// Fig. 8: NX=2 (Nginx–XTomcat–MySQL) with millibottlenecks in MySQL at
+/// 6/21/39/57 s — downstream CTQO at MySQL.
+pub fn fig8(seed: u64) -> ExperimentSpec {
+    let stalls = StallSchedule::at_marks(
+        [16u64, 31, 49, 67].map(SimTime::from_secs), // 6/21/39/57 + WARMUP
+        SimDuration::from_millis(400),
+    );
+    let mut system = presets::nx2();
+    system.tiers[2] = system.tiers[2].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "fig8",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(70),
+        seed,
+    }
+}
+
+/// Fig. 9: NX=2 with millibottlenecks in XTomcat at 8/24/39 s — the
+/// post-stall batch floods MySQL: downstream CTQO at MySQL.
+pub fn fig9(seed: u64) -> ExperimentSpec {
+    let stalls = StallSchedule::at_marks(
+        [18u64, 34, 49].map(SimTime::from_secs), // 8/24/39 + WARMUP
+        SimDuration::from_millis(400),
+    );
+    let mut system = presets::nx2();
+    system.tiers[1] = system.tiers[1].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "fig9",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(60),
+        seed,
+    }
+}
+
+/// Fig. 10: NX=3 (Nginx–XTomcat–XMySQL) with CPU millibottlenecks in
+/// XTomcat at 4/13/35 s — no CTQO, no drops.
+pub fn fig10(seed: u64) -> ExperimentSpec {
+    let stalls = StallSchedule::at_marks(
+        [14u64, 23, 45].map(SimTime::from_secs), // 4/13/35 + WARMUP
+        SimDuration::from_millis(400),
+    );
+    let mut system = presets::nx3();
+    system.tiers[1] = system.tiers[1].clone().with_stalls(stalls);
+    ExperimentSpec {
+        name: "fig10",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(60),
+        seed,
+    }
+}
+
+/// Fig. 11: NX=3 with I/O (log-flush) millibottlenecks in XMySQL every 30 s
+/// — all tiers buffer in lightweight queues, no drops.
+pub fn fig11(seed: u64) -> ExperimentSpec {
+    let mut system = presets::nx3();
+    system.tiers[2] = system.tiers[2].clone().with_stalls(
+        LogFlush::new(
+            SimTime::ZERO + WARMUP + SimDuration::from_secs(13),
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(350),
+        )
+        .schedule(SimDuration::from_secs(90)),
+    );
+    ExperimentSpec {
+        name: "fig11",
+        system,
+        workload: rubbos_workload(7_000),
+        horizon: SimDuration::from_secs(90),
+        seed,
+    }
+}
+
+/// Fig. 12, synchronous arm: the "RPC purist" fix — 2000-thread pools — at
+/// the given workload concurrency. Thread-management overhead (context
+/// switching + GC) is applied at the app tier.
+pub fn fig12_sync(concurrency: u32, seed: u64) -> ExperimentSpec {
+    let system = SystemConfig::three_tier(
+        TierConfig::sync("Apache-2000", 2_000, 128),
+        TierConfig::sync("Tomcat-2000", 2_000, 128)
+            .with_downstream_pool(2_000)
+            .with_overhead(ThreadOverheadModel::java_server_2000_threads()),
+        TierConfig::sync("MySQL-2000", 2_000, 128),
+    );
+    ExperimentSpec {
+        name: "fig12-sync",
+        system,
+        workload: fig12_workload(concurrency),
+        horizon: SimDuration::from_secs(20),
+        seed,
+    }
+}
+
+/// Fig. 12, asynchronous arm: NX=3 at the given workload concurrency.
+pub fn fig12_async(concurrency: u32, seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig12-async",
+        system: presets::nx3(),
+        workload: fig12_workload(concurrency),
+        horizon: SimDuration::from_secs(20),
+        seed,
+    }
+}
+
+fn fig12_workload(concurrency: u32) -> Workload {
+    // Closed loop with negligible think time: the number of clients *is*
+    // the workload concurrency.
+    Workload::Closed {
+        spec: ClosedLoopSpec::new(concurrency, Box::new(Point::new(0.0001)))
+            .with_ramp(SimDuration::from_millis(100)),
+        mix: RequestMix::view_story(),
+    }
+}
+
+/// The Fig. 12 sweep points from the paper.
+pub const FIG12_CONCURRENCIES: [u32; 5] = [100, 200, 400, 800, 1_600];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_stall_train_is_deterministic_and_clustered() {
+        let h = SimDuration::from_secs(120);
+        let a = fig1_stall_train(h, 9);
+        let b = fig1_stall_train(h, 9);
+        assert_eq!(a, b);
+        assert!(a.intervals().len() >= 8, "{} stalls", a.intervals().len());
+        // consecutive bursts inside a cluster are 3 s apart
+        let starts: Vec<SimTime> = a.intervals().iter().map(|(s, _)| *s).collect();
+        let has_3s_gap = starts
+            .windows(2)
+            .any(|w| w[1] - w[0] == SimDuration::from_secs(3));
+        assert!(has_3s_gap);
+    }
+
+    #[test]
+    fn specs_build_with_expected_shapes() {
+        assert_eq!(fig3(1).system.stalled_tier(), Some(1));
+        assert_eq!(fig5(1).system.stalled_tier(), Some(2));
+        assert_eq!(fig5(1).system.tiers[1].cores, 4);
+        assert_eq!(fig7(1).system.nx(), 1);
+        assert_eq!(fig8(1).system.nx(), 2);
+        assert_eq!(fig9(1).system.stalled_tier(), Some(1));
+        assert_eq!(fig10(1).system.nx(), 3);
+        assert_eq!(fig11(1).system.nx(), 3);
+        assert!(fig12_sync(100, 1).system.is_fully_sync());
+        assert!(fig12_async(100, 1).system.is_fully_async());
+    }
+}
+
+/// **Extension (not in the paper):** CTQO at arbitrary chain depth.
+///
+/// Builds a depth-`n` synchronous chain of identical small tiers
+/// (`threads + backlog` = 24 + 8), stalls the *last* tier, and drives it
+/// with an open-loop pipeline workload. The paper studies n = 3; this
+/// experiment shows the push-back propagating through any number of RPC
+/// hops: the drop site is always tier 0. Setting `async_front` converts
+/// tier 0 into an event-driven server, which absorbs the same backlog.
+///
+/// # Panics
+///
+/// Panics if `depth < 2`.
+pub fn chain_depth(depth: usize, async_front: bool, seed: u64) -> ExperimentSpec {
+    use crate::plan::Plan;
+    assert!(depth >= 2, "a chain experiment needs at least two tiers");
+    let stall = StallSchedule::at_marks(
+        [SimTime::from_secs(2), SimTime::from_secs(6)],
+        SimDuration::from_millis(700),
+    );
+    let mut tiers: Vec<TierConfig> = (0..depth)
+        .map(|i| TierConfig::sync(format!("T{i}"), 24, 8))
+        .collect();
+    if async_front {
+        tiers[0] = TierConfig::asynchronous("T0", 65_535, 4);
+    }
+    let last = depth - 1;
+    tiers[last] = tiers[last].clone().with_stalls(stall);
+    let system = SystemConfig::chain(tiers);
+    // 100 req/s of depth-n pipeline requests with 0.2 ms per tier.
+    let plan = Plan::pipeline(&vec![SimDuration::from_micros(200); depth]);
+    let arrivals: Vec<(SimTime, Plan)> = (0..1_000u64)
+        .map(|i| (SimTime::from_millis(i * 10), plan.clone()))
+        .collect();
+    ExperimentSpec {
+        name: "ext-chain-depth",
+        system,
+        workload: Workload::OpenPlans { arrivals },
+        horizon: SimDuration::from_secs(15),
+        seed,
+    }
+}

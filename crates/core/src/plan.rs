@@ -1,0 +1,374 @@
+//! Per-request execution plans.
+//!
+//! A [`Plan`] is the compiled form of a request: for every tier in the
+//! chain, the *visits* the request makes there, and within each visit the
+//! CPU slices interleaved with downstream calls. For a tier-`i` visit with
+//! slices `[s0, s1, ..., sk]`, the request executes `s0`, issues a call to
+//! tier `i+1` (consuming that tier's next visit), continues with `s1` when
+//! the reply arrives, and so on; after the final slice it replies upstream.
+//!
+//! The 3-tier RUBBoS shape ([`Plan::compile`]) is:
+//!
+//! * web tier — static requests run one slice and reply; dynamic requests
+//!   run a pre slice, call the app tier, then a post slice;
+//! * app tier — `queries + 1` slices with one database query between
+//!   consecutive slices (the Fig. 14 structure). The *first* slice is
+//!   deliberately small (5 % of the app demand): real app servers parse and
+//!   dispatch the first query almost immediately, which is what lets a
+//!   post-stall batch flood the database (Fig. 9);
+//! * db tier — each query is an independent visit with a single slice.
+//!
+//! Arbitrary-depth chains are built with [`Plan::pipeline`] or
+//! [`Plan::from_tier_plans`].
+
+use ntier_des::time::SimDuration;
+use ntier_workload::{RequestKind, SampledRequest};
+
+/// Fraction of the app demand spent before the first query.
+pub const APP_PRE_QUERY_FRACTION: f64 = 0.05;
+
+/// Fraction of the web demand spent before forwarding a dynamic request.
+pub const WEB_PRE_FORWARD_FRACTION: f64 = 0.7;
+
+/// The visits one request makes at one tier.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TierPlan {
+    /// `visits[v]` is the slice list of visit `v`, in arrival order.
+    pub visits: Vec<Vec<SimDuration>>,
+}
+
+impl TierPlan {
+    /// A tier the request never reaches.
+    pub fn skipped() -> Self {
+        TierPlan::default()
+    }
+
+    /// A single visit with the given slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is empty (a visit always has at least one slice).
+    pub fn single(slices: Vec<SimDuration>) -> Self {
+        assert!(!slices.is_empty(), "a visit needs at least one slice");
+        TierPlan {
+            visits: vec![slices],
+        }
+    }
+
+    /// Total downstream calls issued from this tier.
+    pub fn calls(&self) -> usize {
+        self.visits.iter().map(|v| v.len() - 1).sum()
+    }
+
+    /// Total CPU demand at this tier.
+    pub fn demand(&self) -> SimDuration {
+        self.visits
+            .iter()
+            .flatten()
+            .fold(SimDuration::ZERO, |a, b| a + *b)
+    }
+}
+
+/// The compiled execution plan of one request across the whole chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    tiers: Vec<TierPlan>,
+}
+
+impl Plan {
+    /// Builds a plan from per-tier visit lists, validating the chain
+    /// invariant: the number of calls issued from tier `i` equals the
+    /// number of visits at tier `i+1`, and tier 0 is visited exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated or `tiers` is empty.
+    pub fn from_tier_plans(tiers: Vec<TierPlan>) -> Plan {
+        assert!(!tiers.is_empty(), "a plan needs at least one tier");
+        assert_eq!(tiers[0].visits.len(), 1, "tier 0 is visited exactly once");
+        for i in 0..tiers.len() - 1 {
+            assert_eq!(
+                tiers[i].calls(),
+                tiers[i + 1].visits.len(),
+                "calls from tier {i} must match visits at tier {}",
+                i + 1
+            );
+        }
+        assert_eq!(
+            tiers.last().expect("non-empty").calls(),
+            0,
+            "the last tier cannot call further downstream"
+        );
+        Plan { tiers }
+    }
+
+    /// Compiles a RUBBoS-style sampled request into a 3-tier plan.
+    pub fn compile(req: &SampledRequest) -> Plan {
+        match req.kind {
+            RequestKind::Static => Plan {
+                tiers: vec![
+                    TierPlan::single(vec![req.web_demand]),
+                    TierPlan::skipped(),
+                    TierPlan::skipped(),
+                ],
+            },
+            RequestKind::Dynamic => {
+                let web_us = req.web_demand.as_micros();
+                let pre_web = (web_us as f64 * WEB_PRE_FORWARD_FRACTION).round() as u64;
+                let web = TierPlan::single(vec![
+                    SimDuration::from_micros(pre_web),
+                    SimDuration::from_micros(web_us - pre_web),
+                ]);
+                let queries = req.db_demands.len();
+                let app_us = req.app_demand.as_micros();
+                let mut app_slices = Vec::with_capacity(queries + 1);
+                if queries == 0 {
+                    app_slices.push(req.app_demand);
+                } else {
+                    let pre = (app_us as f64 * APP_PRE_QUERY_FRACTION).round() as u64;
+                    app_slices.push(SimDuration::from_micros(pre));
+                    let rest = app_us - pre;
+                    let per = rest / queries as u64;
+                    for i in 0..queries {
+                        // give the remainder to the last slice
+                        let d = if i == queries - 1 {
+                            rest - per * (queries as u64 - 1)
+                        } else {
+                            per
+                        };
+                        app_slices.push(SimDuration::from_micros(d));
+                    }
+                }
+                Plan {
+                    tiers: vec![
+                        web,
+                        TierPlan::single(app_slices),
+                        TierPlan {
+                            visits: req.db_demands.iter().map(|d| vec![*d]).collect(),
+                        },
+                    ],
+                }
+            }
+        }
+    }
+
+    /// A depth-`n` pipeline: one visit per tier, one call per tier (except
+    /// the last), with the tier's demand split evenly around the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands` is empty.
+    pub fn pipeline(demands: &[SimDuration]) -> Plan {
+        assert!(!demands.is_empty(), "a pipeline needs at least one tier");
+        let n = demands.len();
+        let tiers = demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                if i == n - 1 {
+                    TierPlan::single(vec![*d])
+                } else {
+                    let half = SimDuration::from_micros(d.as_micros() / 2);
+                    TierPlan::single(vec![half, *d - half])
+                }
+            })
+            .collect();
+        Plan { tiers }
+    }
+
+    /// Number of tiers in the chain.
+    pub fn depth(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// `true` if the request never leaves tier 0.
+    pub fn is_static(&self) -> bool {
+        self.tiers.len() < 2 || self.tiers[1].visits.is_empty()
+    }
+
+    /// Number of visits to the last tier of a 3-tier plan (database
+    /// queries); general chains report the last tier's visit count.
+    pub fn queries(&self) -> usize {
+        self.tiers.last().map(|t| t.visits.len()).unwrap_or(0)
+    }
+
+    /// Total CPU demand across all tiers (compilation conserves the sampled
+    /// demands).
+    pub fn total_demand(&self) -> SimDuration {
+        self.tiers
+            .iter()
+            .fold(SimDuration::ZERO, |a, t| a + t.demand())
+    }
+
+    /// Slices of visit `visit` at `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range tier or visit.
+    pub fn slices_at(&self, tier: usize, visit: usize) -> &[SimDuration] {
+        &self.tiers[tier].visits[visit]
+    }
+
+    /// Number of downstream calls made from `tier` across all its visits.
+    pub fn calls_from(&self, tier: usize) -> usize {
+        self.tiers.get(tier).map(TierPlan::calls).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntier_des::prelude::*;
+    use ntier_workload::RequestMix;
+    use proptest::prelude::*;
+
+    fn sample(seed: u64) -> SampledRequest {
+        let mix = RequestMix::rubbos_browse();
+        let mut rng = SimRng::seed_from(seed);
+        mix.sample(&mut rng)
+    }
+
+    #[test]
+    fn static_plan_has_one_web_slice() {
+        let req = SampledRequest {
+            class: "static",
+            kind: RequestKind::Static,
+            web_demand: SimDuration::from_micros(200),
+            app_demand: SimDuration::ZERO,
+            db_demands: vec![],
+        };
+        let p = Plan::compile(&req);
+        assert!(p.is_static());
+        assert_eq!(p.slices_at(0, 0), &[SimDuration::from_micros(200)]);
+        assert_eq!(p.calls_from(0), 0);
+        assert_eq!(p.calls_from(1), 0);
+    }
+
+    #[test]
+    fn dynamic_plan_structure_matches_fig14() {
+        let req = SampledRequest {
+            class: "view_story",
+            kind: RequestKind::Dynamic,
+            web_demand: SimDuration::from_micros(100),
+            app_demand: SimDuration::from_micros(1_000),
+            db_demands: vec![SimDuration::from_micros(150), SimDuration::from_micros(200)],
+        };
+        let p = Plan::compile(&req);
+        assert_eq!(p.slices_at(0, 0).len(), 2);
+        assert_eq!(p.slices_at(1, 0).len(), 3); // pre, between, post
+        assert_eq!(p.queries(), 2);
+        assert_eq!(p.calls_from(0), 1);
+        assert_eq!(p.calls_from(1), 2);
+        // first app slice is the small dispatch slice
+        assert_eq!(p.slices_at(1, 0)[0], SimDuration::from_micros(50));
+        assert_eq!(p.slices_at(2, 1), &[SimDuration::from_micros(200)]);
+    }
+
+    #[test]
+    fn compilation_conserves_demand() {
+        for seed in 0..50 {
+            let req = sample(seed);
+            let p = Plan::compile(&req);
+            let expect = req.web_demand
+                + req.app_demand
+                + req.db_demands.iter().fold(SimDuration::ZERO, |a, b| a + *b);
+            assert_eq!(p.total_demand(), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_query_dynamic_request_runs_app_once() {
+        let req = SampledRequest {
+            class: "app_only",
+            kind: RequestKind::Dynamic,
+            web_demand: SimDuration::from_micros(100),
+            app_demand: SimDuration::from_micros(500),
+            db_demands: vec![],
+        };
+        let p = Plan::compile(&req);
+        assert_eq!(p.slices_at(1, 0), &[SimDuration::from_micros(500)]);
+        assert_eq!(p.calls_from(1), 0);
+    }
+
+    #[test]
+    fn pipeline_builds_arbitrary_depths() {
+        let p = Plan::pipeline(&[
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(200),
+            SimDuration::from_micros(301),
+            SimDuration::from_micros(400),
+        ]);
+        assert_eq!(p.depth(), 4);
+        for i in 0..3 {
+            assert_eq!(p.calls_from(i), 1);
+        }
+        assert_eq!(p.calls_from(3), 0);
+        assert_eq!(p.total_demand(), SimDuration::from_micros(1_001));
+        // odd demand splits without losing a microsecond
+        assert_eq!(p.slices_at(2, 0)[0] + p.slices_at(2, 0)[1], SimDuration::from_micros(301));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match visits")]
+    fn mismatched_chain_rejected() {
+        let _ = Plan::from_tier_plans(vec![
+            TierPlan::single(vec![SimDuration::from_micros(10), SimDuration::from_micros(10)]), // 1 call
+            TierPlan {
+                visits: vec![vec![SimDuration::from_micros(5)], vec![SimDuration::from_micros(5)]],
+            }, // but 2 visits
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot call further downstream")]
+    fn dangling_call_rejected() {
+        let _ = Plan::from_tier_plans(vec![TierPlan::single(vec![
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(10),
+        ])]);
+    }
+
+    #[test]
+    fn from_tier_plans_accepts_valid_chains() {
+        let p = Plan::from_tier_plans(vec![
+            TierPlan::single(vec![SimDuration::from_micros(10), SimDuration::from_micros(5)]),
+            TierPlan::single(vec![
+                SimDuration::from_micros(1),
+                SimDuration::from_micros(2),
+                SimDuration::from_micros(3),
+            ]),
+            TierPlan {
+                visits: vec![vec![SimDuration::from_micros(7)], vec![SimDuration::from_micros(8)]],
+            },
+        ]);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.calls_from(1), 2);
+    }
+
+    proptest! {
+        /// Demand conservation holds for arbitrary demands/query counts.
+        #[test]
+        fn conservation(web in 0u64..10_000, app in 0u64..10_000, dbs in proptest::collection::vec(1u64..5_000, 0..6)) {
+            let req = SampledRequest {
+                class: "x",
+                kind: RequestKind::Dynamic,
+                web_demand: SimDuration::from_micros(web),
+                app_demand: SimDuration::from_micros(app),
+                db_demands: dbs.iter().map(|d| SimDuration::from_micros(*d)).collect(),
+            };
+            let p = Plan::compile(&req);
+            let expect = web + app + dbs.iter().sum::<u64>();
+            prop_assert_eq!(p.total_demand(), SimDuration::from_micros(expect));
+            prop_assert_eq!(p.slices_at(1, 0).len(), dbs.len() + 1);
+        }
+
+        /// Pipelines conserve demand at any depth.
+        #[test]
+        fn pipeline_conservation(demands in proptest::collection::vec(1u64..10_000, 1..8)) {
+            let durations: Vec<SimDuration> = demands.iter().map(|d| SimDuration::from_micros(*d)).collect();
+            let p = Plan::pipeline(&durations);
+            prop_assert_eq!(p.total_demand(), SimDuration::from_micros(demands.iter().sum()));
+            prop_assert_eq!(p.depth(), demands.len());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Run reports: everything the paper's figures plot, in one structure.
+
+use ntier_des::time::{SimDuration, SimTime};
+use ntier_telemetry::histogram::Mode;
+use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+
+/// Per-tier measurements from one run.
+#[derive(Debug, Clone)]
+pub struct TierReport {
+    /// Tier display name.
+    pub name: String,
+    /// `"sync"` or `"async"`.
+    pub arch: &'static str,
+    /// Admission capacity at start (`MaxSysQDepth` or `LiteQDepth`).
+    pub capacity: usize,
+    /// Queued requests (threads busy + backlog, or async in-flight) sampled
+    /// on every change; read `max` per 50 ms window for the figures.
+    pub queue_depth: WindowedSeries,
+    /// Dropped messages per 50 ms window.
+    pub drops: WindowedSeries,
+    /// VLRT requests attributed to drops at this tier, per 50 ms window
+    /// (recorded at first-drop time, the way the paper's (c) panels count).
+    pub vlrt: WindowedSeries,
+    /// This tier's own CPU busy time per 50 ms window.
+    pub util: UtilizationSeries,
+    /// Per-window utilization of co-located interference (the hog VM /
+    /// flushing kernel); add to `util` for the physical-core view.
+    pub interferer_util: Vec<f64>,
+    /// Total drops at this tier.
+    pub drops_total: u64,
+    /// Highest observed queue depth.
+    pub peak_queue: usize,
+    /// Completed process spawns (Apache second process).
+    pub spawns: u64,
+}
+
+impl TierReport {
+    /// Mean own-CPU utilization through `horizon`.
+    pub fn mean_util(&self, horizon: SimDuration) -> f64 {
+        let windows = (horizon.as_micros() / SimDuration::from_millis(50).as_micros()).max(1);
+        self.util.mean_utilization(windows as usize - 1)
+    }
+
+    /// Physical-core utilization per window: own + interferer, capped at 1.
+    pub fn combined_util(&self) -> Vec<f64> {
+        let own = self.util.utilizations();
+        let n = own.len().max(self.interferer_util.len());
+        (0..n)
+            .map(|i| {
+                let a = own.get(i).copied().unwrap_or(0.0);
+                let b = self.interferer_util.get(i).copied().unwrap_or(0.0);
+                (a + b).min(1.0)
+            })
+            .collect()
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Requests injected (client sends, not counting TCP retransmissions).
+    pub injected: u64,
+    /// Requests completed within the horizon.
+    pub completed: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub failed: u64,
+    /// Requests still in flight when the horizon ended.
+    pub in_flight_end: u64,
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// End-to-end response-time histogram (completed requests).
+    pub latency: LatencyHistogram,
+    /// Completed requests slower than 3 s.
+    pub vlrt_total: u64,
+    /// Messages dropped anywhere in the system.
+    pub drops_total: u64,
+    /// Per-tier measurements (0 = web, 1 = app, 2 = db).
+    pub tiers: Vec<TierReport>,
+    /// VLRT completions per 50 ms window (at completion time).
+    pub vlrt_by_completion: WindowedSeries,
+    /// Per-request-class statistics, sorted by class name.
+    pub classes: Vec<ClassReport>,
+}
+
+impl RunReport {
+    /// The highest per-tier mean CPU utilization — the paper's "highest
+    /// average CPU util." caption number in Fig. 1.
+    pub fn highest_mean_util(&self) -> f64 {
+        self.tiers
+            .iter()
+            .map(|t| t.mean_util(self.horizon))
+            .fold(0.0, f64::max)
+    }
+
+    /// Latency modes (clusters), for multi-modality assertions; uses the
+    /// paper-standard 500 ms gap and a minimum cluster mass of 3.
+    pub fn latency_modes(&self) -> Vec<Mode> {
+        self.latency.modes(SimDuration::from_millis(500), 3)
+    }
+
+    /// `true` if any mode sits within ±0.5 s of `peak_secs`.
+    pub fn has_mode_near(&self, peak_secs: u64) -> bool {
+        let lo = SimDuration::from_millis(peak_secs * 1_000 - 500);
+        let hi = SimDuration::from_millis(peak_secs * 1_000 + 500);
+        self.latency_modes()
+            .iter()
+            .any(|m| m.peak >= lo && m.peak <= hi)
+    }
+
+    /// Fraction of completed requests that are VLRT.
+    pub fn vlrt_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.vlrt_total as f64 / self.completed as f64
+        }
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "horizon {}  injected {}  completed {}  failed {}  in-flight {}\n",
+            self.horizon, self.injected, self.completed, self.failed, self.in_flight_end
+        ));
+        s.push_str(&format!(
+            "throughput {:.1} req/s  drops {}  VLRT {} ({:.3}%)  highest mean CPU {:.0}%\n",
+            self.throughput,
+            self.drops_total,
+            self.vlrt_total,
+            self.vlrt_fraction() * 100.0,
+            self.highest_mean_util() * 100.0
+        ));
+        for t in &self.tiers {
+            s.push_str(&format!(
+                "  {:<8} [{}] cap {:>5}  peak queue {:>5}  drops {:>5}  mean CPU {:>5.1}%  spawns {}\n",
+                t.name,
+                t.arch,
+                t.capacity,
+                t.peak_queue,
+                t.drops_total,
+                t.mean_util(self.horizon) * 100.0,
+                t.spawns
+            ));
+        }
+        s
+    }
+
+    /// Conservation check: injected == completed + failed + in-flight.
+    /// Used by tests; always true for a correct engine.
+    pub fn is_conserved(&self) -> bool {
+        self.injected == self.completed + self.failed + self.in_flight_end
+    }
+
+    /// The per-class report for `class`, if any requests of it completed
+    /// or dropped.
+    pub fn class(&self, class: &str) -> Option<&ClassReport> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+/// Per-request-class statistics (the paper's Fig. 4 narrative: during
+/// upstream CTQO even *static* requests — which never touch the app tier —
+/// queue and drop at the web tier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Request class name ("static", "view_story", ...).
+    pub class: &'static str,
+    /// Completed requests of this class.
+    pub completed: u64,
+    /// Completed requests of this class slower than 3 s.
+    pub vlrt: u64,
+    /// Messages of this class dropped anywhere in the chain.
+    pub drops: u64,
+    /// Mean end-to-end latency of completed requests.
+    pub mean_latency: SimDuration,
+}
+
+/// A drop event record for analysis (site + time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropRecord {
+    /// Tier index where the drop occurred.
+    pub tier: usize,
+    /// When it occurred.
+    pub at: SimTime,
+}

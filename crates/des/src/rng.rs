@@ -1,0 +1,192 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! All stochastic behaviour in the reproduction flows through [`SimRng`] so
+//! that an experiment seed fully determines a run. `SimRng` also supports
+//! cheap *forking*: deriving independent child generators for subsystems
+//! (workload, interference, per-tier noise) so that adding randomness to one
+//! subsystem does not perturb another — a standard trick for variance
+//! reduction and trace stability in DES.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, forkable random-number generator.
+///
+/// # Example
+///
+/// ```
+/// use ntier_des::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Seed this generator was created from (for diagnostics / reports).
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator for a named subsystem.
+    ///
+    /// The child stream is a deterministic function of `(self.seed, label)`,
+    /// so subsystems never share a stream and reordering draws in one
+    /// subsystem cannot shift another's.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed via SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mixed = splitmix64(self.seed ^ h);
+        SimRng::seed_from(mixed)
+    }
+
+    /// A uniformly distributed `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform float in `[0, 1)` guaranteed to be strictly positive,
+    /// suitable for `ln()`-based inverse transforms.
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard normal draw (Box–Muller).
+    pub fn next_standard_normal(&mut self) -> f64 {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_label_deterministic_and_distinct() {
+        let root = SimRng::seed_from(99);
+        let mut w1 = root.fork("workload");
+        let mut w2 = root.fork("workload");
+        let mut i1 = root.fork("interference");
+        assert_eq!(w1.next_u64(), w2.next_u64());
+        // Streams for different labels should diverge immediately (with
+        // overwhelming probability; this is a fixed-seed regression test).
+        assert_ne!(w1.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let mut a = SimRng::seed_from(5);
+        let b = SimRng::seed_from(5);
+        let _ = a.next_u64(); // consume from parent
+        let mut fa = a.fork("x");
+        let mut fb = b.fork("x");
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    fn chance_handles_degenerate_probabilities() {
+        let mut r = SimRng::seed_from(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.5)); // clamped to 1
+        assert!(!r.chance(-3.0)); // clamped to 0
+    }
+
+    #[test]
+    fn normal_draws_have_plausible_moments() {
+        let mut r = SimRng::seed_from(1234);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.next_standard_normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    proptest! {
+        #[test]
+        fn below_stays_in_range(seed in any::<u64>(), n in 1u64..1000) {
+            let mut r = SimRng::seed_from(seed);
+            for _ in 0..50 {
+                prop_assert!(r.below(n) < n);
+            }
+        }
+
+        #[test]
+        fn open_unit_draws_are_usable_for_ln(seed in any::<u64>()) {
+            let mut r = SimRng::seed_from(seed);
+            for _ in 0..100 {
+                let u = r.next_f64_open();
+                prop_assert!(u > 0.0 && u < 1.0);
+                prop_assert!(u.ln().is_finite());
+            }
+        }
+    }
+}

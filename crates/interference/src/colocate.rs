@@ -1,0 +1,154 @@
+//! VM-consolidation interference (§IV-A).
+//!
+//! SysBursty's MySQL VM shares a physical core with SysSteady's Tomcat VM.
+//! SysBursty idles most of the time (negligible CPU) but its workload has a
+//! burst index of 100: every burst dumps a batch of queries whose combined
+//! demand saturates the shared core for `batch_size × per_request_demand`
+//! seconds, starving the steady tier — a CPU millibottleneck.
+//!
+//! [`Colocation`] converts a burst description into the steady tier's stall
+//! schedule. Both the paper's controlled form (batches at fixed times, §V-B)
+//! and a stochastic bursty form are supported.
+
+use ntier_des::rng::SimRng;
+use ntier_des::time::{SimDuration, SimTime};
+
+use crate::stall::StallSchedule;
+
+/// A co-located bursty VM stealing the shared core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Colocation {
+    batch_size: u32,
+    per_request_demand: SimDuration,
+}
+
+impl Colocation {
+    /// A hog whose bursts contain `batch_size` requests of
+    /// `per_request_demand` CPU each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero or the demand is zero.
+    pub fn new(batch_size: u32, per_request_demand: SimDuration) -> Self {
+        assert!(batch_size > 0, "a burst needs at least one request");
+        assert!(!per_request_demand.is_zero(), "per-request demand must be non-zero");
+        Colocation {
+            batch_size,
+            per_request_demand,
+        }
+    }
+
+    /// The paper's controlled hog: 400 ViewStory requests ≈ 300 ms of stolen
+    /// CPU per burst (0.75 ms per request).
+    pub fn paper_sysbursty() -> Self {
+        Colocation::new(400, SimDuration::from_micros(750))
+    }
+
+    /// The stall each burst inflicts on the steady tier.
+    pub fn stall_duration(&self) -> SimDuration {
+        self.per_request_demand * u64::from(self.batch_size)
+    }
+
+    /// Stalls at explicit burst times (the §V-B controlled experiment).
+    pub fn at_marks(&self, marks: impl IntoIterator<Item = SimTime>) -> StallSchedule {
+        StallSchedule::at_marks(marks, self.stall_duration())
+    }
+
+    /// Periodic bursts every `period` starting at `first` (the "every 15 s"
+    /// configuration).
+    pub fn periodic(&self, first: SimTime, period: SimDuration, horizon: SimDuration) -> StallSchedule {
+        StallSchedule::periodic(first, period, self.stall_duration(), horizon)
+    }
+
+    /// Stochastic bursts: exponentially distributed gaps with the given mean,
+    /// through `horizon` — the uncontrolled §IV-A shape.
+    pub fn stochastic(
+        &self,
+        mean_gap: SimDuration,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> StallSchedule {
+        assert!(!mean_gap.is_zero(), "mean gap must be non-zero");
+        let mut marks = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        loop {
+            let gap = SimDuration::from_secs_f64(
+                -mean_gap.as_secs_f64() * rng.next_f64_open().ln(),
+            );
+            t += gap;
+            if t >= end {
+                break;
+            }
+            marks.push(t);
+        }
+        StallSchedule::at_marks(marks, self.stall_duration())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hog_steals_300ms() {
+        let c = Colocation::paper_sysbursty();
+        assert_eq!(c.stall_duration(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn capacity_arithmetic_of_section_3() {
+        // §III: 1000 req/s × 0.4 s burst = 400 arrivals vs 278 capacity.
+        // A 0.4 s stall needs e.g. 400 requests of 1 ms.
+        let c = Colocation::new(400, SimDuration::from_millis(1));
+        assert_eq!(c.stall_duration(), SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn at_marks_places_stalls() {
+        let c = Colocation::paper_sysbursty();
+        let s = c.at_marks([2, 5, 9, 15].map(SimTime::from_secs));
+        assert_eq!(s.intervals().len(), 4);
+        let (start, end) = s.intervals()[0];
+        assert_eq!(start, SimTime::from_secs(2));
+        assert_eq!(end, SimTime::from_secs(2) + SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn periodic_every_15s() {
+        let c = Colocation::paper_sysbursty();
+        let s = c.periodic(
+            SimTime::from_secs(7),
+            SimDuration::from_secs(15),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(s.intervals().len(), 4); // 7, 22, 37, 52
+    }
+
+    #[test]
+    fn stochastic_marks_fall_in_horizon() {
+        let c = Colocation::paper_sysbursty();
+        let mut rng = SimRng::seed_from(31);
+        let s = c.stochastic(SimDuration::from_secs(10), SimDuration::from_secs(120), &mut rng);
+        assert!(!s.is_empty());
+        for (start, _) in s.intervals() {
+            assert!(*start < SimTime::from_secs(120));
+        }
+    }
+
+    #[test]
+    fn stochastic_is_seed_deterministic() {
+        let c = Colocation::paper_sysbursty();
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        let sa = c.stochastic(SimDuration::from_secs(5), SimDuration::from_secs(60), &mut a);
+        let sb = c.stochastic(SimDuration::from_secs(5), SimDuration::from_secs(60), &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_rejected() {
+        let _ = Colocation::new(0, SimDuration::from_millis(1));
+    }
+}

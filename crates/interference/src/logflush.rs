@@ -1,0 +1,94 @@
+//! Log-flush I/O millibottlenecks (§IV-B).
+//!
+//! The `collectl` monitor buffers fine-grained measurements in memory and
+//! flushes to disk every 30 seconds; on the paper's testbed each flush drove
+//! the database VM to 100 % I/O wait for hundreds of milliseconds, stalling
+//! query processing — an I/O millibottleneck with a perfectly regular
+//! period, which is why Fig. 5's VLRT spikes land at 10/40/70 s.
+
+use ntier_des::time::{SimDuration, SimTime};
+
+use crate::stall::StallSchedule;
+
+/// A periodic I/O stall from monitoring-log flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFlush {
+    period: SimDuration,
+    flush_duration: SimDuration,
+    first: SimTime,
+}
+
+impl LogFlush {
+    /// Flushes every `period`, each stalling the server for
+    /// `flush_duration`, starting at `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `flush_duration` is zero.
+    pub fn new(first: SimTime, period: SimDuration, flush_duration: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be non-zero");
+        assert!(!flush_duration.is_zero(), "flush duration must be non-zero");
+        LogFlush {
+            period,
+            flush_duration,
+            first,
+        }
+    }
+
+    /// The paper's configuration: a flush every 30 s, first at 10 s,
+    /// stalling for ~350 ms.
+    pub fn collectl_default() -> Self {
+        LogFlush::new(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(350),
+        )
+    }
+
+    /// The flush period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The stall per flush.
+    pub fn flush_duration(&self) -> SimDuration {
+        self.flush_duration
+    }
+
+    /// The stall schedule over `horizon`.
+    pub fn schedule(&self, horizon: SimDuration) -> StallSchedule {
+        StallSchedule::periodic(self.first, self.period, self.flush_duration, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectl_default_matches_fig5_marks() {
+        let lf = LogFlush::collectl_default();
+        let s = lf.schedule(SimDuration::from_secs(80));
+        let starts: Vec<u64> = s.intervals().iter().map(|(a, _)| a.as_millis() / 1_000).collect();
+        assert_eq!(starts, vec![10, 40, 70]);
+    }
+
+    #[test]
+    fn custom_period() {
+        let lf = LogFlush::new(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(200),
+        );
+        let s = lf.schedule(SimDuration::from_secs(30));
+        assert_eq!(s.intervals().len(), 3);
+        assert_eq!(lf.period(), SimDuration::from_secs(10));
+        assert_eq!(lf.flush_duration(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_rejected() {
+        let _ = LogFlush::new(SimTime::ZERO, SimDuration::ZERO, SimDuration::from_millis(1));
+    }
+}

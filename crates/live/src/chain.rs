@@ -1,0 +1,239 @@
+//! Chain construction: wiring tiers front-to-back.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::stall::StallGate;
+use crate::tier::{AsyncTier, SyncTier, Tier};
+
+/// Declarative description of one tier.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    name: String,
+    arch: Arch,
+    workers: usize,
+    service: Duration,
+    gate: StallGate,
+}
+
+#[derive(Debug, Clone)]
+enum Arch {
+    Sync { backlog: usize },
+    Async { lite_q: usize },
+}
+
+impl TierSpec {
+    /// A synchronous tier: `workers` threads + `backlog` accept slots.
+    pub fn sync(name: impl Into<String>, workers: usize, backlog: usize, service: Duration) -> Self {
+        TierSpec {
+            name: name.into(),
+            arch: Arch::Sync { backlog },
+            workers,
+            service,
+            gate: StallGate::new(),
+        }
+    }
+
+    /// An asynchronous tier: `lite_q` accept slots + `workers` loop threads.
+    pub fn asynchronous(
+        name: impl Into<String>,
+        lite_q: usize,
+        workers: usize,
+        service: Duration,
+    ) -> Self {
+        TierSpec {
+            name: name.into(),
+            arch: Arch::Async { lite_q },
+            workers,
+            service,
+            gate: StallGate::new(),
+        }
+    }
+
+    /// Uses an external stall gate (so the test can inject
+    /// millibottlenecks into this tier).
+    pub fn with_gate(mut self, gate: StallGate) -> Self {
+        self.gate = gate;
+        self
+    }
+}
+
+enum Built {
+    Sync(Arc<SyncTier>),
+    Async(Arc<AsyncTier>),
+}
+
+impl Built {
+    fn as_tier(&self) -> Arc<dyn Tier> {
+        match self {
+            Built::Sync(t) => t.clone(),
+            Built::Async(t) => t.clone(),
+        }
+    }
+
+    fn drops(&self) -> u64 {
+        match self {
+            Built::Sync(t) => t.drops(),
+            Built::Async(t) => t.drops(),
+        }
+    }
+
+    fn retransmits(&self) -> u64 {
+        match self {
+            Built::Sync(t) => t.retransmits(),
+            Built::Async(t) => t.retransmits(),
+        }
+    }
+
+    fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        match self {
+            Built::Sync(t) => t.take_handles(),
+            Built::Async(t) => t.take_handles(),
+        }
+    }
+}
+
+/// Builds a front-to-back chain of live tiers.
+#[derive(Debug)]
+pub struct ChainBuilder {
+    specs: Vec<TierSpec>,
+    rto: Duration,
+}
+
+impl ChainBuilder {
+    /// Starts a chain whose drops retransmit after `rto`.
+    pub fn new(rto: Duration) -> Self {
+        ChainBuilder {
+            specs: Vec::new(),
+            rto,
+        }
+    }
+
+    /// Appends a tier (front first).
+    pub fn tier(mut self, spec: TierSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Spawns every tier and wires them together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tiers were added.
+    pub fn build(self) -> Chain {
+        assert!(!self.specs.is_empty(), "a chain needs at least one tier");
+        let mut built: Vec<Built> = Vec::with_capacity(self.specs.len());
+        let mut downstream: Option<Arc<dyn Tier>> = None;
+        for spec in self.specs.iter().rev() {
+            let b = match &spec.arch {
+                Arch::Sync { backlog } => Built::Sync(SyncTier::spawn(
+                    spec.name.clone(),
+                    spec.workers,
+                    *backlog,
+                    spec.service,
+                    spec.gate.clone(),
+                    downstream.take(),
+                    self.rto,
+                )),
+                Arch::Async { lite_q } => Built::Async(AsyncTier::spawn(
+                    spec.name.clone(),
+                    *lite_q,
+                    spec.workers,
+                    spec.service,
+                    spec.gate.clone(),
+                    downstream.take(),
+                    self.rto,
+                )),
+            };
+            downstream = Some(b.as_tier());
+            built.push(b);
+        }
+        built.reverse(); // front first
+        Chain { tiers: built }
+    }
+}
+
+/// A running chain of live tiers.
+pub struct Chain {
+    tiers: Vec<Built>,
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chain").field("tiers", &self.tiers.len()).finish()
+    }
+}
+
+impl Chain {
+    /// The front (client-facing) tier.
+    pub fn front(&self) -> Arc<dyn Tier> {
+        self.tiers[0].as_tier()
+    }
+
+    /// Per-tier drop counts, front first.
+    pub fn drops(&self) -> Vec<u64> {
+        self.tiers.iter().map(Built::drops).collect()
+    }
+
+    /// Per-tier downstream retransmission counts, front first.
+    pub fn retransmits(&self) -> Vec<u64> {
+        self.tiers.iter().map(Built::retransmits).collect()
+    }
+
+    /// Per-tier names, front first.
+    pub fn names(&self) -> Vec<String> {
+        self.tiers.iter().map(|t| t.as_tier().name().to_string()).collect()
+    }
+
+    /// Tears the chain down: closes accept queues front-to-back and joins
+    /// every worker. Call after all client traffic has completed.
+    pub fn shutdown(self) {
+        // Dropping a tier's `Built` releases the only Sender of its input
+        // channel; its workers drain and exit, which in turn releases their
+        // Arc on the next tier — teardown cascades front to back.
+        let mut handle_sets = Vec::new();
+        for t in &self.tiers {
+            handle_sets.push(t.take_handles());
+        }
+        drop(self.tiers);
+        for handles in handle_sets {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::fire_burst;
+
+    #[test]
+    fn two_tier_sync_chain_round_trips() {
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 2, 4, Duration::from_micros(200)))
+            .tier(TierSpec::sync("app", 2, 4, Duration::from_micros(200)))
+            .build();
+        assert_eq!(chain.names(), vec!["web", "app"]);
+        let outcome = fire_burst(chain.front(), 6, Duration::from_secs(5));
+        assert_eq!(outcome.completed, 6);
+        assert_eq!(chain.drops(), vec![0, 0]);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_no_traffic() {
+        let chain = ChainBuilder::new(Duration::from_millis(50))
+            .tier(TierSpec::asynchronous("a", 16, 1, Duration::from_micros(50)))
+            .tier(TierSpec::sync("b", 1, 1, Duration::from_micros(50)))
+            .build();
+        chain.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_chain_rejected() {
+        let _ = ChainBuilder::new(Duration::from_millis(50)).build();
+    }
+}

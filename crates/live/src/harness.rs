@@ -1,0 +1,388 @@
+//! Client-side load generation and measurement for live chains.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+
+use crate::tier::{LiveRequest, Tier};
+
+/// What a burst produced.
+#[derive(Debug, Clone)]
+pub struct BurstOutcome {
+    /// Requests that completed within the deadline.
+    pub completed: usize,
+    /// Requests still unanswered at the deadline.
+    pub timed_out: usize,
+    /// End-to-end latencies of completed requests.
+    pub latencies: Vec<Duration>,
+    /// Client-side retransmissions (front-tier drops seen by clients).
+    pub client_retransmits: u64,
+}
+
+impl BurstOutcome {
+    /// The largest completed latency (zero when nothing completed).
+    pub fn max_latency(&self) -> Duration {
+        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Completed requests slower than `threshold`.
+    pub fn count_slower_than(&self, threshold: Duration) -> usize {
+        self.latencies.iter().filter(|l| **l >= threshold).count()
+    }
+
+    /// The latencies as a telemetry histogram (for mode detection and the
+    /// same semi-log rendering the simulator reports use). Bucket width
+    /// `bucket` — use ~50 ms for second-scale runs, ~10 ms for the
+    /// millisecond-scale tests.
+    pub fn histogram(&self, bucket: Duration) -> ntier_telemetry::LatencyHistogram {
+        let bucket = ntier_des::time::SimDuration::from_secs_f64(bucket.as_secs_f64().max(1e-6));
+        let mut h = ntier_telemetry::LatencyHistogram::new(bucket, 2_048);
+        for l in &self.latencies {
+            h.record(ntier_des::time::SimDuration::from_secs_f64(l.as_secs_f64()));
+        }
+        h
+    }
+}
+
+/// Fires `n` simultaneous requests at `front` (one client thread each, like
+/// `n` browsers clicking at once), retransmitting front-tier drops after the
+/// chain's RTO is the *tier's* job — the client retries after `CLIENT_RTO`.
+///
+/// Returns once all requests completed or `deadline` elapsed.
+pub fn fire_burst(front: Arc<dyn Tier>, n: usize, deadline: Duration) -> BurstOutcome {
+    fire_burst_with_rto(front, n, deadline, Duration::from_millis(250))
+}
+
+/// [`fire_burst`] with an explicit client retransmission timeout.
+pub fn fire_burst_with_rto(
+    front: Arc<dyn Tier>,
+    n: usize,
+    deadline: Duration,
+    client_rto: Duration,
+) -> BurstOutcome {
+    let (reply_tx, reply_rx) = unbounded();
+    let retransmits = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut senders = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let front = front.clone();
+        let reply_tx = reply_tx.clone();
+        let retransmits = retransmits.clone();
+        senders.push(std::thread::spawn(move || {
+            let sent_at = Instant::now();
+            let mut req = LiveRequest {
+                id,
+                sent_at,
+                reply: reply_tx,
+            };
+            loop {
+                match front.submit(req) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        req = back;
+                        retransmits.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(client_rto);
+                    }
+                }
+            }
+            sent_at
+        }));
+    }
+    let sent_ats: Vec<Instant> = senders
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    drop(reply_tx);
+
+    let mut latencies = Vec::with_capacity(n);
+    let mut completed = 0;
+    while completed < n {
+        let remaining = deadline.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+        match reply_rx.recv_timeout(remaining) {
+            Ok(reply) => {
+                completed += 1;
+                latencies.push(
+                    reply
+                        .completed_at
+                        .duration_since(sent_ats[reply.id as usize]),
+                );
+            }
+            Err(_) => break,
+        }
+    }
+    BurstOutcome {
+        completed,
+        timed_out: n - completed,
+        latencies,
+        client_retransmits: retransmits.load(Ordering::Relaxed),
+    }
+}
+
+/// Drives `front` at a fixed request rate for `duration` from a single
+/// pacing thread (plus a collector). Front-tier drops are retried after
+/// `client_rto` from the same pacing loop, so no thread explosion occurs at
+/// high drop rates.
+///
+/// Returns once every request completed or `deadline` elapsed.
+pub fn fire_sustained(
+    front: Arc<dyn Tier>,
+    rate_per_sec: f64,
+    duration: Duration,
+    deadline: Duration,
+    client_rto: Duration,
+) -> BurstOutcome {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let gap = Duration::from_secs_f64(1.0 / rate_per_sec);
+    let n = (duration.as_secs_f64() * rate_per_sec).round() as usize;
+    let (reply_tx, reply_rx) = unbounded();
+    let start = Instant::now();
+    let retransmits = Arc::new(AtomicU64::new(0));
+
+    let pacer = {
+        let front = front.clone();
+        let retransmits = retransmits.clone();
+        std::thread::spawn(move || {
+            let mut sent_ats: Vec<Option<Instant>> = vec![None; n];
+            // (due, request) retry queue, kept sorted by push order (all
+            // retries share the same RTO so FIFO order == due order).
+            let mut retries: std::collections::VecDeque<(Instant, LiveRequest)> =
+                std::collections::VecDeque::new();
+            for id in 0..n as u64 {
+                let fire_at = start + gap.mul_f64(id as f64);
+                // service due retries while waiting for the next send slot
+                loop {
+                    let now = Instant::now();
+                    if let Some((due, _)) = retries.front() {
+                        if *due <= now {
+                            let (_, req) = retries.pop_front().expect("checked front");
+                            if let Err(back) = front.submit(req) {
+                                retransmits.fetch_add(1, Ordering::Relaxed);
+                                retries.push_back((now + client_rto, back));
+                            }
+                            continue;
+                        }
+                    }
+                    if now >= fire_at {
+                        break;
+                    }
+                    let next_due = retries.front().map(|(d, _)| *d).unwrap_or(fire_at);
+                    std::thread::sleep(next_due.min(fire_at).saturating_duration_since(now).min(gap));
+                }
+                let sent_at = Instant::now();
+                sent_ats[id as usize] = Some(sent_at);
+                let req = LiveRequest {
+                    id,
+                    sent_at,
+                    reply: reply_tx.clone(),
+                };
+                if let Err(back) = front.submit(req) {
+                    retransmits.fetch_add(1, Ordering::Relaxed);
+                    retries.push_back((sent_at + client_rto, back));
+                }
+            }
+            // drain the retry queue
+            while let Some((due, req)) = retries.pop_front() {
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                if let Err(back) = front.submit(req) {
+                    retransmits.fetch_add(1, Ordering::Relaxed);
+                    retries.push_back((Instant::now() + client_rto, back));
+                }
+            }
+            drop(reply_tx);
+            sent_ats
+        })
+    };
+    let sent_ats = pacer.join().expect("pacing thread panicked");
+
+    let mut latencies = Vec::with_capacity(n);
+    let mut completed = 0;
+    while completed < n {
+        let remaining = deadline.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+        match reply_rx.recv_timeout(remaining) {
+            Ok(reply) => {
+                completed += 1;
+                let sent = sent_ats[reply.id as usize].expect("reply for unsent request");
+                latencies.push(reply.completed_at.duration_since(sent));
+            }
+            Err(_) => break,
+        }
+    }
+    BurstOutcome {
+        completed,
+        timed_out: n - completed,
+        latencies,
+        client_retransmits: retransmits.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainBuilder, TierSpec};
+    use crate::stall::StallGate;
+
+    const SERVICE: Duration = Duration::from_micros(200);
+
+    #[test]
+    fn burst_within_capacity_completes_fast() {
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 4, 8, SERVICE))
+            .build();
+        let outcome = fire_burst(chain.front(), 8, Duration::from_secs(3));
+        assert_eq!(outcome.completed, 8);
+        assert_eq!(outcome.client_retransmits, 0);
+        assert!(outcome.max_latency() < Duration::from_millis(200));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn overflow_produces_retransmission_latency_modes() {
+        // Capacity 2 workers + 2 backlog = 4; a burst of 12 forces
+        // client-side retransmissions: the slow cluster sits >= one RTO.
+        let rto = Duration::from_millis(300);
+        let chain = ChainBuilder::new(rto)
+            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(20)))
+            .build();
+        let outcome = fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto);
+        assert_eq!(outcome.completed, 12);
+        assert!(outcome.client_retransmits > 0);
+        let slow = outcome.count_slower_than(Duration::from_millis(290));
+        let fast = outcome.latencies.len() - slow;
+        assert!(slow >= 2, "slow cluster too small: {:?}", outcome.latencies);
+        assert!(fast >= 4, "fast cluster too small: {:?}", outcome.latencies);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn upstream_ctqo_live_sync_chain_drops_at_front() {
+        // Stall the app tier: web workers block on it (RPC), the web accept
+        // queue fills, and the *web* tier drops — upstream CTQO, for real.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(200))
+            .tier(TierSpec::sync("web", 2, 2, SERVICE))
+            .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
+            .build();
+        gate.begin();
+        let front = chain.front();
+        let burst = std::thread::spawn(move || {
+            fire_burst_with_rto(front, 16, Duration::from_secs(10), Duration::from_millis(300))
+        });
+        std::thread::sleep(Duration::from_millis(400));
+        gate.end();
+        let outcome = burst.join().unwrap();
+        let drops = chain.drops();
+        assert!(drops[0] > 0, "expected front-tier drops, got {drops:?}");
+        assert_eq!(outcome.completed, 16);
+        assert!(outcome.count_slower_than(Duration::from_millis(290)) > 0);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn async_chain_absorbs_the_same_millibottleneck() {
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(200))
+            .tier(TierSpec::asynchronous("web", 1_000, 2, SERVICE))
+            .tier(TierSpec::asynchronous("app", 1_000, 2, SERVICE).with_gate(gate.clone()))
+            .build();
+        gate.begin();
+        let front = chain.front();
+        let burst = std::thread::spawn(move || {
+            fire_burst_with_rto(front, 16, Duration::from_secs(10), Duration::from_millis(300))
+        });
+        std::thread::sleep(Duration::from_millis(400));
+        gate.end();
+        let outcome = burst.join().unwrap();
+        assert_eq!(chain.drops(), vec![0, 0], "async tiers must not drop");
+        assert_eq!(outcome.completed, 16);
+        // worst latency ≈ the stall, not the stall + RTO ladder
+        assert!(
+            outcome.max_latency() < Duration::from_millis(700),
+            "max latency {:?}",
+            outcome.max_latency()
+        );
+        chain.shutdown();
+    }
+
+    #[test]
+    fn histogram_of_an_overflowed_burst_is_multimodal() {
+        let rto = Duration::from_millis(300);
+        let chain = ChainBuilder::new(rto)
+            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(5)))
+            .build();
+        let outcome = fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto);
+        let h = outcome.histogram(Duration::from_millis(10));
+        let modes = h.modes(ntier_des::time::SimDuration::from_millis(100), 2);
+        assert!(modes.len() >= 2, "expected fast + retransmitted clusters: {modes:?}");
+        chain.shutdown();
+    }
+
+    #[test]
+    fn sustained_load_completes_without_drops_at_moderate_rate() {
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 4, 8, Duration::from_micros(500)))
+            .build();
+        let outcome = fire_sustained(
+            chain.front(),
+            400.0,
+            Duration::from_millis(500),
+            Duration::from_secs(5),
+            Duration::from_millis(100),
+        );
+        assert_eq!(outcome.timed_out, 0);
+        assert_eq!(outcome.client_retransmits, 0);
+        assert_eq!(chain.drops(), vec![0]);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn sustained_load_through_a_stall_drops_then_recovers() {
+        // λ·d = 400/s × 0.3 s = 120 >> 3 slots: the stall must drop, and
+        // every dropped request must still complete via retransmission.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(150))
+            .tier(TierSpec::sync("web", 1, 2, Duration::from_micros(200)).with_gate(gate.clone()))
+            .build();
+        gate.schedule_stall(Duration::from_millis(100), Duration::from_millis(300));
+        let outcome = fire_sustained(
+            chain.front(),
+            400.0,
+            Duration::from_millis(600),
+            Duration::from_secs(20),
+            Duration::from_millis(150),
+        );
+        assert!(outcome.client_retransmits > 0);
+        assert!(chain.drops()[0] > 0);
+        assert_eq!(outcome.timed_out, 0, "all requests eventually complete");
+        assert!(outcome.count_slower_than(Duration::from_millis(140)) > 0);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn downstream_ctqo_async_front_floods_sync_back() {
+        // Async front admits everything and floods the tiny sync back tier:
+        // drops move downstream — exactly the paper's NX=1 observation.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(200))
+            .tier(TierSpec::asynchronous("web", 1_000, 4, Duration::from_micros(50)))
+            .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
+            .build();
+        gate.begin();
+        let front = chain.front();
+        let burst = std::thread::spawn(move || {
+            fire_burst_with_rto(front, 24, Duration::from_secs(10), Duration::from_millis(300))
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        gate.end();
+        let outcome = burst.join().unwrap();
+        let drops = chain.drops();
+        assert_eq!(drops[0], 0, "async front must not drop: {drops:?}");
+        assert!(drops[1] > 0, "expected downstream drops: {drops:?}");
+        assert_eq!(outcome.completed, 24);
+        chain.shutdown();
+    }
+}

@@ -1,0 +1,48 @@
+//! A real-thread mini n-tier testbed.
+//!
+//! The simulator in `ntier-core` gives deterministic, paper-scale
+//! experiments; this crate demonstrates the same CTQO mechanics with *actual
+//! OS threads and wall-clock time*, laptop-scale:
+//!
+//! * a **sync tier** is a pool of worker threads behind a bounded channel
+//!   (the accept backlog). A worker forwards downstream and **blocks** on
+//!   the reply — RPC semantics, thread held end-to-end;
+//! * an **async tier** is a large bounded channel (`LiteQDepth`) in front of
+//!   a small worker pool; workers forward downstream with the *original*
+//!   reply address and move on — continuation semantics, nothing held;
+//! * a full channel rejects the send — the **drop** — and the sender
+//!   retransmits after a fixed timeout (a scaled-down TCP RTO);
+//! * a [`stall::StallGate`] freezes a tier's workers for a few hundred
+//!   milliseconds — the **millibottleneck**.
+//!
+//! Kernel TCP is deliberately not used: SYN-queue overflow is not
+//! controllable inside a container, and bounded channels preserve exactly
+//! the queue-capacity arithmetic that produces CTQO (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use ntier_live::chain::{ChainBuilder, TierSpec};
+//! use ntier_live::harness::fire_burst;
+//!
+//! // Two async tiers absorb a burst without drops.
+//! let chain = ChainBuilder::new(Duration::from_millis(100))
+//!     .tier(TierSpec::asynchronous("web", 1_000, 2, Duration::from_micros(200)))
+//!     .tier(TierSpec::asynchronous("app", 1_000, 2, Duration::from_micros(200)))
+//!     .build();
+//! let outcome = fire_burst(chain.front(), 32, Duration::from_secs(5));
+//! assert_eq!(outcome.completed, 32);
+//! assert_eq!(chain.drops(), vec![0, 0]);
+//! chain.shutdown();
+//! ```
+
+pub mod chain;
+pub mod harness;
+pub mod stall;
+pub mod tier;
+
+pub use chain::{Chain, ChainBuilder, TierSpec};
+pub use harness::{fire_burst, BurstOutcome};
+pub use stall::StallGate;
+pub use tier::{AsyncTier, LiveReply, LiveRequest, SyncTier, Tier};

@@ -1,0 +1,395 @@
+//! Live tiers: thread-pool RPC servers and event-loop async servers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::stall::StallGate;
+
+/// A request travelling down the chain.
+#[derive(Debug)]
+pub struct LiveRequest {
+    /// Client-assigned id.
+    pub id: u64,
+    /// When the client first sent it (for end-to-end latency).
+    pub sent_at: Instant,
+    /// Where the handling tier should deliver the reply.
+    pub reply: Sender<LiveReply>,
+}
+
+/// The reply travelling back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveReply {
+    /// Request id.
+    pub id: u64,
+    /// When the last tier finished the request (latency is measured here,
+    /// not at client receive time, so slow clients don't skew it).
+    pub completed_at: Instant,
+}
+
+/// Anything a message can be submitted to.
+pub trait Tier: Send + Sync {
+    /// Attempts to hand `req` to this tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the tier's accept queue is full — the live
+    /// equivalent of a dropped SYN; the caller owns retransmission.
+    fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest>;
+
+    /// Tier name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Messages rejected so far.
+    fn drops(&self) -> u64;
+}
+
+fn submit_with_retransmit(
+    target: &Arc<dyn Tier>,
+    mut req: LiveRequest,
+    rto: Duration,
+    retransmits: &AtomicU64,
+) {
+    loop {
+        match target.submit(req) {
+            Ok(()) => return,
+            Err(back) => {
+                req = back;
+                retransmits.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(rto);
+            }
+        }
+    }
+}
+
+/// A synchronous (RPC) tier: `workers` threads behind a `backlog`-bounded
+/// accept queue. Workers hold their thread across the downstream round trip.
+#[derive(Debug)]
+pub struct SyncTier {
+    name: String,
+    input: Sender<LiveRequest>,
+    drops: AtomicU64,
+    retransmits: Arc<AtomicU64>,
+    handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SyncTier {
+    /// Spawns the tier.
+    ///
+    /// * the accept queue is bounded at `workers + backlog` — the tier's
+    ///   `MaxSysQDepth`, matching the paper's capacity arithmetic;
+    /// * `service` — per-request CPU time (simulated with `sleep`);
+    /// * `downstream` — the next tier, or `None` for the last tier;
+    /// * `rto` — retransmission timeout for this tier's downstream sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn spawn(
+        name: impl Into<String>,
+        workers: usize,
+        backlog: usize,
+        service: Duration,
+        gate: StallGate,
+        downstream: Option<Arc<dyn Tier>>,
+        rto: Duration,
+    ) -> Arc<SyncTier> {
+        assert!(workers > 0, "a sync tier needs at least one worker");
+        let name = name.into();
+        let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(workers + backlog);
+        let retransmits = Arc::new(AtomicU64::new(0));
+        let tier = Arc::new(SyncTier {
+            name: name.clone(),
+            input: tx,
+            drops: AtomicU64::new(0),
+            retransmits: retransmits.clone(),
+            handles: parking_lot::Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = rx.clone();
+            let gate = gate.clone();
+            let downstream = downstream.clone();
+            let retransmits = retransmits.clone();
+            let thread_name = format!("{name}-worker-{i}");
+            handles.push(
+                std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || {
+                        while let Ok(req) = rx.recv() {
+                            gate.wait_if_stalled();
+                            std::thread::sleep(service);
+                            match &downstream {
+                                None => {
+                                    let _ = req.reply.send(LiveReply {
+                                        id: req.id,
+                                        completed_at: Instant::now(),
+                                    });
+                                }
+                                Some(d) => {
+                                    // RPC: forward with a private reply
+                                    // channel and BLOCK until it answers.
+                                    let (tx, rx_reply) = bounded(1);
+                                    let fwd = LiveRequest {
+                                        id: req.id,
+                                        sent_at: req.sent_at,
+                                        reply: tx,
+                                    };
+                                    submit_with_retransmit(d, fwd, rto, &retransmits);
+                                    if let Ok(reply) = rx_reply.recv() {
+                                        let _ = req.reply.send(reply);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        *tier.handles.lock() = handles;
+        tier
+    }
+
+    /// Downstream retransmissions performed by this tier's workers.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Takes the worker handles for joining (used by `Chain::shutdown`).
+    pub fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.handles.lock())
+    }
+}
+
+impl Tier for SyncTier {
+    fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest> {
+        match self.input.try_send(req) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(r)) | Err(TrySendError::Disconnected(r)) => {
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                Err(r)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+}
+
+/// An asynchronous (event-driven) tier: a large `LiteQDepth` accept queue in
+/// front of a small worker pool; workers never hold across downstream calls
+/// — they forward with the *original* reply address.
+#[derive(Debug)]
+pub struct AsyncTier {
+    name: String,
+    input: Sender<LiveRequest>,
+    drops: AtomicU64,
+    retransmits: Arc<AtomicU64>,
+    handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl AsyncTier {
+    /// Spawns the tier with a `lite_q`-deep accept queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `lite_q` is zero.
+    pub fn spawn(
+        name: impl Into<String>,
+        lite_q: usize,
+        workers: usize,
+        service: Duration,
+        gate: StallGate,
+        downstream: Option<Arc<dyn Tier>>,
+        rto: Duration,
+    ) -> Arc<AsyncTier> {
+        assert!(workers > 0, "an async tier needs at least one worker");
+        assert!(lite_q > 0, "LiteQDepth must be non-zero");
+        let name = name.into();
+        let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(lite_q);
+        let retransmits = Arc::new(AtomicU64::new(0));
+        let tier = Arc::new(AsyncTier {
+            name: name.clone(),
+            input: tx,
+            drops: AtomicU64::new(0),
+            retransmits: retransmits.clone(),
+            handles: parking_lot::Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = rx.clone();
+            let gate = gate.clone();
+            let downstream = downstream.clone();
+            let retransmits = retransmits.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-loop-{i}"))
+                    .spawn(move || {
+                        while let Ok(req) = rx.recv() {
+                            gate.wait_if_stalled();
+                            std::thread::sleep(service);
+                            match &downstream {
+                                None => {
+                                    let _ = req.reply.send(LiveReply {
+                                        id: req.id,
+                                        completed_at: Instant::now(),
+                                    });
+                                }
+                                Some(d) => {
+                                    // Continuation: the reply bypasses this
+                                    // tier; no worker is held.
+                                    submit_with_retransmit(d, req, rto, &retransmits);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        *tier.handles.lock() = handles;
+        tier
+    }
+
+    /// Downstream retransmissions performed by this tier's workers.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Takes the worker handles for joining.
+    pub fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.handles.lock())
+    }
+}
+
+impl Tier for AsyncTier {
+    fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest> {
+        match self.input.try_send(req) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(r)) | Err(TrySendError::Disconnected(r)) => {
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                Err(r)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn req(id: u64, reply: &Sender<LiveReply>) -> LiveRequest {
+        LiveRequest {
+            id,
+            sent_at: Instant::now(),
+            reply: reply.clone(),
+        }
+    }
+
+    #[test]
+    fn sync_tier_serves_and_replies() {
+        let tier = SyncTier::spawn(
+            "t",
+            2,
+            2,
+            Duration::from_micros(100),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+        );
+        let (tx, rx) = unbounded();
+        for i in 0..4 {
+            tier.submit(req(i, &tx)).unwrap();
+        }
+        let mut got: Vec<u64> = (0..4).map(|_| rx.recv().unwrap().id).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(tier.drops(), 0);
+    }
+
+    #[test]
+    fn sync_tier_drops_beyond_workers_plus_backlog() {
+        // MaxSysQDepth = 1 worker + 1 backlog = 2 (+1 pulled by the
+        // worker); later simultaneous submits must see a full queue.
+        let tier = SyncTier::spawn(
+            "t",
+            1,
+            1,
+            Duration::from_millis(200),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+        );
+        let (tx, _rx) = unbounded();
+        let mut dropped = 0;
+        for i in 0..6 {
+            if tier.submit(req(i, &tx)).is_err() {
+                dropped += 1;
+            }
+            // give the worker a moment to pull the first request
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        assert!(dropped >= 3, "dropped {dropped}");
+        assert_eq!(tier.drops(), dropped);
+    }
+
+    #[test]
+    fn async_tier_admits_far_beyond_workers() {
+        let tier = AsyncTier::spawn(
+            "a",
+            1_000,
+            1,
+            Duration::from_micros(50),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+        );
+        let (tx, rx) = unbounded();
+        for i in 0..200 {
+            tier.submit(req(i, &tx)).unwrap();
+        }
+        for _ in 0..200 {
+            rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        assert_eq!(tier.drops(), 0);
+    }
+
+    #[test]
+    fn stalled_sync_tier_delays_service() {
+        let gate = StallGate::new();
+        let tier = SyncTier::spawn(
+            "t",
+            1,
+            4,
+            Duration::from_micros(100),
+            gate.clone(),
+            None,
+            Duration::from_millis(50),
+        );
+        gate.begin();
+        let (tx, rx) = unbounded();
+        let t0 = Instant::now();
+        tier.submit(req(1, &tx)).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        gate.end();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(120));
+    }
+}

@@ -1,0 +1,192 @@
+//! The bounded TCP accept queue.
+//!
+//! A connection attempt that cannot be handed to a worker immediately waits
+//! here; when the queue is full the attempt is dropped (the kernel sends no
+//! reply, so the client only notices via its retransmission timer).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO modelling a TCP accept backlog.
+///
+/// # Example
+///
+/// ```
+/// use ntier_net::Backlog;
+///
+/// let mut b: Backlog<u32> = Backlog::new(2);
+/// assert!(b.offer(1).is_ok());
+/// assert!(b.offer(2).is_ok());
+/// assert_eq!(b.offer(3), Err(3)); // full: the SYN is dropped
+/// assert_eq!(b.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backlog<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    dropped_total: u64,
+    accepted_total: u64,
+    peak_len: usize,
+}
+
+impl<T> Backlog<T> {
+    /// Creates a backlog holding at most `capacity` waiting items.
+    ///
+    /// A zero capacity is allowed and models a server with no accept queue
+    /// (every attempt beyond the worker pool drops).
+    pub fn new(capacity: usize) -> Self {
+        Backlog {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped_total: 0,
+            accepted_total: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Creates a backlog with the Linux default capacity (128).
+    pub fn linux_default() -> Self {
+        Backlog::new(crate::DEFAULT_TCP_BACKLOG)
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is full — the caller decides what a
+    /// drop means (schedule a retransmit, count a failure, ...).
+    pub fn offer(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.dropped_total += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted_total += 1;
+        if self.items.len() > self.peak_len {
+            self.peak_len = self.items.len();
+        }
+        Ok(())
+    }
+
+    /// Dequeues the oldest waiting item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current queue length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when the next `offer` would drop.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Items dropped by `offer` over the backlog's lifetime.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Items accepted over the backlog's lifetime.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted_total
+    }
+
+    /// Highest queue length ever reached.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut b = Backlog::new(3);
+        b.offer('a').unwrap();
+        b.offer('b').unwrap();
+        assert_eq!(b.pop(), Some('a'));
+        assert_eq!(b.pop(), Some('b'));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn drops_when_full_and_counts() {
+        let mut b = Backlog::new(1);
+        assert!(b.offer(1).is_ok());
+        assert_eq!(b.offer(2), Err(2));
+        assert_eq!(b.offer(3), Err(3));
+        assert_eq!(b.dropped_total(), 2);
+        assert_eq!(b.accepted_total(), 1);
+        assert!(b.is_full());
+        b.pop();
+        assert!(!b.is_full());
+        assert!(b.offer(4).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut b: Backlog<u8> = Backlog::new(0);
+        assert!(b.is_full());
+        assert_eq!(b.offer(1), Err(1));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn linux_default_is_128() {
+        let b: Backlog<()> = Backlog::linux_default();
+        assert_eq!(b.capacity(), 128);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut b = Backlog::new(10);
+        for i in 0..7 {
+            b.offer(i).unwrap();
+        }
+        for _ in 0..7 {
+            b.pop();
+        }
+        assert_eq!(b.peak_len(), 7);
+        assert!(b.is_empty());
+    }
+
+    proptest! {
+        /// accepted - popped == len, and drops happen iff offered beyond
+        /// capacity while full.
+        #[test]
+        fn accounting_invariants(cap in 0usize..64, ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let mut b: Backlog<u32> = Backlog::new(cap);
+            let mut popped = 0u64;
+            for (i, push) in ops.iter().enumerate() {
+                if *push {
+                    let was_full = b.is_full();
+                    let r = b.offer(i as u32);
+                    prop_assert_eq!(r.is_err(), was_full);
+                } else if b.pop().is_some() {
+                    popped += 1;
+                }
+                prop_assert!(b.len() <= cap);
+            }
+            prop_assert_eq!(b.accepted_total() - popped, b.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-hop propagation delay.
+//!
+//! The paper's tiers sit on a dedicated LAN; network latency is tens of
+//! microseconds and plays no role in CTQO. A [`Wire`] nevertheless models it
+//! so inter-tier timestamps are realistic and so ablations can explore slower
+//! links.
+
+use ntier_des::dist::Distribution;
+use ntier_des::rng::SimRng;
+use ntier_des::time::SimDuration;
+
+/// A point-to-point link with a base delay plus optional jitter.
+#[derive(Debug)]
+pub struct Wire {
+    base: SimDuration,
+    jitter: Option<Box<dyn Distribution>>,
+}
+
+impl Wire {
+    /// A link with constant delay.
+    pub fn constant(base: SimDuration) -> Self {
+        Wire { base, jitter: None }
+    }
+
+    /// A LAN-class link: 50 µs constant delay.
+    pub fn lan() -> Self {
+        Wire::constant(SimDuration::from_micros(50))
+    }
+
+    /// A zero-latency link (useful in unit tests).
+    pub fn instant() -> Self {
+        Wire::constant(SimDuration::ZERO)
+    }
+
+    /// Adds jitter drawn from `dist` on top of the base delay.
+    pub fn with_jitter(mut self, dist: Box<dyn Distribution>) -> Self {
+        self.jitter = Some(dist);
+        self
+    }
+
+    /// The delay for one message.
+    pub fn delay(&self, rng: &mut SimRng) -> SimDuration {
+        match &self.jitter {
+            Some(d) => self.base + d.sample(rng),
+            None => self.base,
+        }
+    }
+
+    /// The base (minimum) delay.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntier_des::dist::Exponential;
+
+    #[test]
+    fn constant_wire_has_fixed_delay() {
+        let w = Wire::constant(SimDuration::from_micros(100));
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..5 {
+            assert_eq!(w.delay(&mut rng), SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn lan_wire_is_sub_millisecond() {
+        let w = Wire::lan();
+        assert!(w.base() < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn jitter_adds_to_base() {
+        let w = Wire::constant(SimDuration::from_micros(100))
+            .with_jitter(Box::new(Exponential::with_mean(0.0001)));
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..20 {
+            assert!(w.delay(&mut rng) >= SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn instant_wire_for_tests() {
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(Wire::instant().delay(&mut rng), SimDuration::ZERO);
+    }
+}

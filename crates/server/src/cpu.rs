@@ -1,0 +1,374 @@
+//! CPU model: FIFO cores with a stall timeline.
+//!
+//! Service demands in the reproduction are sub-millisecond, far below the
+//! 50 ms observation window, so non-preemptive FIFO per core is
+//! indistinguishable from processor sharing at the granularity the paper
+//! measures. Millibottlenecks enter as *stall intervals* during which no
+//! tier work progresses (the co-located VM or the flushing kernel owns the
+//! core); the stall schedule is precomputed by `ntier-interference`, which
+//! keeps the simulation deterministic and the model trivially testable.
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// A merged, sorted set of intervals during which the CPU is unavailable.
+#[derive(Debug, Clone, Default)]
+pub struct StallTimeline {
+    /// Sorted, non-overlapping `(start_us, end_us)` pairs.
+    intervals: Vec<(u64, u64)>,
+}
+
+impl StallTimeline {
+    /// An empty timeline: the CPU is always available.
+    pub fn none() -> Self {
+        StallTimeline::default()
+    }
+
+    /// Builds a timeline from arbitrary intervals (they are sorted and
+    /// merged; empty intervals are discarded).
+    pub fn from_intervals(intervals: impl IntoIterator<Item = (SimTime, SimTime)>) -> Self {
+        let mut raw: Vec<(u64, u64)> = intervals
+            .into_iter()
+            .map(|(s, e)| (s.as_micros(), e.as_micros()))
+            .filter(|(s, e)| e > s)
+            .collect();
+        raw.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(raw.len());
+        for (s, e) in raw {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        StallTimeline { intervals: merged }
+    }
+
+    /// `true` if `t` falls inside a stall.
+    pub fn is_stalled(&self, t: SimTime) -> bool {
+        let t = t.as_micros();
+        match self.intervals.binary_search_by(|(s, _)| s.cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => t < self.intervals[i - 1].1,
+        }
+    }
+
+    /// The stall intervals, as `SimTime` pairs.
+    pub fn intervals(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.intervals
+            .iter()
+            .map(|(s, e)| (SimTime::from_micros(*s), SimTime::from_micros(*e)))
+    }
+
+    /// Executes `demand` of work starting no earlier than `start`, skipping
+    /// stalled intervals. Returns the actual execution segments (for busy
+    /// accounting) and the completion time.
+    pub fn execute(&self, start: SimTime, demand: SimDuration) -> Execution {
+        let mut remaining = demand.as_micros();
+        let mut cursor = start.as_micros();
+        let mut segments = Vec::new();
+        // Index of the first stall that could affect us.
+        let mut i = self.intervals.partition_point(|(_, e)| *e <= cursor);
+        if remaining == 0 {
+            // Zero demand still cannot "complete" inside a stall.
+            if let Some(&(s, e)) = self.intervals.get(i) {
+                if cursor >= s {
+                    cursor = e;
+                }
+            }
+            return Execution {
+                start,
+                end: SimTime::from_micros(cursor),
+                segments,
+            };
+        }
+        while remaining > 0 {
+            // If inside a stall, jump to its end.
+            if let Some(&(s, e)) = self.intervals.get(i) {
+                if cursor >= s {
+                    cursor = e;
+                    i += 1;
+                    continue;
+                }
+                // Run until the stall starts or demand is exhausted.
+                let run = remaining.min(s - cursor);
+                if run > 0 {
+                    segments.push((SimTime::from_micros(cursor), SimTime::from_micros(cursor + run)));
+                    cursor += run;
+                    remaining -= run;
+                }
+                if remaining > 0 {
+                    cursor = e;
+                    i += 1;
+                }
+            } else {
+                segments.push((
+                    SimTime::from_micros(cursor),
+                    SimTime::from_micros(cursor + remaining),
+                ));
+                cursor += remaining;
+                remaining = 0;
+            }
+        }
+        Execution {
+            start,
+            end: SimTime::from_micros(cursor),
+            segments,
+        }
+    }
+}
+
+/// The result of running one work item on a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// When the item was handed to the core (may precede the first segment
+    /// if the core was stalled).
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// Actual execution segments, for utilization accounting.
+    pub segments: Vec<(SimTime, SimTime)>,
+}
+
+impl Execution {
+    /// Total executed time across segments.
+    pub fn busy_time(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (s, e)| acc + (*e - *s))
+    }
+}
+
+/// A set of FIFO cores sharing one stall timeline.
+///
+/// # Example
+///
+/// ```
+/// use ntier_des::prelude::*;
+/// use ntier_server::cpu::{CpuModel, StallTimeline};
+///
+/// let mut cpu = CpuModel::new(1, StallTimeline::none());
+/// let a = cpu.run(SimTime::ZERO, SimDuration::from_millis(2));
+/// let b = cpu.run(SimTime::ZERO, SimDuration::from_millis(2));
+/// assert_eq!(a.end, SimTime::from_millis(2));
+/// assert_eq!(b.end, SimTime::from_millis(4)); // FIFO behind `a`
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    stalls: StallTimeline,
+    core_free: Vec<SimTime>,
+    queued_demand_us: u64,
+}
+
+impl CpuModel {
+    /// Creates a CPU with `cores` cores and the given stall timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32, stalls: StallTimeline) -> Self {
+        assert!(cores > 0, "a CPU needs at least one core");
+        CpuModel {
+            stalls,
+            core_free: vec![SimTime::ZERO; cores as usize],
+            queued_demand_us: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.core_free.len() as u32
+    }
+
+    /// The stall timeline.
+    pub fn stalls(&self) -> &StallTimeline {
+        &self.stalls
+    }
+
+    /// Submits one work item at `now` with the given demand; returns its
+    /// execution (FIFO behind earlier submissions on the least-loaded core).
+    pub fn run(&mut self, now: SimTime, demand: SimDuration) -> Execution {
+        let core = self
+            .core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = self.core_free[core].max(now);
+        let exec = self.stalls.execute(start, demand);
+        self.core_free[core] = exec.end;
+        self.queued_demand_us += demand.as_micros();
+        exec
+    }
+
+    /// The earliest time any core becomes free.
+    pub fn earliest_free(&self) -> SimTime {
+        *self.core_free.iter().min().expect("at least one core")
+    }
+
+    /// Total demand ever submitted, for utilization cross-checks.
+    pub fn submitted_demand(&self) -> SimDuration {
+        SimDuration::from_micros(self.queued_demand_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn timeline_merges_overlaps() {
+        let t = StallTimeline::from_intervals(vec![
+            (ms(10), ms(20)),
+            (ms(15), ms(30)),
+            (ms(40), ms(50)),
+            (ms(45), ms(45)), // empty, discarded
+        ]);
+        let iv: Vec<_> = t.intervals().collect();
+        assert_eq!(iv, vec![(ms(10), ms(30)), (ms(40), ms(50))]);
+    }
+
+    #[test]
+    fn is_stalled_boundary_conditions() {
+        let t = StallTimeline::from_intervals(vec![(ms(10), ms(20))]);
+        assert!(!t.is_stalled(ms(9)));
+        assert!(t.is_stalled(ms(10)));
+        assert!(t.is_stalled(ms(19)));
+        assert!(!t.is_stalled(ms(20)));
+    }
+
+    #[test]
+    fn execute_without_stalls_is_contiguous() {
+        let t = StallTimeline::none();
+        let e = t.execute(ms(5), dms(3));
+        assert_eq!(e.end, ms(8));
+        assert_eq!(e.segments, vec![(ms(5), ms(8))]);
+        assert_eq!(e.busy_time(), dms(3));
+    }
+
+    #[test]
+    fn execute_splits_around_stall() {
+        let t = StallTimeline::from_intervals(vec![(ms(10), ms(400))]);
+        // 4 ms of demand starting at 8 ms: runs 8-10, stalls 10-400, runs 400-402
+        let e = t.execute(ms(8), dms(4));
+        assert_eq!(e.end, ms(402));
+        assert_eq!(e.segments, vec![(ms(8), ms(10)), (ms(400), ms(402))]);
+        assert_eq!(e.busy_time(), dms(4));
+    }
+
+    #[test]
+    fn execute_starting_inside_stall_waits() {
+        let t = StallTimeline::from_intervals(vec![(ms(100), ms(500))]);
+        let e = t.execute(ms(250), dms(1));
+        assert_eq!(e.segments, vec![(ms(500), ms(501))]);
+        assert_eq!(e.end, ms(501));
+    }
+
+    #[test]
+    fn zero_demand_completes_after_stall() {
+        let t = StallTimeline::from_intervals(vec![(ms(100), ms(200))]);
+        let e = t.execute(ms(150), SimDuration::ZERO);
+        assert_eq!(e.end, ms(200));
+        assert!(e.segments.is_empty());
+        let e2 = t.execute(ms(50), SimDuration::ZERO);
+        assert_eq!(e2.end, ms(50));
+    }
+
+    #[test]
+    fn cpu_fifo_on_single_core() {
+        let mut cpu = CpuModel::new(1, StallTimeline::none());
+        let a = cpu.run(ms(0), dms(2));
+        let b = cpu.run(ms(0), dms(2));
+        let c = cpu.run(ms(1), dms(2));
+        assert_eq!(a.end, ms(2));
+        assert_eq!(b.end, ms(4));
+        assert_eq!(c.end, ms(6));
+    }
+
+    #[test]
+    fn cpu_parallel_on_multiple_cores() {
+        let mut cpu = CpuModel::new(2, StallTimeline::none());
+        let a = cpu.run(ms(0), dms(2));
+        let b = cpu.run(ms(0), dms(2));
+        let c = cpu.run(ms(0), dms(2));
+        assert_eq!(a.end, ms(2));
+        assert_eq!(b.end, ms(2));
+        assert_eq!(c.end, ms(4));
+        assert_eq!(cpu.cores(), 2);
+    }
+
+    #[test]
+    fn cpu_idle_gap_then_work() {
+        let mut cpu = CpuModel::new(1, StallTimeline::none());
+        let _ = cpu.run(ms(0), dms(1));
+        let b = cpu.run(ms(10), dms(1));
+        assert_eq!(b.segments, vec![(ms(10), ms(11))]);
+    }
+
+    #[test]
+    fn millibottleneck_delays_all_queued_work() {
+        // A 400 ms stall at t=100ms with 1000 req/s * 0.4s = sub-ms demands:
+        // work submitted during the stall completes only after it ends.
+        let stall = StallTimeline::from_intervals(vec![(ms(100), ms(500))]);
+        let mut cpu = CpuModel::new(1, StallTimeline::from_intervals(stall.intervals()));
+        let during = cpu.run(ms(200), SimDuration::from_micros(750));
+        assert!(during.end >= ms(500));
+    }
+
+    proptest! {
+        /// busy_time == demand for any stall layout (work is conserved).
+        #[test]
+        fn work_is_conserved(
+            stalls in proptest::collection::vec((0u64..10_000, 1u64..2_000), 0..10),
+            start in 0u64..12_000,
+            demand in 0u64..5_000,
+        ) {
+            let t = StallTimeline::from_intervals(
+                stalls.iter().map(|(s, d)| (SimTime::from_micros(*s), SimTime::from_micros(s + d))),
+            );
+            let e = t.execute(SimTime::from_micros(start), SimDuration::from_micros(demand));
+            prop_assert_eq!(e.busy_time(), SimDuration::from_micros(demand));
+            prop_assert!(e.end >= e.start);
+            // No segment overlaps a stall.
+            for (s, en) in &e.segments {
+                for (ss, se) in t.intervals() {
+                    prop_assert!(*en <= ss || *s >= se, "segment {s}-{en} overlaps stall {ss}-{se}");
+                }
+            }
+        }
+
+        /// FIFO: completion times are non-decreasing in submission order for
+        /// a single core with same-time submissions.
+        #[test]
+        fn fifo_completions_are_monotone(demands in proptest::collection::vec(1u64..2_000, 1..50)) {
+            let mut cpu = CpuModel::new(1, StallTimeline::none());
+            let mut last = SimTime::ZERO;
+            for d in demands {
+                let e = cpu.run(SimTime::ZERO, SimDuration::from_micros(d));
+                prop_assert!(e.end >= last);
+                last = e.end;
+            }
+        }
+
+        /// With c cores, total busy time across cores equals total demand.
+        #[test]
+        fn multicore_conservation(cores in 1u32..5, demands in proptest::collection::vec(1u64..1_000, 1..60)) {
+            let mut cpu = CpuModel::new(cores, StallTimeline::none());
+            let mut busy = SimDuration::ZERO;
+            let total: u64 = demands.iter().sum();
+            for d in demands {
+                busy = busy + cpu.run(SimTime::ZERO, SimDuration::from_micros(d)).busy_time();
+            }
+            prop_assert_eq!(busy, SimDuration::from_micros(total));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The worker-thread pool of a synchronous server.
+//!
+//! In an RPC-style server every in-flight request *owns* a thread for its
+//! entire lifetime — including the time spent blocked on downstream calls.
+//! The pool is therefore the first half of `MaxSysQDepth` (the TCP backlog is
+//! the second half).
+
+/// A bounded pool of identical worker threads.
+///
+/// # Example
+///
+/// ```
+/// use ntier_server::ThreadPool;
+///
+/// let mut tomcat = ThreadPool::new(150);
+/// assert!(tomcat.try_acquire());
+/// tomcat.release();
+/// assert_eq!(tomcat.busy(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    capacity: usize,
+    busy: usize,
+    peak_busy: usize,
+    acquired_total: u64,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `capacity` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a synchronous server cannot serve
+    /// without threads.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "thread pool needs at least one thread");
+        ThreadPool {
+            capacity,
+            busy: 0,
+            peak_busy: 0,
+            acquired_total: 0,
+        }
+    }
+
+    /// Claims a thread if one is idle; returns `false` when exhausted.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.acquired_total += 1;
+            if self.busy > self.peak_busy {
+                self.peak_busy = self.busy;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a thread to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread is outstanding (a release/acquire imbalance is
+    /// always an engine bug worth failing loudly on).
+    pub fn release(&mut self) {
+        assert!(self.busy > 0, "release without acquire");
+        self.busy -= 1;
+    }
+
+    /// Threads currently held.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Idle threads remaining.
+    pub fn idle(&self) -> usize {
+        self.capacity - self.busy
+    }
+
+    /// Pool size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` when every thread is busy.
+    pub fn is_exhausted(&self) -> bool {
+        self.busy == self.capacity
+    }
+
+    /// High-water mark of concurrently-busy threads.
+    pub fn peak_busy(&self) -> usize {
+        self.peak_busy
+    }
+
+    /// Total successful acquisitions over the pool's lifetime.
+    pub fn acquired_total(&self) -> u64 {
+        self.acquired_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn acquire_until_exhausted() {
+        let mut p = ThreadPool::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        assert!(p.is_exhausted());
+        assert_eq!(p.idle(), 0);
+        p.release();
+        assert!(p.try_acquire());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut p = ThreadPool::new(10);
+        for _ in 0..7 {
+            p.try_acquire();
+        }
+        for _ in 0..7 {
+            p.release();
+        }
+        assert_eq!(p.peak_busy(), 7);
+        assert_eq!(p.busy(), 0);
+        assert_eq!(p.acquired_total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn unbalanced_release_panics() {
+        let mut p = ThreadPool::new(1);
+        p.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_capacity_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    proptest! {
+        /// busy never exceeds capacity and acquire succeeds iff not exhausted.
+        #[test]
+        fn capacity_invariant(cap in 1usize..64, ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let mut p = ThreadPool::new(cap);
+            for acquire in ops {
+                if acquire {
+                    let was_exhausted = p.is_exhausted();
+                    prop_assert_eq!(p.try_acquire(), !was_exhausted);
+                } else if p.busy() > 0 {
+                    p.release();
+                }
+                prop_assert!(p.busy() <= cap);
+                prop_assert_eq!(p.busy() + p.idle(), cap);
+            }
+        }
+    }
+}

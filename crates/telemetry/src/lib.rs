@@ -1,0 +1,33 @@
+//! Fine-grained measurement substrate.
+//!
+//! The paper's experimental method rests on *micro-level event analysis*:
+//! every inter-server message is timestamped at millisecond resolution and
+//! resource use is aggregated in 50 ms windows. This crate provides those
+//! instruments for the reproduction:
+//!
+//! * [`series::WindowedSeries`] — per-window counters/gauges (queue depths,
+//!   VLRT counts per 50 ms, drops per window);
+//! * [`series::UtilizationSeries`] — busy-time accounting per window
+//!   (the CPU-utilization timelines in Figs. 3, 5, 7–11);
+//! * [`histogram::LatencyHistogram`] — response-time histograms with
+//!   multi-modal cluster detection (Fig. 1's 0/3/6/9 s peaks);
+//! * [`stats`] — summary statistics (means, percentiles);
+//! * [`render`] — ASCII/CSV output used by examples and the bench harness.
+//!
+//! Everything here is plain data: no clocks, no threads, no I/O besides the
+//! explicit CSV writers.
+
+pub mod histogram;
+pub mod render;
+pub mod series;
+pub mod stats;
+
+pub use histogram::LatencyHistogram;
+pub use series::{UtilizationSeries, WindowedSeries};
+
+/// The paper's monitoring window: 50 ms.
+pub const MONITOR_WINDOW_MS: u64 = 50;
+
+/// The paper's VLRT threshold: requests slower than 3 s are "very long
+/// response time" requests.
+pub const VLRT_THRESHOLD_MS: u64 = 3_000;

@@ -1,0 +1,394 @@
+//! Fixed-window time series: the 50 ms aggregates the paper's figures plot.
+//!
+//! [`WindowedSeries`] covers counters (VLRT requests per window, drops per
+//! window) and gauges (queue depths). [`UtilizationSeries`] accounts busy
+//! time per window, producing CPU-utilization timelines.
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// Aggregates accumulated within one window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowAgg {
+    /// Sum of recorded values (for counters: the windowed total).
+    pub sum: f64,
+    /// Number of recordings.
+    pub count: u64,
+    /// Maximum recorded value (0 when the window is empty).
+    pub max: f64,
+    /// Last recorded value (0 when the window is empty).
+    pub last: f64,
+}
+
+impl WindowAgg {
+    /// Mean of recorded values, or 0 for an empty window.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A time series aggregated into fixed windows (default 50 ms).
+///
+/// Recordings are indexed by simulated time; the series grows on demand, and
+/// unobserved windows read as empty aggregates.
+///
+/// # Example
+///
+/// ```
+/// use ntier_des::prelude::*;
+/// use ntier_telemetry::series::WindowedSeries;
+///
+/// let mut vlrt = WindowedSeries::with_window(SimDuration::from_millis(50));
+/// vlrt.add(SimTime::from_millis(120), 1.0); // one VLRT request in window 2
+/// vlrt.add(SimTime::from_millis(130), 1.0);
+/// assert_eq!(vlrt.window(2).sum, 2.0);
+/// assert_eq!(vlrt.window(0).sum, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    window: SimDuration,
+    windows: Vec<WindowAgg>,
+}
+
+impl WindowedSeries {
+    /// Creates a series with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be non-zero");
+        WindowedSeries {
+            window,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Creates a series with the paper's 50 ms monitoring window.
+    pub fn paper_default() -> Self {
+        WindowedSeries::with_window(SimDuration::from_millis(crate::MONITOR_WINDOW_MS))
+    }
+
+    /// The window size.
+    pub fn window_size(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Adds `value` to the window containing `t` (counter semantics: values
+    /// accumulate in `sum`).
+    pub fn add(&mut self, t: SimTime, value: f64) {
+        let idx = t.window_index(self.window) as usize;
+        self.ensure(idx);
+        let w = &mut self.windows[idx];
+        w.sum += value;
+        w.count += 1;
+        if value > w.max {
+            w.max = value;
+        }
+        w.last = value;
+    }
+
+    /// Records a gauge observation at `t` (use [`WindowAgg::max`] /
+    /// [`WindowAgg::mean`] when reading).
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        self.add(t, value);
+    }
+
+    /// The aggregate for window `idx` (empty default if never touched).
+    pub fn window(&self, idx: usize) -> WindowAgg {
+        self.windows.get(idx).copied().unwrap_or_default()
+    }
+
+    /// Number of windows from time zero through the last touched window.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if no window was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Iterates `(window_start_time, aggregate)` over all windows.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, WindowAgg)> + '_ {
+        let w = self.window;
+        self.windows
+            .iter()
+            .enumerate()
+            .map(move |(i, agg)| (SimTime::from_micros(i as u64 * w.as_micros()), *agg))
+    }
+
+    /// The per-window sums as a plain vector (counter reading).
+    pub fn sums(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.sum).collect()
+    }
+
+    /// The per-window maxima as a plain vector (gauge reading).
+    pub fn maxima(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.max).collect()
+    }
+
+    /// Total of all window sums.
+    pub fn total(&self) -> f64 {
+        self.windows.iter().map(|w| w.sum).sum()
+    }
+
+    /// The largest window sum together with its window start time.
+    pub fn peak(&self) -> Option<(SimTime, f64)> {
+        let w = self.window;
+        self.windows
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.sum.partial_cmp(&b.1.sum).expect("sums are finite"))
+            .map(|(i, agg)| (SimTime::from_micros(i as u64 * w.as_micros()), agg.sum))
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowAgg::default());
+        }
+    }
+}
+
+/// Busy-time accounting per window, yielding utilization timelines.
+///
+/// Busy intervals may span window boundaries; the busy time is split across
+/// the overlapped windows, so utilization is exact rather than sampled.
+///
+/// # Example
+///
+/// ```
+/// use ntier_des::prelude::*;
+/// use ntier_telemetry::series::UtilizationSeries;
+///
+/// let mut cpu = UtilizationSeries::with_window(SimDuration::from_millis(50), 1);
+/// // busy from 25 ms to 75 ms: half of window 0 and half of window 1
+/// cpu.record_busy(SimTime::from_millis(25), SimTime::from_millis(75));
+/// assert!((cpu.utilization(0) - 0.5).abs() < 1e-9);
+/// assert!((cpu.utilization(1) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationSeries {
+    window: SimDuration,
+    cores: u32,
+    busy_micros: Vec<u64>,
+}
+
+impl UtilizationSeries {
+    /// Creates a utilization series for `cores` cores with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `cores` is zero.
+    pub fn with_window(window: SimDuration, cores: u32) -> Self {
+        assert!(!window.is_zero(), "window must be non-zero");
+        assert!(cores > 0, "cores must be non-zero");
+        UtilizationSeries {
+            window,
+            cores,
+            busy_micros: Vec::new(),
+        }
+    }
+
+    /// Creates a series with the paper's 50 ms window.
+    pub fn paper_default(cores: u32) -> Self {
+        UtilizationSeries::with_window(SimDuration::from_millis(crate::MONITOR_WINDOW_MS), cores)
+    }
+
+    /// Accounts one core as busy over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record_busy(&mut self, start: SimTime, end: SimTime) {
+        assert!(end >= start, "busy interval must be well-ordered");
+        if end == start {
+            return;
+        }
+        let wsize = self.window.as_micros();
+        let mut cursor = start.as_micros();
+        let end_us = end.as_micros();
+        while cursor < end_us {
+            let idx = (cursor / wsize) as usize;
+            let window_end = (idx as u64 + 1) * wsize;
+            let slice_end = window_end.min(end_us);
+            self.ensure(idx);
+            self.busy_micros[idx] += slice_end - cursor;
+            cursor = slice_end;
+        }
+    }
+
+    /// Utilization of window `idx` in `[0, 1]` (0 if never touched).
+    pub fn utilization(&self, idx: usize) -> f64 {
+        let busy = self.busy_micros.get(idx).copied().unwrap_or(0);
+        busy as f64 / (self.window.as_micros() as f64 * f64::from(self.cores))
+    }
+
+    /// Utilizations for all windows through the last touched one.
+    pub fn utilizations(&self) -> Vec<f64> {
+        (0..self.busy_micros.len()).map(|i| self.utilization(i)).collect()
+    }
+
+    /// Mean utilization over windows `[0, through_window]` (inclusive),
+    /// counting untouched windows as idle.
+    pub fn mean_utilization(&self, through_window: usize) -> f64 {
+        if through_window == usize::MAX {
+            return 0.0;
+        }
+        let n = through_window + 1;
+        let busy: u64 = (0..n)
+            .map(|i| self.busy_micros.get(i).copied().unwrap_or(0))
+            .sum();
+        busy as f64 / (self.window.as_micros() as f64 * f64::from(self.cores) * n as f64)
+    }
+
+    /// Number of windows touched.
+    pub fn len(&self) -> usize {
+        self.busy_micros.len()
+    }
+
+    /// `true` if no busy time was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.busy_micros.is_empty()
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.busy_micros.len() {
+            self.busy_micros.resize(idx + 1, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn counter_accumulates_per_window() {
+        let mut s = WindowedSeries::paper_default();
+        s.add(ms(10), 1.0);
+        s.add(ms(40), 1.0);
+        s.add(ms(51), 1.0);
+        assert_eq!(s.window(0).sum, 2.0);
+        assert_eq!(s.window(1).sum, 1.0);
+        assert_eq!(s.total(), 3.0);
+    }
+
+    #[test]
+    fn gauge_tracks_max_and_mean() {
+        let mut s = WindowedSeries::paper_default();
+        s.record(ms(0), 100.0);
+        s.record(ms(10), 300.0);
+        s.record(ms(20), 200.0);
+        let w = s.window(0);
+        assert_eq!(w.max, 300.0);
+        assert_eq!(w.mean(), 200.0);
+        assert_eq!(w.last, 200.0);
+    }
+
+    #[test]
+    fn untouched_windows_read_empty() {
+        let s = WindowedSeries::paper_default();
+        assert_eq!(s.window(17), WindowAgg::default());
+        assert!(s.is_empty());
+        assert_eq!(s.peak(), None);
+    }
+
+    #[test]
+    fn peak_finds_largest_window() {
+        let mut s = WindowedSeries::paper_default();
+        s.add(ms(10), 2.0);
+        s.add(ms(260), 5.0);
+        s.add(ms(400), 1.0);
+        let (t, v) = s.peak().unwrap();
+        assert_eq!(t, ms(250));
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn iter_yields_window_starts() {
+        let mut s = WindowedSeries::with_window(SimDuration::from_millis(100));
+        s.add(ms(150), 1.0);
+        let points: Vec<_> = s.iter().collect();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, ms(0));
+        assert_eq!(points[1].0, ms(100));
+        assert_eq!(points[1].1.sum, 1.0);
+    }
+
+    #[test]
+    fn utilization_splits_across_windows() {
+        let mut u = UtilizationSeries::paper_default(1);
+        u.record_busy(ms(25), ms(75));
+        assert!((u.utilization(0) - 0.5).abs() < 1e-12);
+        assert!((u.utilization(1) - 0.5).abs() < 1e-12);
+        assert_eq!(u.utilization(2), 0.0);
+    }
+
+    #[test]
+    fn utilization_with_multiple_cores_scales() {
+        let mut u = UtilizationSeries::paper_default(4);
+        // one core fully busy for one window => 25% of a 4-core node
+        u.record_busy(ms(0), ms(50));
+        assert!((u.utilization(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_utilization_counts_idle_windows() {
+        let mut u = UtilizationSeries::paper_default(1);
+        u.record_busy(ms(0), ms(50));
+        // windows 0..=3: one fully busy, three idle
+        assert!((u.mean_utilization(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_busy_interval_is_noop() {
+        let mut u = UtilizationSeries::paper_default(1);
+        u.record_busy(ms(10), ms(10));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "well-ordered")]
+    fn reversed_busy_interval_panics() {
+        let mut u = UtilizationSeries::paper_default(1);
+        u.record_busy(ms(20), ms(10));
+    }
+
+    proptest! {
+        /// Total busy time recorded equals total busy time read back,
+        /// regardless of how intervals straddle windows.
+        #[test]
+        fn busy_time_is_conserved(intervals in proptest::collection::vec((0u64..5_000, 0u64..500), 1..50)) {
+            let mut u = UtilizationSeries::paper_default(1);
+            let mut expect = 0u64;
+            for (start, len) in intervals {
+                u.record_busy(SimTime::from_micros(start), SimTime::from_micros(start + len));
+                expect += len;
+            }
+            let w = SimDuration::from_millis(crate::MONITOR_WINDOW_MS).as_micros() as f64;
+            let got: f64 = u.utilizations().iter().map(|x| x * w).sum();
+            prop_assert!((got - expect as f64).abs() < 1e-6);
+        }
+
+        /// Counter totals equal the sum of inserted values.
+        #[test]
+        fn counter_total_is_conserved(values in proptest::collection::vec((0u64..10_000, 0.0f64..10.0), 1..100)) {
+            let mut s = WindowedSeries::paper_default();
+            let mut expect = 0.0;
+            for (t, v) in &values {
+                s.add(SimTime::from_millis(*t), *v);
+                expect += v;
+            }
+            prop_assert!((s.total() - expect).abs() < 1e-9);
+        }
+    }
+}

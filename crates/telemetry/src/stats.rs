@@ -1,0 +1,124 @@
+//! Small summary-statistics helpers shared by reports and tests.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (nearest-rank) of `values`; `None` when empty.
+///
+/// `q` is clamped to `[0, 1]`. The input need not be sorted.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Maximum of a slice; `None` when empty.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"))
+}
+
+/// Index of dispersion of counts (variance / mean) — the burstiness measure
+/// behind the paper's "burst index" knob ([Mi et al., ICAC'09]).
+///
+/// Returns 0 when the series is empty or has zero mean.
+pub fn index_of_dispersion(counts: &[f64]) -> f64 {
+    let m = mean(counts);
+    if m == 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / counts.len().max(1) as f64;
+    var / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn stddev_basics() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_does_not_require_sorted_input() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.34), Some(3.0));
+    }
+
+    #[test]
+    fn dispersion_of_poisson_like_counts_is_near_one() {
+        // counts with variance == mean
+        let v = [2.0, 4.0, 2.0, 4.0];
+        // mean 3, var 1 => IoD = 1/3; just check the formula
+        assert!((index_of_dispersion(&v) - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(index_of_dispersion(&[]), 0.0);
+        assert_eq!(index_of_dispersion(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dispersion_grows_with_burstiness() {
+        let steady = [10.0; 20];
+        let mut bursty = [0.0; 20];
+        bursty[0] = 200.0;
+        assert!(index_of_dispersion(&bursty) > index_of_dispersion(&steady));
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let a = quantile(&values, 0.25).unwrap();
+            let b = quantile(&values, 0.75).unwrap();
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn quantile_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..100), q in 0.0f64..=1.0) {
+            let v = quantile(&values, q).unwrap();
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Arrival-trace serialization.
+//!
+//! Lets generated workloads be saved, inspected, diffed and replayed — the
+//! open-loop engine input is just a sorted list of arrival times, so a
+//! one-column CSV (`arrival_ms`) round-trips it exactly at millisecond
+//! precision and a microsecond column is available when that matters.
+
+use ntier_des::time::SimTime;
+
+/// Serializes arrivals as a one-column CSV (`arrival_us`, microseconds).
+pub fn to_csv(arrivals: &[SimTime]) -> String {
+    let mut out = String::with_capacity(arrivals.len() * 10 + 12);
+    out.push_str("arrival_us\n");
+    for t in arrivals {
+        out.push_str(&t.as_micros().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Error from parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses a trace CSV produced by [`to_csv`] (header required, sorted
+/// output guaranteed).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on a missing/unknown header or a
+/// non-numeric row.
+pub fn from_csv(csv: &str) -> Result<Vec<SimTime>, ParseTraceError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseTraceError {
+        line: 1,
+        message: "empty trace".into(),
+    })?;
+    if header.trim() != "arrival_us" {
+        return Err(ParseTraceError {
+            line: 1,
+            message: format!("expected header 'arrival_us', got '{header}'"),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let us: u64 = line.parse().map_err(|e| ParseTraceError {
+            line: i + 1,
+            message: format!("bad microsecond value '{line}': {e}"),
+        })?;
+        out.push(SimTime::from_micros(us));
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoissonProcess;
+    use ntier_des::prelude::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_preserves_arrivals_exactly() {
+        let mut rng = SimRng::seed_from(1);
+        let arrivals = PoissonProcess::new(500.0).arrivals(SimDuration::from_secs(5), &mut rng);
+        let csv = to_csv(&arrivals);
+        let back = from_csv(&csv).expect("roundtrip");
+        assert_eq!(arrivals, back);
+    }
+
+    #[test]
+    fn parser_sorts_unsorted_input() {
+        let back = from_csv("arrival_us\n3000\n1000\n2000\n").unwrap();
+        assert_eq!(
+            back,
+            vec![
+                SimTime::from_micros(1_000),
+                SimTime::from_micros(2_000),
+                SimTime::from_micros(3_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_bad_header_and_rows() {
+        let err = from_csv("nope\n1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = from_csv("arrival_us\nabc\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        assert_eq!(from_csv("").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let back = from_csv("arrival_us\n10\n\n20\n").unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_for_arbitrary_times(times in proptest::collection::vec(0u64..u64::MAX / 2, 0..200)) {
+            let mut arrivals: Vec<SimTime> = times.iter().map(|t| SimTime::from_micros(*t)).collect();
+            arrivals.sort();
+            let back = from_csv(&to_csv(&arrivals)).unwrap();
+            prop_assert_eq!(arrivals, back);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablations over the design parameters DESIGN.md calls out.
+//!
+//! Four sweeps, each isolating one knob of the CTQO mechanism:
+//!
+//! 1. **stall duration** — the drop threshold sits at
+//!    `MaxSysQDepth / arrival rate` (§III's dynamic condition);
+//! 2. **TCP backlog size** — enlarging the backlog delays but does not
+//!    remove the overflow (and §V-E notes bufferbloat makes huge backlogs
+//!    undesirable anyway);
+//! 3. **thread-pool size** — the "RPC purist" fix; works until thread
+//!    overhead eats it (Fig. 12's territory);
+//! 4. **retransmission policy** — RHEL 6's flat 3 s schedule vs. modern
+//!    exponential backoff: the latency *modes* move with it, proving the
+//!    3/6/9 s clusters are pure TCP artifacts.
+//!
+//! Run with: `cargo run --release --example ablations`
+
+use ntier_core::engine::{Engine, Workload};
+use ntier_core::{SystemConfig, TierConfig};
+use ntier_des::prelude::*;
+use ntier_interference::StallSchedule;
+use ntier_net::RetransmitPolicy;
+use ntier_workload::{PoissonProcess, RequestMix};
+
+const RATE: f64 = 1_000.0;
+
+fn base_system(stall_ms: u64, web_threads: usize, backlog: usize) -> SystemConfig {
+    let stalls = StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
+    SystemConfig::three_tier(
+        TierConfig::sync("Web", web_threads, backlog).with_stalls(stalls),
+        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierConfig::sync("Db", 4_000, 4_000),
+    )
+}
+
+fn run(system: SystemConfig, policy: RetransmitPolicy, seed: u64) -> ntier_core::RunReport {
+    let mut rng = SimRng::seed_from(seed);
+    let arrivals = PoissonProcess::new(RATE).arrivals(SimDuration::from_secs(10), &mut rng);
+    Engine::new(
+        system.with_retransmit(policy),
+        Workload::Open {
+            arrivals,
+            mix: RequestMix::view_story(),
+        },
+        SimDuration::from_secs(25),
+        seed,
+    )
+    .run()
+}
+
+fn main() {
+    println!("== 1. stall-duration sweep (web 150+128 = 278 slots, 1000 req/s) ==");
+    println!("   closed-form threshold: 278 ms");
+    println!("   {:>10} {:>8} {:>8}", "stall", "drops", "VLRT");
+    for stall_ms in [100u64, 200, 250, 300, 400, 600, 800] {
+        let r = run(base_system(stall_ms, 150, 128), RetransmitPolicy::default(), 7);
+        println!("   {stall_ms:>8}ms {:>8} {:>8}", r.drops_total, r.vlrt_total);
+    }
+
+    println!("\n== 2. backlog sweep (400 ms stall, 150 threads) ==");
+    println!("   {:>10} {:>10} {:>8}", "backlog", "capacity", "drops");
+    for backlog in [0usize, 64, 128, 256, 512] {
+        let r = run(base_system(400, 150, backlog), RetransmitPolicy::default(), 7);
+        println!("   {backlog:>10} {:>10} {:>8}", 150 + backlog, r.drops_total);
+    }
+
+    println!("\n== 3. thread-pool sweep (400 ms stall, backlog 128) ==");
+    println!("   {:>10} {:>10} {:>8}", "threads", "capacity", "drops");
+    for threads in [50usize, 150, 300, 600, 1_200] {
+        let r = run(base_system(400, threads, 128), RetransmitPolicy::default(), 7);
+        println!("   {threads:>10} {:>10} {:>8}", threads + 128, r.drops_total);
+    }
+    println!("   (enough threads absorb one 400 ms stall — but see Fig. 12 /");
+    println!("    `thread_overhead` for what 2000-thread pools cost under load)");
+
+    println!("\n== 4. retransmission-policy ablation (600 ms stall) ==");
+    for (name, policy) in [
+        ("RHEL6 flat 3s", RetransmitPolicy::rhel6_syn(3)),
+        ("exp backoff 1s", RetransmitPolicy::exponential(SimDuration::from_secs(1), 4)),
+        ("exp backoff 3s", RetransmitPolicy::exponential(SimDuration::from_secs(3), 3)),
+    ] {
+        let r = run(base_system(600, 150, 128), policy, 7);
+        let modes: Vec<String> = r
+            .latency_modes()
+            .iter()
+            .skip(1) // skip the fast cluster
+            .map(|m| format!("{:.0}s", m.peak.as_secs_f64()))
+            .collect();
+        println!(
+            "   {name:<15} drops {:>4}  VLRT {:>4}  slow modes at [{}]",
+            r.drops_total,
+            r.vlrt_total,
+            modes.join(", ")
+        );
+    }
+    println!("   -> the satellite clusters sit exactly where the retransmission");
+    println!("      schedule puts them: they are TCP artifacts, not service time.");
+}

@@ -1,0 +1,57 @@
+//! The Fig. 14 transformation, executable.
+//!
+//! Shows the synchronous servlet (two blocking `SyncDBQuery` calls) and its
+//! event-driven equivalent (two `AsynDBQuery` submissions + two callback
+//! handlers) producing identical responses against the same database — and
+//! demonstrates *why* the async form matters: many requests interleave on
+//! one event loop without holding a thread each.
+//!
+//! Run with: `cargo run --example servlet_transformation`
+
+use ntier_core::servlet::{run_sync, AsyncServlet, EventQueue, MapDatabase};
+
+fn main() {
+    let fixtures = [
+        ("q1:alice", "42"),
+        ("q2:42", "ok"),
+        ("q1:bob", "7"),
+        ("q2:7", "denied"),
+        ("q1:carol", "1913"),
+        ("q2:1913", "ok"),
+    ];
+
+    println!("== Fig. 14(a): synchronous servlet ==");
+    let mut db = MapDatabase::new(fixtures);
+    for user in ["alice", "bob", "carol"] {
+        let response = run_sync(&mut db, user);
+        println!("  doGet({user:<6}) -> {response}");
+    }
+    println!("  queries executed in-order: {:?}\n", db.log);
+
+    println!("== Fig. 14(b): event-driven servlet, three requests on one loop ==");
+    let mut db = MapDatabase::new(fixtures);
+    let mut events = EventQueue::default();
+    let mut servlets: Vec<AsyncServlet> = ["alice", "bob", "carol"]
+        .iter()
+        .map(|u| AsyncServlet::start(u, &mut db, &mut events))
+        .collect();
+    println!("  all three doGet() calls returned immediately — no thread held");
+    let mut dispatched = 0;
+    while let Some(ev) = events.pop() {
+        dispatched += 1;
+        for s in &mut servlets {
+            s.dispatch(ev.clone(), &mut db, &mut events);
+        }
+    }
+    println!("  {dispatched} completion events dispatched");
+    for s in &servlets {
+        println!("  response: {}", s.response().expect("servlet finished"));
+    }
+    println!("  queries executed in-order: {:?}", db.log);
+    println!(
+        "\nSame responses, same query order — the Schneider-style\n\
+         transformation is behaviour-preserving, but the event-driven form\n\
+         admits unbounded in-flight requests with a fixed worker count:\n\
+         that is what removes MaxSysQDepth from the CTQO chain."
+    );
+}

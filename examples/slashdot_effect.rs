@@ -1,0 +1,78 @@
+//! The Slashdot effect meets CTQO.
+//!
+//! The paper cites the Slashdot effect as the canonical web-facing burst.
+//! This example fires a flash crowd (rate jump + exponential decay) at the
+//! synchronous baseline and at NX=3, runs the millibottleneck detector and
+//! causal-chain analysis over the results, and prints what a production
+//! engineer would want to know: where did it saturate, who dropped, who
+//! paid the 3-second tax.
+//!
+//! Run with: `cargo run --release --example slashdot_effect`
+
+use ntier_core::analysis::{causal_chains, detect_millibottlenecks_default};
+use ntier_core::engine::{Engine, Workload};
+use ntier_core::presets;
+use ntier_des::prelude::*;
+use ntier_telemetry::render;
+use ntier_workload::{FlashCrowd, RequestMix};
+
+fn main() {
+    // background 700 req/s; the link lands at t=12 s adding 2500 req/s,
+    // decaying with a 0.5 s time constant: the system runs above the app
+    // tier's ~1333 req/s capacity for under a second — millibottleneck territory.
+    let crowd = FlashCrowd::new(700.0, 2_500.0, SimTime::from_secs(12), 0.5);
+    let horizon = SimDuration::from_secs(40);
+
+    for nx in [0usize, 3] {
+        let mut rng = SimRng::seed_from(77);
+        let arrivals = crowd.arrivals(horizon, &mut rng);
+        let system = presets::with_nx(nx);
+        let label = if nx == 0 { "SYNC (Apache–Tomcat–MySQL)" } else { "ASYNC (NX=3)" };
+        let report = Engine::new(
+            system.clone(),
+            Workload::Open {
+                arrivals,
+                mix: RequestMix::rubbos_browse(),
+            },
+            horizon,
+            77,
+        )
+        .run();
+
+        println!("=== {label} ===");
+        print!("{}", report.summary());
+
+        let bottlenecks = detect_millibottlenecks_default(&report);
+        for b in &bottlenecks {
+            println!(
+                "  millibottleneck: {} saturated {}–{} ({}, mean util {:.0}%)",
+                report.tiers[b.tier].name,
+                b.start,
+                b.end,
+                b.duration(),
+                b.mean_util * 100.0
+            );
+        }
+        for chain in causal_chains(&report, &system, SimDuration::from_secs(1)) {
+            if chain.drops() > 0 {
+                let sat: Vec<&str> = chain
+                    .saturated_queues
+                    .iter()
+                    .map(|t| report.tiers[*t].name.as_str())
+                    .collect();
+                println!(
+                    "  causal chain: {} bottleneck -> queues full at [{}] -> {} drops",
+                    report.tiers[chain.bottleneck.tier].name,
+                    sat.join(", "),
+                    chain.drops()
+                );
+            }
+        }
+        println!("\n{}", render::semilog_histogram(&report.latency, 10, 44));
+    }
+    println!(
+        "Same flash crowd, same demands: the synchronous stack turns ~1 s of\n\
+         overload into multi-second VLRT tails via dropped SYNs; the\n\
+         asynchronous stack rides it out with longer (but bounded) queues."
+    );
+}

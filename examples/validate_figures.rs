@@ -1,0 +1,65 @@
+//! Internal validation sweep: runs every figure preset and prints the
+//! headline numbers to compare against the paper (used while calibrating;
+//! kept as a fast way to regenerate the EXPERIMENTS.md table).
+
+use ntier_core::analysis;
+use ntier_core::experiment as exp;
+use ntier_des::prelude::*;
+
+fn main() {
+    let seed = 42;
+
+    for (label, clients) in [("fig1a", 4_000u32), ("fig1b", 7_000), ("fig1c", 8_000)] {
+        let r = exp::fig1(clients, SimDuration::from_secs(120), seed).run();
+        let modes: Vec<String> = r
+            .latency_modes()
+            .iter()
+            .map(|m| format!("{:.1}s×{}", m.peak.as_secs_f64(), m.count))
+            .collect();
+        println!(
+            "{label}: tput {:.0} req/s, top CPU {:.0}%, drops {}, VLRT {}, modes [{}]",
+            r.throughput,
+            r.highest_mean_util() * 100.0,
+            r.drops_total,
+            r.vlrt_total,
+            modes.join(", ")
+        );
+    }
+
+    for (label, spec) in [
+        ("fig3 ", exp::fig3(seed)),
+        ("fig5 ", exp::fig5(seed)),
+        ("fig7 ", exp::fig7(seed)),
+        ("nx1my", exp::nx1_mysql_stall(seed)),
+        ("fig8 ", exp::fig8(seed)),
+        ("fig9 ", exp::fig9(seed)),
+        ("fig10", exp::fig10(seed)),
+        ("fig11", exp::fig11(seed)),
+    ] {
+        let sys = spec.system.clone();
+        let r = spec.run();
+        let episodes = analysis::detect(&r, &sys, SimDuration::from_secs(1));
+        let (up, down, other) = analysis::drops_by_class(&episodes);
+        let per_tier: Vec<String> = r
+            .tiers
+            .iter()
+            .map(|t| format!("{}:{} (pk {})", t.name, t.drops_total, t.peak_queue))
+            .collect();
+        println!(
+            "{label}: tput {:.0}, drops[{}], up {up} / down {down} / un {other}, VLRT {}, spawns {}",
+            r.throughput,
+            per_tier.join(", "),
+            r.vlrt_total,
+            r.tiers[0].spawns,
+        );
+    }
+
+    for c in exp::FIG12_CONCURRENCIES {
+        let sync = exp::fig12_sync(c, seed).run();
+        let asyn = exp::fig12_async(c, seed).run();
+        println!(
+            "fig12 @{c}: sync {:.0} req/s, async {:.0} req/s",
+            sync.throughput, asyn.throughput
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the ICDCS 2017 CTQO reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! one import root. Library users should normally depend on [`ntier_core`]
+//! directly.
+
+pub use ntier_core as core;
+pub use ntier_des as des;
+pub use ntier_interference as interference;
+pub use ntier_live as live;
+pub use ntier_net as net;
+pub use ntier_server as server;
+pub use ntier_telemetry as telemetry;
+pub use ntier_workload as workload;

@@ -1,0 +1,151 @@
+//! Property tests on whole-engine invariants: whatever the configuration,
+//! workload, burstiness or stall layout, requests are conserved and the
+//! accounting stays coherent.
+
+use ntier_repro::core::engine::{Engine, Workload};
+use ntier_repro::core::{SystemConfig, TierConfig};
+use ntier_repro::des::prelude::*;
+use ntier_repro::interference::StallSchedule;
+use ntier_repro::workload::{BurstSchedule, ClosedLoopSpec, RequestMix};
+use proptest::prelude::*;
+
+fn arb_tier(name: &'static str) -> impl Strategy<Value = TierConfig> {
+    (any::<bool>(), 1usize..12, 0usize..8, 1usize..40).prop_map(
+        move |(is_async, threads, backlog, lite_q)| {
+            if is_async {
+                TierConfig::asynchronous(name, lite_q * 8, 2)
+            } else {
+                TierConfig::sync(name, threads, backlog)
+            }
+        },
+    )
+}
+
+fn arb_system() -> impl Strategy<Value = SystemConfig> {
+    (
+        arb_tier("Web"),
+        arb_tier("App"),
+        arb_tier("Db"),
+        proptest::option::of(1usize..6),
+        proptest::collection::vec((5u64..25, 100u64..1_500), 0..3),
+    )
+        .prop_map(|(web, mut app, db, pool, stalls)| {
+            if let Some(p) = pool {
+                if app.kind.is_sync() {
+                    app = app.with_downstream_pool(p);
+                }
+            }
+            let schedule = StallSchedule::from_intervals(stalls.iter().map(|(s, d)| {
+                (
+                    SimTime::from_millis(s * 100),
+                    SimTime::from_millis(s * 100 + d),
+                )
+            }));
+            let mut sys = SystemConfig::three_tier(web, app.with_stalls(schedule), db);
+            sys.tiers[0] = sys.tiers[0].clone();
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// injected == completed + failed + in-flight for arbitrary systems
+    /// under open bursts.
+    #[test]
+    fn open_loop_conservation(system in arb_system(), batch in 1u32..80, seed in any::<u64>()) {
+        let burst = BurstSchedule::from_bursts([
+            (SimTime::from_millis(500), batch),
+            (SimTime::from_millis(1_500), batch / 2 + 1),
+        ]);
+        let report = Engine::new(
+            system,
+            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            SimDuration::from_secs(15),
+            seed,
+        )
+        .run();
+        prop_assert!(report.is_conserved(), "{}", report.summary());
+        prop_assert_eq!(report.injected, u64::from(batch + batch / 2 + 1));
+        // drop accounting: per-tier totals sum to the global total
+        let tier_drops: u64 = report.tiers.iter().map(|t| t.drops_total).sum();
+        prop_assert_eq!(tier_drops, report.drops_total);
+        // histogram holds exactly the completed requests
+        prop_assert_eq!(report.latency.total(), report.completed);
+    }
+
+    /// Same, closed-loop; also: throughput never exceeds the interactive
+    /// bound N/Z.
+    #[test]
+    fn closed_loop_conservation(system in arb_system(), clients in 1u32..60, seed in any::<u64>()) {
+        let report = Engine::new(
+            system,
+            Workload::Closed {
+                spec: ClosedLoopSpec::rubbos(clients),
+                mix: RequestMix::rubbos_browse(),
+            },
+            SimDuration::from_secs(20),
+            seed,
+        )
+        .run();
+        prop_assert!(report.is_conserved(), "{}", report.summary());
+        // N/(Z+R) is an expectation; small populations over a short run have
+        // large relative variance, hence the multiplicative and additive slack.
+        let bound = f64::from(clients) / 7.0 * 1.8 + 1.0;
+        prop_assert!(report.throughput <= bound, "tput {} bound {}", report.throughput, bound);
+    }
+
+    /// Determinism: equal seeds give byte-equal headline numbers; and a
+    /// different seed (almost surely) gives a different trace.
+    #[test]
+    fn seeded_determinism(seed in any::<u64>()) {
+        let mk = |s| {
+            Engine::new(
+                SystemConfig::three_tier(
+                    TierConfig::sync("Web", 3, 2),
+                    TierConfig::sync("App", 3, 2).with_downstream_pool(2),
+                    TierConfig::sync("Db", 3, 2),
+                ),
+                Workload::Closed {
+                    spec: ClosedLoopSpec::rubbos(30),
+                    mix: RequestMix::rubbos_browse(),
+                },
+                SimDuration::from_secs(15),
+                s,
+            )
+            .run()
+        };
+        let a = mk(seed);
+        let b = mk(seed);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.drops_total, b.drops_total);
+        prop_assert_eq!(a.latency.mean(), b.latency.mean());
+        prop_assert_eq!(a.tiers[0].peak_queue, b.tiers[0].peak_queue);
+    }
+}
+
+#[test]
+fn vlrt_counts_are_consistent() {
+    // vlrt_total == histogram count above 3 s == windowed completion sum
+    let stall = StallSchedule::at_marks([SimTime::from_secs(2)], SimDuration::from_millis(800));
+    let report = Engine::new(
+        SystemConfig::three_tier(
+            TierConfig::sync("Web", 6, 4),
+            TierConfig::sync("App", 6, 4).with_downstream_pool(4).with_stalls(stall),
+            TierConfig::sync("Db", 6, 4),
+        ),
+        Workload::Open {
+            arrivals: (0..600).map(|i| SimTime::from_millis(1_000 + i * 5)).collect(),
+            mix: RequestMix::view_story(),
+        },
+        SimDuration::from_secs(20),
+        3,
+    )
+    .run();
+    assert!(report.vlrt_total > 0);
+    assert_eq!(
+        report.vlrt_total,
+        report.latency.count_above(SimDuration::from_secs(3))
+    );
+    assert_eq!(report.vlrt_total as f64, report.vlrt_by_completion.total());
+}
