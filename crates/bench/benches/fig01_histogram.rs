@@ -31,7 +31,11 @@ fn regenerate() {
         print_comparison(
             title,
             &[
-                Row::new("throughput", paper_tput, format!("{:.0} req/s", report.throughput)),
+                Row::new(
+                    "throughput",
+                    paper_tput,
+                    format!("{:.0} req/s", report.throughput),
+                ),
                 Row::new(
                     "highest avg CPU util",
                     paper_util,

@@ -2,7 +2,7 @@
 //! Tomcat (burst marks at figure time 2/5/9/15 s).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_bench::{print_comparison, print_timeline, save_bundle, Row};
 use ntier_core::experiment as exp;
 
 fn regenerate() {
@@ -32,11 +32,18 @@ fn regenerate() {
                 "278 -> 428",
                 format!("peak queue {}", report.tiers[0].peak_queue),
             ),
-            Row::new("httpd processes spawned", "1", format!("{}", report.tiers[0].spawns)),
+            Row::new(
+                "httpd processes spawned",
+                "1",
+                format!("{}", report.tiers[0].spawns),
+            ),
             Row::new(
                 "VLRT per burst window",
                 "up to ~80 / 50 ms",
-                format!("peak {:.0} / 50 ms", report.tiers[0].vlrt.peak().map(|p| p.1).unwrap_or(0.0)),
+                format!(
+                    "peak {:.0} / 50 ms",
+                    report.tiers[0].vlrt.peak().map(|p| p.1).unwrap_or(0.0)
+                ),
             ),
         ],
     );

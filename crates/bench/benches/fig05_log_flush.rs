@@ -2,7 +2,9 @@
 //! every 30 s (`collectl`), Tomcat scaled to 4 cores.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, figure_seconds, print_comparison, print_timeline, series_second_sums, Row};
+use ntier_bench::{
+    figure_seconds, print_comparison, print_timeline, save_bundle, series_second_sums, Row,
+};
 use ntier_core::experiment as exp;
 
 fn regenerate() {

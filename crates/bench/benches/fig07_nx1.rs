@@ -2,7 +2,7 @@
 //! no upstream CTQO at Nginx, downstream CTQO at Tomcat itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_bench::{print_comparison, print_timeline, save_bundle, Row};
 use ntier_core::experiment as exp;
 
 fn regenerate() {
@@ -15,8 +15,16 @@ fn regenerate() {
     print_comparison(
         "fig7",
         &[
-            Row::new("Nginx drops", "0", format!("{}", report.tiers[0].drops_total)),
-            Row::new("Tomcat drops", "> 0 (downstream CTQO)", format!("{}", report.tiers[1].drops_total)),
+            Row::new(
+                "Nginx drops",
+                "0",
+                format!("{}", report.tiers[0].drops_total),
+            ),
+            Row::new(
+                "Tomcat drops",
+                "> 0 (downstream CTQO)",
+                format!("{}", report.tiers[1].drops_total),
+            ),
             Row::new(
                 "MaxSysQDepth(Tomcat)",
                 "293 = 165 + 128",

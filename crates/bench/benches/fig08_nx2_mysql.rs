@@ -2,7 +2,7 @@
 //! downstream CTQO at MySQL (228 = 100 threads + 128 backlog).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_bench::{print_comparison, print_timeline, save_bundle, Row};
 use ntier_core::experiment as exp;
 
 fn regenerate() {
@@ -23,7 +23,11 @@ fn regenerate() {
                     report.tiers[0].drops_total, report.tiers[1].drops_total
                 ),
             ),
-            Row::new("MySQL drops", "> 0 (downstream CTQO)", format!("{}", report.tiers[2].drops_total)),
+            Row::new(
+                "MySQL drops",
+                "> 0 (downstream CTQO)",
+                format!("{}", report.tiers[2].drops_total),
+            ),
             Row::new(
                 "MaxSysQDepth(MySQL)",
                 "228 = 100 + 128",
@@ -32,7 +36,10 @@ fn regenerate() {
             Row::new(
                 "VLRT per burst window",
                 "up to ~40 / 50 ms",
-                format!("peak {:.0} / 50 ms", report.tiers[2].vlrt.peak().map(|p| p.1).unwrap_or(0.0)),
+                format!(
+                    "peak {:.0} / 50 ms",
+                    report.tiers[2].vlrt.peak().map(|p| p.1).unwrap_or(0.0)
+                ),
             ),
         ],
     );

@@ -2,7 +2,7 @@
 //! (up to LiteQDepth) floods MySQL — downstream CTQO at MySQL.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_bench::{print_comparison, print_timeline, save_bundle, Row};
 use ntier_core::experiment as exp;
 
 fn regenerate() {
@@ -20,7 +20,11 @@ fn regenerate() {
                 "grows (buffered)",
                 format!("peak {}", report.tiers[1].peak_queue),
             ),
-            Row::new("XTomcat drops", "0", format!("{}", report.tiers[1].drops_total)),
+            Row::new(
+                "XTomcat drops",
+                "0",
+                format!("{}", report.tiers[1].drops_total),
+            ),
             Row::new(
                 "MySQL drops",
                 "> 0 (batch flood)",

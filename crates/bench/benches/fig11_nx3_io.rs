@@ -2,7 +2,7 @@
 //! asynchronous tiers hold requests in lightweight queues; no drops.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{save_bundle, print_comparison, print_timeline, Row};
+use ntier_bench::{print_comparison, print_timeline, save_bundle, Row};
 use ntier_core::experiment as exp;
 
 fn regenerate() {

@@ -32,7 +32,12 @@ fn regenerate() {
     rows.push(Row::new(
         "sync collapse factor",
         "3.1x (1159/374)",
-        format!("{:.1}x ({:.0}/{:.0})", endpoints.0 / endpoints.1, endpoints.0, endpoints.1),
+        format!(
+            "{:.1}x ({:.0}/{:.0})",
+            endpoints.0 / endpoints.1,
+            endpoints.0,
+            endpoints.1
+        ),
     ));
     print_comparison("fig12 (sync / async)", &rows);
     println!("{}", render::bar_chart(&chart, 40));

@@ -40,9 +40,12 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_cpu_stalls(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpu_model");
-    let stalls = StallTimeline::from_intervals(
-        (0..100).map(|i| (SimTime::from_millis(i * 500), SimTime::from_millis(i * 500 + 50))),
-    );
+    let stalls = StallTimeline::from_intervals((0..100).map(|i| {
+        (
+            SimTime::from_millis(i * 500),
+            SimTime::from_millis(i * 500 + 50),
+        )
+    }));
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("run_10k_with_100_stalls", |b| {
         b.iter(|| {
@@ -84,7 +87,7 @@ fn bench_mix(c: &mut Criterion) {
             let mut rng = SimRng::seed_from(5);
             let mut total = SimDuration::ZERO;
             for _ in 0..10_000 {
-                total = total + mix.sample(&mut rng).app_demand;
+                total += mix.sample(&mut rng).app_demand;
             }
             total
         })
@@ -103,7 +106,9 @@ fn bench_engine(c: &mut Criterion) {
                 TierConfig::sync("App", 150, 128).with_downstream_pool(50),
                 TierConfig::sync("Db", 100, 128),
             );
-            let arrivals: Vec<SimTime> = (0..10_000).map(|i| SimTime::from_micros(i * 1_000)).collect();
+            let arrivals: Vec<SimTime> = (0..10_000)
+                .map(|i| SimTime::from_micros(i * 1_000))
+                .collect();
             Engine::new(
                 sys,
                 Workload::Open {

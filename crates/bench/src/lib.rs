@@ -83,7 +83,12 @@ pub fn print_timeline(report: &RunReport, title: &str) {
         let v = series_second_sums(&tier.vlrt, seconds);
         let total: f64 = v.iter().sum();
         if total > 0.0 {
-            println!("    {:<8} total {:>5}  {}", tier.name, total, render::sparkline(&v));
+            println!(
+                "    {:<8} total {:>5}  {}",
+                tier.name,
+                total,
+                render::sparkline(&v)
+            );
         }
     }
     if report.vlrt_total == 0 {
@@ -105,7 +110,11 @@ pub struct Row {
 
 impl Row {
     /// Builds a row.
-    pub fn new(metric: impl Into<String>, paper: impl Into<String>, measured: impl Into<String>) -> Self {
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
         Row {
             metric: metric.into(),
             paper: paper.into(),
@@ -117,7 +126,12 @@ impl Row {
 /// Prints a paper-vs-measured table.
 pub fn print_comparison(figure: &str, rows: &[Row]) {
     println!("--- {figure}: paper vs. measured ---");
-    let w = rows.iter().map(|r| r.metric.len()).max().unwrap_or(6).max(6);
+    let w = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
     println!("{:<w$}  {:>18}  {:>18}", "metric", "paper", "measured");
     for r in rows {
         println!("{:<w$}  {:>18}  {:>18}", r.metric, r.paper, r.measured);
@@ -127,6 +141,17 @@ pub fn print_comparison(figure: &str, rows: &[Row]) {
 /// Seconds → `SimDuration` shorthand used by several bench targets.
 pub fn secs(s: u64) -> SimDuration {
     SimDuration::from_secs(s)
+}
+
+/// Saves the report's CSV bundle under `target/figures/<figure>/` (best
+/// effort: failures are printed, not fatal — bench runs should not die on a
+/// read-only filesystem).
+pub fn save_bundle(report: &RunReport, figure: &str) {
+    let dir = std::path::Path::new("target").join("figures").join(figure);
+    match ntier_core::csv::write_csv_bundle(report, &dir) {
+        Ok(()) => println!("(CSV bundle written to {})", dir.display()),
+        Err(e) => eprintln!("(could not write CSV bundle to {}: {e})", dir.display()),
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +193,10 @@ mod tests {
 
     #[test]
     fn second_sums_and_peaks_behave() {
-        let v: Vec<f64> = (0..warmup_windows()).map(|_| 99.0).chain((0..40).map(|i| f64::from(i % 4))).collect();
+        let v: Vec<f64> = (0..warmup_windows())
+            .map(|_| 99.0)
+            .chain((0..40).map(|i| f64::from(i % 4)))
+            .collect();
         let sums = second_sums(&v, 2);
         let peaks = second_peaks(&v, 2);
         assert_eq!(sums, vec![30.0, 30.0]);
@@ -181,19 +209,12 @@ mod tests {
         print_timeline(&r, "smoke");
         print_comparison(
             "smoke",
-            &[Row::new("throughput", "990 req/s", format!("{:.0} req/s", r.throughput))],
+            &[Row::new(
+                "throughput",
+                "990 req/s",
+                format!("{:.0} req/s", r.throughput),
+            )],
         );
         let _ = presets::sync_three_tier();
-    }
-}
-
-/// Saves the report's CSV bundle under `target/figures/<figure>/` (best
-/// effort: failures are printed, not fatal — bench runs should not die on a
-/// read-only filesystem).
-pub fn save_bundle(report: &RunReport, figure: &str) {
-    let dir = std::path::Path::new("target").join("figures").join(figure);
-    match ntier_core::csv::write_csv_bundle(report, &dir) {
-        Ok(()) => println!("(CSV bundle written to {})", dir.display()),
-        Err(e) => eprintln!("(could not write CSV bundle to {}: {e})", dir.display()),
     }
 }

@@ -64,7 +64,11 @@ pub struct CtqoEpisode {
 /// system's stalled tier: `d <` stalled tier ⇒ upstream CTQO, otherwise
 /// downstream. Episodes in systems with zero or multiple stalled tiers are
 /// `Unattributed`.
-pub fn detect(report: &RunReport, system: &SystemConfig, merge_gap: SimDuration) -> Vec<CtqoEpisode> {
+pub fn detect(
+    report: &RunReport,
+    system: &SystemConfig,
+    merge_gap: SimDuration,
+) -> Vec<CtqoEpisode> {
     let stall_tier = system.stalled_tier();
     let window = SimDuration::from_millis(ntier_telemetry::MONITOR_WINDOW_MS);
     let gap_windows = (merge_gap.as_micros() / window.as_micros()).max(1);
@@ -148,7 +152,9 @@ mod tests {
             TierConfig::sync("Db", 4, 2),
         );
         sys.tiers[stall_tier] = sys.tiers[stall_tier].clone().with_stalls(stall);
-        let arrivals: Vec<SimTime> = (0..300).map(|i| SimTime::from_millis(100 + i * 2)).collect();
+        let arrivals: Vec<SimTime> = (0..300)
+            .map(|i| SimTime::from_millis(100 + i * 2))
+            .collect();
         let report = Engine::new(
             sys.clone(),
             Workload::Open {
@@ -168,7 +174,10 @@ mod tests {
         let episodes = detect(&report, &sys, SimDuration::from_secs(1));
         assert!(!episodes.is_empty(), "{}", report.summary());
         let (up, down, other) = drops_by_class(&episodes);
-        assert!(up > 0, "expected upstream drops: up={up} down={down} other={other}");
+        assert!(
+            up > 0,
+            "expected upstream drops: up={up} down={down} other={other}"
+        );
         // all drops in the tiny sync system land at the web tier
         assert!(episodes.iter().all(|e| e.drop_tier == 0));
         assert!(episodes.iter().all(|e| e.class == CtqoClass::Upstream));
@@ -211,7 +220,9 @@ mod tests {
             TierConfig::sync("Db", 4, 2),
         );
         sys.tiers[1] = sys.tiers[1].clone().with_stalls(stall);
-        let arrivals: Vec<SimTime> = (0..1900).map(|i| SimTime::from_millis(100 + i * 2)).collect();
+        let arrivals: Vec<SimTime> = (0..1900)
+            .map(|i| SimTime::from_millis(100 + i * 2))
+            .collect();
         let report = Engine::new(
             sys.clone(),
             Workload::Open {

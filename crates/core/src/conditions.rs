@@ -49,7 +49,10 @@ impl StaticConditions {
 
     /// `true` when every condition holds — CTQO is then reachable.
     pub fn all_hold(&self) -> bool {
-        self.all_synchronous && self.bursty_workload && self.short_requests && self.moderate_utilization
+        self.all_synchronous
+            && self.bursty_workload
+            && self.short_requests
+            && self.moderate_utilization
     }
 }
 

@@ -11,6 +11,7 @@
 use ntier_des::time::SimDuration;
 use ntier_interference::StallSchedule;
 use ntier_net::RetransmitPolicy;
+use ntier_resilience::{CallerPolicy, FaultPlan, ShedPolicy};
 use ntier_server::ThreadOverheadModel;
 
 /// The server architecture of one tier.
@@ -69,6 +70,15 @@ pub struct TierConfig {
     pub downstream_pool: Option<usize>,
     /// Demand inflation at high thread counts (Fig. 12); defaults to none.
     pub overhead: ThreadOverheadModel,
+    /// Resilience policy applied by *whoever calls this tier*: for tier 0
+    /// that is the client (attempt timeouts + app-level retries); for inner
+    /// tiers it replaces the kernel retransmit schedule on drops at this
+    /// tier with app-controlled backoff, budget and breaker. `None` keeps
+    /// the paper's raw TCP behaviour.
+    pub caller_policy: Option<CallerPolicy>,
+    /// Admission-time load shedding at this tier (fast reject instead of
+    /// queueing); `None` admits per the paper's capacity rules only.
+    pub shed: Option<ShedPolicy>,
 }
 
 impl TierConfig {
@@ -86,6 +96,8 @@ impl TierConfig {
             stalls: StallSchedule::none(),
             downstream_pool: None,
             overhead: ThreadOverheadModel::none(),
+            caller_policy: None,
+            shed: None,
         }
     }
 
@@ -101,6 +113,8 @@ impl TierConfig {
             stalls: StallSchedule::none(),
             downstream_pool: None,
             overhead: ThreadOverheadModel::none(),
+            caller_policy: None,
+            shed: None,
         }
     }
 
@@ -146,6 +160,18 @@ impl TierConfig {
     /// Sets the thread-overhead model.
     pub fn with_overhead(mut self, overhead: ThreadOverheadModel) -> Self {
         self.overhead = overhead;
+        self
+    }
+
+    /// Sets the caller-side resilience policy on the hop into this tier.
+    pub fn with_caller_policy(mut self, policy: CallerPolicy) -> Self {
+        self.caller_policy = Some(policy);
+        self
+    }
+
+    /// Sets the admission-time shed policy.
+    pub fn with_shed_policy(mut self, shed: ShedPolicy) -> Self {
+        self.shed = Some(shed);
         self
     }
 
@@ -195,6 +221,8 @@ pub struct SystemConfig {
     pub retransmit: RetransmitPolicy,
     /// One-way per-hop message delay.
     pub hop_delay: SimDuration,
+    /// Scheduled fault injection; empty by default.
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -214,6 +242,7 @@ impl SystemConfig {
             tiers,
             retransmit: RetransmitPolicy::default(),
             hop_delay: SimDuration::from_micros(50),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -226,6 +255,29 @@ impl SystemConfig {
     /// Overrides the per-hop delay.
     pub fn with_hop_delay(mut self, delay: SimDuration) -> Self {
         self.hop_delay = delay;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault targets a tier outside the chain.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        if let Some(max) = faults.max_tier() {
+            assert!(
+                max < self.tiers.len(),
+                "fault targets tier {max} outside the chain"
+            );
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Installs a client-side policy (an alias for setting tier 0's caller
+    /// policy — the hop into tier 0 is the client's).
+    pub fn with_client_policy(mut self, policy: CallerPolicy) -> Self {
+        self.tiers[0].caller_policy = Some(policy);
         self
     }
 
@@ -312,7 +364,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sync tiers only")]
     fn spawning_on_async_tier_rejected() {
-        let _ = TierConfig::asynchronous("Nginx", 100, 1)
-            .with_process_spawning(2, SimDuration::ZERO);
+        let _ =
+            TierConfig::asynchronous("Nginx", 100, 1).with_process_spawning(2, SimDuration::ZERO);
     }
 }

@@ -15,18 +15,23 @@ use crate::report::RunReport;
 
 /// Serializes a report into `(file name, CSV content)` pairs:
 ///
-/// * `summary.csv` — headline metrics;
+/// * `summary.csv` — headline metrics (including the resilience totals);
 /// * `latency_histogram.csv` — bucket start (ms) and count, plus overflow;
+/// * `resilience.csv` — per-hop timeout/retry/budget/shed/breaker counters;
 /// * `tier_<i>_<name>.csv` — per-50 ms-window queue peak, drops, VLRT,
 ///   own CPU utilization and interferer utilization.
 pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
-    let mut files = Vec::with_capacity(report.tiers.len() + 2);
+    let mut files = Vec::with_capacity(report.tiers.len() + 3);
 
     let summary_rows = vec![
-        vec!["horizon_secs".into(), format!("{:.3}", report.horizon.as_secs_f64())],
+        vec![
+            "horizon_secs".into(),
+            format!("{:.3}", report.horizon.as_secs_f64()),
+        ],
         vec!["injected".into(), report.injected.to_string()],
         vec!["completed".into(), report.completed.to_string()],
         vec!["failed".into(), report.failed.to_string()],
+        vec!["shed".into(), report.shed.to_string()],
         vec!["in_flight_end".into(), report.in_flight_end.to_string()],
         vec!["throughput_rps".into(), format!("{:.3}", report.throughput)],
         vec!["drops_total".into(), report.drops_total.to_string()],
@@ -35,18 +40,72 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
             "highest_mean_util".into(),
             format!("{:.4}", report.highest_mean_util()),
         ],
+        vec!["timeouts".into(), report.resilience.timeouts.to_string()],
+        vec!["app_retries".into(), report.resilience.retries.to_string()],
+        vec![
+            "budget_exhausted".into(),
+            report.resilience.budget_exhausted.to_string(),
+        ],
+        vec![
+            "breaker_transitions".into(),
+            report.resilience.breaker_transitions.to_string(),
+        ],
+        vec![
+            "orphan_completions".into(),
+            report.resilience.orphan_completions.to_string(),
+        ],
     ];
-    files.push(("summary.csv".to_string(), to_csv(&["metric", "value"], &summary_rows)));
+    files.push((
+        "summary.csv".to_string(),
+        to_csv(&["metric", "value"], &summary_rows),
+    ));
 
     let mut hist_rows: Vec<Vec<String>> = report
         .latency
         .iter()
         .map(|(start, count)| vec![start.as_millis().to_string(), count.to_string()])
         .collect();
-    hist_rows.push(vec!["overflow".into(), report.latency.overflow().to_string()]);
+    hist_rows.push(vec![
+        "overflow".into(),
+        report.latency.overflow().to_string(),
+    ]);
     files.push((
         "latency_histogram.csv".to_string(),
         to_csv(&["bucket_start_ms", "count"], &hist_rows),
+    ));
+
+    let res_rows: Vec<Vec<String>> = report
+        .tiers
+        .iter()
+        .enumerate()
+        .map(|(i, tier)| {
+            vec![
+                i.to_string(),
+                tier.name.clone(),
+                tier.resilience.timeouts.to_string(),
+                tier.resilience.retries.to_string(),
+                tier.resilience.budget_exhausted.to_string(),
+                tier.resilience.shed.to_string(),
+                tier.resilience.breaker_transitions.to_string(),
+                tier.resilience.orphan_completions.to_string(),
+            ]
+        })
+        .collect();
+    files.push((
+        "resilience.csv".to_string(),
+        to_csv(
+            &[
+                "tier",
+                "name",
+                "timeouts",
+                "retries",
+                "budget_exhausted",
+                "shed",
+                "breaker_transitions",
+                "orphan_completions",
+            ],
+            &res_rows,
+        ),
     ));
 
     for (i, tier) in report.tiers.iter().enumerate() {
@@ -103,7 +162,13 @@ pub fn write_csv_bundle(report: &RunReport, dir: &Path) -> io::Result<()> {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -141,6 +206,7 @@ mod tests {
             vec![
                 "summary.csv",
                 "latency_histogram.csv",
+                "resilience.csv",
                 "tier_0_web.csv",
                 "tier_1_app.csv",
                 "tier_2_db.csv"
@@ -172,9 +238,19 @@ mod tests {
     }
 
     #[test]
+    fn resilience_file_is_quiet_without_policies() {
+        let bundle = csv_bundle(&small_report());
+        let res = &bundle[2].1;
+        for line in res.lines().skip(1) {
+            let counters: Vec<&str> = line.split(',').skip(2).collect();
+            assert!(counters.iter().all(|c| *c == "0"), "{line}");
+        }
+    }
+
+    #[test]
     fn tier_files_have_consistent_columns() {
         let bundle = csv_bundle(&small_report());
-        for (name, content) in bundle.iter().skip(2) {
+        for (name, content) in bundle.iter().skip(3) {
             let mut lines = content.lines();
             let header = lines.next().unwrap();
             assert_eq!(header.split(',').count(), 6, "{name}");

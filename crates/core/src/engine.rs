@@ -44,6 +44,7 @@ use std::collections::HashMap;
 
 use ntier_des::prelude::*;
 use ntier_net::{Backlog, RetransmitState, RetryDecision};
+use ntier_resilience::{CircuitBreaker, Fault, ResilienceStats, TokenBucket};
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
@@ -82,12 +83,46 @@ pub enum Workload {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    ClientSend { client: u32 },
-    Inject { idx: u32 },
-    Arrival { req: u32, tier: u8, visit: u16 },
-    SliceDone { req: u32, tier: u8, visit: u16 },
-    ReplyArrive { req: u32, tier: u8 },
-    SpawnDone { tier: u8 },
+    ClientSend {
+        client: u32,
+    },
+    Inject {
+        idx: u32,
+    },
+    Arrival {
+        req: u32,
+        tier: u8,
+        visit: u16,
+    },
+    SliceDone {
+        req: u32,
+        tier: u8,
+        visit: u16,
+    },
+    ReplyArrive {
+        req: u32,
+        tier: u8,
+    },
+    SpawnDone {
+        tier: u8,
+    },
+    /// The client's per-attempt timer fired: orphan the attempt and consult
+    /// the retry stack.
+    AttemptTimeout {
+        req: u32,
+    },
+    /// A granted client retry's backoff elapsed: launch the next attempt of
+    /// the logical request whose previous attempt was `orig`.
+    RetryFire {
+        orig: u32,
+    },
+    /// A fault window opens / closes (index into the fault plan).
+    FaultBegin {
+        idx: u16,
+    },
+    FaultEnd {
+        idx: u16,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +143,7 @@ struct ClassStats {
     completed: u64,
     vlrt: u64,
     drops: u64,
+    shed: u64,
     latency_sum_us: u128,
 }
 
@@ -129,6 +165,14 @@ struct RequestState {
     /// Whether this request currently holds a pooled connection at tier i.
     conn_held: Vec<bool>,
     done: bool,
+    /// 0-based client attempt index (retries clone the plan with +1).
+    attempt: u32,
+    /// The client's attempt timer fired: this attempt keeps consuming
+    /// resources but its terminal outcome no longer counts.
+    orphan: bool,
+    /// App-level retries of the current in-flight message (inner-hop caller
+    /// policies); reset on successful admission like `retrans`.
+    hop_attempts: u32,
 }
 
 #[derive(Debug)]
@@ -149,6 +193,12 @@ struct TierRuntime {
     vlrt: WindowedSeries,
     drops_total: u64,
     peak_queue: usize,
+    /// Breaker guarding the hop *into* this tier (tier 0: the client's).
+    hop_breaker: Option<CircuitBreaker>,
+    /// Retry budget for the hop into this tier.
+    hop_bucket: Option<TokenBucket>,
+    /// Resilience counters for the hop into this tier.
+    res: ResilienceStats,
 }
 
 impl TierRuntime {
@@ -189,11 +239,20 @@ pub struct Engine {
     injected: u64,
     completed: u64,
     failed: u64,
+    shed: u64,
     drops_total: u64,
     vlrt_total: u64,
     next_token: u64,
     parked: HashMap<u64, (u32, usize, u16)>,
     class_stats: HashMap<&'static str, ClassStats>,
+    rng_faults: SimRng,
+    rng_jitter: SimRng,
+    /// Per-tier fault state toggled by the plan's begin/end events.
+    tier_down: Vec<bool>,
+    drop_prob: Vec<f64>,
+    extra_hop: Vec<SimDuration>,
+    /// Workers actually wedged per stuck-worker fault (index = fault index).
+    stuck_acquired: Vec<usize>,
 }
 
 impl Engine {
@@ -207,7 +266,11 @@ impl Engine {
     pub fn new(cfg: SystemConfig, workload: Workload, horizon: SimDuration, seed: u64) -> Self {
         assert!(!cfg.tiers.is_empty(), "a system needs at least one tier");
         assert!(
-            cfg.tiers.last().expect("non-empty").downstream_pool.is_none(),
+            cfg.tiers
+                .last()
+                .expect("non-empty")
+                .downstream_pool
+                .is_none(),
             "the last tier has no downstream to pool connections for"
         );
         if matches!(workload, Workload::Closed { .. } | Workload::Open { .. }) {
@@ -215,6 +278,12 @@ impl Engine {
                 cfg.tiers.len(),
                 3,
                 "mix-based workloads compile 3-tier plans; use Workload::OpenPlans for other depths"
+            );
+        }
+        if let Some(max) = cfg.faults.max_tier() {
+            assert!(
+                max < cfg.tiers.len(),
+                "fault targets tier {max} outside the chain"
             );
         }
         let root = SimRng::seed_from(seed);
@@ -249,9 +318,22 @@ impl Engine {
                     vlrt: WindowedSeries::paper_default(),
                     drops_total: 0,
                     peak_queue: 0,
+                    hop_breaker: tc
+                        .caller_policy
+                        .as_ref()
+                        .and_then(|p| p.breaker)
+                        .map(CircuitBreaker::new),
+                    hop_bucket: tc
+                        .caller_policy
+                        .as_ref()
+                        .and_then(|p| p.budget)
+                        .map(|b| TokenBucket::new(b, SimTime::ZERO)),
+                    res: ResilienceStats::default(),
                 }
             })
             .collect();
+        let n_tiers = cfg.tiers.len();
+        let n_faults = cfg.faults.faults().len();
         Engine {
             cfg,
             workload,
@@ -267,11 +349,18 @@ impl Engine {
             injected: 0,
             completed: 0,
             failed: 0,
+            shed: 0,
             drops_total: 0,
             vlrt_total: 0,
             next_token: 0,
             parked: HashMap::new(),
             class_stats: HashMap::new(),
+            rng_faults: root.fork("faults"),
+            rng_jitter: root.fork("retry-jitter"),
+            tier_down: vec![false; n_tiers],
+            drop_prob: vec![0.0; n_tiers],
+            extra_hop: vec![SimDuration::ZERO; n_tiers],
+            stuck_acquired: vec![0; n_faults],
         }
     }
 
@@ -290,6 +379,11 @@ impl Engine {
     }
 
     fn schedule_workload(&mut self) {
+        for (i, fault) in self.cfg.faults.faults().iter().enumerate() {
+            let (from, until) = fault.window();
+            self.queue.push(from, Event::FaultBegin { idx: i as u16 });
+            self.queue.push(until, Event::FaultEnd { idx: i as u16 });
+        }
         match &self.workload {
             Workload::Closed { spec, .. } => {
                 let clients = spec.clients();
@@ -297,8 +391,10 @@ impl Engine {
                     .map(|_| spec.start_offset(&mut self.rng_clients))
                     .collect();
                 for (c, offset) in offsets.into_iter().enumerate() {
-                    self.queue
-                        .push(SimTime::ZERO + offset, Event::ClientSend { client: c as u32 });
+                    self.queue.push(
+                        SimTime::ZERO + offset,
+                        Event::ClientSend { client: c as u32 },
+                    );
                 }
             }
             Workload::Open { arrivals, .. } => {
@@ -322,6 +418,10 @@ impl Engine {
             Event::SliceDone { req, tier, visit } => self.on_slice_done(req, tier as usize, visit),
             Event::ReplyArrive { req, tier } => self.on_reply(req, tier as usize),
             Event::SpawnDone { tier } => self.on_spawn_done(tier as usize),
+            Event::AttemptTimeout { req } => self.on_attempt_timeout(req),
+            Event::RetryFire { orig } => self.on_retry_fire(orig),
+            Event::FaultBegin { idx } => self.on_fault_begin(idx as usize),
+            Event::FaultEnd { idx } => self.on_fault_end(idx as usize),
         }
     }
 
@@ -342,6 +442,24 @@ impl Engine {
             self.tiers.len(),
             "plan depth must match the system's tier count"
         );
+        // Fast-fail at the client while its breaker refuses the hop (in
+        // half-open this admits the request as the probe).
+        if self.tiers[0].hop_breaker.is_some() {
+            let now = self.now;
+            let allowed = self.tiers[0]
+                .hop_breaker
+                .as_mut()
+                .expect("checked above")
+                .try_acquire(now);
+            if !allowed {
+                self.injected += 1;
+                self.shed += 1;
+                self.tiers[0].res.shed += 1;
+                self.class_stats.entry(class).or_default().shed += 1;
+                self.schedule_client_next(client);
+                return;
+            }
+        }
         let n = self.tiers.len();
         let id = self.requests.len() as u32;
         self.requests.push(RequestState {
@@ -357,14 +475,28 @@ impl Engine {
             occupying: vec![Occupancy::None; n],
             conn_held: vec![false; n],
             done: false,
+            attempt: 0,
+            orphan: false,
+            hop_attempts: 0,
         });
         self.injected += 1;
+        self.arm_attempt_timer(id);
         self.send(id, 0, 0);
+    }
+
+    /// Arms the client's per-attempt timer, when a client policy is set.
+    fn arm_attempt_timer(&mut self, req: u32) {
+        if let Some(policy) = &self.cfg.tiers[0].caller_policy {
+            self.queue.push(
+                self.now + policy.attempt_timeout,
+                Event::AttemptTimeout { req },
+            );
+        }
     }
 
     /// Schedules a message (SYN/query/forward) to arrive at `tier`.
     fn send(&mut self, req: u32, tier: usize, visit: u16) {
-        let at = self.now + self.cfg.hop_delay;
+        let at = self.now + self.cfg.hop_delay + self.extra_hop[tier];
         self.queue.push(
             at,
             Event::Arrival {
@@ -378,6 +510,32 @@ impl Engine {
     fn on_arrival(&mut self, req: u32, tier: usize, visit: u16) {
         if self.requests[req as usize].done {
             return;
+        }
+        // Injected faults act at the admission point: a crashed tier
+        // behaves like a full backlog, a flaky link drops the message with
+        // the configured probability.
+        if self.tier_down[tier] {
+            self.drop_message(req, tier, visit);
+            return;
+        }
+        if self.drop_prob[tier] > 0.0 {
+            let p = self.drop_prob[tier];
+            if self.rng_faults.chance(p) {
+                self.drop_message(req, tier, visit);
+                return;
+            }
+        }
+        // Admission-time load shedding: reject fast instead of queueing
+        // work that is already doomed.
+        if let Some(sp) = self.cfg.tiers[tier].shed {
+            let depth = self.tiers[tier].depth();
+            let age = self
+                .now
+                .saturating_since(self.requests[req as usize].injected_at);
+            if sp.should_shed(depth, age) {
+                self.shed_request(req, tier);
+                return;
+            }
         }
         let mut spawn_at: Option<SimTime> = None;
         let admit = {
@@ -412,15 +570,29 @@ impl Engine {
         match admit {
             Admit::Start(occ) => {
                 self.requests[req as usize].occupying[tier] = occ;
-                self.requests[req as usize].retrans = RetransmitState::new();
+                self.on_admitted(req, tier);
                 self.record_queue(tier);
                 self.begin_visit(req, tier, visit);
             }
             Admit::Backlogged => {
-                self.requests[req as usize].retrans = RetransmitState::new();
+                self.on_admitted(req, tier);
                 self.record_queue(tier);
             }
             Admit::Dropped => self.drop_message(req, tier, visit),
+        }
+    }
+
+    /// A message was accepted at `tier`: reset the per-message retry state
+    /// and let the hop's breaker see the success (inner hops only — tier
+    /// 0's breaker is the client's, whose success is request completion).
+    fn on_admitted(&mut self, req: u32, tier: usize) {
+        self.requests[req as usize].retrans = RetransmitState::new();
+        self.requests[req as usize].hop_attempts = 0;
+        if tier > 0 {
+            let now = self.now;
+            if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
+                br.on_success(now);
+            }
         }
     }
 
@@ -431,12 +603,16 @@ impl Engine {
     }
 
     fn exec_slice(&mut self, req: u32, tier: usize, visit: u16, slice: usize) {
-        let demand = self.requests[req as usize].plan.slices_at(tier, visit as usize)[slice];
+        let demand = self.requests[req as usize]
+            .plan
+            .slices_at(tier, visit as usize)[slice];
         let active = match &self.tiers[tier].state {
             TierState::Sync(pg) => pg.busy(),
             TierState::Async(el) => el.workers() as usize,
         };
-        let effective = self.cfg.tiers[tier].overhead.effective_demand(demand, active);
+        let effective = self.cfg.tiers[tier]
+            .overhead
+            .effective_demand(demand, active);
         let exec = self.tiers[tier].cpu.run(self.now, effective);
         for (s, e) in &exec.segments {
             self.tiers[tier].util.record_busy(*s, *e);
@@ -567,10 +743,9 @@ impl Engine {
                         if pg.is_exhausted() {
                             None
                         } else {
-                            rt.backlog.pop().map(|p| {
+                            rt.backlog.pop().inspect(|_p| {
                                 let ok = pg.try_acquire();
                                 debug_assert!(ok, "idle thread disappeared");
-                                p
                             })
                         }
                     }
@@ -600,10 +775,15 @@ impl Engine {
             .entry(self.requests[req as usize].class)
             .or_default()
             .drops += 1;
-        self.requests[req as usize].drops.push(DropRecord {
-            tier,
-            at: self.now,
-        });
+        self.requests[req as usize]
+            .drops
+            .push(DropRecord { tier, at: self.now });
+        // A caller policy on an inner hop replaces the kernel retransmit
+        // schedule with app-controlled backoff + budget + breaker.
+        if tier > 0 && self.cfg.tiers[tier].caller_policy.is_some() {
+            self.app_hop_drop(req, tier, visit);
+            return;
+        }
         let decision = self.requests[req as usize]
             .retrans
             .on_drop(&self.cfg.retransmit, self.now);
@@ -622,9 +802,237 @@ impl Engine {
         }
     }
 
+    /// A message into `tier` was dropped and the hop has a caller policy:
+    /// count the failure on the hop breaker, then either resend after
+    /// app-level backoff (if retries, budget and breaker all allow) or give
+    /// the request up.
+    fn app_hop_drop(&mut self, req: u32, tier: usize, visit: u16) {
+        let now = self.now;
+        if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
+            br.on_failure(now);
+        }
+        let policy = self.cfg.tiers[tier]
+            .caller_policy
+            .clone()
+            .expect("checked by caller");
+        let attempt = self.requests[req as usize].hop_attempts;
+        let Some(retry) = policy.retry.filter(|r| r.allows(attempt)) else {
+            self.fail_request(req);
+            return;
+        };
+        if let Some(bucket) = self.tiers[tier].hop_bucket.as_mut() {
+            if !bucket.try_withdraw(now) {
+                self.tiers[tier].res.budget_exhausted += 1;
+                self.fail_request(req);
+                return;
+            }
+        }
+        if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
+            if !br.try_acquire(now) {
+                self.shed_request(req, tier);
+                return;
+            }
+        }
+        self.tiers[tier].res.retries += 1;
+        self.requests[req as usize].hop_attempts = attempt + 1;
+        let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
+        self.queue.push(
+            now + backoff,
+            Event::Arrival {
+                req,
+                tier: tier as u8,
+                visit,
+            },
+        );
+    }
+
+    /// The client's per-attempt timer fired: the attempt becomes an orphan
+    /// (it keeps consuming resources downstream — the retry-storm
+    /// amplifier) and the retry stack decides whether a fresh attempt goes
+    /// out.
+    fn on_attempt_timeout(&mut self, req: u32) {
+        if self.requests[req as usize].done || self.requests[req as usize].orphan {
+            return;
+        }
+        self.requests[req as usize].orphan = true;
+        self.tiers[0].res.timeouts += 1;
+        let now = self.now;
+        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+            br.on_failure(now);
+        }
+        if !self.try_client_retry(req) {
+            self.failed += 1;
+            self.client_next(req);
+        }
+    }
+
+    /// Consults the client's retry policy, budget and breaker; on success
+    /// schedules [`Event::RetryFire`] after the capped, jittered backoff.
+    fn try_client_retry(&mut self, req: u32) -> bool {
+        let Some(policy) = self.cfg.tiers[0].caller_policy.clone() else {
+            return false;
+        };
+        let attempt = self.requests[req as usize].attempt;
+        let Some(retry) = policy.retry.filter(|r| r.allows(attempt)) else {
+            return false;
+        };
+        let now = self.now;
+        if let Some(bucket) = self.tiers[0].hop_bucket.as_mut() {
+            if !bucket.try_withdraw(now) {
+                self.tiers[0].res.budget_exhausted += 1;
+                return false;
+            }
+        }
+        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+            if !br.try_acquire(now) {
+                return false;
+            }
+        }
+        self.tiers[0].res.retries += 1;
+        let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
+        self.queue
+            .push(now + backoff, Event::RetryFire { orig: req });
+        true
+    }
+
+    /// Launches the next attempt of the logical request whose previous
+    /// attempt was `orig`: a fresh [`RequestState`] inheriting the plan,
+    /// class, client and — crucially — the original injection time, so
+    /// end-to-end latency spans all attempts. `injected` is *not*
+    /// incremented: a retry is the same logical request.
+    fn on_retry_fire(&mut self, orig: u32) {
+        let n = self.tiers.len();
+        let o = &self.requests[orig as usize];
+        let (class, plan, client, injected_at, attempt) =
+            (o.class, o.plan.clone(), o.client, o.injected_at, o.attempt);
+        let id = self.requests.len() as u32;
+        self.requests.push(RequestState {
+            injected_at,
+            client,
+            class,
+            plan,
+            slice_idx: vec![0; n],
+            active_visit: vec![0; n],
+            next_visit: vec![0; n],
+            retrans: RetransmitState::new(),
+            drops: Vec::new(),
+            occupying: vec![Occupancy::None; n],
+            conn_held: vec![false; n],
+            done: false,
+            attempt: attempt + 1,
+            orphan: false,
+            hop_attempts: 0,
+        });
+        self.arm_attempt_timer(id);
+        self.send(id, 0, 0);
+    }
+
+    /// Terminally rejects `req` at `tier`'s admission point (shed policy or
+    /// open hop breaker): resources are freed and the request counts as
+    /// shed, not failed — unless the attempt is already an orphan, in which
+    /// case the logical outcome was decided at timeout time.
+    fn shed_request(&mut self, req: u32, tier: usize) {
+        self.requests[req as usize].done = true;
+        self.tiers[tier].res.shed += 1;
+        self.release_resources(req);
+        if self.requests[req as usize].orphan {
+            return;
+        }
+        self.shed += 1;
+        self.class_stats
+            .entry(self.requests[req as usize].class)
+            .or_default()
+            .shed += 1;
+        let now = self.now;
+        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+            br.on_failure(now);
+        }
+        self.client_next(req);
+    }
+
+    /// A fault window opens.
+    fn on_fault_begin(&mut self, idx: usize) {
+        match self.cfg.faults.faults()[idx].clone() {
+            Fault::Crash { tier, .. } => self.tier_down[tier] = true,
+            Fault::DropMessages { tier, prob, .. } => self.drop_prob[tier] = prob,
+            Fault::SlowHops { tier, extra, .. } => self.extra_hop[tier] += extra,
+            Fault::StuckWorkers { tier, count, .. } => {
+                // Wedge up to `count` workers by occupying their slots; the
+                // tier may already be too busy to give up that many.
+                let mut got = 0;
+                match &mut self.tiers[tier].state {
+                    TierState::Sync(pg) => {
+                        while got < count && pg.try_acquire() {
+                            got += 1;
+                        }
+                    }
+                    TierState::Async(el) => {
+                        while got < count && el.try_admit() {
+                            got += 1;
+                        }
+                    }
+                }
+                self.stuck_acquired[idx] = got;
+                self.record_queue(tier);
+            }
+        }
+    }
+
+    /// A fault window closes.
+    fn on_fault_end(&mut self, idx: usize) {
+        match self.cfg.faults.faults()[idx].clone() {
+            Fault::Crash { tier, .. } => self.tier_down[tier] = false,
+            Fault::DropMessages { tier, .. } => self.drop_prob[tier] = 0.0,
+            Fault::SlowHops { tier, extra, .. } => {
+                self.extra_hop[tier] = self.extra_hop[tier].saturating_sub(extra);
+            }
+            Fault::StuckWorkers { tier, .. } => {
+                let got = self.stuck_acquired[idx];
+                self.stuck_acquired[idx] = 0;
+                let released_thread = match &mut self.tiers[tier].state {
+                    TierState::Sync(pg) => {
+                        for _ in 0..got {
+                            pg.release();
+                        }
+                        true
+                    }
+                    TierState::Async(el) => {
+                        for _ in 0..got {
+                            el.complete();
+                        }
+                        false
+                    }
+                };
+                if released_thread {
+                    self.drain_backlog(tier);
+                }
+                self.record_queue(tier);
+            }
+        }
+    }
+
     fn fail_request(&mut self, req: u32) {
         self.requests[req as usize].done = true;
+        self.release_resources(req);
+        if self.requests[req as usize].orphan {
+            return;
+        }
+        if self.cfg.tiers[0].caller_policy.is_some() {
+            let now = self.now;
+            if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+                br.on_failure(now);
+            }
+            if self.try_client_retry(req) {
+                return;
+            }
+        }
         self.failed += 1;
+        self.client_next(req);
+    }
+
+    /// Frees every thread, admission slot and pooled connection `req`
+    /// holds, upstream-last so handed-over connections find their takers.
+    fn release_resources(&mut self, req: u32) {
         for tier in (0..self.tiers.len()).rev() {
             if self.requests[req as usize].conn_held[tier] {
                 self.requests[req as usize].conn_held[tier] = false;
@@ -652,11 +1060,19 @@ impl Engine {
                 Occupancy::None => {}
             }
         }
-        self.client_next(req);
     }
 
     fn complete_request(&mut self, req: u32) {
         self.requests[req as usize].done = true;
+        if self.requests[req as usize].orphan {
+            // The reply nobody is waiting for: all that work was wasted.
+            self.tiers[0].res.orphan_completions += 1;
+            return;
+        }
+        let now = self.now;
+        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+            br.on_success(now);
+        }
         self.completed += 1;
         let latency = self.now - self.requests[req as usize].injected_at;
         self.latency.record(latency);
@@ -679,7 +1095,14 @@ impl Engine {
 
     /// Closed-loop continuation: the owning client thinks, then sends again.
     fn client_next(&mut self, req: u32) {
-        let Some(client) = self.requests[req as usize].client else {
+        let client = self.requests[req as usize].client;
+        self.schedule_client_next(client);
+    }
+
+    /// [`Self::client_next`] for outcomes with no [`RequestState`] (a
+    /// breaker shed at injection time).
+    fn schedule_client_next(&mut self, client: Option<u32>) {
+        let Some(client) = client else {
             return;
         };
         let Workload::Closed { spec, .. } = &self.workload else {
@@ -700,8 +1123,19 @@ impl Engine {
         self.tiers[tier].queue_depth.record(self.now, depth as f64);
     }
 
-    fn into_report(self) -> RunReport {
+    fn into_report(mut self) -> RunReport {
         let window = SimDuration::from_millis(ntier_telemetry::MONITOR_WINDOW_MS);
+        // Harvest breaker transition counts into the per-hop counters, then
+        // aggregate the whole-run view.
+        for rt in &mut self.tiers {
+            if let Some(br) = &rt.hop_breaker {
+                rt.res.breaker_transitions = br.transitions();
+            }
+        }
+        let resilience = self
+            .tiers
+            .iter()
+            .fold(ResilienceStats::default(), |acc, rt| acc.merge(&rt.res));
         let tiers = self
             .tiers
             .into_iter()
@@ -721,6 +1155,7 @@ impl Engine {
                     TierState::Sync(pg) => pg.spawns_total(),
                     TierState::Async(_) => 0,
                 },
+                resilience: rt.res,
             })
             .collect();
         let mut classes: Vec<ClassReport> = self
@@ -731,6 +1166,7 @@ impl Engine {
                 completed: s.completed,
                 vlrt: s.vlrt,
                 drops: s.drops,
+                shed: s.shed,
                 mean_latency: if s.completed == 0 {
                     SimDuration::ZERO
                 } else {
@@ -745,7 +1181,8 @@ impl Engine {
             injected: self.injected,
             completed: self.completed,
             failed: self.failed,
-            in_flight_end: self.injected - self.completed - self.failed,
+            shed: self.shed,
+            in_flight_end: self.injected - self.completed - self.failed - self.shed,
             throughput,
             latency: self.latency,
             vlrt_total: self.vlrt_total,
@@ -753,6 +1190,7 @@ impl Engine {
             tiers,
             vlrt_by_completion: self.vlrt_by_completion,
             classes,
+            resilience,
         }
     }
 }
@@ -850,15 +1288,28 @@ mod tests {
         assert!(report.drops_total > 0, "{}", report.summary());
         assert_eq!(report.tiers[0].drops_total, report.drops_total);
         assert!(report.vlrt_total > 0);
-        assert!(report.has_mode_near(3), "modes: {:?}", report.latency_modes());
-        assert!(report.has_mode_near(6), "modes: {:?}", report.latency_modes());
-        assert!(report.has_mode_near(9), "modes: {:?}", report.latency_modes());
+        assert!(
+            report.has_mode_near(3),
+            "modes: {:?}",
+            report.latency_modes()
+        );
+        assert!(
+            report.has_mode_near(6),
+            "modes: {:?}",
+            report.latency_modes()
+        );
+        assert!(
+            report.has_mode_near(9),
+            "modes: {:?}",
+            report.latency_modes()
+        );
         assert!(report.is_conserved());
     }
 
     #[test]
     fn stalled_app_tier_backs_up_into_web_upstream_ctqo() {
-        let stall = StallSchedule::at_marks([SimTime::from_millis(100)], SimDuration::from_millis(500));
+        let stall =
+            StallSchedule::at_marks([SimTime::from_millis(100)], SimDuration::from_millis(500));
         let mut sys = tiny_sync_system();
         sys.tiers[1] = sys.tiers[1].clone().with_stalls(stall);
         let arrivals: Vec<SimTime> = (0..200).map(|i| SimTime::from_millis(50 + i * 3)).collect();
@@ -981,8 +1432,9 @@ mod tests {
                 SimDuration::from_micros(100),
             ])
         };
-        let arrivals: Vec<(SimTime, Plan)> =
-            (0..30).map(|i| (SimTime::from_millis(i * 5), plan())).collect();
+        let arrivals: Vec<(SimTime, Plan)> = (0..30)
+            .map(|i| (SimTime::from_millis(i * 5), plan()))
+            .collect();
         let report = Engine::new(
             sys,
             Workload::OpenPlans { arrivals },
@@ -1002,13 +1454,17 @@ mod tests {
     fn deep_chain_upstream_ctqo_propagates_to_tier_zero() {
         // Stall the LAST tier of a 5-tier sync chain with small pools: the
         // overflow must surface at tier 0 — CTQO propagates any depth.
-        let stall = StallSchedule::at_marks([SimTime::from_millis(500)], SimDuration::from_millis(800));
-        let mut tiers: Vec<TierConfig> = (0..5).map(|i| TierConfig::sync(format!("T{i}"), 4, 2)).collect();
+        let stall =
+            StallSchedule::at_marks([SimTime::from_millis(500)], SimDuration::from_millis(800));
+        let mut tiers: Vec<TierConfig> = (0..5)
+            .map(|i| TierConfig::sync(format!("T{i}"), 4, 2))
+            .collect();
         tiers[4] = tiers[4].clone().with_stalls(stall);
         let sys = SystemConfig::chain(tiers);
         let plan = || Plan::pipeline(&[SimDuration::from_micros(50); 5]);
-        let arrivals: Vec<(SimTime, Plan)> =
-            (0..400).map(|i| (SimTime::from_millis(300 + i * 2), plan())).collect();
+        let arrivals: Vec<(SimTime, Plan)> = (0..400)
+            .map(|i| (SimTime::from_millis(300 + i * 2), plan()))
+            .collect();
         let report = Engine::new(
             sys,
             Workload::OpenPlans { arrivals },
@@ -1019,6 +1475,239 @@ mod tests {
         assert!(report.tiers[0].drops_total > 0, "{}", report.summary());
         assert_eq!(report.tiers[4].drops_total, 0, "{}", report.summary());
         assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn crash_fault_drops_arrivals_in_window() {
+        use ntier_resilience::FaultPlan;
+        let sys = tiny_sync_system().with_faults(FaultPlan::none().crash(
+            0,
+            SimTime::from_millis(100),
+            SimTime::from_millis(400),
+        ));
+        // One request before the window completes clean; one inside hits the
+        // crashed tier, retransmits at +3 s and completes after the restart.
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(10), SimTime::from_millis(200)]),
+            SimDuration::from_secs(10),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 2, "{}", report.summary());
+        assert_eq!(report.tiers[0].drops_total, 1);
+        assert!(report.vlrt_total >= 1, "{}", report.summary());
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn drop_fault_with_prob_one_drops_every_message() {
+        use ntier_resilience::FaultPlan;
+        let sys = tiny_sync_system().with_faults(FaultPlan::none().drop_messages(
+            1,
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        ));
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(10)]),
+            SimDuration::from_secs(30),
+            1,
+        )
+        .run();
+        // Every attempt into the app tier dies: 1 initial + 3 retransmits.
+        assert_eq!(report.failed, 1, "{}", report.summary());
+        assert_eq!(report.tiers[1].drops_total, 4);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn slow_hop_fault_adds_latency_inside_window_only() {
+        use ntier_resilience::FaultPlan;
+        let slow = |from_ms: u64| {
+            tiny_sync_system()
+                .with_hop_delay(SimDuration::ZERO)
+                .with_faults(FaultPlan::none().slow_hops(
+                    2,
+                    SimDuration::from_millis(50),
+                    SimTime::from_millis(from_ms),
+                    SimTime::from_millis(from_ms + 500),
+                ))
+        };
+        let inside = Engine::new(
+            slow(0),
+            open_workload(vec![SimTime::from_millis(1)]),
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        let outside = Engine::new(
+            slow(1_000),
+            open_workload(vec![SimTime::from_millis(1)]),
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        // view_story visits the db twice: 2 × 50 ms of extra one-way delay.
+        let delta = inside.latency.mean() - outside.latency.mean();
+        assert!(
+            delta >= SimDuration::from_millis(99) && delta <= SimDuration::from_millis(101),
+            "delta {delta}"
+        );
+    }
+
+    #[test]
+    fn stuck_workers_shrink_capacity_then_restore_it() {
+        use ntier_resilience::FaultPlan;
+        // All 4 web threads wedge; backlog holds 2; a 3-request batch inside
+        // the window parks 2 and drops 1, then completes after the window.
+        let sys = tiny_sync_system().with_faults(FaultPlan::none().stuck_workers(
+            0,
+            4,
+            SimTime::from_millis(100),
+            SimTime::from_millis(600),
+        ));
+        let arrivals = vec![
+            SimTime::from_millis(200),
+            SimTime::from_millis(210),
+            SimTime::from_millis(220),
+        ];
+        let report = Engine::new(sys, open_workload(arrivals), SimDuration::from_secs(10), 1).run();
+        assert_eq!(report.completed, 3, "{}", report.summary());
+        assert_eq!(report.tiers[0].drops_total, 1);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn client_timeout_retry_completes_logical_request_once() {
+        use ntier_resilience::{CallerPolicy, FaultPlan, RetryPolicy};
+        // The app tier eats every message for 1 s; a 200 ms attempt timeout
+        // with generous retries rides through it. Retries do not inflate
+        // `injected`, and the orphaned attempts' completions are discarded.
+        let policy = CallerPolicy {
+            attempt_timeout: SimDuration::from_millis(200),
+            retry: Some(RetryPolicy::capped(
+                10,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(200),
+            )),
+            budget: None,
+            breaker: None,
+        };
+        let sys = tiny_sync_system().with_client_policy(policy).with_faults(
+            FaultPlan::none().drop_messages(1, 1.0, SimTime::ZERO, SimTime::from_secs(1)),
+        );
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(10)]),
+            SimDuration::from_secs(20),
+            1,
+        )
+        .run();
+        assert_eq!(report.injected, 1, "{}", report.summary());
+        assert_eq!(report.completed, 1);
+        assert!(report.resilience.timeouts >= 1);
+        assert!(report.resilience.retries >= 1);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn open_client_breaker_sheds_at_injection() {
+        use ntier_resilience::{BreakerConfig, CallerPolicy, RetryPolicy};
+        // No retries + a 1-failure breaker held open for a long time: the
+        // first timeout trips it and every later injection is shed.
+        let policy = CallerPolicy {
+            attempt_timeout: SimDuration::from_millis(100),
+            retry: Some(RetryPolicy::capped(
+                0,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+            )),
+            budget: None,
+            breaker: Some(BreakerConfig::new(1, SimDuration::from_secs(60))),
+        };
+        let mut sys = tiny_sync_system().with_client_policy(policy);
+        sys.tiers[1] = sys.tiers[1].clone().with_stalls(StallSchedule::at_marks(
+            [SimTime::ZERO],
+            SimDuration::from_secs(30),
+        ));
+        let arrivals: Vec<SimTime> = (0..10)
+            .map(|i| SimTime::from_millis(10 + i * 200))
+            .collect();
+        let report = Engine::new(sys, open_workload(arrivals), SimDuration::from_secs(30), 1).run();
+        assert!(report.shed >= 8, "{}", report.summary());
+        assert!(report.resilience.breaker_transitions >= 1);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn depth_shed_policy_rejects_fast_and_counts_shed() {
+        use ntier_resilience::ShedPolicy;
+        let mut sys = tiny_sync_system();
+        // Web admits everything (deep backlog); the app tier sheds at depth 2.
+        sys.tiers[0] = TierConfig::sync("Web", 64, 64);
+        sys.tiers[1] = sys.tiers[1]
+            .clone()
+            .with_shed_policy(ShedPolicy::on_depth(2));
+        sys.tiers[1] = sys.tiers[1].clone().with_stalls(StallSchedule::at_marks(
+            [SimTime::from_millis(50)],
+            SimDuration::from_millis(500),
+        ));
+        let arrivals: Vec<SimTime> = (0..20).map(|i| SimTime::from_millis(100 + i)).collect();
+        let report = Engine::new(sys, open_workload(arrivals), SimDuration::from_secs(5), 1).run();
+        assert!(report.shed > 0, "{}", report.summary());
+        assert_eq!(report.shed, report.tiers[1].resilience.shed);
+        assert_eq!(report.injected, 20);
+        assert!(report.is_conserved());
+        // Shed requests are resolved instantly, far faster than the stall.
+        assert!(report.completed + report.shed == 20 || report.failed > 0);
+    }
+
+    #[test]
+    fn inner_hop_policy_replaces_kernel_rto() {
+        use ntier_resilience::{CallerPolicy, FaultPlan, RetryPolicy};
+        // Drops into the app tier for 300 ms. Kernel RTO would stall the
+        // request 3 s; the app-level hop policy retries every ~40 ms and the
+        // request completes well under a second.
+        let mut sys = tiny_sync_system().with_hop_delay(SimDuration::ZERO);
+        sys.tiers[1] = sys.tiers[1].clone().with_caller_policy(CallerPolicy {
+            attempt_timeout: SimDuration::from_secs(60), // unused on inner hops
+            retry: Some(RetryPolicy::capped(
+                20,
+                SimDuration::from_millis(40),
+                SimDuration::from_millis(40),
+            )),
+            budget: None,
+            breaker: None,
+        });
+        let sys = sys.with_faults(FaultPlan::none().drop_messages(
+            1,
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_millis(300),
+        ));
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(10)]),
+            SimDuration::from_secs(5),
+            1,
+        )
+        .run();
+        assert_eq!(report.completed, 1, "{}", report.summary());
+        assert!(report.resilience.retries >= 1);
+        let mean = report.latency.mean();
+        assert!(mean < SimDuration::from_secs(1), "mean {mean}");
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault targets tier 5 outside the chain")]
+    fn fault_on_missing_tier_rejected() {
+        use ntier_resilience::FaultPlan;
+        let mut sys = tiny_sync_system();
+        sys.faults = FaultPlan::none().crash(5, SimTime::ZERO, SimTime::from_secs(1));
+        let _ = Engine::new(sys, open_workload(vec![]), SimDuration::from_secs(1), 1);
     }
 
     #[test]
@@ -1044,11 +1733,6 @@ mod tests {
             TierConfig::sync("App", 2, 2),
             TierConfig::sync("Db", 2, 2).with_downstream_pool(5),
         );
-        let _ = Engine::new(
-            sys,
-            open_workload(vec![]),
-            SimDuration::from_secs(1),
-            1,
-        );
+        let _ = Engine::new(sys, open_workload(vec![]), SimDuration::from_secs(1), 1);
     }
 }

@@ -115,16 +115,14 @@ pub fn fig3(seed: u64) -> ExperimentSpec {
 pub fn fig5(seed: u64) -> ExperimentSpec {
     let mut system = presets::sync_three_tier();
     system.tiers[1] = system.tiers[1].clone().with_cores(4);
-    system.tiers[2] = system.tiers[2]
-        .clone()
-        .with_stalls(
-            LogFlush::new(
-                SimTime::ZERO + WARMUP + SimDuration::from_secs(10),
-                SimDuration::from_secs(30),
-                SimDuration::from_millis(350),
-            )
-            .schedule(SimDuration::from_secs(90)),
-        );
+    system.tiers[2] = system.tiers[2].clone().with_stalls(
+        LogFlush::new(
+            SimTime::ZERO + WARMUP + SimDuration::from_secs(10),
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(350),
+        )
+        .schedule(SimDuration::from_secs(90)),
+    );
     ExperimentSpec {
         name: "fig5",
         system,
@@ -321,6 +319,91 @@ mod tests {
         assert_eq!(fig11(1).system.nx(), 3);
         assert!(fig12_sync(100, 1).system.is_fully_sync());
         assert!(fig12_async(100, 1).system.is_fully_async());
+    }
+}
+
+/// Which caller-policy arm of the [`retry_storm`] experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStormVariant {
+    /// No client policy: drops ride the kernel retransmit schedule only.
+    Baseline,
+    /// Aggressive attempt timeout with eager, unmetered retries and no
+    /// breaker — the anti-pattern that amplifies CTQO.
+    Naive,
+    /// The same timeout and retry bound, but metered by a token-bucket
+    /// retry budget, protected by a circuit breaker, and with deadline
+    /// shedding at the web tier.
+    Hardened,
+}
+
+/// **Extension (not in the paper):** retry storms vs. retry budgets under
+/// millibottlenecks.
+///
+/// A synchronous 3-tier chain with a *deep* web backlog takes two 1.5 s
+/// millibottlenecks at the app tier under an open-loop load at ~75% of
+/// capacity. The deep backlog means congestion shows up as queueing delay
+/// rather than drops — and queueing delay is exactly what duplicate
+/// attempts inflate. The three arms differ only in the client's caller
+/// policy:
+///
+/// * [`RetryStormVariant::Baseline`] — no client policy. The queue from
+///   each stall drains before latency reaches the 3 s VLRT threshold:
+///   **zero VLRT**.
+/// * [`RetryStormVariant::Naive`] — a 2 s attempt timeout with 4 eager,
+///   unmetered retries and no breaker. Timed-out attempts are *orphaned*,
+///   not cancelled: they keep consuming capacity while their replacements
+///   re-enter the queue, so the same stalls now push completions past 3 s —
+///   the VLRT tail is entirely self-inflicted retry amplification.
+/// * [`RetryStormVariant::Hardened`] — the same timeout and retry bound,
+///   but retries spend from a token-bucket budget, a breaker trips after
+///   consecutive failures (failing fast instead of amplifying), and the
+///   web tier sheds requests that outlived a 10 s deadline. The VLRT
+///   fraction falls back to (near) the baseline's, at the cost of
+///   explicitly failed/shed requests.
+pub fn retry_storm(variant: RetryStormVariant, seed: u64) -> ExperimentSpec {
+    use ntier_resilience::{BreakerConfig, CallerPolicy, RetryBudget, RetryPolicy, ShedPolicy};
+    let stall = StallSchedule::at_marks(
+        [SimTime::from_secs(2), SimTime::from_secs(6)],
+        SimDuration::from_millis(1_500),
+    );
+    // A deep web backlog keeps the congestion in the queue (no drops, no
+    // kernel RTO): latency tracks queue length, which is exactly what
+    // orphaned attempts and duplicate retries inflate.
+    let web = TierConfig::sync("Web", 64, 16_384);
+    let app = TierConfig::sync("App", 64, 64).with_stalls(stall);
+    let db = TierConfig::sync("Db", 64, 64);
+    let web = match variant {
+        RetryStormVariant::Baseline => web,
+        RetryStormVariant::Naive => {
+            web.with_caller_policy(CallerPolicy::naive(SimDuration::from_secs(2), 4))
+        }
+        RetryStormVariant::Hardened => web
+            .with_caller_policy(CallerPolicy::hardened(
+                SimDuration::from_secs(2),
+                RetryPolicy::capped(4, SimDuration::from_millis(100), SimDuration::from_secs(1))
+                    .with_jitter(0.2),
+                RetryBudget::new(10.0, 1.0),
+                BreakerConfig::new(8, SimDuration::from_secs(1)),
+            ))
+            .with_shed_policy(ShedPolicy::on_deadline(SimDuration::from_secs(10))),
+    };
+    let system = SystemConfig::three_tier(web, app, db);
+    // 1000 req/s open-loop for 8 s — ~75% of the app tier's ~1.3k req/s
+    // capacity, so the extra load from orphaned attempts and eager retries
+    // is what tips the system into sustained overload. The horizon leaves
+    // room for the +3/6/9 s retransmit tail to complete.
+    let arrivals: Vec<SimTime> = (0..8_000u64)
+        .map(|i| SimTime::from_micros(i * 1_000))
+        .collect();
+    ExperimentSpec {
+        name: "ext-retry-storm",
+        system,
+        workload: Workload::Open {
+            arrivals,
+            mix: RequestMix::view_story(),
+        },
+        horizon: SimDuration::from_secs(25),
+        seed,
     }
 }
 

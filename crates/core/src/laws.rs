@@ -130,12 +130,24 @@ mod tests {
 
     #[test]
     fn relative_error_edge_cases() {
-        let zero = LawCheck { law: "t", expected: 0.0, observed: 0.0 };
+        let zero = LawCheck {
+            law: "t",
+            expected: 0.0,
+            observed: 0.0,
+        };
         assert_eq!(zero.relative_error(), 0.0);
-        let inf = LawCheck { law: "t", expected: 0.0, observed: 1.0 };
+        let inf = LawCheck {
+            law: "t",
+            expected: 0.0,
+            observed: 1.0,
+        };
         assert!(inf.relative_error().is_infinite());
         assert!(!inf.holds_within(0.5));
-        let ten = LawCheck { law: "t", expected: 1.0, observed: 1.1 };
+        let ten = LawCheck {
+            law: "t",
+            expected: 1.0,
+            observed: 1.1,
+        };
         assert!((ten.relative_error() - 0.1).abs() < 1e-12);
         assert!(ten.to_string().contains("10.00%"));
     }

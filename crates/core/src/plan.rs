@@ -305,16 +305,25 @@ mod tests {
         assert_eq!(p.calls_from(3), 0);
         assert_eq!(p.total_demand(), SimDuration::from_micros(1_001));
         // odd demand splits without losing a microsecond
-        assert_eq!(p.slices_at(2, 0)[0] + p.slices_at(2, 0)[1], SimDuration::from_micros(301));
+        assert_eq!(
+            p.slices_at(2, 0)[0] + p.slices_at(2, 0)[1],
+            SimDuration::from_micros(301)
+        );
     }
 
     #[test]
     #[should_panic(expected = "must match visits")]
     fn mismatched_chain_rejected() {
         let _ = Plan::from_tier_plans(vec![
-            TierPlan::single(vec![SimDuration::from_micros(10), SimDuration::from_micros(10)]), // 1 call
+            TierPlan::single(vec![
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(10),
+            ]), // 1 call
             TierPlan {
-                visits: vec![vec![SimDuration::from_micros(5)], vec![SimDuration::from_micros(5)]],
+                visits: vec![
+                    vec![SimDuration::from_micros(5)],
+                    vec![SimDuration::from_micros(5)],
+                ],
             }, // but 2 visits
         ]);
     }
@@ -331,14 +340,20 @@ mod tests {
     #[test]
     fn from_tier_plans_accepts_valid_chains() {
         let p = Plan::from_tier_plans(vec![
-            TierPlan::single(vec![SimDuration::from_micros(10), SimDuration::from_micros(5)]),
+            TierPlan::single(vec![
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(5),
+            ]),
             TierPlan::single(vec![
                 SimDuration::from_micros(1),
                 SimDuration::from_micros(2),
                 SimDuration::from_micros(3),
             ]),
             TierPlan {
-                visits: vec![vec![SimDuration::from_micros(7)], vec![SimDuration::from_micros(8)]],
+                visits: vec![
+                    vec![SimDuration::from_micros(7)],
+                    vec![SimDuration::from_micros(8)],
+                ],
             },
         ]);
         assert_eq!(p.depth(), 3);

@@ -1,6 +1,7 @@
 //! Run reports: everything the paper's figures plot, in one structure.
 
 use ntier_des::time::{SimDuration, SimTime};
+use ntier_resilience::ResilienceStats;
 use ntier_telemetry::histogram::Mode;
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
 
@@ -32,6 +33,9 @@ pub struct TierReport {
     pub peak_queue: usize,
     /// Completed process spawns (Apache second process).
     pub spawns: u64,
+    /// Resilience counters for the hop into this tier (tier 0 carries the
+    /// client hop: timeouts, app retries, breaker transitions, sheds).
+    pub resilience: ResilienceStats,
 }
 
 impl TierReport {
@@ -66,6 +70,9 @@ pub struct RunReport {
     pub completed: u64,
     /// Requests abandoned after exhausting the retry budget.
     pub failed: u64,
+    /// Requests rejected fast by a breaker or shed policy before (or at)
+    /// admission — a terminal outcome distinct from `failed`.
+    pub shed: u64,
     /// Requests still in flight when the horizon ended.
     pub in_flight_end: u64,
     /// Completed requests per second.
@@ -82,6 +89,8 @@ pub struct RunReport {
     pub vlrt_by_completion: WindowedSeries,
     /// Per-request-class statistics, sorted by class name.
     pub classes: Vec<ClassReport>,
+    /// Whole-run resilience counters (sum of the per-tier hop counters).
+    pub resilience: ResilienceStats,
 }
 
 impl RunReport {
@@ -122,8 +131,8 @@ impl RunReport {
     pub fn summary(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "horizon {}  injected {}  completed {}  failed {}  in-flight {}\n",
-            self.horizon, self.injected, self.completed, self.failed, self.in_flight_end
+            "horizon {}  injected {}  completed {}  failed {}  shed {}  in-flight {}\n",
+            self.horizon, self.injected, self.completed, self.failed, self.shed, self.in_flight_end
         ));
         s.push_str(&format!(
             "throughput {:.1} req/s  drops {}  VLRT {} ({:.3}%)  highest mean CPU {:.0}%\n",
@@ -133,6 +142,17 @@ impl RunReport {
             self.vlrt_fraction() * 100.0,
             self.highest_mean_util() * 100.0
         ));
+        if !self.resilience.is_quiet() {
+            s.push_str(&format!(
+                "resilience: timeouts {}  app retries {}  budget-exhausted {}  shed {}  breaker transitions {}  orphan completions {}\n",
+                self.resilience.timeouts,
+                self.resilience.retries,
+                self.resilience.budget_exhausted,
+                self.resilience.shed,
+                self.resilience.breaker_transitions,
+                self.resilience.orphan_completions
+            ));
+        }
         for t in &self.tiers {
             s.push_str(&format!(
                 "  {:<8} [{}] cap {:>5}  peak queue {:>5}  drops {:>5}  mean CPU {:>5.1}%  spawns {}\n",
@@ -148,10 +168,10 @@ impl RunReport {
         s
     }
 
-    /// Conservation check: injected == completed + failed + in-flight.
-    /// Used by tests; always true for a correct engine.
+    /// Conservation check: injected == completed + failed + shed +
+    /// in-flight. Used by tests; always true for a correct engine.
     pub fn is_conserved(&self) -> bool {
-        self.injected == self.completed + self.failed + self.in_flight_end
+        self.injected == self.completed + self.failed + self.shed + self.in_flight_end
     }
 
     /// The per-class report for `class`, if any requests of it completed
@@ -174,6 +194,8 @@ pub struct ClassReport {
     pub vlrt: u64,
     /// Messages of this class dropped anywhere in the chain.
     pub drops: u64,
+    /// Requests of this class shed by a breaker or shed policy.
+    pub shed: u64,
     /// Mean end-to-end latency of completed requests.
     pub mean_latency: SimDuration,
 }

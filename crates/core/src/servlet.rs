@@ -203,7 +203,12 @@ mod tests {
     use super::*;
 
     fn db() -> MapDatabase {
-        MapDatabase::new([("q1:alice", "42"), ("q2:42", "ok"), ("q1:bob", "7"), ("q2:7", "denied")])
+        MapDatabase::new([
+            ("q1:alice", "42"),
+            ("q2:42", "ok"),
+            ("q1:bob", "7"),
+            ("q2:7", "denied"),
+        ])
     }
 
     fn drive(servlet: &mut AsyncServlet, db: &mut MapDatabase, events: &mut EventQueue) {

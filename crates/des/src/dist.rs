@@ -48,7 +48,10 @@ impl Point {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn new(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "point mass must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "point mass must be finite and non-negative"
+        );
         Point { value_secs: secs }
     }
 
@@ -121,8 +124,14 @@ impl LogNormal {
     ///
     /// Panics if `mean_secs <= 0`, `sigma < 0`, or either is not finite.
     pub fn with_mean(mean_secs: f64, sigma: f64) -> Self {
-        assert!(mean_secs.is_finite() && mean_secs > 0.0, "log-normal mean must be positive");
-        assert!(sigma.is_finite() && sigma >= 0.0, "log-normal sigma must be non-negative");
+        assert!(
+            mean_secs.is_finite() && mean_secs > 0.0,
+            "log-normal mean must be positive"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "log-normal sigma must be non-negative"
+        );
         // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
         LogNormal {
             mu: mean_secs.ln() - sigma * sigma / 2.0,
@@ -157,8 +166,14 @@ impl Pareto {
     ///
     /// Panics if `x_min <= 0` or `alpha <= 1` (mean would be infinite).
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min.is_finite() && x_min > 0.0, "pareto x_min must be positive");
-        assert!(alpha.is_finite() && alpha > 1.0, "pareto alpha must exceed 1 for a finite mean");
+        assert!(
+            x_min.is_finite() && x_min > 0.0,
+            "pareto x_min must be positive"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 1.0,
+            "pareto alpha must exceed 1 for a finite mean"
+        );
         Pareto { x_min, alpha }
     }
 }
@@ -187,9 +202,15 @@ impl UniformRange {
     ///
     /// Panics if the bounds are not finite, negative, or `lo >= hi`.
     pub fn new(lo_secs: f64, hi_secs: f64) -> Self {
-        assert!(lo_secs.is_finite() && hi_secs.is_finite(), "bounds must be finite");
+        assert!(
+            lo_secs.is_finite() && hi_secs.is_finite(),
+            "bounds must be finite"
+        );
         assert!(lo_secs >= 0.0 && lo_secs < hi_secs, "need 0 <= lo < hi");
-        UniformRange { lo: lo_secs, hi: hi_secs }
+        UniformRange {
+            lo: lo_secs,
+            hi: hi_secs,
+        }
     }
 }
 
@@ -248,7 +269,10 @@ mod tests {
         let d = Pareto::new(0.001, 3.0);
         let m = empirical_mean(&d, 200_000, 17);
         let expect = d.mean_f64();
-        assert!((m - expect).abs() / expect < 0.05, "mean = {m}, expect {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.05,
+            "mean = {m}, expect {expect}"
+        );
     }
 
     #[test]

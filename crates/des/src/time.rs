@@ -119,7 +119,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e6).round() as u64)
     }
 
@@ -271,7 +274,10 @@ mod tests {
     fn constructors_agree_on_units() {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(5), SimTime::from_micros(5_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
     }
 
     #[test]
@@ -307,7 +313,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_to_micros() {
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
         assert_eq!(SimDuration::from_secs_f64(3.0), SimDuration::from_secs(3));
     }
 

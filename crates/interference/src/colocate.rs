@@ -31,7 +31,10 @@ impl Colocation {
     /// Panics if `batch_size` is zero or the demand is zero.
     pub fn new(batch_size: u32, per_request_demand: SimDuration) -> Self {
         assert!(batch_size > 0, "a burst needs at least one request");
-        assert!(!per_request_demand.is_zero(), "per-request demand must be non-zero");
+        assert!(
+            !per_request_demand.is_zero(),
+            "per-request demand must be non-zero"
+        );
         Colocation {
             batch_size,
             per_request_demand,
@@ -56,7 +59,12 @@ impl Colocation {
 
     /// Periodic bursts every `period` starting at `first` (the "every 15 s"
     /// configuration).
-    pub fn periodic(&self, first: SimTime, period: SimDuration, horizon: SimDuration) -> StallSchedule {
+    pub fn periodic(
+        &self,
+        first: SimTime,
+        period: SimDuration,
+        horizon: SimDuration,
+    ) -> StallSchedule {
         StallSchedule::periodic(first, period, self.stall_duration(), horizon)
     }
 
@@ -73,9 +81,8 @@ impl Colocation {
         let mut t = SimTime::ZERO;
         let end = SimTime::ZERO + horizon;
         loop {
-            let gap = SimDuration::from_secs_f64(
-                -mean_gap.as_secs_f64() * rng.next_f64_open().ln(),
-            );
+            let gap =
+                SimDuration::from_secs_f64(-mean_gap.as_secs_f64() * rng.next_f64_open().ln());
             t += gap;
             if t >= end {
                 break;
@@ -129,7 +136,11 @@ mod tests {
     fn stochastic_marks_fall_in_horizon() {
         let c = Colocation::paper_sysbursty();
         let mut rng = SimRng::seed_from(31);
-        let s = c.stochastic(SimDuration::from_secs(10), SimDuration::from_secs(120), &mut rng);
+        let s = c.stochastic(
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(120),
+            &mut rng,
+        );
         assert!(!s.is_empty());
         for (start, _) in s.intervals() {
             assert!(*start < SimTime::from_secs(120));
@@ -141,8 +152,16 @@ mod tests {
         let c = Colocation::paper_sysbursty();
         let mut a = SimRng::seed_from(7);
         let mut b = SimRng::seed_from(7);
-        let sa = c.stochastic(SimDuration::from_secs(5), SimDuration::from_secs(60), &mut a);
-        let sb = c.stochastic(SimDuration::from_secs(5), SimDuration::from_secs(60), &mut b);
+        let sa = c.stochastic(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(60),
+            &mut a,
+        );
+        let sb = c.stochastic(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(60),
+            &mut b,
+        );
         assert_eq!(sa, sb);
     }
 

@@ -69,7 +69,11 @@ mod tests {
     fn collectl_default_matches_fig5_marks() {
         let lf = LogFlush::collectl_default();
         let s = lf.schedule(SimDuration::from_secs(80));
-        let starts: Vec<u64> = s.intervals().iter().map(|(a, _)| a.as_millis() / 1_000).collect();
+        let starts: Vec<u64> = s
+            .intervals()
+            .iter()
+            .map(|(a, _)| a.as_millis() / 1_000)
+            .collect();
         assert_eq!(starts, vec![10, 40, 70]);
     }
 
@@ -89,6 +93,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "period must be non-zero")]
     fn zero_period_rejected() {
-        let _ = LogFlush::new(SimTime::ZERO, SimDuration::ZERO, SimDuration::from_millis(1));
+        let _ = LogFlush::new(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimDuration::from_millis(1),
+        );
     }
 }

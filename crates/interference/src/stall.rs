@@ -39,10 +39,7 @@ impl StallSchedule {
     }
 
     /// Equal-length stalls starting at each mark.
-    pub fn at_marks(
-        marks: impl IntoIterator<Item = SimTime>,
-        duration: SimDuration,
-    ) -> Self {
+    pub fn at_marks(marks: impl IntoIterator<Item = SimTime>, duration: SimDuration) -> Self {
         StallSchedule::from_intervals(marks.into_iter().map(|t| (t, t + duration)))
     }
 
@@ -71,9 +68,7 @@ impl StallSchedule {
 
     /// Merges two schedules (union of stall time).
     pub fn merge(&self, other: &StallSchedule) -> StallSchedule {
-        StallSchedule::from_intervals(
-            self.intervals.iter().chain(other.intervals.iter()).copied(),
-        )
+        StallSchedule::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// The stall intervals, sorted by start.
@@ -138,7 +133,11 @@ mod tests {
             SimDuration::from_millis(350),
             SimDuration::from_secs(80),
         );
-        let starts: Vec<u64> = sch.intervals().iter().map(|(a, _)| a.as_millis() / 1_000).collect();
+        let starts: Vec<u64> = sch
+            .intervals()
+            .iter()
+            .map(|(a, _)| a.as_millis() / 1_000)
+            .collect();
         assert_eq!(starts, vec![10, 40, 70]);
         assert_eq!(sch.total_stall(), SimDuration::from_millis(1_050));
     }
@@ -154,8 +153,10 @@ mod tests {
 
     #[test]
     fn interferer_utilization_is_one_during_stall() {
-        let sch = StallSchedule::at_marks([SimTime::from_millis(100)], SimDuration::from_millis(100));
-        let util = sch.interferer_utilization(SimDuration::from_millis(50), SimDuration::from_millis(300));
+        let sch =
+            StallSchedule::at_marks([SimTime::from_millis(100)], SimDuration::from_millis(100));
+        let util =
+            sch.interferer_utilization(SimDuration::from_millis(50), SimDuration::from_millis(300));
         assert_eq!(util.len(), 6);
         assert_eq!(util[0], 0.0);
         assert_eq!(util[2], 1.0);

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use crate::stall::StallGate;
 use crate::tier::{AsyncTier, SyncTier, Tier};
+use crate::LiveError;
 
 /// Declarative description of one tier.
 #[derive(Debug, Clone)]
@@ -24,7 +25,12 @@ enum Arch {
 
 impl TierSpec {
     /// A synchronous tier: `workers` threads + `backlog` accept slots.
-    pub fn sync(name: impl Into<String>, workers: usize, backlog: usize, service: Duration) -> Self {
+    pub fn sync(
+        name: impl Into<String>,
+        workers: usize,
+        backlog: usize,
+        service: Duration,
+    ) -> Self {
         TierSpec {
             name: name.into(),
             arch: Arch::Sync { backlog },
@@ -117,10 +123,15 @@ impl ChainBuilder {
 
     /// Spawns every tier and wires them together.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when a worker thread cannot be spawned;
+    /// tiers already running wind down as their inputs are dropped.
+    ///
     /// # Panics
     ///
     /// Panics if no tiers were added.
-    pub fn build(self) -> Chain {
+    pub fn build(self) -> Result<Chain, LiveError> {
         assert!(!self.specs.is_empty(), "a chain needs at least one tier");
         let mut built: Vec<Built> = Vec::with_capacity(self.specs.len());
         let mut downstream: Option<Arc<dyn Tier>> = None;
@@ -134,7 +145,7 @@ impl ChainBuilder {
                     spec.gate.clone(),
                     downstream.take(),
                     self.rto,
-                )),
+                )?),
                 Arch::Async { lite_q } => Built::Async(AsyncTier::spawn(
                     spec.name.clone(),
                     *lite_q,
@@ -143,13 +154,13 @@ impl ChainBuilder {
                     spec.gate.clone(),
                     downstream.take(),
                     self.rto,
-                )),
+                )?),
             };
             downstream = Some(b.as_tier());
             built.push(b);
         }
         built.reverse(); // front first
-        Chain { tiers: built }
+        Ok(Chain { tiers: built })
     }
 }
 
@@ -160,7 +171,9 @@ pub struct Chain {
 
 impl std::fmt::Debug for Chain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Chain").field("tiers", &self.tiers.len()).finish()
+        f.debug_struct("Chain")
+            .field("tiers", &self.tiers.len())
+            .finish()
     }
 }
 
@@ -182,24 +195,42 @@ impl Chain {
 
     /// Per-tier names, front first.
     pub fn names(&self) -> Vec<String> {
-        self.tiers.iter().map(|t| t.as_tier().name().to_string()).collect()
+        self.tiers
+            .iter()
+            .map(|t| t.as_tier().name().to_string())
+            .collect()
     }
 
     /// Tears the chain down: closes accept queues front-to-back and joins
     /// every worker. Call after all client traffic has completed.
-    pub fn shutdown(self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::WorkersPanicked`] naming the tiers whose worker
+    /// threads panicked mid-run; the chain is fully torn down either way.
+    pub fn shutdown(self) -> Result<(), LiveError> {
         // Dropping a tier's `Built` releases the only Sender of its input
         // channel; its workers drain and exit, which in turn releases their
         // Arc on the next tier — teardown cascades front to back.
         let mut handle_sets = Vec::new();
         for t in &self.tiers {
-            handle_sets.push(t.take_handles());
+            handle_sets.push((t.as_tier().name().to_string(), t.take_handles()));
         }
         drop(self.tiers);
-        for handles in handle_sets {
+        let mut panicked: Vec<String> = Vec::new();
+        for (name, handles) in handle_sets {
+            let mut bad = false;
             for h in handles {
-                let _ = h.join();
+                bad |= h.join().is_err();
             }
+            if bad {
+                panicked.push(name);
+            }
+        }
+        if panicked.is_empty() {
+            Ok(())
+        } else {
+            Err(LiveError::WorkersPanicked(panicked))
         }
     }
 }
@@ -214,21 +245,28 @@ mod tests {
         let chain = ChainBuilder::new(Duration::from_millis(100))
             .tier(TierSpec::sync("web", 2, 4, Duration::from_micros(200)))
             .tier(TierSpec::sync("app", 2, 4, Duration::from_micros(200)))
-            .build();
+            .build()
+            .expect("spawn chain");
         assert_eq!(chain.names(), vec!["web", "app"]);
-        let outcome = fire_burst(chain.front(), 6, Duration::from_secs(5));
+        let outcome = fire_burst(chain.front(), 6, Duration::from_secs(5)).expect("burst");
         assert_eq!(outcome.completed, 6);
         assert_eq!(chain.drops(), vec![0, 0]);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
     fn shutdown_joins_cleanly_with_no_traffic() {
         let chain = ChainBuilder::new(Duration::from_millis(50))
-            .tier(TierSpec::asynchronous("a", 16, 1, Duration::from_micros(50)))
+            .tier(TierSpec::asynchronous(
+                "a",
+                16,
+                1,
+                Duration::from_micros(50),
+            ))
             .tier(TierSpec::sync("b", 1, 1, Duration::from_micros(50)))
-            .build();
-        chain.shutdown();
+            .build()
+            .expect("spawn chain");
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -4,9 +4,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{bounded, unbounded};
+use ntier_resilience::{CallerPolicy, CircuitBreaker, TokenBucket};
+use parking_lot::Mutex;
 
+use crate::policy::{wall, WallClock};
 use crate::tier::{LiveRequest, Tier};
+use crate::LiveError;
 
 /// What a burst produced.
 #[derive(Debug, Clone)]
@@ -24,7 +28,11 @@ pub struct BurstOutcome {
 impl BurstOutcome {
     /// The largest completed latency (zero when nothing completed).
     pub fn max_latency(&self) -> Duration {
-        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+        self.latencies
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Completed requests slower than `threshold`.
@@ -51,17 +59,31 @@ impl BurstOutcome {
 /// chain's RTO is the *tier's* job — the client retries after `CLIENT_RTO`.
 ///
 /// Returns once all requests completed or `deadline` elapsed.
-pub fn fire_burst(front: Arc<dyn Tier>, n: usize, deadline: Duration) -> BurstOutcome {
+///
+/// # Errors
+///
+/// Returns [`LiveError::ClientPanicked`] if a sender thread died instead of
+/// handing back its send time.
+pub fn fire_burst(
+    front: Arc<dyn Tier>,
+    n: usize,
+    deadline: Duration,
+) -> Result<BurstOutcome, LiveError> {
     fire_burst_with_rto(front, n, deadline, Duration::from_millis(250))
 }
 
 /// [`fire_burst`] with an explicit client retransmission timeout.
+///
+/// # Errors
+///
+/// Returns [`LiveError::ClientPanicked`] if a sender thread died instead of
+/// handing back its send time.
 pub fn fire_burst_with_rto(
     front: Arc<dyn Tier>,
     n: usize,
     deadline: Duration,
     client_rto: Duration,
-) -> BurstOutcome {
+) -> Result<BurstOutcome, LiveError> {
     let (reply_tx, reply_rx) = unbounded();
     let retransmits = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -92,14 +114,16 @@ pub fn fire_burst_with_rto(
     }
     let sent_ats: Vec<Instant> = senders
         .into_iter()
-        .map(|h| h.join().expect("client thread panicked"))
-        .collect();
+        .map(|h| h.join().map_err(|_| LiveError::ClientPanicked))
+        .collect::<Result<_, _>>()?;
     drop(reply_tx);
 
     let mut latencies = Vec::with_capacity(n);
     let mut completed = 0;
     while completed < n {
-        let remaining = deadline.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+        let remaining = deadline
+            .checked_sub(start.elapsed())
+            .unwrap_or(Duration::ZERO);
         match reply_rx.recv_timeout(remaining) {
             Ok(reply) => {
                 completed += 1;
@@ -112,12 +136,219 @@ pub fn fire_burst_with_rto(
             Err(_) => break,
         }
     }
-    BurstOutcome {
+    Ok(BurstOutcome {
         completed,
         timed_out: n - completed,
         latencies,
         client_retransmits: retransmits.load(Ordering::Relaxed),
+    })
+}
+
+/// What a policy-driven burst produced. Unlike [`BurstOutcome`], a request
+/// can end three ways — completed, failed (timeout/retry exhaustion), or
+/// shed (refused by the circuit breaker without being sent) — mirroring the
+/// simulator's terminal classes.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Requests whose reply arrived within some attempt's timeout.
+    pub completed: usize,
+    /// Requests that exhausted their retries (or budget) and gave up.
+    pub failed: usize,
+    /// Requests refused by an open breaker.
+    pub shed: usize,
+    /// End-to-end latencies of completed requests, measured from the
+    /// *first* attempt's send time — retries don't reset the clock.
+    pub latencies: Vec<Duration>,
+    /// Attempt timeouts observed across all requests.
+    pub timeouts: u64,
+    /// Retry attempts actually sent.
+    pub retries: u64,
+    /// Front-tier drops observed by clients (instant NACKs).
+    pub front_drops: u64,
+}
+
+impl PolicyOutcome {
+    /// Every request reached exactly one terminal class.
+    pub fn is_conserved(&self, n: usize) -> bool {
+        self.completed + self.failed + self.shed == n
     }
+
+    /// The largest completed latency (zero when nothing completed).
+    pub fn max_latency(&self) -> Duration {
+        self.latencies
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Completed requests slower than `threshold`.
+    pub fn count_slower_than(&self, threshold: Duration) -> usize {
+        self.latencies.iter().filter(|l| **l >= threshold).count()
+    }
+}
+
+/// How one attempt of a policy-driven request ended.
+enum AttemptEnd {
+    Completed(Duration),
+    TimedOut,
+    Dropped,
+}
+
+/// Per-client tally handed back from a sender thread.
+struct ClientEnd {
+    /// 0 = completed, 1 = failed, 2 = shed.
+    class: u8,
+    latency: Option<Duration>,
+    timeouts: u64,
+    retries: u64,
+    front_drops: u64,
+}
+
+/// Fires `n` simultaneous requests, each governed by the *same*
+/// [`CallerPolicy`] the simulator's clients use — attempt timeout, bounded
+/// retries with capped backoff + deterministic per-request jitter, a shared
+/// token-bucket retry budget, and a shared circuit breaker — so the
+/// real-thread testbed can cross-validate the DES engine's resilience
+/// semantics. A front-tier drop is an instant NACK handled by the same
+/// retry path (application-level recovery replaces the kernel RTO).
+///
+/// A timed-out attempt is orphaned, exactly as in the simulator: its reply
+/// channel is dropped, the chain keeps processing it, and a late reply is
+/// discarded.
+///
+/// # Errors
+///
+/// Returns [`LiveError::ClientPanicked`] if a sender thread died.
+pub fn fire_burst_with_policy(
+    front: Arc<dyn Tier>,
+    n: usize,
+    policy: &CallerPolicy,
+) -> Result<PolicyOutcome, LiveError> {
+    let clock = WallClock::new();
+    let breaker = policy
+        .breaker
+        .map(|cfg| Arc::new(Mutex::new(CircuitBreaker::new(cfg))));
+    let bucket = policy
+        .budget
+        .map(|b| Arc::new(Mutex::new(TokenBucket::new(b, clock.now()))));
+    let attempt_timeout = wall(policy.attempt_timeout);
+
+    let mut clients = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let front = front.clone();
+        let retry = policy.retry.clone();
+        let breaker = breaker.clone();
+        let bucket = bucket.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut end = ClientEnd {
+                class: 1,
+                latency: None,
+                timeouts: 0,
+                retries: 0,
+                front_drops: 0,
+            };
+            // Initial admission: an open breaker fast-fails the request.
+            if let Some(br) = &breaker {
+                if !br.lock().try_acquire(clock.now()) {
+                    end.class = 2;
+                    return end;
+                }
+            }
+            let first_sent = Instant::now();
+            let mut attempt: u32 = 0;
+            loop {
+                let (tx, rx) = bounded(1);
+                let req = LiveRequest {
+                    id,
+                    sent_at: first_sent,
+                    reply: tx,
+                };
+                let outcome = match front.submit(req) {
+                    Err(_) => {
+                        end.front_drops += 1;
+                        AttemptEnd::Dropped
+                    }
+                    Ok(()) => match rx.recv_timeout(attempt_timeout) {
+                        Ok(reply) => {
+                            AttemptEnd::Completed(reply.completed_at.duration_since(first_sent))
+                        }
+                        Err(_) => AttemptEnd::TimedOut,
+                    },
+                };
+                match outcome {
+                    AttemptEnd::Completed(lat) => {
+                        if let Some(br) = &breaker {
+                            br.lock().on_success(clock.now());
+                        }
+                        end.class = 0;
+                        end.latency = Some(lat);
+                        return end;
+                    }
+                    AttemptEnd::TimedOut | AttemptEnd::Dropped => {
+                        if matches!(outcome, AttemptEnd::TimedOut) {
+                            end.timeouts += 1;
+                        }
+                        if let Some(br) = &breaker {
+                            br.lock().on_failure(clock.now());
+                        }
+                        // Retry admission: bound, then budget, then breaker
+                        // — the simulator's order.
+                        let Some(r) = retry.as_ref().filter(|r| r.allows(attempt)) else {
+                            return end; // failed
+                        };
+                        if let Some(b) = &bucket {
+                            if !b.lock().try_withdraw(clock.now()) {
+                                return end; // failed: budget exhausted
+                            }
+                        }
+                        if let Some(br) = &breaker {
+                            if !br.lock().try_acquire(clock.now()) {
+                                end.class = 2;
+                                return end; // shed: breaker open
+                            }
+                        }
+                        end.retries += 1;
+                        // Deterministic per-(request, attempt) jitter unit —
+                        // no RNG needed off the simulated clock.
+                        let unit = f64::from(
+                            (id as u32)
+                                .wrapping_mul(2_654_435_761)
+                                .wrapping_add(attempt * 40_503)
+                                % 1_000,
+                        ) / 1_000.0;
+                        std::thread::sleep(wall(r.backoff_for(attempt, unit)));
+                        attempt += 1;
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut out = PolicyOutcome {
+        completed: 0,
+        failed: 0,
+        shed: 0,
+        latencies: Vec::with_capacity(n),
+        timeouts: 0,
+        retries: 0,
+        front_drops: 0,
+    };
+    for h in clients {
+        let end = h.join().map_err(|_| LiveError::ClientPanicked)?;
+        match end.class {
+            0 => out.completed += 1,
+            2 => out.shed += 1,
+            _ => out.failed += 1,
+        }
+        if let Some(l) = end.latency {
+            out.latencies.push(l);
+        }
+        out.timeouts += end.timeouts;
+        out.retries += end.retries;
+        out.front_drops += end.front_drops;
+    }
+    Ok(out)
 }
 
 /// Drives `front` at a fixed request rate for `duration` from a single
@@ -126,13 +357,17 @@ pub fn fire_burst_with_rto(
 /// high drop rates.
 ///
 /// Returns once every request completed or `deadline` elapsed.
+///
+/// # Errors
+///
+/// Returns [`LiveError::PacerPanicked`] if the pacing thread died.
 pub fn fire_sustained(
     front: Arc<dyn Tier>,
     rate_per_sec: f64,
     duration: Duration,
     deadline: Duration,
     client_rto: Duration,
-) -> BurstOutcome {
+) -> Result<BurstOutcome, LiveError> {
     assert!(rate_per_sec > 0.0, "rate must be positive");
     let gap = Duration::from_secs_f64(1.0 / rate_per_sec);
     let n = (duration.as_secs_f64() * rate_per_sec).round() as usize;
@@ -154,21 +389,25 @@ pub fn fire_sustained(
                 // service due retries while waiting for the next send slot
                 loop {
                     let now = Instant::now();
-                    if let Some((due, _)) = retries.front() {
-                        if *due <= now {
-                            let (_, req) = retries.pop_front().expect("checked front");
+                    if retries.front().is_some_and(|(due, _)| *due <= now) {
+                        if let Some((_, req)) = retries.pop_front() {
                             if let Err(back) = front.submit(req) {
                                 retransmits.fetch_add(1, Ordering::Relaxed);
                                 retries.push_back((now + client_rto, back));
                             }
-                            continue;
                         }
+                        continue;
                     }
                     if now >= fire_at {
                         break;
                     }
                     let next_due = retries.front().map(|(d, _)| *d).unwrap_or(fire_at);
-                    std::thread::sleep(next_due.min(fire_at).saturating_duration_since(now).min(gap));
+                    std::thread::sleep(
+                        next_due
+                            .min(fire_at)
+                            .saturating_duration_since(now)
+                            .min(gap),
+                    );
                 }
                 let sent_at = Instant::now();
                 sent_ats[id as usize] = Some(sent_at);
@@ -197,27 +436,32 @@ pub fn fire_sustained(
             sent_ats
         })
     };
-    let sent_ats = pacer.join().expect("pacing thread panicked");
+    let sent_ats = pacer.join().map_err(|_| LiveError::PacerPanicked)?;
 
     let mut latencies = Vec::with_capacity(n);
     let mut completed = 0;
     while completed < n {
-        let remaining = deadline.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+        let remaining = deadline
+            .checked_sub(start.elapsed())
+            .unwrap_or(Duration::ZERO);
         match reply_rx.recv_timeout(remaining) {
             Ok(reply) => {
                 completed += 1;
-                let sent = sent_ats[reply.id as usize].expect("reply for unsent request");
-                latencies.push(reply.completed_at.duration_since(sent));
+                // A reply whose send time was never recorded would mean a
+                // duplicate or corrupted id; skip it rather than panic.
+                if let Some(sent) = sent_ats.get(reply.id as usize).copied().flatten() {
+                    latencies.push(reply.completed_at.duration_since(sent));
+                }
             }
             Err(_) => break,
         }
     }
-    BurstOutcome {
+    Ok(BurstOutcome {
         completed,
         timed_out: n - completed,
         latencies,
         client_retransmits: retransmits.load(Ordering::Relaxed),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -232,12 +476,13 @@ mod tests {
     fn burst_within_capacity_completes_fast() {
         let chain = ChainBuilder::new(Duration::from_millis(100))
             .tier(TierSpec::sync("web", 4, 8, SERVICE))
-            .build();
-        let outcome = fire_burst(chain.front(), 8, Duration::from_secs(3));
+            .build()
+            .expect("spawn chain");
+        let outcome = fire_burst(chain.front(), 8, Duration::from_secs(3)).expect("burst");
         assert_eq!(outcome.completed, 8);
         assert_eq!(outcome.client_retransmits, 0);
         assert!(outcome.max_latency() < Duration::from_millis(200));
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -247,15 +492,17 @@ mod tests {
         let rto = Duration::from_millis(300);
         let chain = ChainBuilder::new(rto)
             .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(20)))
-            .build();
-        let outcome = fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto);
+            .build()
+            .expect("spawn chain");
+        let outcome =
+            fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto).expect("burst");
         assert_eq!(outcome.completed, 12);
         assert!(outcome.client_retransmits > 0);
         let slow = outcome.count_slower_than(Duration::from_millis(290));
         let fast = outcome.latencies.len() - slow;
         assert!(slow >= 2, "slow cluster too small: {:?}", outcome.latencies);
         assert!(fast >= 4, "fast cluster too small: {:?}", outcome.latencies);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -266,20 +513,26 @@ mod tests {
         let chain = ChainBuilder::new(Duration::from_millis(200))
             .tier(TierSpec::sync("web", 2, 2, SERVICE))
             .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
-            .build();
+            .build()
+            .expect("spawn chain");
         gate.begin();
         let front = chain.front();
         let burst = std::thread::spawn(move || {
-            fire_burst_with_rto(front, 16, Duration::from_secs(10), Duration::from_millis(300))
+            fire_burst_with_rto(
+                front,
+                16,
+                Duration::from_secs(10),
+                Duration::from_millis(300),
+            )
         });
         std::thread::sleep(Duration::from_millis(400));
         gate.end();
-        let outcome = burst.join().unwrap();
+        let outcome = burst.join().expect("burst thread").expect("burst");
         let drops = chain.drops();
         assert!(drops[0] > 0, "expected front-tier drops, got {drops:?}");
         assert_eq!(outcome.completed, 16);
         assert!(outcome.count_slower_than(Duration::from_millis(290)) > 0);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -288,15 +541,21 @@ mod tests {
         let chain = ChainBuilder::new(Duration::from_millis(200))
             .tier(TierSpec::asynchronous("web", 1_000, 2, SERVICE))
             .tier(TierSpec::asynchronous("app", 1_000, 2, SERVICE).with_gate(gate.clone()))
-            .build();
+            .build()
+            .expect("spawn chain");
         gate.begin();
         let front = chain.front();
         let burst = std::thread::spawn(move || {
-            fire_burst_with_rto(front, 16, Duration::from_secs(10), Duration::from_millis(300))
+            fire_burst_with_rto(
+                front,
+                16,
+                Duration::from_secs(10),
+                Duration::from_millis(300),
+            )
         });
         std::thread::sleep(Duration::from_millis(400));
         gate.end();
-        let outcome = burst.join().unwrap();
+        let outcome = burst.join().expect("burst thread").expect("burst");
         assert_eq!(chain.drops(), vec![0, 0], "async tiers must not drop");
         assert_eq!(outcome.completed, 16);
         // worst latency ≈ the stall, not the stall + RTO ladder
@@ -305,7 +564,7 @@ mod tests {
             "max latency {:?}",
             outcome.max_latency()
         );
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -313,30 +572,37 @@ mod tests {
         let rto = Duration::from_millis(300);
         let chain = ChainBuilder::new(rto)
             .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(5)))
-            .build();
-        let outcome = fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto);
+            .build()
+            .expect("spawn chain");
+        let outcome =
+            fire_burst_with_rto(chain.front(), 12, Duration::from_secs(10), rto).expect("burst");
         let h = outcome.histogram(Duration::from_millis(10));
         let modes = h.modes(ntier_des::time::SimDuration::from_millis(100), 2);
-        assert!(modes.len() >= 2, "expected fast + retransmitted clusters: {modes:?}");
-        chain.shutdown();
+        assert!(
+            modes.len() >= 2,
+            "expected fast + retransmitted clusters: {modes:?}"
+        );
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
     fn sustained_load_completes_without_drops_at_moderate_rate() {
         let chain = ChainBuilder::new(Duration::from_millis(100))
             .tier(TierSpec::sync("web", 4, 8, Duration::from_micros(500)))
-            .build();
+            .build()
+            .expect("spawn chain");
         let outcome = fire_sustained(
             chain.front(),
             400.0,
             Duration::from_millis(500),
             Duration::from_secs(5),
             Duration::from_millis(100),
-        );
+        )
+        .expect("sustained");
         assert_eq!(outcome.timed_out, 0);
         assert_eq!(outcome.client_retransmits, 0);
         assert_eq!(chain.drops(), vec![0]);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -346,7 +612,8 @@ mod tests {
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(150))
             .tier(TierSpec::sync("web", 1, 2, Duration::from_micros(200)).with_gate(gate.clone()))
-            .build();
+            .build()
+            .expect("spawn chain");
         gate.schedule_stall(Duration::from_millis(100), Duration::from_millis(300));
         let outcome = fire_sustained(
             chain.front(),
@@ -354,12 +621,13 @@ mod tests {
             Duration::from_millis(600),
             Duration::from_secs(20),
             Duration::from_millis(150),
-        );
+        )
+        .expect("sustained");
         assert!(outcome.client_retransmits > 0);
         assert!(chain.drops()[0] > 0);
         assert_eq!(outcome.timed_out, 0, "all requests eventually complete");
         assert!(outcome.count_slower_than(Duration::from_millis(140)) > 0);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -368,21 +636,117 @@ mod tests {
         // drops move downstream — exactly the paper's NX=1 observation.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(200))
-            .tier(TierSpec::asynchronous("web", 1_000, 4, Duration::from_micros(50)))
+            .tier(TierSpec::asynchronous(
+                "web",
+                1_000,
+                4,
+                Duration::from_micros(50),
+            ))
             .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
-            .build();
+            .build()
+            .expect("spawn chain");
         gate.begin();
         let front = chain.front();
         let burst = std::thread::spawn(move || {
-            fire_burst_with_rto(front, 24, Duration::from_secs(10), Duration::from_millis(300))
+            fire_burst_with_rto(
+                front,
+                24,
+                Duration::from_secs(10),
+                Duration::from_millis(300),
+            )
         });
         std::thread::sleep(Duration::from_millis(300));
         gate.end();
-        let outcome = burst.join().unwrap();
+        let outcome = burst.join().expect("burst thread").expect("burst");
         let drops = chain.drops();
         assert_eq!(drops[0], 0, "async front must not drop: {drops:?}");
         assert!(drops[1] > 0, "expected downstream drops: {drops:?}");
         assert_eq!(outcome.completed, 24);
-        chain.shutdown();
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn policy_burst_within_capacity_completes_clean() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::CallerPolicy;
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 4, 8, SERVICE))
+            .build()
+            .expect("spawn chain");
+        let policy = CallerPolicy::naive(SimDuration::from_secs(2), 2);
+        let outcome = fire_burst_with_policy(chain.front(), 8, &policy).expect("burst");
+        assert!(outcome.is_conserved(8));
+        assert_eq!(outcome.completed, 8);
+        assert_eq!(outcome.failed + outcome.shed, 0);
+        assert_eq!(outcome.timeouts, 0);
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn policy_burst_rides_through_a_stall_with_retries() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::{CallerPolicy, RetryPolicy};
+        // 300 ms stall vs a 100 ms attempt timeout: first attempts time out
+        // and are orphaned; retries after the stall complete. Measured from
+        // first send, completions include the stall in their latency.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 4, 32, SERVICE).with_gate(gate.clone()))
+            .build()
+            .expect("spawn chain");
+        gate.schedule_stall(Duration::ZERO, Duration::from_millis(300));
+        std::thread::sleep(Duration::from_millis(20));
+        let policy = CallerPolicy {
+            attempt_timeout: SimDuration::from_millis(100),
+            retry: Some(RetryPolicy::capped(
+                6,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(150),
+            )),
+            budget: None,
+            breaker: None,
+        };
+        let outcome = fire_burst_with_policy(chain.front(), 4, &policy).expect("burst");
+        assert!(outcome.is_conserved(4));
+        assert_eq!(outcome.completed, 4, "{outcome:?}");
+        assert!(outcome.timeouts >= 4, "{outcome:?}");
+        assert!(outcome.retries >= 4, "{outcome:?}");
+        assert!(
+            outcome.max_latency() >= Duration::from_millis(200),
+            "{outcome:?}"
+        );
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn policy_burst_breaker_sheds_when_chain_is_wedged() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::{BreakerConfig, CallerPolicy, RetryPolicy};
+        // The tier stalls for far longer than any attempt: with a
+        // 1-failure breaker held open for seconds, the first wave of
+        // timeouts trips it and later attempts are shed, not queued.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 2, 32, SERVICE).with_gate(gate.clone()))
+            .build()
+            .expect("spawn chain");
+        gate.begin();
+        let policy = CallerPolicy {
+            attempt_timeout: SimDuration::from_millis(80),
+            retry: Some(RetryPolicy::capped(
+                4,
+                SimDuration::from_millis(40),
+                SimDuration::from_millis(80),
+            )),
+            budget: None,
+            breaker: Some(BreakerConfig::new(1, SimDuration::from_secs(10))),
+        };
+        let outcome = fire_burst_with_policy(chain.front(), 8, &policy).expect("burst");
+        gate.end();
+        assert!(outcome.is_conserved(8));
+        assert_eq!(outcome.completed, 0, "{outcome:?}");
+        assert!(outcome.shed > 0, "{outcome:?}");
+        assert!(outcome.timeouts > 0, "{outcome:?}");
+        chain.shutdown().expect("clean shutdown");
     }
 }

@@ -30,19 +30,72 @@
 //! let chain = ChainBuilder::new(Duration::from_millis(100))
 //!     .tier(TierSpec::asynchronous("web", 1_000, 2, Duration::from_micros(200)))
 //!     .tier(TierSpec::asynchronous("app", 1_000, 2, Duration::from_micros(200)))
-//!     .build();
-//! let outcome = fire_burst(chain.front(), 32, Duration::from_secs(5));
+//!     .build()
+//!     .expect("spawn chain");
+//! let outcome = fire_burst(chain.front(), 32, Duration::from_secs(5)).expect("burst");
 //! assert_eq!(outcome.completed, 32);
 //! assert_eq!(chain.drops(), vec![0, 0]);
-//! chain.shutdown();
+//! chain.shutdown().expect("clean shutdown");
 //! ```
+//!
+//! Application-level resilience — attempt timeouts, bounded retries, retry
+//! budgets and circuit breaking — reuses the `ntier-resilience` policies on
+//! a wall clock (see [`policy::WallClock`]) via
+//! [`harness::fire_burst_with_policy`], so simulator and testbed exercise
+//! one implementation.
 
 pub mod chain;
 pub mod harness;
+pub mod policy;
 pub mod stall;
 pub mod tier;
 
 pub use chain::{Chain, ChainBuilder, TierSpec};
-pub use harness::{fire_burst, BurstOutcome};
+pub use harness::{fire_burst, fire_burst_with_policy, BurstOutcome, PolicyOutcome};
+pub use policy::WallClock;
 pub use stall::StallGate;
 pub use tier::{AsyncTier, LiveReply, LiveRequest, SyncTier, Tier};
+
+/// Errors surfaced by the live testbed instead of aborting the process: a
+/// worker that cannot be spawned or a thread that panicked mid-run becomes a
+/// value the harness caller can assert on.
+#[derive(Debug)]
+pub enum LiveError {
+    /// The OS refused to spawn a worker thread.
+    Spawn(std::io::Error),
+    /// A client sender thread panicked before handing back its send time.
+    ClientPanicked,
+    /// The pacing thread of [`harness::fire_sustained`] panicked.
+    PacerPanicked,
+    /// Worker threads panicked; detected when their tiers were joined at
+    /// shutdown. Tier names, front first, deduplicated.
+    WorkersPanicked(Vec<String>),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+            LiveError::ClientPanicked => write!(f, "a client sender thread panicked"),
+            LiveError::PacerPanicked => write!(f, "the pacing thread panicked"),
+            LiveError::WorkersPanicked(tiers) => {
+                write!(f, "worker threads panicked in tiers: {}", tiers.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LiveError {
+    fn from(e: std::io::Error) -> Self {
+        LiveError::Spawn(e)
+    }
+}

@@ -1,0 +1,84 @@
+//! Wall-clock adapters for the `ntier-resilience` caller policies.
+//!
+//! The resilience primitives (`CircuitBreaker`, `TokenBucket`,
+//! `RetryPolicy`) are written against simulated time so the DES engine can
+//! drive them deterministically. The live testbed reuses the *same*
+//! implementations — one behaviour, two clocks — by mapping wall-clock
+//! [`Instant`]s onto a [`SimTime`] axis anchored at an epoch.
+
+use std::time::{Duration, Instant};
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// A monotonic wall clock projected onto the simulated-time axis: `now()`
+/// returns microseconds elapsed since the clock was created.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts the clock; `now()` is [`SimTime::ZERO`] at this instant.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The current wall-clock time as a point on the simulated axis.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+/// A [`SimDuration`] as a wall-clock [`Duration`] (1 sim µs = 1 real µs).
+pub fn wall(d: SimDuration) -> Duration {
+    Duration::from_micros(d.as_micros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let c = WallClock::new();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = c.now();
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn wall_round_trips_microseconds() {
+        assert_eq!(
+            wall(SimDuration::from_millis(250)),
+            Duration::from_millis(250)
+        );
+        assert_eq!(wall(SimDuration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_runs_on_the_wall_clock() {
+        use ntier_resilience::{BreakerConfig, CircuitBreaker};
+        let clock = WallClock::new();
+        let mut br = CircuitBreaker::new(BreakerConfig::new(2, SimDuration::from_millis(20)));
+        assert!(br.try_acquire(clock.now()));
+        br.on_failure(clock.now());
+        br.on_failure(clock.now());
+        // Tripped: refused while the hold-open window lasts.
+        assert!(!br.try_acquire(clock.now()));
+        std::thread::sleep(Duration::from_millis(25));
+        // Window elapsed on the real clock: half-open grants a probe.
+        assert!(br.try_acquire(clock.now()));
+        br.on_success(clock.now());
+        assert!(br.try_acquire(clock.now()));
+    }
+}

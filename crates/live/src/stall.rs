@@ -61,7 +61,11 @@ impl StallGate {
 
     /// Spawns a timer thread that raises the gate `after` from now, for
     /// `duration`. Returns the timer's join handle.
-    pub fn schedule_stall(&self, after: Duration, duration: Duration) -> std::thread::JoinHandle<()> {
+    pub fn schedule_stall(
+        &self,
+        after: Duration,
+        duration: Duration,
+    ) -> std::thread::JoinHandle<()> {
         let gate = self.clone();
         std::thread::spawn(move || {
             std::thread::sleep(after);
@@ -98,7 +102,10 @@ mod tests {
             released2.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(80));
-        assert!(!released.load(Ordering::SeqCst), "worker escaped a raised gate");
+        assert!(
+            !released.load(Ordering::SeqCst),
+            "worker escaped a raised gate"
+        );
         g.end();
         h.join().unwrap();
         assert!(released.load(Ordering::SeqCst));

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::stall::StallGate;
+use crate::LiveError;
 
 /// A request travelling down the chain.
 #[derive(Debug)]
@@ -84,6 +85,11 @@ impl SyncTier {
     /// * `downstream` — the next tier, or `None` for the last tier;
     /// * `rto` — retransmission timeout for this tier's downstream sends.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when the OS refuses a worker thread;
+    /// already-spawned workers wind down when the returned tier is dropped.
+    ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
@@ -95,7 +101,7 @@ impl SyncTier {
         gate: StallGate,
         downstream: Option<Arc<dyn Tier>>,
         rto: Duration,
-    ) -> Arc<SyncTier> {
+    ) -> Result<Arc<SyncTier>, LiveError> {
         assert!(workers > 0, "a sync tier needs at least one worker");
         let name = name.into();
         let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(workers + backlog);
@@ -144,12 +150,11 @@ impl SyncTier {
                                 }
                             }
                         }
-                    })
-                    .expect("spawn worker thread"),
+                    })?,
             );
         }
         *tier.handles.lock() = handles;
-        tier
+        Ok(tier)
     }
 
     /// Downstream retransmissions performed by this tier's workers.
@@ -198,6 +203,10 @@ pub struct AsyncTier {
 impl AsyncTier {
     /// Spawns the tier with a `lite_q`-deep accept queue.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when the OS refuses a worker thread.
+    ///
     /// # Panics
     ///
     /// Panics if `workers` or `lite_q` is zero.
@@ -209,7 +218,7 @@ impl AsyncTier {
         gate: StallGate,
         downstream: Option<Arc<dyn Tier>>,
         rto: Duration,
-    ) -> Arc<AsyncTier> {
+    ) -> Result<Arc<AsyncTier>, LiveError> {
         assert!(workers > 0, "an async tier needs at least one worker");
         assert!(lite_q > 0, "LiteQDepth must be non-zero");
         let name = name.into();
@@ -249,12 +258,11 @@ impl AsyncTier {
                                 }
                             }
                         }
-                    })
-                    .expect("spawn worker thread"),
+                    })?,
             );
         }
         *tier.handles.lock() = handles;
-        tier
+        Ok(tier)
     }
 
     /// Downstream retransmissions performed by this tier's workers.
@@ -311,7 +319,8 @@ mod tests {
             StallGate::new(),
             None,
             Duration::from_millis(50),
-        );
+        )
+        .expect("spawn tier");
         let (tx, rx) = unbounded();
         for i in 0..4 {
             tier.submit(req(i, &tx)).unwrap();
@@ -334,7 +343,8 @@ mod tests {
             StallGate::new(),
             None,
             Duration::from_millis(50),
-        );
+        )
+        .expect("spawn tier");
         let (tx, _rx) = unbounded();
         let mut dropped = 0;
         for i in 0..6 {
@@ -360,7 +370,8 @@ mod tests {
             StallGate::new(),
             None,
             Duration::from_millis(50),
-        );
+        )
+        .expect("spawn tier");
         let (tx, rx) = unbounded();
         for i in 0..200 {
             tier.submit(req(i, &tx)).unwrap();
@@ -382,7 +393,8 @@ mod tests {
             gate.clone(),
             None,
             Duration::from_millis(50),
-        );
+        )
+        .expect("spawn tier");
         gate.begin();
         let (tx, rx) = unbounded();
         let t0 = Instant::now();

@@ -24,7 +24,10 @@ impl RetransmitPolicy {
     ///
     /// Panics if `delays` is empty.
     pub fn from_delays(delays: Vec<SimDuration>) -> Self {
-        assert!(!delays.is_empty(), "a retransmit policy needs at least one delay");
+        assert!(
+            !delays.is_empty(),
+            "a retransmit policy needs at least one delay"
+        );
         RetransmitPolicy { delays }
     }
 
@@ -34,14 +37,41 @@ impl RetransmitPolicy {
         RetransmitPolicy::from_delays(vec![SimDuration::from_secs(3); retries.max(1)])
     }
 
+    /// The ceiling applied by [`RetransmitPolicy::exponential`]: Linux's
+    /// `TCP_RTO_MAX` of 120 s.
+    pub const DEFAULT_MAX_DELAY: SimDuration = SimDuration::from_secs(120);
+
     /// Exponential backoff: `initial, 2*initial, 4*initial, ...` for
-    /// `retries` attempts (modern kernel behaviour; ablation only).
+    /// `retries` attempts (modern kernel behaviour; ablation only), clamped
+    /// at [`RetransmitPolicy::DEFAULT_MAX_DELAY`] like a real kernel's
+    /// `TCP_RTO_MAX`. Use [`RetransmitPolicy::exponential_capped`] to pick
+    /// the ceiling.
     pub fn exponential(initial: SimDuration, retries: usize) -> Self {
+        RetransmitPolicy::exponential_capped(initial, retries, Self::DEFAULT_MAX_DELAY)
+    }
+
+    /// Exponential backoff with a configurable ceiling: delays double until
+    /// they reach `max_delay` and stay there. The doubling saturates instead
+    /// of overflowing, so arbitrarily long schedules are safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay < initial` — the cap would silently rewrite the
+    /// first delay.
+    pub fn exponential_capped(
+        initial: SimDuration,
+        retries: usize,
+        max_delay: SimDuration,
+    ) -> Self {
+        assert!(
+            max_delay >= initial,
+            "max_delay {max_delay} is below the initial delay {initial}"
+        );
         let mut delays = Vec::with_capacity(retries.max(1));
         let mut d = initial;
         for _ in 0..retries.max(1) {
             delays.push(d);
-            d = d * 2;
+            d = SimDuration::from_micros(d.as_micros().saturating_mul(2)).min(max_delay);
         }
         RetransmitPolicy::from_delays(delays)
     }
@@ -154,11 +184,53 @@ mod tests {
     }
 
     #[test]
+    fn exponential_clamps_at_configured_max() {
+        let p = RetransmitPolicy::exponential_capped(
+            SimDuration::from_secs(1),
+            6,
+            SimDuration::from_secs(5),
+        );
+        assert_eq!(p.delay_for(0), Some(SimDuration::from_secs(1)));
+        assert_eq!(p.delay_for(1), Some(SimDuration::from_secs(2)));
+        assert_eq!(p.delay_for(2), Some(SimDuration::from_secs(4)));
+        // 8 s would exceed the cap; the schedule flattens at 5 s.
+        assert_eq!(p.delay_for(3), Some(SimDuration::from_secs(5)));
+        assert_eq!(p.delay_for(4), Some(SimDuration::from_secs(5)));
+        assert_eq!(p.delay_for(5), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn exponential_never_overflows_even_for_huge_schedules() {
+        // 100 doublings of 1 s would overflow u64 microseconds without the
+        // saturating clamp; every delay must sit at the default 120 s cap.
+        let p = RetransmitPolicy::exponential(SimDuration::from_secs(1), 100);
+        assert_eq!(p.max_retries(), 100);
+        for a in 0..100 {
+            let d = p.delay_for(a).unwrap();
+            assert!(d <= RetransmitPolicy::DEFAULT_MAX_DELAY, "attempt {a}: {d}");
+        }
+        assert_eq!(p.delay_for(99), Some(RetransmitPolicy::DEFAULT_MAX_DELAY));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the initial delay")]
+    fn cap_below_initial_rejected() {
+        let _ = RetransmitPolicy::exponential_capped(
+            SimDuration::from_secs(2),
+            3,
+            SimDuration::from_secs(1),
+        );
+    }
+
+    #[test]
     fn state_machine_walks_schedule_then_gives_up() {
         let p = RetransmitPolicy::rhel6_syn(2);
         let mut s = RetransmitState::new();
         let t0 = SimTime::from_secs(10);
-        assert_eq!(s.on_drop(&p, t0), RetryDecision::RetryAt(SimTime::from_secs(13)));
+        assert_eq!(
+            s.on_drop(&p, t0),
+            RetryDecision::RetryAt(SimTime::from_secs(13))
+        );
         assert_eq!(
             s.on_drop(&p, SimTime::from_secs(13)),
             RetryDecision::RetryAt(SimTime::from_secs(16))

@@ -1,0 +1,228 @@
+//! Scheduled fault injection.
+//!
+//! A [`FaultPlan`] declares faults as absolute `[from, until)` windows, the
+//! same way `StallTimeline` declares millibottlenecks: the engine turns each
+//! window into a begin/end event pair and flips tier state in between. All
+//! randomness (the per-message drop roll) is drawn from the engine's seeded
+//! RNG, so a plan replays identically for a given seed.
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The tier refuses every admission in the window (process crash and
+    /// restart): arrivals behave exactly like backlog-overflow drops.
+    Crash {
+        /// Target tier index.
+        tier: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end (restart completes).
+        until: SimTime,
+    },
+    /// Each message arriving at the tier is independently dropped with
+    /// probability `prob` (flaky NIC / connection resets).
+    DropMessages {
+        /// Target tier index.
+        tier: usize,
+        /// Per-message drop probability in `[0, 1]`.
+        prob: f64,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// `count` of the tier's workers wedge (e.g. blocked on a dead
+    /// dependency) for the window: sync tiers lose threads, async tiers
+    /// lose admission slots.
+    StuckWorkers {
+        /// Target tier index.
+        tier: usize,
+        /// Workers wedged.
+        count: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// Messages *to* the tier take `extra` additional one-way latency
+    /// (degraded network path).
+    SlowHops {
+        /// Target tier index.
+        tier: usize,
+        /// Added one-way delay.
+        extra: SimDuration,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+}
+
+impl Fault {
+    /// The tier the fault applies to.
+    pub fn tier(&self) -> usize {
+        match self {
+            Fault::Crash { tier, .. }
+            | Fault::DropMessages { tier, .. }
+            | Fault::StuckWorkers { tier, .. }
+            | Fault::SlowHops { tier, .. } => *tier,
+        }
+    }
+
+    /// The `[from, until)` window.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        match self {
+            Fault::Crash { from, until, .. }
+            | Fault::DropMessages { from, until, .. }
+            | Fault::StuckWorkers { from, until, .. }
+            | Fault::SlowHops { from, until, .. } => (*from, *until),
+        }
+    }
+}
+
+/// An ordered collection of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` (all builder methods validate windows).
+    pub fn crash(mut self, tier: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "fault window must be non-empty");
+        self.faults.push(Fault::Crash { tier, from, until });
+        self
+    }
+
+    /// Adds a probabilistic message-drop window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `prob` is outside `[0, 1]`.
+    pub fn drop_messages(mut self, tier: usize, prob: f64, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "fault window must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "drop probability must be in [0, 1]"
+        );
+        self.faults.push(Fault::DropMessages {
+            tier,
+            prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a stuck-workers window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `count` is zero.
+    pub fn stuck_workers(
+        mut self,
+        tier: usize,
+        count: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(until > from, "fault window must be non-empty");
+        assert!(count > 0, "stuck-worker fault needs at least one worker");
+        self.faults.push(Fault::StuckWorkers {
+            tier,
+            count,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds an added-latency window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `extra` is zero.
+    pub fn slow_hops(
+        mut self,
+        tier: usize,
+        extra: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(until > from, "fault window must be non-empty");
+        assert!(!extra.is_zero(), "slow-hop fault needs a non-zero delay");
+        self.faults.push(Fault::SlowHops {
+            tier,
+            extra,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// The declared faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when no faults are declared.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The highest tier index any fault targets, if any.
+    pub fn max_tier(&self) -> Option<usize> {
+        self.faults.iter().map(Fault::tier).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_faults_in_order() {
+        let plan = FaultPlan::none()
+            .crash(0, SimTime::from_secs(1), SimTime::from_secs(2))
+            .drop_messages(1, 0.25, SimTime::from_secs(3), SimTime::from_secs(4))
+            .stuck_workers(2, 3, SimTime::from_secs(5), SimTime::from_secs(6))
+            .slow_hops(
+                1,
+                SimDuration::from_millis(5),
+                SimTime::ZERO,
+                SimTime::from_secs(9),
+            );
+        assert_eq!(plan.faults().len(), 4);
+        assert_eq!(plan.max_tier(), Some(2));
+        assert_eq!(
+            plan.faults()[0].window(),
+            (SimTime::from_secs(1), SimTime::from_secs(2))
+        );
+        assert_eq!(plan.faults()[3].tier(), 1);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_rejected() {
+        let _ = FaultPlan::none().crash(0, SimTime::from_secs(2), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn bad_probability_rejected() {
+        let _ = FaultPlan::none().drop_messages(0, 1.5, SimTime::ZERO, SimTime::from_secs(1));
+    }
+}

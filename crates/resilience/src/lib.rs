@@ -1,0 +1,38 @@
+//! # ntier-resilience — fault injection and caller-side resilience
+//!
+//! The paper shows how a sub-second millibottleneck becomes a multi-second
+//! outage through *cross-tier queue overflow* (CTQO). This crate supplies
+//! the machinery to study the other half of that story: what the **callers**
+//! do about it, and how their reaction either amplifies or bounds the
+//! long tail.
+//!
+//! Two halves:
+//!
+//! * [`fault`] — a [`FaultPlan`](fault::FaultPlan): scheduled tier crashes,
+//!   probabilistic message drops, stuck workers, and added hop latency,
+//!   declared as absolute windows the same way `StallTimeline` declares
+//!   millibottlenecks.
+//! * [`policy`] — per-hop caller policies: attempt timeouts, bounded
+//!   retries with capped exponential backoff and deterministic jitter,
+//!   token-bucket retry budgets, a closed/open/half-open circuit breaker,
+//!   and queue-depth / deadline load shedding. All state machines are
+//!   driven by simulation time passed in by the caller, so the same types
+//!   serve the DES engine (`ntier-core`) and the real-thread testbed
+//!   (`ntier-live`).
+//!
+//! The headline experiment (see `ntier_core::experiment::retry_storm`):
+//! naive timeout-and-retry clients *amplify* CTQO — every retry is a fresh
+//! message aimed at an already-overflowing tier while the abandoned attempt
+//! keeps consuming threads — whereas a retry budget plus circuit breaker
+//! bounds the very-long-response-time fraction at the cost of shed load.
+
+pub mod fault;
+pub mod policy;
+pub mod stats;
+
+pub use fault::{Fault, FaultPlan};
+pub use policy::{
+    BreakerConfig, BreakerState, CallerPolicy, CircuitBreaker, RetryBudget, RetryPolicy,
+    ShedPolicy, TokenBucket,
+};
+pub use stats::ResilienceStats;

@@ -1,0 +1,537 @@
+//! Caller-side resilience policies and their runtime state machines.
+//!
+//! Everything here is clock-agnostic: state machines take `now: SimTime`
+//! from the caller instead of reading a clock, so they are exactly as
+//! deterministic as the simulation driving them, and the live testbed can
+//! feed them wall-clock time converted to [`SimTime`].
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// Bounded retries with capped exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial try (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling the doubling saturates at.
+    pub max_backoff: SimDuration,
+    /// Fraction of the backoff added as jitter (`0.0..=1.0`): the actual
+    /// wait is `backoff * (1 + jitter_frac * u)` with `u` uniform in
+    /// `[0, 1)` drawn from the caller's seeded RNG.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// `max_retries` retries backing off from `base` up to `cap`, no jitter.
+    pub fn capped(max_retries: u32, base: SimDuration, cap: SimDuration) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: base,
+            max_backoff: cap,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Adds jitter as a fraction of the backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not within `0.0..=1.0`.
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "jitter fraction must be in [0, 1]"
+        );
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// The backoff before retry `attempt` (0-based), saturating at
+    /// `max_backoff`. `unit` is a uniform draw in `[0, 1)` supplying the
+    /// jitter; pass 0.0 for the deterministic floor.
+    pub fn backoff_for(&self, attempt: u32, unit: f64) -> SimDuration {
+        let shift = attempt.min(62);
+        let base = self.base_backoff.as_micros();
+        let scaled = base.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+        let capped = scaled.min(self.max_backoff.as_micros().max(base));
+        let jitter = (capped as f64 * self.jitter_frac * unit) as u64;
+        SimDuration::from_micros(capped.saturating_add(jitter))
+    }
+
+    /// Whether retry `attempt` (0-based) is still within the bound.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+}
+
+/// Token-bucket retry budget configuration: retries spend a token; tokens
+/// refill at a steady rate. An empty bucket means the retry is *not* sent —
+/// the request fails fast instead of joining a retry storm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Bucket capacity (also the initial fill).
+    pub capacity: f64,
+    /// Tokens regained per second.
+    pub refill_per_sec: f64,
+}
+
+impl RetryBudget {
+    /// A budget of `capacity` tokens refilling at `refill_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `refill_per_sec` is negative.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
+        assert!(capacity > 0.0, "budget capacity must be positive");
+        assert!(refill_per_sec >= 0.0, "refill rate must be non-negative");
+        RetryBudget {
+            capacity,
+            refill_per_sec,
+        }
+    }
+}
+
+/// Runtime state of a [`RetryBudget`].
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    cfg: RetryBudget,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now`.
+    pub fn new(cfg: RetryBudget, now: SimTime) -> Self {
+        TokenBucket {
+            tokens: cfg.capacity,
+            cfg,
+            last: now,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.cfg.refill_per_sec).min(self.cfg.capacity);
+        self.last = now;
+    }
+
+    /// Spends one token if available; `false` means the budget is exhausted.
+    pub fn try_withdraw(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens available at `now` (refilled view, no spend).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Circuit-breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub open_for: SimDuration,
+    /// Successful probes required in half-open to close again.
+    pub success_threshold: u32,
+    /// Concurrent probes admitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// Trip after `failure_threshold` failures, hold open for `open_for`,
+    /// close after 1 successful probe (1 probe at a time).
+    pub fn new(failure_threshold: u32, open_for: SimDuration) -> Self {
+        BreakerConfig {
+            failure_threshold: failure_threshold.max(1),
+            open_for,
+            success_threshold: 1,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are counted.
+    Closed,
+    /// Requests fail fast until the open window elapses.
+    Open,
+    /// A limited number of probes test the downstream.
+    HalfOpen,
+}
+
+/// Runtime circuit breaker: closed → open on consecutive failures, open →
+/// half-open after `open_for`, half-open → closed on enough successful
+/// probes (or back to open on any failure).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    probes_in_flight: u32,
+    opened_at: SimTime,
+    transitions: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            probes_in_flight: 0,
+            opened_at: SimTime::ZERO,
+            transitions: 0,
+        }
+    }
+
+    /// Current state after any time-based transition due at `now`.
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.cfg.open_for {
+            self.transition(BreakerState::HalfOpen);
+            self.half_open_successes = 0;
+            self.probes_in_flight = 0;
+        }
+        self.state
+    }
+
+    /// Whether a request may be sent at `now`. In half-open this *admits a
+    /// probe* (counted against `half_open_probes`); the caller must report
+    /// the probe's outcome via [`Self::on_success`] / [`Self::on_failure`].
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.cfg.half_open_probes {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call outcome.
+    pub fn on_success(&mut self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.cfg.success_threshold {
+                    self.transition(BreakerState::Closed);
+                    self.consecutive_failures = 0;
+                }
+            }
+            // A success landing while open (a straggler reply) is stale
+            // evidence; the open window stands.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call outcome (timeout, give-up, or shed downstream).
+    pub fn on_failure(&mut self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.open_at(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.open_at(now);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open_at(&mut self, now: SimTime) {
+        self.transition(BreakerState::Open);
+        self.opened_at = now;
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        if self.state != to {
+            self.state = to;
+            self.transitions += 1;
+        }
+    }
+
+    /// Total state transitions so far (closed→open, open→half-open, ...).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+/// Load-shedding policy for a tier's admission point: reject fast instead
+/// of queueing work that is already doomed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShedPolicy {
+    /// Shed when the tier's queue depth is at or above this before
+    /// admission.
+    pub max_queue_depth: Option<usize>,
+    /// Shed requests older than this (age measured from injection).
+    pub deadline: Option<SimDuration>,
+}
+
+impl ShedPolicy {
+    /// Shed on queue depth only.
+    pub fn on_depth(max_queue_depth: usize) -> Self {
+        ShedPolicy {
+            max_queue_depth: Some(max_queue_depth),
+            deadline: None,
+        }
+    }
+
+    /// Shed on request age only.
+    pub fn on_deadline(deadline: SimDuration) -> Self {
+        ShedPolicy {
+            max_queue_depth: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Adds a deadline to a depth-based policy.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether a request of the given `age` arriving at a tier of the given
+    /// queue `depth` should be shed.
+    pub fn should_shed(&self, depth: usize, age: SimDuration) -> bool {
+        if let Some(max) = self.max_queue_depth {
+            if depth >= max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if age > deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Everything a caller applies on one hop: an attempt timeout, and the
+/// optional retry / budget / breaker stack governing what happens when the
+/// attempt fails.
+///
+/// * On the **client → tier 0** hop the DES engine arms a timer per
+///   attempt; a fired timer orphans the attempt (it keeps consuming
+///   resources downstream — the retry-storm amplifier) and consults
+///   `retry`, `budget` and `breaker` in that order for a follow-up attempt.
+/// * On **inter-tier** hops the policy replaces the kernel retransmit
+///   schedule for dropped messages: app-controlled capped backoff instead
+///   of the fixed 3 s RTO, gated by the same budget and breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallerPolicy {
+    /// Time the caller waits for one attempt before abandoning it.
+    pub attempt_timeout: SimDuration,
+    /// Retry schedule; `None` = fail on first timeout/drop.
+    pub retry: Option<RetryPolicy>,
+    /// Retry budget; `None` = unmetered retries.
+    pub budget: Option<RetryBudget>,
+    /// Circuit breaker; `None` = never fail fast.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl CallerPolicy {
+    /// The anti-pattern: aggressive timeout, eager unmetered retries, no
+    /// breaker. This is the configuration that turns a millibottleneck into
+    /// a retry storm.
+    pub fn naive(attempt_timeout: SimDuration, retries: u32) -> Self {
+        CallerPolicy {
+            attempt_timeout,
+            retry: Some(RetryPolicy::capped(
+                retries,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+            )),
+            budget: None,
+            breaker: None,
+        }
+    }
+
+    /// The hardened stack: the same timeout and retry bound, but retries
+    /// are metered by `budget` and the hop is protected by `breaker`.
+    pub fn hardened(
+        attempt_timeout: SimDuration,
+        retry: RetryPolicy,
+        budget: RetryBudget,
+        breaker: BreakerConfig,
+    ) -> Self {
+        CallerPolicy {
+            attempt_timeout,
+            retry: Some(retry),
+            budget: Some(budget),
+            breaker: Some(breaker),
+        }
+    }
+
+    /// Timeout only: one attempt, no retries, no breaker.
+    pub fn timeout_only(attempt_timeout: SimDuration) -> Self {
+        CallerPolicy {
+            attempt_timeout,
+            retry: None,
+            budget: None,
+            breaker: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let p = RetryPolicy::capped(10, SimDuration::from_millis(100), SimDuration::from_secs(1));
+        assert_eq!(p.backoff_for(0, 0.0), SimDuration::from_millis(100));
+        assert_eq!(p.backoff_for(1, 0.0), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_for(2, 0.0), SimDuration::from_millis(400));
+        assert_eq!(p.backoff_for(3, 0.0), SimDuration::from_millis(800));
+        assert_eq!(p.backoff_for(4, 0.0), SimDuration::from_secs(1));
+        assert_eq!(p.backoff_for(60, 0.0), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn jitter_adds_at_most_the_fraction() {
+        let p = RetryPolicy::capped(4, SimDuration::from_millis(100), SimDuration::from_secs(2))
+            .with_jitter(0.5);
+        let floor = p.backoff_for(1, 0.0);
+        let near_ceiling = p.backoff_for(1, 0.999);
+        assert_eq!(floor, SimDuration::from_millis(200));
+        assert!(near_ceiling < SimDuration::from_millis(300));
+        assert!(near_ceiling > SimDuration::from_millis(290));
+    }
+
+    #[test]
+    fn token_bucket_spends_and_refills() {
+        let mut b = TokenBucket::new(RetryBudget::new(2.0, 1.0), SimTime::ZERO);
+        assert!(b.try_withdraw(SimTime::ZERO));
+        assert!(b.try_withdraw(SimTime::ZERO));
+        assert!(!b.try_withdraw(SimTime::ZERO));
+        // 1 token/s: after 1.5 s one full token is back.
+        assert!(b.try_withdraw(SimTime::from_millis(1_500)));
+        assert!(!b.try_withdraw(SimTime::from_millis(1_500)));
+    }
+
+    #[test]
+    fn token_bucket_caps_at_capacity() {
+        let mut b = TokenBucket::new(RetryBudget::new(3.0, 10.0), SimTime::ZERO);
+        assert!((b.available(SimTime::from_secs(100)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let mut br = CircuitBreaker::new(BreakerConfig::new(2, SimDuration::from_secs(5)));
+        let t0 = SimTime::ZERO;
+        assert!(br.try_acquire(t0));
+        br.on_failure(t0);
+        assert_eq!(br.state(t0), BreakerState::Closed);
+        br.on_failure(t0);
+        assert_eq!(br.state(t0), BreakerState::Open);
+        assert!(!br.try_acquire(SimTime::from_secs(4)));
+        // Open window elapsed: half-open admits exactly one probe.
+        let t = SimTime::from_secs(5);
+        assert!(br.try_acquire(t));
+        assert!(!br.try_acquire(t));
+        br.on_success(t);
+        assert_eq!(br.state(t), BreakerState::Closed);
+        assert_eq!(br.transitions(), 3);
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_probe() {
+        let mut br = CircuitBreaker::new(BreakerConfig::new(1, SimDuration::from_secs(2)));
+        br.on_failure(SimTime::ZERO);
+        let t = SimTime::from_secs(2);
+        assert!(br.try_acquire(t));
+        br.on_failure(t);
+        assert_eq!(br.state(t), BreakerState::Open);
+        assert!(!br.try_acquire(SimTime::from_millis(3_900)));
+        assert!(br.try_acquire(SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn shed_policy_depth_and_deadline() {
+        let p = ShedPolicy::on_depth(10).with_deadline(SimDuration::from_secs(1));
+        assert!(!p.should_shed(9, SimDuration::from_millis(500)));
+        assert!(p.should_shed(10, SimDuration::ZERO));
+        assert!(p.should_shed(0, SimDuration::from_millis(1_001)));
+        assert!(!ShedPolicy::default().should_shed(usize::MAX, SimDuration::from_secs(999)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Backoff is monotone in the attempt index and never exceeds
+        /// cap * (1 + jitter).
+        #[test]
+        fn backoff_monotone_and_bounded(
+            base_ms in 1u64..1_000,
+            cap_ms in 1u64..100_000,
+            frac in 0.0f64..=1.0,
+            unit in 0.0f64..1.0,
+        ) {
+            let p = RetryPolicy::capped(
+                64,
+                SimDuration::from_millis(base_ms),
+                SimDuration::from_millis(cap_ms),
+            )
+            .with_jitter(frac);
+            let mut last = SimDuration::ZERO;
+            for attempt in 0..66 {
+                let b = p.backoff_for(attempt, 0.0);
+                prop_assert!(b >= last);
+                last = b;
+            }
+            let effective_cap = cap_ms.max(base_ms);
+            let with_jitter = p.backoff_for(65, unit);
+            let bound = SimDuration::from_micros(
+                (effective_cap * 1_000) + ((effective_cap * 1_000) as f64 * frac) as u64 + 1,
+            );
+            prop_assert!(with_jitter <= bound, "{with_jitter} > {bound}");
+        }
+
+        /// The bucket never goes negative and never exceeds capacity.
+        #[test]
+        fn bucket_stays_within_bounds(
+            cap in 1.0f64..20.0,
+            rate in 0.0f64..10.0,
+            steps in proptest::collection::vec((0u64..5_000, any::<bool>()), 1..50),
+        ) {
+            let mut bucket = TokenBucket::new(RetryBudget::new(cap, rate), SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            for (dt_ms, withdraw) in steps {
+                now += SimDuration::from_millis(dt_ms);
+                if withdraw {
+                    let _ = bucket.try_withdraw(now);
+                }
+                let avail = bucket.available(now);
+                prop_assert!(avail >= 0.0);
+                prop_assert!(avail <= cap + 1e-9);
+            }
+        }
+    }
+}

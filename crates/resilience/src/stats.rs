@@ -1,0 +1,62 @@
+//! Resilience telemetry counters.
+
+/// Counters for one hop (or one tier's admission point). The DES engine
+/// keeps one per tier plus one for the client hop; the live testbed keeps
+/// one per `Tier`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Attempts abandoned by the caller's attempt timeout.
+    pub timeouts: u64,
+    /// Application-level retries actually sent.
+    pub retries: u64,
+    /// Retries suppressed by an exhausted token-bucket budget.
+    pub budget_exhausted: u64,
+    /// Requests rejected fast by an open breaker or a shed policy.
+    pub shed: u64,
+    /// Circuit-breaker state transitions.
+    pub breaker_transitions: u64,
+    /// Orphaned attempts (abandoned by timeout) that still ran to
+    /// completion downstream — pure wasted work.
+    pub orphan_completions: u64,
+}
+
+impl ResilienceStats {
+    /// Element-wise sum, for whole-run aggregation.
+    pub fn merge(&self, other: &ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            timeouts: self.timeouts + other.timeouts,
+            retries: self.retries + other.retries,
+            budget_exhausted: self.budget_exhausted + other.budget_exhausted,
+            shed: self.shed + other.shed,
+            breaker_transitions: self.breaker_transitions + other.breaker_transitions,
+            orphan_completions: self.orphan_completions + other.orphan_completions,
+        }
+    }
+
+    /// `true` when every counter is zero (no resilience activity).
+    pub fn is_quiet(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = ResilienceStats {
+            timeouts: 1,
+            retries: 2,
+            budget_exhausted: 3,
+            shed: 4,
+            breaker_transitions: 5,
+            orphan_completions: 6,
+        };
+        let b = a.merge(&a);
+        assert_eq!(b.timeouts, 2);
+        assert_eq!(b.orphan_completions, 12);
+        assert!(!b.is_quiet());
+        assert!(ResilienceStats::default().is_quiet());
+    }
+}

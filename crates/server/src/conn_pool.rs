@@ -48,7 +48,10 @@ impl ConnectionPool {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "connection pool needs at least one connection");
+        assert!(
+            capacity > 0,
+            "connection pool needs at least one connection"
+        );
         ConnectionPool {
             capacity,
             in_use: 0,

@@ -92,7 +92,10 @@ impl StallTimeline {
                 // Run until the stall starts or demand is exhausted.
                 let run = remaining.min(s - cursor);
                 if run > 0 {
-                    segments.push((SimTime::from_micros(cursor), SimTime::from_micros(cursor + run)));
+                    segments.push((
+                        SimTime::from_micros(cursor),
+                        SimTime::from_micros(cursor + run),
+                    ));
                     cursor += run;
                     remaining -= run;
                 }
@@ -366,7 +369,7 @@ mod tests {
             let mut busy = SimDuration::ZERO;
             let total: u64 = demands.iter().sum();
             for d in demands {
-                busy = busy + cpu.run(SimTime::ZERO, SimDuration::from_micros(d)).busy_time();
+                busy += cpu.run(SimTime::ZERO, SimDuration::from_micros(d)).busy_time();
             }
             prop_assert_eq!(busy, SimDuration::from_micros(total));
         }

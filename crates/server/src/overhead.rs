@@ -61,7 +61,8 @@ impl ThreadOverheadModel {
     pub fn effective_demand(&self, base: SimDuration, active: usize) -> SimDuration {
         let billable = active.saturating_sub(self.free_threads) as f64;
         let base_s = base.as_secs_f64();
-        let inflated = base_s * (1.0 + self.ctx_coeff * billable) + self.gc_coeff * billable * billable;
+        let inflated =
+            base_s * (1.0 + self.ctx_coeff * billable) + self.gc_coeff * billable * billable;
         SimDuration::from_secs_f64(inflated)
     }
 
@@ -114,7 +115,10 @@ mod tests {
             (1_000.0..1_400.0).contains(&tput_100),
             "tput@100 = {tput_100:.0}"
         );
-        assert!((400.0..650.0).contains(&tput_1600), "tput@1600 = {tput_1600:.0}");
+        assert!(
+            (400.0..650.0).contains(&tput_1600),
+            "tput@1600 = {tput_1600:.0}"
+        );
         // The collapse factor: paper shows ~3.1x.
         let factor = tput_100 / tput_1600;
         assert!((1.8..4.0).contains(&factor), "collapse factor {factor:.2}");

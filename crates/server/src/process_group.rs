@@ -46,7 +46,10 @@ impl ProcessGroup {
     ///
     /// Panics if `threads_per_process` or `max_processes` is zero.
     pub fn new(threads_per_process: usize, max_processes: usize, spawn_delay: SimDuration) -> Self {
-        assert!(threads_per_process > 0, "need at least one thread per process");
+        assert!(
+            threads_per_process > 0,
+            "need at least one thread per process"
+        );
         assert!(max_processes > 0, "need at least one process");
         ProcessGroup {
             threads_per_process,

@@ -114,13 +114,10 @@ impl LatencyHistogram {
     /// Number of samples at or above `threshold` (the VLRT count when called
     /// with 3 s).
     pub fn count_above(&self, threshold: SimDuration) -> u64 {
-        let first = (threshold.as_micros() + self.bucket_width.as_micros() - 1)
-            / self.bucket_width.as_micros();
-        let in_buckets: u64 = self
-            .counts
-            .iter()
-            .skip(first as usize)
-            .sum();
+        let first = threshold
+            .as_micros()
+            .div_ceil(self.bucket_width.as_micros());
+        let in_buckets: u64 = self.counts.iter().skip(first as usize).sum();
         in_buckets + self.overflow
     }
 
@@ -154,8 +151,7 @@ impl LatencyHistogram {
     /// For a CTQO run this returns clusters near 0 ms, ~3 s, ~6 s, ~9 s; for
     /// a healthy async run it returns the single service-time cluster.
     pub fn modes(&self, min_gap: SimDuration, min_count: u64) -> Vec<Mode> {
-        let gap_buckets =
-            (min_gap.as_micros() / self.bucket_width.as_micros()).max(1) as usize;
+        let gap_buckets = (min_gap.as_micros() / self.bucket_width.as_micros()).max(1) as usize;
         let mut modes = Vec::new();
         let mut run: Option<RunState> = None;
         let mut empties = 0usize;

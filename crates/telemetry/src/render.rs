@@ -41,7 +41,11 @@ pub fn semilog_histogram(h: &LatencyHistogram, group: usize, width: usize) -> St
         .fold(0.0_f64, f64::max)
         .max(1e-9);
     let mut out = String::new();
-    let _ = writeln!(out, "{:>10} {:>9}  frequency (log scale)", "latency", "count");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>9}  frequency (log scale)",
+        "latency", "count"
+    );
     for (start, count) in rows {
         let bar_len = (((count + 1) as f64).log10() / max_log * width as f64).round() as usize;
         let label = if start == u64::MAX {
@@ -49,7 +53,11 @@ pub fn semilog_histogram(h: &LatencyHistogram, group: usize, width: usize) -> St
         } else {
             format!("{:.2}s", start as f64 / 1e3)
         };
-        let _ = writeln!(out, "{label:>10} {count:>9}  {}", "#".repeat(bar_len.max(1)));
+        let _ = writeln!(
+            out,
+            "{label:>10} {count:>9}  {}",
+            "#".repeat(bar_len.max(1))
+        );
     }
     out
 }
@@ -74,7 +82,11 @@ pub fn sparkline(values: &[f64]) -> String {
 /// A labelled horizontal bar chart (used for throughput tables like Fig. 12).
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let width = width.max(10);
-    let hi = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-9);
+    let hi = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
@@ -88,9 +100,21 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
 /// field containing a comma or quote is quoted).
 pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    let _ = writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for row in rows {
-        let _ = writeln!(out, "{}", row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",")
+        );
     }
     out
 }

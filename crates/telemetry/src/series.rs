@@ -229,7 +229,9 @@ impl UtilizationSeries {
 
     /// Utilizations for all windows through the last touched one.
     pub fn utilizations(&self) -> Vec<f64> {
-        (0..self.busy_micros.len()).map(|i| self.utilization(i)).collect()
+        (0..self.busy_micros.len())
+            .map(|i| self.utilization(i))
+            .collect()
     }
 
     /// Mean utilization over windows `[0, through_window]` (inclusive),

@@ -60,8 +60,6 @@ impl ClosedLoopSpec {
         self.clients
     }
 
-
-
     /// Draws one think-time gap.
     pub fn think_time(&self, rng: &mut SimRng) -> SimDuration {
         self.think.sample(rng)
@@ -109,7 +107,9 @@ mod tests {
         let spec = ClosedLoopSpec::rubbos(10);
         let mut rng = SimRng::seed_from(3);
         let n = 20_000;
-        let total: f64 = (0..n).map(|_| spec.think_time(&mut rng).as_secs_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| spec.think_time(&mut rng).as_secs_f64())
+            .sum();
         let mean = total / n as f64;
         assert!((mean - 7.0).abs() < 0.2, "mean think {mean}");
     }

@@ -33,10 +33,19 @@ impl FlashCrowd {
     /// Panics if any rate is negative/non-finite, both rates are zero, or
     /// `decay_secs` is not strictly positive.
     pub fn new(base_rate: f64, peak_extra: f64, onset: SimTime, decay_secs: f64) -> Self {
-        assert!(base_rate.is_finite() && base_rate >= 0.0, "base rate must be non-negative");
-        assert!(peak_extra.is_finite() && peak_extra >= 0.0, "peak must be non-negative");
+        assert!(
+            base_rate.is_finite() && base_rate >= 0.0,
+            "base rate must be non-negative"
+        );
+        assert!(
+            peak_extra.is_finite() && peak_extra >= 0.0,
+            "peak must be non-negative"
+        );
         assert!(base_rate + peak_extra > 0.0, "some traffic is required");
-        assert!(decay_secs.is_finite() && decay_secs > 0.0, "decay must be positive");
+        assert!(
+            decay_secs.is_finite() && decay_secs > 0.0,
+            "decay must be positive"
+        );
         FlashCrowd {
             base_rate,
             peak_extra,

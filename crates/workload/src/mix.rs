@@ -53,7 +53,10 @@ impl RequestProfile {
         db: Box<dyn Distribution>,
         db_queries: u32,
     ) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
         if kind == RequestKind::Static {
             assert_eq!(db_queries, 0, "static requests issue no database queries");
         }
@@ -142,7 +145,15 @@ impl RequestMix {
                 Box::new(Point::new(0.0)),
                 0,
             ),
-            RequestProfile::new("view_story", 0.35, RequestKind::Dynamic, d(0.05), d(1.00), d(0.20), 2),
+            RequestProfile::new(
+                "view_story",
+                0.35,
+                RequestKind::Dynamic,
+                d(0.05),
+                d(1.00),
+                d(0.20),
+                2,
+            ),
             RequestProfile::new(
                 "stories_of_the_day",
                 0.25,
@@ -214,7 +225,9 @@ impl RequestMix {
             RequestKind::Static => (SimDuration::ZERO, Vec::new()),
             RequestKind::Dynamic => (
                 chosen.app.sample(rng),
-                (0..chosen.db_queries).map(|_| chosen.db.sample(rng)).collect(),
+                (0..chosen.db_queries)
+                    .map(|_| chosen.db.sample(rng))
+                    .collect(),
             ),
         };
         SampledRequest {
@@ -280,7 +293,10 @@ mod tests {
         let mix = RequestMix::rubbos_browse();
         let mean_ms = mix.mean_app_demand_secs() * 1e3;
         // 0.75 ms/request at the app tier: 43% at 572 req/s (Fig. 1(a)).
-        assert!((0.65..0.85).contains(&mean_ms), "mean app demand {mean_ms} ms");
+        assert!(
+            (0.65..0.85).contains(&mean_ms),
+            "mean app demand {mean_ms} ms"
+        );
         let util_at_572 = 572.0 * mix.mean_app_demand_secs();
         assert!((0.38..0.50).contains(&util_at_572), "util {util_at_572}");
         let util_at_1103 = 1_103.0 * mix.mean_app_demand_secs();

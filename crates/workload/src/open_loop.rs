@@ -102,8 +102,14 @@ impl Mmpp2 {
         mean_normal_sojourn_secs: f64,
         mean_burst_sojourn_secs: f64,
     ) -> Self {
-        assert!(base_rate.is_finite() && base_rate > 0.0, "base rate must be positive");
-        assert!(burst_rate.is_finite() && burst_rate > 0.0, "burst rate must be positive");
+        assert!(
+            base_rate.is_finite() && base_rate > 0.0,
+            "base rate must be positive"
+        );
+        assert!(
+            burst_rate.is_finite() && burst_rate > 0.0,
+            "burst rate must be positive"
+        );
         assert!(
             mean_normal_sojourn_secs.is_finite() && mean_normal_sojourn_secs > 0.0,
             "normal sojourn must be positive"
@@ -144,7 +150,9 @@ impl Mmpp2 {
             };
             // On first call, initialize with a normal-phase sojourn instead
             // of flipping straight into a burst at t=0.
-            if self.phase_ends == SimTime::ZERO && self.phase == Phase::Normal && now == SimTime::ZERO
+            if self.phase_ends == SimTime::ZERO
+                && self.phase == Phase::Normal
+                && now == SimTime::ZERO
             {
                 let s = -self.mean_normal_sojourn_secs * rng.next_f64_open().ln();
                 self.phase_ends = now + SimDuration::from_secs_f64(s);
@@ -152,7 +160,7 @@ impl Mmpp2 {
             }
             self.phase = next;
             let s = -sojourn * rng.next_f64_open().ln();
-            self.phase_ends = self.phase_ends + SimDuration::from_secs_f64(s);
+            self.phase_ends += SimDuration::from_secs_f64(s);
         }
     }
 
@@ -187,7 +195,11 @@ impl Mmpp2 {
 /// Bins arrival times into fixed windows and returns per-window counts —
 /// feed the result to `ntier_telemetry::stats::index_of_dispersion` to
 /// measure burstiness.
-pub fn windowed_counts(arrivals: &[SimTime], window: SimDuration, horizon: SimDuration) -> Vec<f64> {
+pub fn windowed_counts(
+    arrivals: &[SimTime],
+    window: SimDuration,
+    horizon: SimDuration,
+) -> Vec<f64> {
     assert!(!window.is_zero(), "window must be non-zero");
     let n = (horizon.as_micros() / window.as_micros()) as usize;
     let mut counts = vec![0.0; n.max(1)];
@@ -275,7 +287,10 @@ mod tests {
             total += m.arrivals(horizon, &mut rng).len();
         }
         let rate = total as f64 / (300.0 * seeds.len() as f64);
-        assert!((rate - expect).abs() / expect < 0.12, "rate {rate}, expect {expect}");
+        assert!(
+            (rate - expect).abs() / expect < 0.12,
+            "rate {rate}, expect {expect}"
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl BurstSchedule {
 
     /// The §V-B controlled experiment: 400 requests every 15 s.
     pub fn paper_vm_consolidation(horizon: SimDuration) -> Self {
-        BurstSchedule::periodic(SimTime::from_secs(7), SimDuration::from_secs(15), 400, horizon)
+        BurstSchedule::periodic(
+            SimTime::from_secs(7),
+            SimDuration::from_secs(15),
+            400,
+            horizon,
+        )
     }
 
     /// The irregular burst marks of Fig. 3 (2, 5, 9, 15 s).
@@ -130,7 +135,11 @@ mod tests {
             400,
             SimDuration::from_secs(60),
         );
-        let at: Vec<u64> = s.bursts().iter().map(|b| b.at.as_millis() / 1_000).collect();
+        let at: Vec<u64> = s
+            .bursts()
+            .iter()
+            .map(|b| b.at.as_millis() / 1_000)
+            .collect();
         assert_eq!(at, vec![7, 22, 37, 52]);
         assert_eq!(s.total_requests(), 1_600);
     }
@@ -138,13 +147,18 @@ mod tests {
     #[test]
     fn fig3_marks() {
         let s = BurstSchedule::paper_fig3(400);
-        let at: Vec<u64> = s.bursts().iter().map(|b| b.at.as_millis() / 1_000).collect();
+        let at: Vec<u64> = s
+            .bursts()
+            .iter()
+            .map(|b| b.at.as_millis() / 1_000)
+            .collect();
         assert_eq!(at, vec![2, 5, 9, 15]);
     }
 
     #[test]
     fn arrivals_expand_and_sort() {
-        let s = BurstSchedule::from_bursts([(SimTime::from_secs(5), 3), (SimTime::from_secs(1), 2)]);
+        let s =
+            BurstSchedule::from_bursts([(SimTime::from_secs(5), 3), (SimTime::from_secs(1), 2)]);
         let a = s.arrivals();
         assert_eq!(a.len(), 5);
         assert_eq!(a[0], SimTime::from_secs(1));
@@ -157,7 +171,10 @@ mod tests {
             .with_spread(SimDuration::from_millis(40));
         let a = s.arrivals();
         assert_eq!(a[0], SimTime::from_secs(1));
-        assert_eq!(*a.last().unwrap(), SimTime::from_secs(1) + SimDuration::from_millis(40));
+        assert_eq!(
+            *a.last().unwrap(),
+            SimTime::from_secs(1) + SimDuration::from_millis(40)
+        );
         // strictly increasing offsets
         for w in a.windows(2) {
             assert!(w[0] < w[1]);

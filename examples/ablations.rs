@@ -25,7 +25,8 @@ use ntier_workload::{PoissonProcess, RequestMix};
 const RATE: f64 = 1_000.0;
 
 fn base_system(stall_ms: u64, web_threads: usize, backlog: usize) -> SystemConfig {
-    let stalls = StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
+    let stalls =
+        StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
     SystemConfig::three_tier(
         TierConfig::sync("Web", web_threads, backlog).with_stalls(stalls),
         TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
@@ -53,22 +54,45 @@ fn main() {
     println!("   closed-form threshold: 278 ms");
     println!("   {:>10} {:>8} {:>8}", "stall", "drops", "VLRT");
     for stall_ms in [100u64, 200, 250, 300, 400, 600, 800] {
-        let r = run(base_system(stall_ms, 150, 128), RetransmitPolicy::default(), 7);
-        println!("   {stall_ms:>8}ms {:>8} {:>8}", r.drops_total, r.vlrt_total);
+        let r = run(
+            base_system(stall_ms, 150, 128),
+            RetransmitPolicy::default(),
+            7,
+        );
+        println!(
+            "   {stall_ms:>8}ms {:>8} {:>8}",
+            r.drops_total, r.vlrt_total
+        );
     }
 
     println!("\n== 2. backlog sweep (400 ms stall, 150 threads) ==");
     println!("   {:>10} {:>10} {:>8}", "backlog", "capacity", "drops");
     for backlog in [0usize, 64, 128, 256, 512] {
-        let r = run(base_system(400, 150, backlog), RetransmitPolicy::default(), 7);
-        println!("   {backlog:>10} {:>10} {:>8}", 150 + backlog, r.drops_total);
+        let r = run(
+            base_system(400, 150, backlog),
+            RetransmitPolicy::default(),
+            7,
+        );
+        println!(
+            "   {backlog:>10} {:>10} {:>8}",
+            150 + backlog,
+            r.drops_total
+        );
     }
 
     println!("\n== 3. thread-pool sweep (400 ms stall, backlog 128) ==");
     println!("   {:>10} {:>10} {:>8}", "threads", "capacity", "drops");
     for threads in [50usize, 150, 300, 600, 1_200] {
-        let r = run(base_system(400, threads, 128), RetransmitPolicy::default(), 7);
-        println!("   {threads:>10} {:>10} {:>8}", threads + 128, r.drops_total);
+        let r = run(
+            base_system(400, threads, 128),
+            RetransmitPolicy::default(),
+            7,
+        );
+        println!(
+            "   {threads:>10} {:>10} {:>8}",
+            threads + 128,
+            r.drops_total
+        );
     }
     println!("   (enough threads absorb one 400 ms stall — but see Fig. 12 /");
     println!("    `thread_overhead` for what 2000-thread pools cost under load)");
@@ -76,8 +100,14 @@ fn main() {
     println!("\n== 4. retransmission-policy ablation (600 ms stall) ==");
     for (name, policy) in [
         ("RHEL6 flat 3s", RetransmitPolicy::rhel6_syn(3)),
-        ("exp backoff 1s", RetransmitPolicy::exponential(SimDuration::from_secs(1), 4)),
-        ("exp backoff 3s", RetransmitPolicy::exponential(SimDuration::from_secs(3), 3)),
+        (
+            "exp backoff 1s",
+            RetransmitPolicy::exponential(SimDuration::from_secs(1), 4),
+        ),
+        (
+            "exp backoff 3s",
+            RetransmitPolicy::exponential(SimDuration::from_secs(3), 3),
+        ),
     ] {
         let r = run(base_system(600, 150, 128), policy, 7);
         let modes: Vec<String> = r

@@ -60,7 +60,11 @@ fn run_ladder(stall_tier: usize) {
             report.drops_total,
             report.vlrt_total,
             report.highest_mean_util() * 100.0,
-            if sites.is_empty() { "none".to_string() } else { sites.join(", ") }
+            if sites.is_empty() {
+                "none".to_string()
+            } else {
+                sites.join(", ")
+            }
         );
     }
     println!();

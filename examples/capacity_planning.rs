@@ -62,11 +62,20 @@ fn main() {
 
     println!("\n-- verification by simulation (stall injected at t = 5 s) --");
     // Paper default: 150 threads + 128 backlog = 278 < 600 → drops.
-    verify(TierConfig::sync("Web", 150, 128), "sync 150+128 = 278 (paper default)");
+    verify(
+        TierConfig::sync("Web", 150, 128),
+        "sync 150+128 = 278 (paper default)",
+    );
     // The "RPC purist" fix: enough threads. 600+128 = 728 > 600+convoy.
-    verify(TierConfig::sync("Web", 640, 128), "sync 640+128 = 768 (purist fix)");
+    verify(
+        TierConfig::sync("Web", 640, 128),
+        "sync 640+128 = 768 (purist fix)",
+    );
     // Slightly under-provisioned: the drain convoy still bites.
-    verify(TierConfig::sync("Web", 480, 128), "sync 480+128 = 608 (cutting it close)");
+    verify(
+        TierConfig::sync("Web", 480, 128),
+        "sync 480+128 = 608 (cutting it close)",
+    );
     // Event-driven front with the paper's LiteQDepth.
     verify(
         TierConfig::asynchronous("Web", 65_535, 4),

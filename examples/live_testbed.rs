@@ -28,23 +28,24 @@ fn run(label: &str, sync: bool) {
             .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
             .tier(TierSpec::sync("db", 2, 2, SERVICE))
             .build()
+            .expect("spawn chain")
     } else {
         builder
             .tier(TierSpec::asynchronous("web", 4_096, 2, SERVICE))
             .tier(TierSpec::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
             .tier(TierSpec::asynchronous("db", 4_096, 2, SERVICE))
             .build()
+            .expect("spawn chain")
     };
 
     // Raise the millibottleneck, fire the burst into it, lower it.
     gate.begin();
     let front = chain.front();
-    let burst = std::thread::spawn(move || {
-        fire_burst_with_rto(front, 32, Duration::from_secs(15), RTO)
-    });
+    let burst =
+        std::thread::spawn(move || fire_burst_with_rto(front, 32, Duration::from_secs(15), RTO));
     std::thread::sleep(STALL);
     gate.end();
-    let outcome = burst.join().expect("burst thread");
+    let outcome = burst.join().expect("burst thread").expect("burst");
 
     println!("== {label} ==");
     println!(
@@ -56,18 +57,14 @@ fn run(label: &str, sync: bool) {
     for (name, drops) in chain.names().iter().zip(chain.drops()) {
         println!("  {name:<4} drops {drops}");
     }
-    let fast = outcome
-        .latencies
-        .iter()
-        .filter(|l| **l < RTO)
-        .count();
+    let fast = outcome.latencies.iter().filter(|l| **l < RTO).count();
     println!(
         "  latency: {} fast (<{RTO:?}), {} delayed by retransmission, max {:?}",
         fast,
         outcome.latencies.len() - fast,
         outcome.max_latency()
     );
-    chain.shutdown();
+    chain.shutdown().expect("clean shutdown");
     println!();
 }
 
@@ -77,7 +74,10 @@ fn main() {
          retransmission timeout {RTO:?} (a scaled-down TCP RTO).\n"
     );
     run("synchronous chain (2 threads + 2 backlog per tier)", true);
-    run("asynchronous chain (LiteQDepth 4096, 2 workers per tier)", false);
+    run(
+        "asynchronous chain (LiteQDepth 4096, 2 workers per tier)",
+        false,
+    );
     println!(
         "The sync chain drops at the *web* tier (its threads are held by the\n\
          stalled app tier — upstream CTQO) and the retransmitted requests\n\

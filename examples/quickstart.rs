@@ -47,11 +47,7 @@ fn main() {
         for ep in &episodes {
             println!(
                 "  {} at {} ({}–{}): {} packets dropped",
-                ep.class,
-                report.tiers[ep.drop_tier].name,
-                ep.start,
-                ep.end,
-                ep.drops
+                ep.class, report.tiers[ep.drop_tier].name, ep.start, ep.end, ep.drops
             );
         }
         if episodes.is_empty() {

@@ -1,0 +1,35 @@
+//! Runs the three arms of the retry-storm experiment and prints the
+//! headline comparison: naive retries create a VLRT tail the no-retry
+//! baseline does not have; a retry budget + circuit breaker bound it.
+//!
+//! ```sh
+//! cargo run --example retry_storm_probe
+//! ```
+
+use ntier_core::experiment::{retry_storm, RetryStormVariant};
+
+fn main() {
+    println!(
+        "{:<9} {:>8} {:>9} {:>6} {:>5} {:>5} {:>8} {:>8} {:>8}",
+        "arm", "injected", "completed", "failed", "shed", "vlrt", "vlrt%", "timeouts", "retries"
+    );
+    for (label, variant) in [
+        ("baseline", RetryStormVariant::Baseline),
+        ("naive", RetryStormVariant::Naive),
+        ("hardened", RetryStormVariant::Hardened),
+    ] {
+        let r = retry_storm(variant, 7).run();
+        assert!(r.is_conserved(), "{label}: {}", r.summary());
+        println!(
+            "{label:<9} {:>8} {:>9} {:>6} {:>5} {:>5} {:>7.2}% {:>8} {:>8}",
+            r.injected,
+            r.completed,
+            r.failed,
+            r.shed,
+            r.vlrt_total,
+            r.vlrt_fraction() * 100.0,
+            r.resilience.timeouts,
+            r.resilience.retries,
+        );
+    }
+}

@@ -27,7 +27,11 @@ fn main() {
         let mut rng = SimRng::seed_from(77);
         let arrivals = crowd.arrivals(horizon, &mut rng);
         let system = presets::with_nx(nx);
-        let label = if nx == 0 { "SYNC (Apache–Tomcat–MySQL)" } else { "ASYNC (NX=3)" };
+        let label = if nx == 0 {
+            "SYNC (Apache–Tomcat–MySQL)"
+        } else {
+            "ASYNC (NX=3)"
+        };
         let report = Engine::new(
             system.clone(),
             Workload::Open {

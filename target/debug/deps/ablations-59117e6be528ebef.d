@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-59117e6be528ebef.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-59117e6be528ebef: tests/ablations.rs
+
+tests/ablations.rs:

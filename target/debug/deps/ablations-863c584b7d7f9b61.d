@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-863c584b7d7f9b61.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-863c584b7d7f9b61: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-a6e5fa1e5644e19c.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-a6e5fa1e5644e19c.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fd1da6fc0a349fb1.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fd1da6fc0a349fb1: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_arithmetic-1e9a6922c1e0dab1.d: tests/capacity_arithmetic.rs
+
+/root/repo/target/debug/deps/capacity_arithmetic-1e9a6922c1e0dab1: tests/capacity_arithmetic.rs
+
+tests/capacity_arithmetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_arithmetic-67f7ef84648d3ec1.d: tests/capacity_arithmetic.rs
+
+/root/repo/target/debug/deps/capacity_arithmetic-67f7ef84648d3ec1: tests/capacity_arithmetic.rs
+
+tests/capacity_arithmetic.rs:

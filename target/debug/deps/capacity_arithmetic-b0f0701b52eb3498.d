@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_arithmetic-b0f0701b52eb3498.d: tests/capacity_arithmetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_arithmetic-b0f0701b52eb3498.rmeta: tests/capacity_arithmetic.rs Cargo.toml
+
+tests/capacity_arithmetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

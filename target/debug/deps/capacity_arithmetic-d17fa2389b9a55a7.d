@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_arithmetic-d17fa2389b9a55a7.d: tests/capacity_arithmetic.rs
+
+/root/repo/target/debug/deps/capacity_arithmetic-d17fa2389b9a55a7: tests/capacity_arithmetic.rs
+
+tests/capacity_arithmetic.rs:

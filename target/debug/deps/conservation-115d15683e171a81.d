@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-115d15683e171a81.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-115d15683e171a81: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conservation-2d70722a6e543aca.d: tests/conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservation-2d70722a6e543aca.rmeta: tests/conservation.rs Cargo.toml
+
+tests/conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-a5e323f3aa7b44a2.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-a5e323f3aa7b44a2: tests/conservation.rs
+
+tests/conservation.rs:

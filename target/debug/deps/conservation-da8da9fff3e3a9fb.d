@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-da8da9fff3e3a9fb.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-da8da9fff3e3a9fb: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_chains-07e697db71234765.d: tests/deep_chains.rs
+
+/root/repo/target/debug/deps/deep_chains-07e697db71234765: tests/deep_chains.rs
+
+tests/deep_chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_chains-1b41bcc08edc9c91.d: tests/deep_chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_chains-1b41bcc08edc9c91.rmeta: tests/deep_chains.rs Cargo.toml
+
+tests/deep_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

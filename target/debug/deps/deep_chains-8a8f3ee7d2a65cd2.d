@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_chains-8a8f3ee7d2a65cd2.d: tests/deep_chains.rs
+
+/root/repo/target/debug/deps/deep_chains-8a8f3ee7d2a65cd2: tests/deep_chains.rs
+
+tests/deep_chains.rs:

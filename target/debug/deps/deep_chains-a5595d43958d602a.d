@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_chains-a5595d43958d602a.d: tests/deep_chains.rs
+
+/root/repo/target/debug/deps/deep_chains-a5595d43958d602a: tests/deep_chains.rs
+
+tests/deep_chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_chain_depth-15459459c15ef1a6.d: crates/bench/benches/ext_chain_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_chain_depth-15459459c15ef1a6.rmeta: crates/bench/benches/ext_chain_depth.rs Cargo.toml
+
+crates/bench/benches/ext_chain_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

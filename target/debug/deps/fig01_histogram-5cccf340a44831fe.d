@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_histogram-5cccf340a44831fe.d: crates/bench/benches/fig01_histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_histogram-5cccf340a44831fe.rmeta: crates/bench/benches/fig01_histogram.rs Cargo.toml
+
+crates/bench/benches/fig01_histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

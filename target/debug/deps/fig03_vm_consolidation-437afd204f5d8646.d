@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_vm_consolidation-437afd204f5d8646.d: crates/bench/benches/fig03_vm_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_vm_consolidation-437afd204f5d8646.rmeta: crates/bench/benches/fig03_vm_consolidation.rs Cargo.toml
+
+crates/bench/benches/fig03_vm_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

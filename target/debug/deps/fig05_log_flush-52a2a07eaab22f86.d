@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_log_flush-52a2a07eaab22f86.d: crates/bench/benches/fig05_log_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_log_flush-52a2a07eaab22f86.rmeta: crates/bench/benches/fig05_log_flush.rs Cargo.toml
+
+crates/bench/benches/fig05_log_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_nx1-2789110a1f369531.d: crates/bench/benches/fig07_nx1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_nx1-2789110a1f369531.rmeta: crates/bench/benches/fig07_nx1.rs Cargo.toml
+
+crates/bench/benches/fig07_nx1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_nx2_mysql-c8a209bdd09669c9.d: crates/bench/benches/fig08_nx2_mysql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_nx2_mysql-c8a209bdd09669c9.rmeta: crates/bench/benches/fig08_nx2_mysql.rs Cargo.toml
+
+crates/bench/benches/fig08_nx2_mysql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_nx2_xtomcat-b8d1c2dd46eeab64.d: crates/bench/benches/fig09_nx2_xtomcat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_nx2_xtomcat-b8d1c2dd46eeab64.rmeta: crates/bench/benches/fig09_nx2_xtomcat.rs Cargo.toml
+
+crates/bench/benches/fig09_nx2_xtomcat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

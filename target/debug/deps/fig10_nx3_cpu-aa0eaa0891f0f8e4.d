@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_nx3_cpu-aa0eaa0891f0f8e4.d: crates/bench/benches/fig10_nx3_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_nx3_cpu-aa0eaa0891f0f8e4.rmeta: crates/bench/benches/fig10_nx3_cpu.rs Cargo.toml
+
+crates/bench/benches/fig10_nx3_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_nx3_io-cdf6def16ff27b00.d: crates/bench/benches/fig11_nx3_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_nx3_io-cdf6def16ff27b00.rmeta: crates/bench/benches/fig11_nx3_io.rs Cargo.toml
+
+crates/bench/benches/fig11_nx3_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

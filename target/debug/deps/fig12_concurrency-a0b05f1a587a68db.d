@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_concurrency-a0b05f1a587a68db.d: crates/bench/benches/fig12_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_concurrency-a0b05f1a587a68db.rmeta: crates/bench/benches/fig12_concurrency.rs Cargo.toml
+
+crates/bench/benches/fig12_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

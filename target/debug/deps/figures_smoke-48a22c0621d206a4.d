@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-48a22c0621d206a4.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-48a22c0621d206a4: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

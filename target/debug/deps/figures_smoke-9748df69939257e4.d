@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-9748df69939257e4.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-9748df69939257e4: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

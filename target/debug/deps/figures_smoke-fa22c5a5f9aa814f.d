@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-fa22c5a5f9aa814f.d: tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-fa22c5a5f9aa814f.rmeta: tests/figures_smoke.rs Cargo.toml
+
+tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-fd05e600b8b45abc.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-fd05e600b8b45abc: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

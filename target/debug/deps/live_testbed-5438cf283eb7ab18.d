@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_testbed-5438cf283eb7ab18.d: tests/live_testbed.rs
+
+/root/repo/target/debug/deps/live_testbed-5438cf283eb7ab18: tests/live_testbed.rs
+
+tests/live_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_testbed-5747ec8910205221.d: tests/live_testbed.rs
+
+/root/repo/target/debug/deps/live_testbed-5747ec8910205221: tests/live_testbed.rs
+
+tests/live_testbed.rs:

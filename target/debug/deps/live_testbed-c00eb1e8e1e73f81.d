@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_testbed-c00eb1e8e1e73f81.d: tests/live_testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_testbed-c00eb1e8e1e73f81.rmeta: tests/live_testbed.rs Cargo.toml
+
+tests/live_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_testbed-cb4b8da6d2b9a9fa.d: tests/live_testbed.rs
+
+/root/repo/target/debug/deps/live_testbed-cb4b8da6d2b9a9fa: tests/live_testbed.rs
+
+tests/live_testbed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_substrates-2e0a6222183d40f7.d: crates/bench/benches/micro_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_substrates-2e0a6222183d40f7.rmeta: crates/bench/benches/micro_substrates.rs Cargo.toml
+
+crates/bench/benches/micro_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/millibottleneck_detection-71378c7afa018291.d: tests/millibottleneck_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmillibottleneck_detection-71378c7afa018291.rmeta: tests/millibottleneck_detection.rs Cargo.toml
+
+tests/millibottleneck_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/millibottleneck_detection-9fefd2b90b68ba22.d: tests/millibottleneck_detection.rs
+
+/root/repo/target/debug/deps/millibottleneck_detection-9fefd2b90b68ba22: tests/millibottleneck_detection.rs
+
+tests/millibottleneck_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/millibottleneck_detection-d6298b4f573e86bc.d: tests/millibottleneck_detection.rs
+
+/root/repo/target/debug/deps/millibottleneck_detection-d6298b4f573e86bc: tests/millibottleneck_detection.rs
+
+tests/millibottleneck_detection.rs:

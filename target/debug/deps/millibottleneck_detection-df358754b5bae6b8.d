@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/millibottleneck_detection-df358754b5bae6b8.d: tests/millibottleneck_detection.rs
+
+/root/repo/target/debug/deps/millibottleneck_detection-df358754b5bae6b8: tests/millibottleneck_detection.rs
+
+tests/millibottleneck_detection.rs:

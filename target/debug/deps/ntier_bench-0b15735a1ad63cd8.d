@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntier_bench-0b15735a1ad63cd8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libntier_bench-0b15735a1ad63cd8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libntier_bench-0b15735a1ad63cd8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntier_bench-80b6d643d6716031.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libntier_bench-80b6d643d6716031.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libntier_bench-80b6d643d6716031.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

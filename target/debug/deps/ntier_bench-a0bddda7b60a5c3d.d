@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntier_bench-a0bddda7b60a5c3d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_bench-a0bddda7b60a5c3d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

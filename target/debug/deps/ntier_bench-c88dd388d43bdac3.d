@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntier_bench-c88dd388d43bdac3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_bench-c88dd388d43bdac3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

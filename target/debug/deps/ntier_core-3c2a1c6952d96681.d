@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ntier_core-3c2a1c6952d96681.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_core-3c2a1c6952d96681.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/conditions.rs:
+crates/core/src/config.rs:
+crates/core/src/csv.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiment.rs:
+crates/core/src/laws.rs:
+crates/core/src/plan.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/servlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

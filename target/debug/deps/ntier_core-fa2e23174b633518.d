@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ntier_core-fa2e23174b633518.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs
+
+/root/repo/target/debug/deps/ntier_core-fa2e23174b633518: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/conditions.rs:
+crates/core/src/config.rs:
+crates/core/src/csv.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiment.rs:
+crates/core/src/laws.rs:
+crates/core/src/plan.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/servlet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntier_des-79401a70d3446e3d.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libntier_des-79401a70d3446e3d.rlib: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libntier_des-79401a70d3446e3d.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntier_des-da8799b8b662f48e.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_des-da8799b8b662f48e.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntier_des-e69a1b8fe9a649a1.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_des-e69a1b8fe9a649a1.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ntier_interference-754c2b16d24f3cfa.d: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_interference-754c2b16d24f3cfa.rmeta: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs Cargo.toml
+
+crates/interference/src/lib.rs:
+crates/interference/src/colocate.rs:
+crates/interference/src/dvfs.rs:
+crates/interference/src/gc.rs:
+crates/interference/src/logflush.rs:
+crates/interference/src/stall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntier_interference-9678848f25f58fe0.d: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+/root/repo/target/debug/deps/libntier_interference-9678848f25f58fe0.rlib: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+/root/repo/target/debug/deps/libntier_interference-9678848f25f58fe0.rmeta: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+crates/interference/src/lib.rs:
+crates/interference/src/colocate.rs:
+crates/interference/src/dvfs.rs:
+crates/interference/src/gc.rs:
+crates/interference/src/logflush.rs:
+crates/interference/src/stall.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ntier_interference-f44ed365012a7d9c.d: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_interference-f44ed365012a7d9c.rmeta: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs Cargo.toml
+
+crates/interference/src/lib.rs:
+crates/interference/src/colocate.rs:
+crates/interference/src/dvfs.rs:
+crates/interference/src/gc.rs:
+crates/interference/src/logflush.rs:
+crates/interference/src/stall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

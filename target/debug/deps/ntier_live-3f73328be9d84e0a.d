@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ntier_live-3f73328be9d84e0a.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_live-3f73328be9d84e0a.rmeta: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs Cargo.toml
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/policy.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

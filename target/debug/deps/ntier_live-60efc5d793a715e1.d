@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntier_live-60efc5d793a715e1.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/debug/deps/libntier_live-60efc5d793a715e1.rlib: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/debug/deps/libntier_live-60efc5d793a715e1.rmeta: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/policy.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntier_live-937f6ed35fbbfcaf.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/debug/deps/libntier_live-937f6ed35fbbfcaf.rlib: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/debug/deps/libntier_live-937f6ed35fbbfcaf.rmeta: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntier_live-f9d7abd2a2ef3193.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/debug/deps/ntier_live-f9d7abd2a2ef3193: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/policy.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntier_net-526c753b9469bcf1.d: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/ntier_net-526c753b9469bcf1: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/backlog.rs:
+crates/net/src/retransmit.rs:
+crates/net/src/wire.rs:

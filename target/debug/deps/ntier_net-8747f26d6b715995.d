@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntier_net-8747f26d6b715995.d: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libntier_net-8747f26d6b715995.rlib: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libntier_net-8747f26d6b715995.rmeta: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/backlog.rs:
+crates/net/src/retransmit.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntier_net-f07a006425df3443.d: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_net-f07a006425df3443.rmeta: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/backlog.rs:
+crates/net/src/retransmit.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntier_repro-00a9533571a127a4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-00a9533571a127a4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-00a9533571a127a4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntier_repro-092e1fda291eb5b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-092e1fda291eb5b3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-092e1fda291eb5b3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntier_repro-3cb637d328e8ceed.d: src/lib.rs
+
+/root/repo/target/debug/deps/ntier_repro-3cb637d328e8ceed: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntier_repro-5ce3c3d73ef1fa29.d: src/lib.rs
+
+/root/repo/target/debug/deps/ntier_repro-5ce3c3d73ef1fa29: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntier_repro-92c7e4953aab12bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-92c7e4953aab12bf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libntier_repro-92c7e4953aab12bf.rmeta: src/lib.rs
+
+src/lib.rs:

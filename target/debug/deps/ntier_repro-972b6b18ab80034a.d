@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntier_repro-972b6b18ab80034a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_repro-972b6b18ab80034a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntier_repro-a2eac2803ac323e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/ntier_repro-a2eac2803ac323e4: src/lib.rs
+
+src/lib.rs:

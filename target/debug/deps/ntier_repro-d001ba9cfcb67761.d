@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntier_repro-d001ba9cfcb67761.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_repro-d001ba9cfcb67761.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

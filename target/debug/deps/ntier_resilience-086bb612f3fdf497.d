@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntier_resilience-086bb612f3fdf497.d: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+/root/repo/target/debug/deps/ntier_resilience-086bb612f3fdf497: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/policy.rs:
+crates/resilience/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntier_resilience-24a2514530dbce9a.d: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+/root/repo/target/debug/deps/libntier_resilience-24a2514530dbce9a.rlib: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+/root/repo/target/debug/deps/libntier_resilience-24a2514530dbce9a.rmeta: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/policy.rs:
+crates/resilience/src/stats.rs:

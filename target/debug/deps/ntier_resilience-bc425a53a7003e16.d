@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntier_resilience-bc425a53a7003e16.d: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_resilience-bc425a53a7003e16.rmeta: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs Cargo.toml
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/policy.rs:
+crates/resilience/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntier_server-b098a9b905b11aba.d: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+/root/repo/target/debug/deps/libntier_server-b098a9b905b11aba.rlib: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+/root/repo/target/debug/deps/libntier_server-b098a9b905b11aba.rmeta: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+crates/server/src/lib.rs:
+crates/server/src/conn_pool.rs:
+crates/server/src/cpu.rs:
+crates/server/src/event_loop.rs:
+crates/server/src/overhead.rs:
+crates/server/src/process_group.rs:
+crates/server/src/thread_pool.rs:

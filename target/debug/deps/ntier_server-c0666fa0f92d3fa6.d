@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ntier_server-c0666fa0f92d3fa6.d: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_server-c0666fa0f92d3fa6.rmeta: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/conn_pool.rs:
+crates/server/src/cpu.rs:
+crates/server/src/event_loop.rs:
+crates/server/src/overhead.rs:
+crates/server/src/process_group.rs:
+crates/server/src/thread_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntier_telemetry-0840945d1293edf1.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/debug/deps/libntier_telemetry-0840945d1293edf1.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/debug/deps/libntier_telemetry-0840945d1293edf1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/render.rs:
+crates/telemetry/src/series.rs:
+crates/telemetry/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntier_telemetry-3c2f9957a6ffc4af.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_telemetry-3c2f9957a6ffc4af.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/render.rs:
+crates/telemetry/src/series.rs:
+crates/telemetry/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ntier_workload-189d32fefe9e0ea1.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntier_workload-189d32fefe9e0ea1.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/flash_crowd.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/scheduled.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntier_workload-2c45b1c53c739f8a.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libntier_workload-2c45b1c53c739f8a.rlib: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libntier_workload-2c45b1c53c739f8a.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/flash_crowd.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/scheduled.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nx_ladder-1db0103f5d37bc11.d: tests/nx_ladder.rs
+
+/root/repo/target/debug/deps/nx_ladder-1db0103f5d37bc11: tests/nx_ladder.rs
+
+tests/nx_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nx_ladder-2f35b3feebe29f94.d: tests/nx_ladder.rs
+
+/root/repo/target/debug/deps/nx_ladder-2f35b3feebe29f94: tests/nx_ladder.rs
+
+tests/nx_ladder.rs:

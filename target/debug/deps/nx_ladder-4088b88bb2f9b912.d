@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nx_ladder-4088b88bb2f9b912.d: tests/nx_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnx_ladder-4088b88bb2f9b912.rmeta: tests/nx_ladder.rs Cargo.toml
+
+tests/nx_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nx_ladder-fcff4f531df9baf0.d: tests/nx_ladder.rs
+
+/root/repo/target/debug/deps/nx_ladder-fcff4f531df9baf0: tests/nx_ladder.rs
+
+tests/nx_ladder.rs:

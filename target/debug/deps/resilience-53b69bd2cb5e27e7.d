@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-53b69bd2cb5e27e7.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-53b69bd2cb5e27e7: tests/resilience.rs
+
+tests/resilience.rs:

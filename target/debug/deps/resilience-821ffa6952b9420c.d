@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-821ffa6952b9420c.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-821ffa6952b9420c: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-bb61a3b1217866a4.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-bb61a3b1217866a4.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

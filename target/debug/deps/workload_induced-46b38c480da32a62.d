@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_induced-46b38c480da32a62.d: tests/workload_induced.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_induced-46b38c480da32a62.rmeta: tests/workload_induced.rs Cargo.toml
+
+tests/workload_induced.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

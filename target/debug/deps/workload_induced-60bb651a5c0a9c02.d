@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_induced-60bb651a5c0a9c02.d: tests/workload_induced.rs
+
+/root/repo/target/debug/deps/workload_induced-60bb651a5c0a9c02: tests/workload_induced.rs
+
+tests/workload_induced.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_induced-c26c3e5b432ac554.d: tests/workload_induced.rs
+
+/root/repo/target/debug/deps/workload_induced-c26c3e5b432ac554: tests/workload_induced.rs
+
+tests/workload_induced.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_induced-edbc164ecbad8a82.d: tests/workload_induced.rs
+
+/root/repo/target/debug/deps/workload_induced-edbc164ecbad8a82: tests/workload_induced.rs
+
+tests/workload_induced.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablations-1e17676a0f1c8bae.d: examples/ablations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablations-1e17676a0f1c8bae.rmeta: examples/ablations.rs Cargo.toml
+
+examples/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

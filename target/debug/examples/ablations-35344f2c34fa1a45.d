@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablations-35344f2c34fa1a45.d: examples/ablations.rs
+
+/root/repo/target/debug/examples/ablations-35344f2c34fa1a45: examples/ablations.rs
+
+examples/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablations-37da64b73a3ca676.d: examples/ablations.rs
+
+/root/repo/target/debug/examples/ablations-37da64b73a3ca676: examples/ablations.rs
+
+examples/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablations-db7a49e3ce75fbeb.d: examples/ablations.rs
+
+/root/repo/target/debug/examples/ablations-db7a49e3ce75fbeb: examples/ablations.rs
+
+examples/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_migration-2abe86cb50b8cbff.d: examples/async_migration.rs
+
+/root/repo/target/debug/examples/async_migration-2abe86cb50b8cbff: examples/async_migration.rs
+
+examples/async_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_migration-3a540682c70b3431.d: examples/async_migration.rs
+
+/root/repo/target/debug/examples/async_migration-3a540682c70b3431: examples/async_migration.rs
+
+examples/async_migration.rs:

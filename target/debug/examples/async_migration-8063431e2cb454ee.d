@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_migration-8063431e2cb454ee.d: examples/async_migration.rs
+
+/root/repo/target/debug/examples/async_migration-8063431e2cb454ee: examples/async_migration.rs
+
+examples/async_migration.rs:

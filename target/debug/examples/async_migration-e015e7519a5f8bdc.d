@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_migration-e015e7519a5f8bdc.d: examples/async_migration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_migration-e015e7519a5f8bdc.rmeta: examples/async_migration.rs Cargo.toml
+
+examples/async_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_planning-2c6e20af889a84f5.d: examples/capacity_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_planning-2c6e20af889a84f5.rmeta: examples/capacity_planning.rs Cargo.toml
+
+examples/capacity_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-301244c6387ca674.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-301244c6387ca674: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

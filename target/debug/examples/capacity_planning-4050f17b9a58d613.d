@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-4050f17b9a58d613.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-4050f17b9a58d613: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

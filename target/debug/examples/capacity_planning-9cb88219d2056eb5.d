@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-9cb88219d2056eb5.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-9cb88219d2056eb5: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deep_chains-462b2b23e50f47f8.d: examples/deep_chains.rs
+
+/root/repo/target/debug/examples/deep_chains-462b2b23e50f47f8: examples/deep_chains.rs
+
+examples/deep_chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deep_chains-648be5d3883fbba9.d: examples/deep_chains.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeep_chains-648be5d3883fbba9.rmeta: examples/deep_chains.rs Cargo.toml
+
+examples/deep_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deep_chains-7bc3d37a7800b6f5.d: examples/deep_chains.rs
+
+/root/repo/target/debug/examples/deep_chains-7bc3d37a7800b6f5: examples/deep_chains.rs
+
+examples/deep_chains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deep_chains-a2e9773727ac25b8.d: examples/deep_chains.rs
+
+/root/repo/target/debug/examples/deep_chains-a2e9773727ac25b8: examples/deep_chains.rs
+
+examples/deep_chains.rs:

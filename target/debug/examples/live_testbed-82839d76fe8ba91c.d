@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_testbed-82839d76fe8ba91c.d: examples/live_testbed.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_testbed-82839d76fe8ba91c.rmeta: examples/live_testbed.rs Cargo.toml
+
+examples/live_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_testbed-cc8fc405d4e9c479.d: examples/live_testbed.rs
+
+/root/repo/target/debug/examples/live_testbed-cc8fc405d4e9c479: examples/live_testbed.rs
+
+examples/live_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_testbed-e2d5c327b7ab77c7.d: examples/live_testbed.rs
+
+/root/repo/target/debug/examples/live_testbed-e2d5c327b7ab77c7: examples/live_testbed.rs
+
+examples/live_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_testbed-ec23389b097651b3.d: examples/live_testbed.rs
+
+/root/repo/target/debug/examples/live_testbed-ec23389b097651b3: examples/live_testbed.rs
+
+examples/live_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_flushing-125bd071630d2aa4.d: examples/log_flushing.rs
+
+/root/repo/target/debug/examples/log_flushing-125bd071630d2aa4: examples/log_flushing.rs
+
+examples/log_flushing.rs:

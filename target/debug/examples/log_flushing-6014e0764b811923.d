@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_flushing-6014e0764b811923.d: examples/log_flushing.rs
+
+/root/repo/target/debug/examples/log_flushing-6014e0764b811923: examples/log_flushing.rs
+
+examples/log_flushing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/log_flushing-809802c64189575a.d: examples/log_flushing.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblog_flushing-809802c64189575a.rmeta: examples/log_flushing.rs Cargo.toml
+
+examples/log_flushing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_flushing-e6f0af6719c808e6.d: examples/log_flushing.rs
+
+/root/repo/target/debug/examples/log_flushing-e6f0af6719c808e6: examples/log_flushing.rs
+
+examples/log_flushing.rs:

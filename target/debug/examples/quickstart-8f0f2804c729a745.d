@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8f0f2804c729a745.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8f0f2804c729a745: examples/quickstart.rs
+
+examples/quickstart.rs:

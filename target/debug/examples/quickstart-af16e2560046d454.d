@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af16e2560046d454.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af16e2560046d454: examples/quickstart.rs
+
+examples/quickstart.rs:

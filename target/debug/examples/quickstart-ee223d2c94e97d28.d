@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ee223d2c94e97d28.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ee223d2c94e97d28: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/retry_storm_probe-1ed0714ce4c76908.d: examples/retry_storm_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libretry_storm_probe-1ed0714ce4c76908.rmeta: examples/retry_storm_probe.rs Cargo.toml
+
+examples/retry_storm_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retry_storm_probe-7eec62e3d453489e.d: examples/retry_storm_probe.rs
+
+/root/repo/target/debug/examples/retry_storm_probe-7eec62e3d453489e: examples/retry_storm_probe.rs
+
+examples/retry_storm_probe.rs:

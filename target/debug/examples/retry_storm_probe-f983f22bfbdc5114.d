@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retry_storm_probe-f983f22bfbdc5114.d: examples/retry_storm_probe.rs
+
+/root/repo/target/debug/examples/retry_storm_probe-f983f22bfbdc5114: examples/retry_storm_probe.rs
+
+examples/retry_storm_probe.rs:

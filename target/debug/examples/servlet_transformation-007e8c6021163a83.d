@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/servlet_transformation-007e8c6021163a83.d: examples/servlet_transformation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libservlet_transformation-007e8c6021163a83.rmeta: examples/servlet_transformation.rs Cargo.toml
+
+examples/servlet_transformation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/servlet_transformation-29f751e67975801b.d: examples/servlet_transformation.rs
+
+/root/repo/target/debug/examples/servlet_transformation-29f751e67975801b: examples/servlet_transformation.rs
+
+examples/servlet_transformation.rs:

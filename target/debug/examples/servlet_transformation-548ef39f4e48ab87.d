@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/servlet_transformation-548ef39f4e48ab87.d: examples/servlet_transformation.rs
+
+/root/repo/target/debug/examples/servlet_transformation-548ef39f4e48ab87: examples/servlet_transformation.rs
+
+examples/servlet_transformation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/servlet_transformation-cb874de43dd66b25.d: examples/servlet_transformation.rs
+
+/root/repo/target/debug/examples/servlet_transformation-cb874de43dd66b25: examples/servlet_transformation.rs
+
+examples/servlet_transformation.rs:

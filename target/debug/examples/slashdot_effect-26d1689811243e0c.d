@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slashdot_effect-26d1689811243e0c.d: examples/slashdot_effect.rs
+
+/root/repo/target/debug/examples/slashdot_effect-26d1689811243e0c: examples/slashdot_effect.rs
+
+examples/slashdot_effect.rs:

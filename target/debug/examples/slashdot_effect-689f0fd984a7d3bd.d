@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slashdot_effect-689f0fd984a7d3bd.d: examples/slashdot_effect.rs
+
+/root/repo/target/debug/examples/slashdot_effect-689f0fd984a7d3bd: examples/slashdot_effect.rs
+
+examples/slashdot_effect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/slashdot_effect-944d1ed8cf382021.d: examples/slashdot_effect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libslashdot_effect-944d1ed8cf382021.rmeta: examples/slashdot_effect.rs Cargo.toml
+
+examples/slashdot_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

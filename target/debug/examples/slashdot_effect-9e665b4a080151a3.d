@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slashdot_effect-9e665b4a080151a3.d: examples/slashdot_effect.rs
+
+/root/repo/target/debug/examples/slashdot_effect-9e665b4a080151a3: examples/slashdot_effect.rs
+
+examples/slashdot_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thread_overhead-163f9b781e3e7e0c.d: examples/thread_overhead.rs
+
+/root/repo/target/debug/examples/thread_overhead-163f9b781e3e7e0c: examples/thread_overhead.rs
+
+examples/thread_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thread_overhead-32405563383e9e72.d: examples/thread_overhead.rs
+
+/root/repo/target/debug/examples/thread_overhead-32405563383e9e72: examples/thread_overhead.rs
+
+examples/thread_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/thread_overhead-9b45aaf7d7487308.d: examples/thread_overhead.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthread_overhead-9b45aaf7d7487308.rmeta: examples/thread_overhead.rs Cargo.toml
+
+examples/thread_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thread_overhead-b5490737bfad0797.d: examples/thread_overhead.rs
+
+/root/repo/target/debug/examples/thread_overhead-b5490737bfad0797: examples/thread_overhead.rs
+
+examples/thread_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate_figures-3ea33f0e08813204.d: examples/validate_figures.rs
+
+/root/repo/target/debug/examples/validate_figures-3ea33f0e08813204: examples/validate_figures.rs
+
+examples/validate_figures.rs:

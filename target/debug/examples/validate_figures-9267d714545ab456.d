@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate_figures-9267d714545ab456.d: examples/validate_figures.rs
+
+/root/repo/target/debug/examples/validate_figures-9267d714545ab456: examples/validate_figures.rs
+
+examples/validate_figures.rs:

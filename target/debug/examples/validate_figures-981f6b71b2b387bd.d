@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate_figures-981f6b71b2b387bd.d: examples/validate_figures.rs
+
+/root/repo/target/debug/examples/validate_figures-981f6b71b2b387bd: examples/validate_figures.rs
+
+examples/validate_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/validate_figures-9bb28bf9c4e697b0.d: examples/validate_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalidate_figures-9bb28bf9c4e697b0.rmeta: examples/validate_figures.rs Cargo.toml
+
+examples/validate_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

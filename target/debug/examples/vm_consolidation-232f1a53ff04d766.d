@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vm_consolidation-232f1a53ff04d766.d: examples/vm_consolidation.rs
+
+/root/repo/target/debug/examples/vm_consolidation-232f1a53ff04d766: examples/vm_consolidation.rs
+
+examples/vm_consolidation.rs:

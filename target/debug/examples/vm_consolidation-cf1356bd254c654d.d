@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vm_consolidation-cf1356bd254c654d.d: examples/vm_consolidation.rs
+
+/root/repo/target/debug/examples/vm_consolidation-cf1356bd254c654d: examples/vm_consolidation.rs
+
+examples/vm_consolidation.rs:

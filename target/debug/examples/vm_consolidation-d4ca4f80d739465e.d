@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vm_consolidation-d4ca4f80d739465e.d: examples/vm_consolidation.rs
+
+/root/repo/target/debug/examples/vm_consolidation-d4ca4f80d739465e: examples/vm_consolidation.rs
+
+examples/vm_consolidation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vm_consolidation-f70a16b7e67788e8.d: examples/vm_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvm_consolidation-f70a16b7e67788e8.rmeta: examples/vm_consolidation.rs Cargo.toml
+
+examples/vm_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntier_bench-7807e38fc4d9ecd1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libntier_bench-7807e38fc4d9ecd1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libntier_bench-7807e38fc4d9ecd1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntier_bench-8d53deb676f342ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libntier_bench-8d53deb676f342ef.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libntier_bench-8d53deb676f342ef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

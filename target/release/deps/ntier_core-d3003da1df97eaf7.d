@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ntier_core-d3003da1df97eaf7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs
+
+/root/repo/target/release/deps/libntier_core-d3003da1df97eaf7.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs
+
+/root/repo/target/release/deps/libntier_core-d3003da1df97eaf7.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/conditions.rs crates/core/src/config.rs crates/core/src/csv.rs crates/core/src/engine.rs crates/core/src/experiment.rs crates/core/src/laws.rs crates/core/src/plan.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/servlet.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/conditions.rs:
+crates/core/src/config.rs:
+crates/core/src/csv.rs:
+crates/core/src/engine.rs:
+crates/core/src/experiment.rs:
+crates/core/src/laws.rs:
+crates/core/src/plan.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/servlet.rs:

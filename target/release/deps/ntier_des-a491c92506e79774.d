@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntier_des-a491c92506e79774.d: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libntier_des-a491c92506e79774.rlib: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libntier_des-a491c92506e79774.rmeta: crates/des/src/lib.rs crates/des/src/dist.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/dist.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ntier_interference-629494be520edf6e.d: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+/root/repo/target/release/deps/libntier_interference-629494be520edf6e.rlib: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+/root/repo/target/release/deps/libntier_interference-629494be520edf6e.rmeta: crates/interference/src/lib.rs crates/interference/src/colocate.rs crates/interference/src/dvfs.rs crates/interference/src/gc.rs crates/interference/src/logflush.rs crates/interference/src/stall.rs
+
+crates/interference/src/lib.rs:
+crates/interference/src/colocate.rs:
+crates/interference/src/dvfs.rs:
+crates/interference/src/gc.rs:
+crates/interference/src/logflush.rs:
+crates/interference/src/stall.rs:

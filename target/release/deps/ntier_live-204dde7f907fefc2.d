@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ntier_live-204dde7f907fefc2.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/release/deps/libntier_live-204dde7f907fefc2.rlib: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/release/deps/libntier_live-204dde7f907fefc2.rmeta: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/policy.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/policy.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntier_live-a44502baf4d3af6c.d: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/release/deps/libntier_live-a44502baf4d3af6c.rlib: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+/root/repo/target/release/deps/libntier_live-a44502baf4d3af6c.rmeta: crates/live/src/lib.rs crates/live/src/chain.rs crates/live/src/harness.rs crates/live/src/stall.rs crates/live/src/tier.rs
+
+crates/live/src/lib.rs:
+crates/live/src/chain.rs:
+crates/live/src/harness.rs:
+crates/live/src/stall.rs:
+crates/live/src/tier.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntier_net-52b8cf5e020784a0.d: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libntier_net-52b8cf5e020784a0.rlib: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libntier_net-52b8cf5e020784a0.rmeta: crates/net/src/lib.rs crates/net/src/backlog.rs crates/net/src/retransmit.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/backlog.rs:
+crates/net/src/retransmit.rs:
+crates/net/src/wire.rs:

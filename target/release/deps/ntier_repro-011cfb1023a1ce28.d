@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntier_repro-011cfb1023a1ce28.d: src/lib.rs
+
+/root/repo/target/release/deps/libntier_repro-011cfb1023a1ce28.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libntier_repro-011cfb1023a1ce28.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntier_repro-d416f861db8da4f8.d: src/lib.rs
+
+/root/repo/target/release/deps/libntier_repro-d416f861db8da4f8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libntier_repro-d416f861db8da4f8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntier_resilience-5a13e87fa032f96c.d: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+/root/repo/target/release/deps/libntier_resilience-5a13e87fa032f96c.rlib: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+/root/repo/target/release/deps/libntier_resilience-5a13e87fa032f96c.rmeta: crates/resilience/src/lib.rs crates/resilience/src/fault.rs crates/resilience/src/policy.rs crates/resilience/src/stats.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/policy.rs:
+crates/resilience/src/stats.rs:

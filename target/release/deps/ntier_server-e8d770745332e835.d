@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ntier_server-e8d770745332e835.d: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+/root/repo/target/release/deps/libntier_server-e8d770745332e835.rlib: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+/root/repo/target/release/deps/libntier_server-e8d770745332e835.rmeta: crates/server/src/lib.rs crates/server/src/conn_pool.rs crates/server/src/cpu.rs crates/server/src/event_loop.rs crates/server/src/overhead.rs crates/server/src/process_group.rs crates/server/src/thread_pool.rs
+
+crates/server/src/lib.rs:
+crates/server/src/conn_pool.rs:
+crates/server/src/cpu.rs:
+crates/server/src/event_loop.rs:
+crates/server/src/overhead.rs:
+crates/server/src/process_group.rs:
+crates/server/src/thread_pool.rs:

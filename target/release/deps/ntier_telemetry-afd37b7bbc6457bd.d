@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntier_telemetry-afd37b7bbc6457bd.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/release/deps/libntier_telemetry-afd37b7bbc6457bd.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/release/deps/libntier_telemetry-afd37b7bbc6457bd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/render.rs crates/telemetry/src/series.rs crates/telemetry/src/stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/render.rs:
+crates/telemetry/src/series.rs:
+crates/telemetry/src/stats.rs:

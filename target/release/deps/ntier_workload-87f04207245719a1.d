@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ntier_workload-87f04207245719a1.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libntier_workload-87f04207245719a1.rlib: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libntier_workload-87f04207245719a1.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/flash_crowd.rs crates/workload/src/mix.rs crates/workload/src/open_loop.rs crates/workload/src/scheduled.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/flash_crowd.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/scheduled.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-147dab3f602a624a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-147dab3f602a624a.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-147dab3f602a624a.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-de7dc2c02b2a5fd1.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-de7dc2c02b2a5fd1: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

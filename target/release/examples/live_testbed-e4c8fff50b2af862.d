@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_testbed-e4c8fff50b2af862.d: examples/live_testbed.rs
+
+/root/repo/target/release/examples/live_testbed-e4c8fff50b2af862: examples/live_testbed.rs
+
+examples/live_testbed.rs:

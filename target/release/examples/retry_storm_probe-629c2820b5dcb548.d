@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/retry_storm_probe-629c2820b5dcb548.d: examples/retry_storm_probe.rs
+
+/root/repo/target/release/examples/retry_storm_probe-629c2820b5dcb548: examples/retry_storm_probe.rs
+
+examples/retry_storm_probe.rs:

@@ -65,7 +65,10 @@ fn capacity_sets_the_threshold_but_the_split_shapes_the_drain() {
     // stall (FIFO convoy), lengthening the overflow window.
     let thread_heavy = run(system(500, 350, 50), RetransmitPolicy::default());
     let backlog_heavy = run(system(500, 50, 350), RetransmitPolicy::default());
-    assert_eq!(thread_heavy.tiers[0].capacity, backlog_heavy.tiers[0].capacity);
+    assert_eq!(
+        thread_heavy.tiers[0].capacity,
+        backlog_heavy.tiers[0].capacity
+    );
     assert!(thread_heavy.drops_total > 0 && backlog_heavy.drops_total > 0);
     assert!(
         thread_heavy.drops_total > backlog_heavy.drops_total,
@@ -74,8 +77,14 @@ fn capacity_sets_the_threshold_but_the_split_shapes_the_drain() {
         backlog_heavy.drops_total
     );
     // below the threshold both are clean regardless of split
-    assert_eq!(run(system(300, 350, 50), RetransmitPolicy::default()).drops_total, 0);
-    assert_eq!(run(system(300, 50, 350), RetransmitPolicy::default()).drops_total, 0);
+    assert_eq!(
+        run(system(300, 350, 50), RetransmitPolicy::default()).drops_total,
+        0
+    );
+    assert_eq!(
+        run(system(300, 50, 350), RetransmitPolicy::default()).drops_total,
+        0
+    );
 }
 
 #[test]
@@ -93,7 +102,7 @@ fn latency_tail_follows_the_retransmission_schedule() {
         RetransmitPolicy::exponential(SimDuration::from_secs(1), 4),
     );
     // same drops, far fewer VLRT requests
-    assert_eq!(exp.drops_total > 0, true);
+    assert!(exp.drops_total > 0);
     assert!(
         exp.vlrt_total * 4 < flat.vlrt_total,
         "exp {} vs flat {}",
@@ -128,17 +137,20 @@ fn async_front_is_immune_to_any_of_these_knobs() {
     // Whatever the stall, an async web tier with default LiteQDepth admits
     // everything that a 1000 req/s burst can throw at it.
     for stall_ms in [400u64, 800, 1_600] {
-        let stalls = StallSchedule::at_marks(
-            [SimTime::from_secs(5)],
-            SimDuration::from_millis(stall_ms),
-        );
+        let stalls =
+            StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
         let sys = SystemConfig::three_tier(
             TierConfig::asynchronous("Web", 65_535, 4).with_stalls(stalls),
             TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
             TierConfig::sync("Db", 4_000, 4_000),
         );
         let r = run(sys, RetransmitPolicy::default());
-        assert_eq!(r.tiers[0].drops_total, 0, "stall {stall_ms} ms: {}", r.summary());
+        assert_eq!(
+            r.tiers[0].drops_total,
+            0,
+            "stall {stall_ms} ms: {}",
+            r.summary()
+        );
     }
 }
 

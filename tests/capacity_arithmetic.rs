@@ -81,7 +81,7 @@ fn critical_stall_matches_simulated_threshold() {
     // while arrivals continue, adding ~25 to the peak. With deterministic
     // 1000 req/s arrivals, 210 ms (210 + convoy < 278) stays clean while
     // 320 ms (> 278 before any drain effect) must drop.
-    let uniform: Vec<SimTime> = (0..10_000).map(|i| SimTime::from_millis(i)).collect();
+    let uniform: Vec<SimTime> = (0..10_000).map(SimTime::from_millis).collect();
     let run_uniform = |stall_ms: u64| {
         Engine::new(
             system_with_web_stall(SimDuration::from_millis(stall_ms)),
@@ -104,7 +104,11 @@ fn critical_stall_matches_simulated_threshold() {
 fn dropped_requests_return_as_vlrt_with_3s_modes() {
     let report = run(SimDuration::from_millis(500), 17);
     assert!(report.vlrt_total > 0);
-    assert!(report.has_mode_near(3), "modes: {:?}", report.latency_modes());
+    assert!(
+        report.has_mode_near(3),
+        "modes: {:?}",
+        report.latency_modes()
+    );
     // every VLRT here is drop-induced, so counts agree within retry effects
     assert!(report.vlrt_total <= report.drops_total);
 }

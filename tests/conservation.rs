@@ -6,6 +6,9 @@ use ntier_repro::core::engine::{Engine, Workload};
 use ntier_repro::core::{SystemConfig, TierConfig};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
+use ntier_repro::resilience::{
+    BreakerConfig, CallerPolicy, FaultPlan, RetryBudget, RetryPolicy, ShedPolicy,
+};
 use ntier_repro::workload::{BurstSchedule, ClosedLoopSpec, RequestMix};
 use proptest::prelude::*;
 
@@ -47,8 +50,116 @@ fn arb_system() -> impl Strategy<Value = SystemConfig> {
         })
 }
 
+/// An arbitrary fault plan over a 3-tier chain: any mix of crashes,
+/// probabilistic drops, stuck workers and slow hops, with windows inside
+/// the first ~6 s of the run.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            0usize..3,
+            1u64..60,
+            1u64..30,
+            0.05f64..1.0,
+            1usize..6,
+        ),
+        0..4,
+    )
+    .prop_map(|faults| {
+        let mut plan = FaultPlan::none();
+        for (kind, tier, start, len, prob, count) in faults {
+            let from = SimTime::from_millis(start * 100);
+            let until = from + SimDuration::from_millis(len * 100);
+            plan = match kind {
+                0 => plan.crash(tier, from, until),
+                1 => plan.drop_messages(tier, prob, from, until),
+                2 => plan.stuck_workers(tier, count, from, until),
+                _ => plan.slow_hops(
+                    tier,
+                    SimDuration::from_millis(count as u64 * 3),
+                    from,
+                    until,
+                ),
+            };
+        }
+        plan
+    })
+}
+
+/// An arbitrary client-side caller policy (possibly absent).
+fn arb_client_policy() -> impl Strategy<Value = Option<CallerPolicy>> {
+    proptest::option::of(
+        (
+            200u64..3_000,
+            0u32..5,
+            any::<bool>(),
+            any::<bool>(),
+            1u32..6,
+        )
+            .prop_map(
+                |(timeout_ms, retries, metered, broken, threshold)| CallerPolicy {
+                    attempt_timeout: SimDuration::from_millis(timeout_ms),
+                    retry: Some(
+                        RetryPolicy::capped(
+                            retries,
+                            SimDuration::from_millis(20),
+                            SimDuration::from_millis(500),
+                        )
+                        .with_jitter(0.3),
+                    ),
+                    budget: metered.then(|| RetryBudget::new(8.0, 2.0)),
+                    breaker: broken
+                        .then(|| BreakerConfig::new(threshold, SimDuration::from_millis(700))),
+                },
+            ),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// injected == completed + failed + shed + in-flight for every
+    /// fault-plan scenario, with or without client retry policies and
+    /// admission shedding.
+    #[test]
+    fn conservation_under_faults(
+        system in arb_system(),
+        plan in arb_fault_plan(),
+        policy in arb_client_policy(),
+        shed_depth in proptest::option::of(1usize..20),
+        batch in 1u32..80,
+        seed in any::<u64>(),
+    ) {
+        let mut system = system.with_faults(plan);
+        if let Some(p) = policy {
+            system = system.with_client_policy(p);
+        }
+        if let Some(d) = shed_depth {
+            system.tiers[1] = system.tiers[1].clone().with_shed_policy(
+                ShedPolicy::on_depth(d).with_deadline(SimDuration::from_secs(8)),
+            );
+        }
+        let burst = BurstSchedule::from_bursts([
+            (SimTime::from_millis(200), batch),
+            (SimTime::from_millis(2_500), batch / 2 + 1),
+        ]);
+        let report = Engine::new(
+            system,
+            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            SimDuration::from_secs(15),
+            seed,
+        )
+        .run();
+        prop_assert!(report.is_conserved(), "{}", report.summary());
+        prop_assert_eq!(report.injected, u64::from(batch + batch / 2 + 1));
+        // The terminal-outcome classes are mutually exclusive, so each is
+        // bounded by the injection count.
+        prop_assert!(report.completed <= report.injected);
+        prop_assert!(report.failed + report.shed <= report.injected);
+        // Per-tier resilience counters aggregate to the whole-run view.
+        let shed_sum: u64 = report.tiers.iter().map(|t| t.resilience.shed).sum();
+        prop_assert_eq!(shed_sum, report.resilience.shed);
+    }
 
     /// injected == completed + failed + in-flight for arbitrary systems
     /// under open bursts.
@@ -131,11 +242,15 @@ fn vlrt_counts_are_consistent() {
     let report = Engine::new(
         SystemConfig::three_tier(
             TierConfig::sync("Web", 6, 4),
-            TierConfig::sync("App", 6, 4).with_downstream_pool(4).with_stalls(stall),
+            TierConfig::sync("App", 6, 4)
+                .with_downstream_pool(4)
+                .with_stalls(stall),
             TierConfig::sync("Db", 6, 4),
         ),
         Workload::Open {
-            arrivals: (0..600).map(|i| SimTime::from_millis(1_000 + i * 5)).collect(),
+            arrivals: (0..600)
+                .map(|i| SimTime::from_millis(1_000 + i * 5))
+                .collect(),
             mix: RequestMix::view_story(),
         },
         SimDuration::from_secs(20),

@@ -6,9 +6,14 @@ use ntier_repro::core::experiment;
 fn sync_chain_drops_always_surface_at_tier_zero() {
     for depth in [2usize, 4, 6] {
         let report = experiment::chain_depth(depth, false, 7).run();
-        assert!(report.drops_total > 0, "depth {depth}: {}", report.summary());
+        assert!(
+            report.drops_total > 0,
+            "depth {depth}: {}",
+            report.summary()
+        );
         assert_eq!(
-            report.tiers[0].drops_total, report.drops_total,
+            report.tiers[0].drops_total,
+            report.drops_total,
             "depth {depth}: drops must all be at the front\n{}",
             report.summary()
         );

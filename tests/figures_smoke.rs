@@ -9,7 +9,11 @@ use ntier_repro::des::prelude::*;
 #[test]
 fn fig1a_operating_point_and_multimodality() {
     let r = exp::fig1(4_000, SimDuration::from_secs(60), 42).run();
-    assert!((520.0..620.0).contains(&r.throughput), "tput {}", r.throughput);
+    assert!(
+        (520.0..620.0).contains(&r.throughput),
+        "tput {}",
+        r.throughput
+    );
     let util = r.highest_mean_util();
     assert!((0.38..0.50).contains(&util), "util {util}");
     assert!(r.drops_total > 0, "CTQO must be reproducible at ~43% CPU");
@@ -49,16 +53,27 @@ fn fig7_nx1_downstream_ctqo_at_tomcat() {
     let r = exp::fig7(42).run();
     assert_eq!(r.tiers[0].drops_total, 0, "{}", r.summary());
     assert!(r.tiers[1].drops_total > 0);
-    assert_eq!(r.tiers[1].peak_queue, 293, "MaxSysQDepth(Tomcat) = 165 + 128");
+    assert_eq!(
+        r.tiers[1].peak_queue, 293,
+        "MaxSysQDepth(Tomcat) = 165 + 128"
+    );
     assert_eq!(r.tiers[2].drops_total, 0);
 }
 
 #[test]
 fn fig8_nx2_downstream_ctqo_at_mysql() {
     let r = exp::fig8(42).run();
-    assert_eq!(r.tiers[0].drops_total + r.tiers[1].drops_total, 0, "{}", r.summary());
+    assert_eq!(
+        r.tiers[0].drops_total + r.tiers[1].drops_total,
+        0,
+        "{}",
+        r.summary()
+    );
     assert!(r.tiers[2].drops_total > 0);
-    assert_eq!(r.tiers[2].peak_queue, 228, "MaxSysQDepth(MySQL) = 100 + 128");
+    assert_eq!(
+        r.tiers[2].peak_queue, 228,
+        "MaxSysQDepth(MySQL) = 100 + 128"
+    );
 }
 
 #[test]
@@ -110,8 +125,14 @@ fn fig12_sync_collapses_async_stays_flat() {
     // Paper: 1159 -> 374 (≈3.1x collapse); async stays high.
     let collapse = sync_lo / sync_hi;
     assert!((2.0..6.0).contains(&collapse), "collapse {collapse:.2}");
-    assert!(async_hi > async_lo * 0.9, "async must stay flat: {async_lo} -> {async_hi}");
-    assert!(async_hi > sync_hi * 2.0, "async must win at high concurrency");
+    assert!(
+        async_hi > async_lo * 0.9,
+        "async must stay flat: {async_lo} -> {async_hi}"
+    );
+    assert!(
+        async_hi > sync_hi * 2.0,
+        "async must win at high concurrency"
+    );
 }
 
 #[test]

@@ -23,7 +23,7 @@ fn stall_and_burst(
         std::thread::spawn(move || fire_burst_with_rto(front, n, Duration::from_secs(15), RTO));
     std::thread::sleep(Duration::from_millis(300));
     gate.end();
-    burst.join().expect("burst thread")
+    burst.join().expect("burst thread").expect("burst")
 }
 
 #[test]
@@ -33,7 +33,8 @@ fn live_sync_chain_exhibits_upstream_ctqo() {
         .tier(TierSpec::sync("web", 2, 2, SERVICE))
         .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
         .tier(TierSpec::sync("db", 2, 2, SERVICE))
-        .build();
+        .build()
+        .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 20);
     let drops = chain.drops();
     assert!(drops[0] > 0, "upstream drops expected: {drops:?}");
@@ -42,7 +43,7 @@ fn live_sync_chain_exhibits_upstream_ctqo() {
         outcome.count_slower_than(Duration::from_millis(240)) > 0,
         "retransmitted requests must form a slow cluster"
     );
-    chain.shutdown();
+    chain.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -52,12 +53,13 @@ fn live_async_chain_absorbs_the_same_stall() {
         .tier(TierSpec::asynchronous("web", 4_096, 2, SERVICE))
         .tier(TierSpec::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
         .tier(TierSpec::asynchronous("db", 4_096, 2, SERVICE))
-        .build();
+        .build()
+        .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 20);
     assert_eq!(chain.drops(), vec![0, 0, 0]);
     assert_eq!(outcome.completed, 20);
     assert_eq!(outcome.client_retransmits, 0);
-    chain.shutdown();
+    chain.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -66,14 +68,20 @@ fn live_nx1_pushes_drops_downstream() {
     // stalled sync tier — the paper's NX=1 result on real threads.
     let gate = StallGate::new();
     let chain = ChainBuilder::new(RTO)
-        .tier(TierSpec::asynchronous("web", 4_096, 4, Duration::from_micros(50)))
+        .tier(TierSpec::asynchronous(
+            "web",
+            4_096,
+            4,
+            Duration::from_micros(50),
+        ))
         .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
         .tier(TierSpec::sync("db", 2, 4, SERVICE))
-        .build();
+        .build()
+        .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 24);
     let drops = chain.drops();
     assert_eq!(drops[0], 0, "{drops:?}");
     assert!(drops[1] > 0, "{drops:?}");
     assert_eq!(outcome.completed, 24);
-    chain.shutdown();
+    chain.shutdown().expect("clean shutdown");
 }

@@ -25,7 +25,10 @@ fn detector_finds_the_injected_stalls_at_the_right_marks() {
         );
     }
     for m in &tomcat {
-        assert!(m.duration() <= SimDuration::from_secs(2), "sub-second: {m:?}");
+        assert!(
+            m.duration() <= SimDuration::from_secs(2),
+            "sub-second: {m:?}"
+        );
         assert!(m.mean_util >= 0.95);
     }
 }
@@ -37,7 +40,10 @@ fn millibottlenecks_are_invisible_to_coarse_monitoring() {
     // monitoring.
     let r = exp::fig3(42).run();
     let fine = r.tiers[1].combined_util();
-    assert!(fine.iter().any(|u| *u >= 0.99), "50 ms windows must saturate");
+    assert!(
+        fine.iter().any(|u| *u >= 0.99),
+        "50 ms windows must saturate"
+    );
     let coarse = mean_util_at_granularity(&r, 1, SimDuration::from_secs(5));
     assert!(
         coarse.iter().all(|u| *u < 0.90),

@@ -61,15 +61,21 @@ fn nx0_db_stall_cascades_all_the_way_to_apache() {
     let (report, system) = run(0, 2);
     assert!(report.tiers[0].drops_total > 0, "{}", report.summary());
     let episodes = analysis::detect(&report, &system, SimDuration::from_secs(1));
-    assert!(episodes
-        .iter()
-        .all(|e| e.class == CtqoClass::Upstream), "{episodes:?}");
+    assert!(
+        episodes.iter().all(|e| e.class == CtqoClass::Upstream),
+        "{episodes:?}"
+    );
 }
 
 #[test]
 fn nx1_app_stall_moves_drops_to_tomcat() {
     let (report, _) = run(1, 1);
-    assert_eq!(report.tiers[0].drops_total, 0, "Nginx must not drop\n{}", report.summary());
+    assert_eq!(
+        report.tiers[0].drops_total,
+        0,
+        "Nginx must not drop\n{}",
+        report.summary()
+    );
     assert!(report.tiers[1].drops_total > 0, "{}", report.summary());
     assert_eq!(drop_tiers(&report), vec![1]);
 }
@@ -100,7 +106,10 @@ fn nx2_db_stall_drops_at_mysql_downstream() {
 fn nx2_app_stall_batch_floods_mysql() {
     let (report, system) = run(2, 1);
     assert_eq!(report.tiers[0].drops_total, 0, "{}", report.summary());
-    assert_eq!(report.tiers[1].drops_total, 0, "XTomcat buffers in LiteQDepth");
+    assert_eq!(
+        report.tiers[1].drops_total, 0,
+        "XTomcat buffers in LiteQDepth"
+    );
     assert!(report.tiers[2].drops_total > 0, "{}", report.summary());
     let episodes = analysis::detect(&report, &system, SimDuration::from_secs(1));
     assert!(episodes.iter().all(|e| e.class == CtqoClass::Downstream));
@@ -129,8 +138,17 @@ fn nx3_absorbs_db_stall_with_zero_drops() {
 fn multimodality_appears_only_with_drops() {
     let (sync_report, _) = run(0, 1);
     let (async_report, _) = run(3, 1);
-    assert!(sync_report.latency_modes().len() >= 2, "{:?}", sync_report.latency_modes());
-    assert_eq!(async_report.latency_modes().len(), 1, "{:?}", async_report.latency_modes());
+    assert!(
+        sync_report.latency_modes().len() >= 2,
+        "{:?}",
+        sync_report.latency_modes()
+    );
+    assert_eq!(
+        async_report.latency_modes().len(),
+        1,
+        "{:?}",
+        async_report.latency_modes()
+    );
 }
 
 #[test]
@@ -140,5 +158,10 @@ fn throughput_is_comparable_across_the_ladder() {
     let (r0, _) = run(0, 1);
     let (r3, _) = run(3, 1);
     let ratio = r0.throughput / r3.throughput;
-    assert!((0.9..1.1).contains(&ratio), "{} vs {}", r0.throughput, r3.throughput);
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "{} vs {}",
+        r0.throughput,
+        r3.throughput
+    );
 }

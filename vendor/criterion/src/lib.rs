@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's bench targets
+//! use. Under `cargo bench` (cargo passes `--bench` to the binary) every
+//! registered bench runs `sample_size` timed iterations and prints a
+//! mean-per-iteration line. Under `cargo test` (no `--bench` flag) the
+//! binaries exit immediately so bench-gated figure regeneration does not slow
+//! the test suite. No statistics, plots, or report files are produced.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration work, used by upstream to report rates. Stored but
+/// only echoed in this stub's output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` amortizes per batch. The stub runs
+/// one setup per iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures for one registered benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each `bench_function` runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs (in bench mode) and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if !self.criterion.bench_mode {
+            return self;
+        }
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.6} s/iter over {} iters{}",
+            self.name, id, mean, b.iters, rate
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when invoked as `cargo bench`; `cargo test`
+        // runs the same binary without it, and then every bench is skipped.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// True when the binary was invoked by `cargo bench`.
+    pub fn is_bench_mode(&self) -> bool {
+        self.bench_mode
+    }
+}
+
+/// Bundles bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            if !criterion.is_bench_mode() {
+                return;
+            }
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skipped_outside_bench_mode() {
+        let mut c = Criterion { bench_mode: false };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |_| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn runs_requested_iterations_in_bench_mode() {
+        let mut c = Criterion { bench_mode: true };
+        let mut count = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4).throughput(Throughput::Elements(1));
+        g.bench_function("f", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 4);
+
+        let mut batched = 0u64;
+        g.bench_function("b", |b| {
+            b.iter_batched(|| 2u64, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 8);
+    }
+}

@@ -1,0 +1,369 @@
+//! MPMC channels with crossbeam-compatible disconnect semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn new(cap: Option<usize>) -> Arc<Self> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// Creates a bounded channel with room for `cap` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(Some(cap));
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(None);
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error for [`Sender::send`]: every receiver disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver disconnected.
+    Disconnected(T),
+}
+
+/// Error for [`Receiver::recv`]: the channel is empty and every sender
+/// disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender disconnected.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value when every receiver has disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.shared.lock();
+        loop {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.cap {
+                Some(cap) if q.len() >= cap => {
+                    q = match self.shared.not_full.wait(q) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+                _ => break,
+            }
+        }
+        q.push_back(value);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when at capacity, [`TrySendError::Disconnected`]
+    /// when every receiver has disconnected.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let mut q = self.shared.lock();
+        if let Some(cap) = self.shared.cap {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        q.push_back(value);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and every sender has
+    /// disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = match self.shared.not_empty.wait(q) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Receives a message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when the channel is empty and every
+    /// sender has disconnected.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = match self.shared.not_empty.wait_timeout(q, deadline - now) {
+                Ok(r) => r,
+                Err(p) => p.into_inner(),
+            };
+            q = guard;
+        }
+    }
+
+    /// Receives without blocking, `None` when empty (extension used by
+    /// diagnostics; crossbeam's `try_recv` returns a `Result`).
+    pub fn try_recv_opt(&self) -> Option<T> {
+        let mut q = self.shared.lock();
+        let v = q.pop_front();
+        if v.is_some() {
+            drop(q);
+            self.shared.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Hold the queue lock so a receiver between its empty-check and
+            // its wait cannot miss the wake-up.
+            let _q = self.shared.lock();
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _q = self.shared.lock();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_disconnected() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert!(matches!(tx.try_send(7), Err(TrySendError::Disconnected(7))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+    }
+
+    #[test]
+    fn mpmc_distributes_all_messages() {
+        let (tx, rx) = bounded(8);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_send_waits_for_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        h.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

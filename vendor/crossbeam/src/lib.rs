@@ -1,0 +1,9 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel` — multi-producer multi-consumer bounded and
+//! unbounded channels with disconnect semantics — implemented over
+//! `std::sync::{Mutex, Condvar}`. Only the API surface this workspace uses
+//! is exposed; throughput is adequate for the live testbed's hundreds of
+//! messages per run, not a general replacement.
+
+pub mod channel;

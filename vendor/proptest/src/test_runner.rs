@@ -1,0 +1,132 @@
+//! Deterministic case generation and failure reporting.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest runs 256; this stub keeps the same default so
+        // coverage does not silently shrink.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The per-case random source: xoshiro256++ seeded from the test path and
+/// case index, so every case is reproducible without a regression file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// The generator for case `case` of the test at `path`.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut x = h ^ (u64::from(case) << 32 | u64::from(case));
+        TestRng {
+            s: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, span)` (`span` > 0).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let r = u128::from(self.next_u64());
+        (r * span) >> 64
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics.
+pub struct CaseGuard {
+    path: &'static str,
+    case: u32,
+    inputs: String,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(path: &'static str, case: u32, inputs: String) -> Self {
+        CaseGuard { path, case, inputs }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} with inputs: {}",
+                self.path, self.case, self.inputs
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_case("mod::test", 3);
+        let mut b = TestRng::for_case("mod::test", 3);
+        let mut c = TestRng::for_case("mod::test", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut r = TestRng::for_case("x", 0);
+        for _ in 0..1_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+}
