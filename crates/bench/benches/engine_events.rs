@@ -1,0 +1,197 @@
+//! Engine throughput micro-benchmark: events per second on the two
+//! heaviest presets (Fig. 1 at WL 7000 and the full Fig. 12 concurrency
+//! grid), plus the parallel runner's wall-clock scaling across worker
+//! counts. Results are written to `BENCH_engine.json` at the repository
+//! root so the numbers ride along with the code that produced them.
+//!
+//! The `baseline_*` constants are the same workloads measured on this
+//! machine immediately before the calendar event queue, the request slab,
+//! and the hot-path allocation removals landed — same specs, same seeds,
+//! and (asserted below) the same completion counts, so wall-clock ratios
+//! compare identical work.
+//!
+//! `ENGINE_BENCH_QUICK=1` shortens reps for CI smoke runs; quick results
+//! carry `"mode": "quick"` and skip the baseline comparison, which is only
+//! meaningful at full length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntier_core::experiment::{self as exp, ExperimentSpec};
+use ntier_core::RunReport;
+use ntier_des::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best observed wall-clock for `exp::fig1(7_000, 120 s, 1)` on the
+/// pre-overhaul engine (completed = 117 919).
+const BASELINE_FIG1_WALL_S: f64 = 0.386;
+const BASELINE_FIG1_COMPLETED: u64 = 117_919;
+/// Best observed serial wall-clock for the 30-spec Fig. 12 sweep
+/// (5 concurrencies × {sync, async} × seeds 1-3) on the pre-overhaul
+/// engine (completed = 677 783).
+const BASELINE_FIG12_WALL_S: f64 = 1.632;
+const BASELINE_FIG12_COMPLETED: u64 = 677_783;
+
+fn quick() -> bool {
+    std::env::var_os("ENGINE_BENCH_QUICK").is_some()
+}
+
+fn fig12_sweep_specs() -> Vec<ExperimentSpec> {
+    [1u64, 2, 3].into_iter().flat_map(exp::fig12_grid).collect()
+}
+
+/// Times `make().run()` `reps` times; returns (best wall seconds, report).
+fn best_of(reps: usize, make: impl Fn() -> ExperimentSpec) -> (f64, RunReport) {
+    let mut best = f64::INFINITY;
+    let mut kept = None;
+    for _ in 0..reps {
+        let spec = make();
+        let t = Instant::now();
+        let r = spec.run();
+        best = best.min(t.elapsed().as_secs_f64());
+        kept = Some(r);
+    }
+    (best, kept.expect("reps >= 1"))
+}
+
+fn measure(c: &mut Criterion) {
+    let quick = quick();
+    let reps = if quick { 1 } else { 3 };
+    let cores = ntier_runner::default_threads();
+    let fig1_horizon = SimDuration::from_secs(if quick { 12 } else { 120 });
+
+    // --- Fig. 1: single-run engine throughput --------------------------
+    let (fig1_wall, fig1_report) = best_of(reps, || exp::fig1(7_000, fig1_horizon, 1));
+    let fig1_eps = fig1_report.events as f64 / fig1_wall;
+    println!(
+        "engine_events fig1: wall {fig1_wall:.3}s  events {}  completed {}  {:.2}M events/s",
+        fig1_report.events,
+        fig1_report.completed,
+        fig1_eps / 1e6
+    );
+
+    // --- Fig. 12 sweep: serial engine throughput -----------------------
+    let mut sweep_wall = f64::INFINITY;
+    let mut sweep_events = 0u64;
+    let mut sweep_completed = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let reports = ntier_runner::run_all(fig12_sweep_specs(), 1);
+        sweep_wall = sweep_wall.min(t.elapsed().as_secs_f64());
+        sweep_events = reports.iter().map(|r| r.events).sum();
+        sweep_completed = reports.iter().map(|r| r.completed).sum();
+    }
+    println!(
+        "engine_events fig12 sweep: serial wall {sweep_wall:.3}s  events {sweep_events}  completed {sweep_completed}"
+    );
+
+    // --- Runner scaling: same sweep across worker counts ---------------
+    let mut scaling = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let reports = ntier_runner::run_all(fig12_sweep_specs(), threads);
+            wall = wall.min(t.elapsed().as_secs_f64());
+            let completed: u64 = reports.iter().map(|r| r.completed).sum();
+            assert_eq!(completed, sweep_completed, "thread count changed results");
+        }
+        println!(
+            "engine_events runner: {threads} thread(s)  wall {wall:.3}s  speedup {:.2}x",
+            sweep_wall / wall
+        );
+        scaling.push((threads, wall));
+    }
+
+    // --- Emit BENCH_engine.json ----------------------------------------
+    if !quick {
+        assert_eq!(fig1_report.completed, BASELINE_FIG1_COMPLETED);
+        assert_eq!(sweep_completed, BASELINE_FIG12_COMPLETED);
+    }
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"fig1\": {{");
+    let _ = writeln!(json, "    \"clients\": 7000,");
+    let _ = writeln!(
+        json,
+        "    \"horizon_s\": {},",
+        fig1_horizon.as_micros() / 1_000_000
+    );
+    let _ = writeln!(json, "    \"wall_s_best\": {fig1_wall:.4},");
+    let _ = writeln!(json, "    \"events\": {},", fig1_report.events);
+    let _ = writeln!(json, "    \"completed\": {},", fig1_report.completed);
+    let _ = writeln!(json, "    \"events_per_sec\": {:.0},", fig1_eps);
+    if !quick {
+        let _ = writeln!(
+            json,
+            "    \"baseline_wall_s_best\": {BASELINE_FIG1_WALL_S},"
+        );
+        let _ = writeln!(
+            json,
+            "    \"baseline_completed\": {BASELINE_FIG1_COMPLETED},"
+        );
+        let _ = writeln!(
+            json,
+            "    \"speedup_vs_baseline\": {:.2},",
+            BASELINE_FIG1_WALL_S / fig1_wall
+        );
+    }
+    json.truncate(json.trim_end_matches([',', '\n']).len());
+    json.push_str("\n  },\n");
+    let _ = writeln!(json, "  \"fig12_sweep\": {{");
+    let _ = writeln!(json, "    \"specs\": 30,");
+    let _ = writeln!(json, "    \"serial_wall_s_best\": {sweep_wall:.4},");
+    let _ = writeln!(json, "    \"events\": {sweep_events},");
+    let _ = writeln!(json, "    \"completed\": {sweep_completed},");
+    if !quick {
+        let _ = writeln!(
+            json,
+            "    \"baseline_serial_wall_s_best\": {BASELINE_FIG12_WALL_S},"
+        );
+        let _ = writeln!(
+            json,
+            "    \"baseline_completed\": {BASELINE_FIG12_COMPLETED},"
+        );
+        let _ = writeln!(
+            json,
+            "    \"serial_speedup_vs_baseline\": {:.2},",
+            BASELINE_FIG12_WALL_S / sweep_wall
+        );
+    }
+    let _ = writeln!(json, "    \"runner\": [");
+    for (i, (threads, wall)) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"threads\": {threads}, \"wall_s_best\": {wall:.4}, \"speedup_vs_serial\": {:.2} }}{}",
+            sweep_wall / wall,
+            if i + 1 == scaling.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"Runner speedups are hardware-bounded by host_cores; on a single-core host all thread counts serialize. Baselines were measured on the same host against the pre-overhaul engine running identical specs (equal completion counts asserted).\""
+    );
+    json.push('}');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(results written to BENCH_engine.json)"),
+        Err(e) => eprintln!("(could not write {path}: {e})"),
+    }
+
+    // Keep a criterion-visible sample so `cargo bench` reports a rate line.
+    let mut g = c.benchmark_group("engine_events");
+    g.sample_size(if quick { 1 } else { 3 });
+    g.bench_function("fig1_7000", |b| {
+        b.iter(|| exp::fig1(7_000, fig1_horizon, 1).run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, measure);
+criterion_main!(benches);

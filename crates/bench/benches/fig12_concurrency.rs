@@ -3,7 +3,7 @@
 //! concurrent requests) while the asynchronous NX=3 stack stays high.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ntier_bench::{print_comparison, Row};
+use ntier_bench::{print_comparison, run_specs, Row};
 use ntier_core::experiment::{self as exp, FIG12_CONCURRENCIES};
 use ntier_telemetry::render;
 
@@ -12,9 +12,12 @@ fn regenerate() {
     let mut rows = Vec::new();
     let mut chart = Vec::new();
     let mut endpoints = (0.0, 0.0);
-    for c in FIG12_CONCURRENCIES {
-        let sync = exp::fig12_sync(c, 42).run().throughput;
-        let asyn = exp::fig12_async(c, 42).run().throughput;
+    // Both arms of every concurrency level go through the parallel runner
+    // as one submission list; reports come back in the same order.
+    let reports = run_specs(exp::fig12_grid(42));
+    for (i, c) in FIG12_CONCURRENCIES.into_iter().enumerate() {
+        let sync = reports[2 * i].throughput;
+        let asyn = reports[2 * i + 1].throughput;
         if c == 100 {
             endpoints.0 = sync;
         }

@@ -6,11 +6,18 @@
 //! per-second aggregation of the 50 ms telemetry windows, timeline
 //! rendering, and paper-vs-measured comparison rows.
 
-use ntier_core::experiment::WARMUP;
+use ntier_core::experiment::{ExperimentSpec, WARMUP};
 use ntier_core::report::RunReport;
 use ntier_des::time::SimDuration;
 use ntier_telemetry::series::WindowedSeries;
 use ntier_telemetry::{render, MONITOR_WINDOW_MS};
+
+/// Runs a figure's spec list on the deterministic parallel runner, one
+/// worker per available core; reports come back in submission order, so
+/// callers can zip them against the labels they built the specs from.
+pub fn run_specs(specs: Vec<ExperimentSpec>) -> Vec<RunReport> {
+    ntier_runner::run_all(specs, ntier_runner::default_threads())
+}
 
 /// Number of 50 ms windows in the warm-up period.
 pub fn warmup_windows() -> usize {

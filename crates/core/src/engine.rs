@@ -81,6 +81,18 @@ pub enum Workload {
     },
 }
 
+/// Generational handle into the request slab: `slot` indexes
+/// `Engine::requests`, and the handle is *live* only while `gen` matches the
+/// slot's current generation. Completed requests are recycled, so events
+/// still in the queue for an earlier occupant (a pending `AttemptTimeout`,
+/// a retransmit of a request that already gave up) resolve to a stale
+/// handle and are ignored — exactly where the old engine checked `done`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReqId {
+    slot: u32,
+    gen: u32,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     ClientSend {
@@ -90,17 +102,17 @@ enum Event {
         idx: u32,
     },
     Arrival {
-        req: u32,
+        req: ReqId,
         tier: u8,
         visit: u16,
     },
     SliceDone {
-        req: u32,
+        req: ReqId,
         tier: u8,
         visit: u16,
     },
     ReplyArrive {
-        req: u32,
+        req: ReqId,
         tier: u8,
     },
     SpawnDone {
@@ -109,12 +121,14 @@ enum Event {
     /// The client's per-attempt timer fired: orphan the attempt and consult
     /// the retry stack.
     AttemptTimeout {
-        req: u32,
+        req: ReqId,
     },
     /// A granted client retry's backoff elapsed: launch the next attempt of
-    /// the logical request whose previous attempt was `orig`.
+    /// the logical request described by `tickets[ticket]`. The ticket owns
+    /// everything the relaunch needs, so the original attempt's slot may be
+    /// recycled in the meantime.
     RetryFire {
-        orig: u32,
+        ticket: u32,
     },
     /// A fault window opens / closes (index into the fault plan).
     FaultBegin {
@@ -127,8 +141,22 @@ enum Event {
 
 #[derive(Debug, Clone, Copy)]
 struct Pending {
-    req: u32,
+    req: ReqId,
     visit: u16,
+}
+
+/// Everything needed to launch the next client attempt of a logical
+/// request, captured when the retry is *granted*: by the time the backoff
+/// elapses, the previous attempt's slab slot may already belong to someone
+/// else.
+#[derive(Debug)]
+struct RetryTicket {
+    injected_at: SimTime,
+    client: Option<u32>,
+    class: &'static str,
+    plan: Plan,
+    /// 0-based attempt index of the attempt this ticket launches.
+    attempt: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +175,52 @@ struct ClassStats {
     latency_sum_us: u128,
 }
 
+/// Inline capacity of a [`DropLog`]. The kernel retransmit schedule caps at
+/// 3 retries, so the overwhelming majority of requests that drop at all fit
+/// inline; only pathological app-level retry loops spill to the heap.
+const DROP_INLINE: usize = 4;
+
+/// Small-buffer drop history for one request: the first [`DROP_INLINE`]
+/// records live inline in the request slab, so the per-request `Vec`
+/// allocation the old engine paid on every first drop is gone.
+#[derive(Debug)]
+struct DropLog {
+    inline: [DropRecord; DROP_INLINE],
+    len: usize,
+    spill: Vec<DropRecord>,
+}
+
+impl DropLog {
+    fn new() -> Self {
+        DropLog {
+            inline: [DropRecord {
+                tier: 0,
+                at: SimTime::ZERO,
+            }; DROP_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rec: DropRecord) {
+        if self.len < DROP_INLINE {
+            self.inline[self.len] = rec;
+        } else {
+            self.spill.push(rec);
+        }
+        self.len += 1;
+    }
+
+    fn first(&self) -> Option<DropRecord> {
+        (self.len > 0).then(|| self.inline[0])
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
 #[derive(Debug)]
 struct RequestState {
     injected_at: SimTime,
@@ -160,11 +234,13 @@ struct RequestState {
     /// The next downstream visit index to consume, per tier.
     next_visit: Vec<u16>,
     retrans: RetransmitState,
-    drops: Vec<DropRecord>,
+    drops: DropLog,
     occupying: Vec<Occupancy>,
     /// Whether this request currently holds a pooled connection at tier i.
     conn_held: Vec<bool>,
-    done: bool,
+    /// Slot generation; a [`ReqId`] is live iff its `gen` matches. Bumped
+    /// when the slot is freed, which invalidates every outstanding handle.
+    gen: u32,
     /// 0-based client attempt index (retries clone the plan with +1).
     attempt: u32,
     /// The client's attempt timer fired: this attempt keeps consuming
@@ -231,7 +307,14 @@ pub struct Engine {
     queue: EventQueue<Event>,
     now: SimTime,
     tiers: Vec<TierRuntime>,
+    /// Request slab: slots are recycled through `free_slots` when a request
+    /// reaches a terminal outcome, so steady-state memory tracks the peak
+    /// in-flight population instead of the total injected count.
     requests: Vec<RequestState>,
+    free_slots: Vec<u32>,
+    /// Granted-but-not-yet-fired client retries (see [`RetryTicket`]).
+    tickets: Vec<RetryTicket>,
+    events_handled: u64,
     rng_mix: SimRng,
     rng_clients: SimRng,
     latency: LatencyHistogram,
@@ -243,7 +326,7 @@ pub struct Engine {
     drops_total: u64,
     vlrt_total: u64,
     next_token: u64,
-    parked: HashMap<u64, (u32, usize, u16)>,
+    parked: HashMap<u64, (ReqId, usize, u16)>,
     class_stats: HashMap<&'static str, ClassStats>,
     rng_faults: SimRng,
     rng_jitter: SimRng,
@@ -312,10 +395,10 @@ impl Engine {
                     backlog: Backlog::new(backlog_cap),
                     cpu: CpuModel::new(tc.cores, stalls),
                     conn_pool: tc.downstream_pool.map(ConnectionPool::new),
-                    util: UtilizationSeries::paper_default(tc.cores),
-                    queue_depth: WindowedSeries::paper_default(),
-                    drops: WindowedSeries::paper_default(),
-                    vlrt: WindowedSeries::paper_default(),
+                    util: UtilizationSeries::paper_default_for(tc.cores, horizon),
+                    queue_depth: WindowedSeries::paper_default_for(horizon),
+                    drops: WindowedSeries::paper_default_for(horizon),
+                    vlrt: WindowedSeries::paper_default_for(horizon),
                     drops_total: 0,
                     peak_queue: 0,
                     hop_breaker: tc
@@ -341,11 +424,14 @@ impl Engine {
             queue: EventQueue::with_capacity(1 << 16),
             now: SimTime::ZERO,
             tiers,
-            requests: Vec::new(),
+            requests: Vec::with_capacity(1024),
+            free_slots: Vec::new(),
+            tickets: Vec::new(),
+            events_handled: 0,
             rng_mix: root.fork("mix"),
             rng_clients: root.fork("clients"),
             latency: LatencyHistogram::paper_default(),
-            vlrt_by_completion: WindowedSeries::paper_default(),
+            vlrt_by_completion: WindowedSeries::paper_default_for(horizon),
             injected: 0,
             completed: 0,
             failed: 0,
@@ -373,6 +459,7 @@ impl Engine {
                 break;
             }
             self.now = t;
+            self.events_handled += 1;
             self.handle(ev);
         }
         self.into_report()
@@ -419,10 +506,86 @@ impl Engine {
             Event::ReplyArrive { req, tier } => self.on_reply(req, tier as usize),
             Event::SpawnDone { tier } => self.on_spawn_done(tier as usize),
             Event::AttemptTimeout { req } => self.on_attempt_timeout(req),
-            Event::RetryFire { orig } => self.on_retry_fire(orig),
+            Event::RetryFire { ticket } => self.on_retry_fire(ticket),
             Event::FaultBegin { idx } => self.on_fault_begin(idx as usize),
             Event::FaultEnd { idx } => self.on_fault_end(idx as usize),
         }
+    }
+
+    /// Resolves a handle to its slab index, or `None` if the slot has been
+    /// recycled since the handle was issued (the request reached a terminal
+    /// outcome; the event referencing it is stale).
+    #[inline]
+    fn live(&self, id: ReqId) -> Option<usize> {
+        let i = id.slot as usize;
+        (self.requests[i].gen == id.gen).then_some(i)
+    }
+
+    /// [`Self::live`] for paths where a stale handle would mean a resource
+    /// accounting bug (backlog entries, parked connection waiters, and
+    /// terminal transitions all hold the request live by construction).
+    #[inline]
+    fn live_expect(&self, id: ReqId) -> usize {
+        self.live(id)
+            .expect("stale request handle on a resource-holding path")
+    }
+
+    /// Claims a slab slot (recycling a freed one when available) and
+    /// initialises it for a fresh attempt.
+    fn alloc_request(
+        &mut self,
+        injected_at: SimTime,
+        client: Option<u32>,
+        class: &'static str,
+        plan: Plan,
+        attempt: u32,
+    ) -> ReqId {
+        if let Some(slot) = self.free_slots.pop() {
+            let r = &mut self.requests[slot as usize];
+            r.injected_at = injected_at;
+            r.client = client;
+            r.class = class;
+            r.plan = plan;
+            r.slice_idx.fill(0);
+            r.active_visit.fill(0);
+            r.next_visit.fill(0);
+            r.retrans = RetransmitState::new();
+            r.drops.clear();
+            r.occupying.fill(Occupancy::None);
+            r.conn_held.fill(false);
+            r.attempt = attempt;
+            r.orphan = false;
+            r.hop_attempts = 0;
+            ReqId { slot, gen: r.gen }
+        } else {
+            let n = self.tiers.len();
+            let slot = self.requests.len() as u32;
+            self.requests.push(RequestState {
+                injected_at,
+                client,
+                class,
+                plan,
+                slice_idx: vec![0; n],
+                active_visit: vec![0; n],
+                next_visit: vec![0; n],
+                retrans: RetransmitState::new(),
+                drops: DropLog::new(),
+                occupying: vec![Occupancy::None; n],
+                conn_held: vec![false; n],
+                gen: 0,
+                attempt,
+                orphan: false,
+                hop_attempts: 0,
+            });
+            ReqId { slot, gen: 0 }
+        }
+    }
+
+    /// Returns slot `i` to the free list; every outstanding [`ReqId`] for it
+    /// goes stale.
+    fn free_request(&mut self, i: usize) {
+        self.requests[i].gen = self.requests[i].gen.wrapping_add(1);
+        self.free_slots.push(i as u32);
     }
 
     fn inject(&mut self, client: Option<u32>, idx: u32) {
@@ -435,7 +598,7 @@ impl Engine {
                 let s = mix.sample(&mut self.rng_mix);
                 (s.class, Plan::compile(&s))
             }
-            Workload::OpenPlans { arrivals } => ("custom", arrivals[idx as usize].1.clone()),
+            Workload::OpenPlans { arrivals } => ("custom", arrivals[idx as usize].1.share()),
         };
         assert_eq!(
             plan.depth(),
@@ -460,32 +623,14 @@ impl Engine {
                 return;
             }
         }
-        let n = self.tiers.len();
-        let id = self.requests.len() as u32;
-        self.requests.push(RequestState {
-            injected_at: self.now,
-            client,
-            class,
-            plan,
-            slice_idx: vec![0; n],
-            active_visit: vec![0; n],
-            next_visit: vec![0; n],
-            retrans: RetransmitState::new(),
-            drops: Vec::new(),
-            occupying: vec![Occupancy::None; n],
-            conn_held: vec![false; n],
-            done: false,
-            attempt: 0,
-            orphan: false,
-            hop_attempts: 0,
-        });
+        let id = self.alloc_request(self.now, client, class, plan, 0);
         self.injected += 1;
         self.arm_attempt_timer(id);
         self.send(id, 0, 0);
     }
 
     /// Arms the client's per-attempt timer, when a client policy is set.
-    fn arm_attempt_timer(&mut self, req: u32) {
+    fn arm_attempt_timer(&mut self, req: ReqId) {
         if let Some(policy) = &self.cfg.tiers[0].caller_policy {
             self.queue.push(
                 self.now + policy.attempt_timeout,
@@ -495,7 +640,7 @@ impl Engine {
     }
 
     /// Schedules a message (SYN/query/forward) to arrive at `tier`.
-    fn send(&mut self, req: u32, tier: usize, visit: u16) {
+    fn send(&mut self, req: ReqId, tier: usize, visit: u16) {
         let at = self.now + self.cfg.hop_delay + self.extra_hop[tier];
         self.queue.push(
             at,
@@ -507,10 +652,10 @@ impl Engine {
         );
     }
 
-    fn on_arrival(&mut self, req: u32, tier: usize, visit: u16) {
-        if self.requests[req as usize].done {
+    fn on_arrival(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let Some(i) = self.live(req) else {
             return;
-        }
+        };
         // Injected faults act at the admission point: a crashed tier
         // behaves like a full backlog, a flaky link drops the message with
         // the configured probability.
@@ -529,9 +674,7 @@ impl Engine {
         // work that is already doomed.
         if let Some(sp) = self.cfg.tiers[tier].shed {
             let depth = self.tiers[tier].depth();
-            let age = self
-                .now
-                .saturating_since(self.requests[req as usize].injected_at);
+            let age = self.now.saturating_since(self.requests[i].injected_at);
             if sp.should_shed(depth, age) {
                 self.shed_request(req, tier);
                 return;
@@ -569,7 +712,7 @@ impl Engine {
         }
         match admit {
             Admit::Start(occ) => {
-                self.requests[req as usize].occupying[tier] = occ;
+                self.requests[i].occupying[tier] = occ;
                 self.on_admitted(req, tier);
                 self.record_queue(tier);
                 self.begin_visit(req, tier, visit);
@@ -585,9 +728,10 @@ impl Engine {
     /// A message was accepted at `tier`: reset the per-message retry state
     /// and let the hop's breaker see the success (inner hops only — tier
     /// 0's breaker is the client's, whose success is request completion).
-    fn on_admitted(&mut self, req: u32, tier: usize) {
-        self.requests[req as usize].retrans = RetransmitState::new();
-        self.requests[req as usize].hop_attempts = 0;
+    fn on_admitted(&mut self, req: ReqId, tier: usize) {
+        let i = self.live_expect(req);
+        self.requests[i].retrans = RetransmitState::new();
+        self.requests[i].hop_attempts = 0;
         if tier > 0 {
             let now = self.now;
             if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
@@ -596,29 +740,32 @@ impl Engine {
         }
     }
 
-    fn begin_visit(&mut self, req: u32, tier: usize, visit: u16) {
-        self.requests[req as usize].slice_idx[tier] = 0;
-        self.requests[req as usize].active_visit[tier] = visit;
+    fn begin_visit(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let i = self.live_expect(req);
+        self.requests[i].slice_idx[tier] = 0;
+        self.requests[i].active_visit[tier] = visit;
         self.exec_slice(req, tier, visit, 0);
     }
 
-    fn exec_slice(&mut self, req: u32, tier: usize, visit: u16, slice: usize) {
-        let demand = self.requests[req as usize]
-            .plan
-            .slices_at(tier, visit as usize)[slice];
-        let active = match &self.tiers[tier].state {
+    fn exec_slice(&mut self, req: ReqId, tier: usize, visit: u16, slice: usize) {
+        let i = self.live_expect(req);
+        let demand = self.requests[i].plan.slices_at(tier, visit as usize)[slice];
+        let rt = &mut self.tiers[tier];
+        let active = match &rt.state {
             TierState::Sync(pg) => pg.busy(),
             TierState::Async(el) => el.workers() as usize,
         };
         let effective = self.cfg.tiers[tier]
             .overhead
             .effective_demand(demand, active);
-        let exec = self.tiers[tier].cpu.run(self.now, effective);
-        for (s, e) in &exec.segments {
-            self.tiers[tier].util.record_busy(*s, *e);
-        }
+        // Busy segments stream straight into the utilization series; no
+        // per-slice segment Vec is built.
+        let util = &mut rt.util;
+        let end = rt
+            .cpu
+            .run_with(self.now, effective, |s, e| util.record_busy(s, e));
         self.queue.push(
-            exec.end,
+            end,
             Event::SliceDone {
                 req,
                 tier: tier as u8,
@@ -627,15 +774,12 @@ impl Engine {
         );
     }
 
-    fn on_slice_done(&mut self, req: u32, tier: usize, visit: u16) {
-        if self.requests[req as usize].done {
+    fn on_slice_done(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let Some(i) = self.live(req) else {
             return;
-        }
-        let slice = self.requests[req as usize].slice_idx[tier];
-        let total = self.requests[req as usize]
-            .plan
-            .slices_at(tier, visit as usize)
-            .len();
+        };
+        let slice = self.requests[i].slice_idx[tier];
+        let total = self.requests[i].plan.slices_at(tier, visit as usize).len();
         if slice + 1 == total {
             self.finish_visit(req, tier, visit);
         } else {
@@ -645,10 +789,11 @@ impl Engine {
 
     /// Issues the next downstream call from `tier` (the request's thread,
     /// if sync, stays held).
-    fn issue_call(&mut self, req: u32, tier: usize) {
+    fn issue_call(&mut self, req: ReqId, tier: usize) {
+        let i = self.live_expect(req);
         let target = tier + 1;
-        let target_visit = self.requests[req as usize].next_visit[target];
-        self.requests[req as usize].next_visit[target] = target_visit + 1;
+        let target_visit = self.requests[i].next_visit[target];
+        self.requests[i].next_visit[target] = target_visit + 1;
         if self.tiers[tier].conn_pool.is_some() {
             let token = self.next_token;
             self.next_token += 1;
@@ -659,7 +804,7 @@ impl Engine {
                 .acquire(token);
             match lease {
                 Lease::Granted => {
-                    self.requests[req as usize].conn_held[tier] = true;
+                    self.requests[i].conn_held[tier] = true;
                     self.send(req, target, target_visit);
                 }
                 Lease::Queued => {
@@ -671,7 +816,7 @@ impl Engine {
         }
     }
 
-    fn finish_visit(&mut self, req: u32, tier: usize, _visit: u16) {
+    fn finish_visit(&mut self, req: ReqId, tier: usize, _visit: u16) {
         let released_thread = {
             match &mut self.tiers[tier].state {
                 TierState::Sync(pg) => {
@@ -684,7 +829,8 @@ impl Engine {
                 }
             }
         };
-        self.requests[req as usize].occupying[tier] = Occupancy::None;
+        let i = self.live_expect(req);
+        self.requests[i].occupying[tier] = Occupancy::None;
         if released_thread {
             self.drain_backlog(tier);
         }
@@ -702,19 +848,19 @@ impl Engine {
         }
     }
 
-    fn on_reply(&mut self, req: u32, tier: usize) {
-        if self.requests[req as usize].done {
+    fn on_reply(&mut self, req: ReqId, tier: usize) {
+        let Some(i) = self.live(req) else {
             return;
-        }
+        };
         // A reply from downstream frees the caller's pooled connection; a
         // parked call (its thread already held) inherits it and fires.
-        if self.requests[req as usize].conn_held[tier] {
-            self.requests[req as usize].conn_held[tier] = false;
+        if self.requests[i].conn_held[tier] {
+            self.requests[i].conn_held[tier] = false;
             self.release_conn(tier);
         }
-        let next = self.requests[req as usize].slice_idx[tier] + 1;
-        self.requests[req as usize].slice_idx[tier] = next;
-        let visit = self.requests[req as usize].active_visit[tier];
+        let next = self.requests[i].slice_idx[tier] + 1;
+        self.requests[i].slice_idx[tier] = next;
+        let visit = self.requests[i].active_visit[tier];
         self.exec_slice(req, tier, visit, next);
     }
 
@@ -729,7 +875,10 @@ impl Engine {
                 .parked
                 .remove(&token)
                 .expect("pool handed over an unknown token");
-            self.requests[r2 as usize].conn_held[tier] = true;
+            // A parked waiter holds its upstream thread, which keeps the
+            // request live until the connection arrives.
+            let i = self.live_expect(r2);
+            self.requests[i].conn_held[tier] = true;
             self.send(r2, target, visit);
         }
     }
@@ -753,7 +902,10 @@ impl Engine {
                 }
             };
             let Some(p) = pending else { break };
-            self.requests[p.req as usize].occupying[tier] = Occupancy::Thread;
+            // A backlogged request can only leave the backlog through this
+            // pop, so its handle is live by construction.
+            let i = self.live_expect(p.req);
+            self.requests[i].occupying[tier] = Occupancy::Thread;
             self.begin_visit(p.req, tier, p.visit);
         }
     }
@@ -767,15 +919,16 @@ impl Engine {
         self.record_queue(tier);
     }
 
-    fn drop_message(&mut self, req: u32, tier: usize, visit: u16) {
+    fn drop_message(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let i = self.live_expect(req);
         self.drops_total += 1;
         self.tiers[tier].drops_total += 1;
         self.tiers[tier].drops.add(self.now, 1.0);
         self.class_stats
-            .entry(self.requests[req as usize].class)
+            .entry(self.requests[i].class)
             .or_default()
             .drops += 1;
-        self.requests[req as usize]
+        self.requests[i]
             .drops
             .push(DropRecord { tier, at: self.now });
         // A caller policy on an inner hop replaces the kernel retransmit
@@ -784,7 +937,7 @@ impl Engine {
             self.app_hop_drop(req, tier, visit);
             return;
         }
-        let decision = self.requests[req as usize]
+        let decision = self.requests[i]
             .retrans
             .on_drop(&self.cfg.retransmit, self.now);
         match decision {
@@ -806,17 +959,20 @@ impl Engine {
     /// count the failure on the hop breaker, then either resend after
     /// app-level backoff (if retries, budget and breaker all allow) or give
     /// the request up.
-    fn app_hop_drop(&mut self, req: u32, tier: usize, visit: u16) {
+    fn app_hop_drop(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let i = self.live_expect(req);
         let now = self.now;
         if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
             br.on_failure(now);
         }
-        let policy = self.cfg.tiers[tier]
+        let attempt = self.requests[i].hop_attempts;
+        // `RetryPolicy` is `Copy`: no composite `CallerPolicy` clone here.
+        let retry = self.cfg.tiers[tier]
             .caller_policy
-            .clone()
-            .expect("checked by caller");
-        let attempt = self.requests[req as usize].hop_attempts;
-        let Some(retry) = policy.retry.filter(|r| r.allows(attempt)) else {
+            .as_ref()
+            .expect("checked by caller")
+            .retry;
+        let Some(retry) = retry.filter(|r| r.allows(attempt)) else {
             self.fail_request(req);
             return;
         };
@@ -834,7 +990,7 @@ impl Engine {
             }
         }
         self.tiers[tier].res.retries += 1;
-        self.requests[req as usize].hop_attempts = attempt + 1;
+        self.requests[i].hop_attempts = attempt + 1;
         let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
         self.queue.push(
             now + backoff,
@@ -850,11 +1006,14 @@ impl Engine {
     /// (it keeps consuming resources downstream — the retry-storm
     /// amplifier) and the retry stack decides whether a fresh attempt goes
     /// out.
-    fn on_attempt_timeout(&mut self, req: u32) {
-        if self.requests[req as usize].done || self.requests[req as usize].orphan {
+    fn on_attempt_timeout(&mut self, req: ReqId) {
+        let Some(i) = self.live(req) else {
+            return;
+        };
+        if self.requests[i].orphan {
             return;
         }
-        self.requests[req as usize].orphan = true;
+        self.requests[i].orphan = true;
         self.tiers[0].res.timeouts += 1;
         let now = self.now;
         if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
@@ -868,11 +1027,12 @@ impl Engine {
 
     /// Consults the client's retry policy, budget and breaker; on success
     /// schedules [`Event::RetryFire`] after the capped, jittered backoff.
-    fn try_client_retry(&mut self, req: u32) -> bool {
-        let Some(policy) = self.cfg.tiers[0].caller_policy.clone() else {
+    fn try_client_retry(&mut self, req: ReqId) -> bool {
+        let i = self.live_expect(req);
+        let Some(policy) = self.cfg.tiers[0].caller_policy.as_ref() else {
             return false;
         };
-        let attempt = self.requests[req as usize].attempt;
+        let attempt = self.requests[i].attempt;
         let Some(retry) = policy.retry.filter(|r| r.allows(attempt)) else {
             return false;
         };
@@ -890,8 +1050,20 @@ impl Engine {
         }
         self.tiers[0].res.retries += 1;
         let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
+        // Capture the relaunch ingredients now: the current attempt's slot
+        // is freed on its terminal path, typically before the backoff ends.
+        let r = &self.requests[i];
+        let ticket = RetryTicket {
+            injected_at: r.injected_at,
+            client: r.client,
+            class: r.class,
+            plan: r.plan.share(),
+            attempt: attempt + 1,
+        };
+        let tid = self.tickets.len() as u32;
+        self.tickets.push(ticket);
         self.queue
-            .push(now + backoff, Event::RetryFire { orig: req });
+            .push(now + backoff, Event::RetryFire { ticket: tid });
         true
     }
 
@@ -900,29 +1072,11 @@ impl Engine {
     /// class, client and — crucially — the original injection time, so
     /// end-to-end latency spans all attempts. `injected` is *not*
     /// incremented: a retry is the same logical request.
-    fn on_retry_fire(&mut self, orig: u32) {
-        let n = self.tiers.len();
-        let o = &self.requests[orig as usize];
+    fn on_retry_fire(&mut self, ticket: u32) {
+        let t = &self.tickets[ticket as usize];
         let (class, plan, client, injected_at, attempt) =
-            (o.class, o.plan.clone(), o.client, o.injected_at, o.attempt);
-        let id = self.requests.len() as u32;
-        self.requests.push(RequestState {
-            injected_at,
-            client,
-            class,
-            plan,
-            slice_idx: vec![0; n],
-            active_visit: vec![0; n],
-            next_visit: vec![0; n],
-            retrans: RetransmitState::new(),
-            drops: Vec::new(),
-            occupying: vec![Occupancy::None; n],
-            conn_held: vec![false; n],
-            done: false,
-            attempt: attempt + 1,
-            orphan: false,
-            hop_attempts: 0,
-        });
+            (t.class, t.plan.share(), t.client, t.injected_at, t.attempt);
+        let id = self.alloc_request(injected_at, client, class, plan, attempt);
         self.arm_attempt_timer(id);
         self.send(id, 0, 0);
     }
@@ -931,28 +1085,28 @@ impl Engine {
     /// open hop breaker): resources are freed and the request counts as
     /// shed, not failed — unless the attempt is already an orphan, in which
     /// case the logical outcome was decided at timeout time.
-    fn shed_request(&mut self, req: u32, tier: usize) {
-        self.requests[req as usize].done = true;
+    fn shed_request(&mut self, req: ReqId, tier: usize) {
+        let i = self.live_expect(req);
         self.tiers[tier].res.shed += 1;
         self.release_resources(req);
-        if self.requests[req as usize].orphan {
-            return;
+        if !self.requests[i].orphan {
+            self.shed += 1;
+            self.class_stats
+                .entry(self.requests[i].class)
+                .or_default()
+                .shed += 1;
+            let now = self.now;
+            if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+                br.on_failure(now);
+            }
+            self.client_next(req);
         }
-        self.shed += 1;
-        self.class_stats
-            .entry(self.requests[req as usize].class)
-            .or_default()
-            .shed += 1;
-        let now = self.now;
-        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
-            br.on_failure(now);
-        }
-        self.client_next(req);
+        self.free_request(i);
     }
 
     /// A fault window opens.
     fn on_fault_begin(&mut self, idx: usize) {
-        match self.cfg.faults.faults()[idx].clone() {
+        match self.cfg.faults.faults()[idx] {
             Fault::Crash { tier, .. } => self.tier_down[tier] = true,
             Fault::DropMessages { tier, prob, .. } => self.drop_prob[tier] = prob,
             Fault::SlowHops { tier, extra, .. } => self.extra_hop[tier] += extra,
@@ -980,7 +1134,7 @@ impl Engine {
 
     /// A fault window closes.
     fn on_fault_end(&mut self, idx: usize) {
-        match self.cfg.faults.faults()[idx].clone() {
+        match self.cfg.faults.faults()[idx] {
             Fault::Crash { tier, .. } => self.tier_down[tier] = false,
             Fault::DropMessages { tier, .. } => self.drop_prob[tier] = 0.0,
             Fault::SlowHops { tier, extra, .. } => {
@@ -1011,41 +1165,43 @@ impl Engine {
         }
     }
 
-    fn fail_request(&mut self, req: u32) {
-        self.requests[req as usize].done = true;
+    fn fail_request(&mut self, req: ReqId) {
+        let i = self.live_expect(req);
         self.release_resources(req);
-        if self.requests[req as usize].orphan {
-            return;
-        }
-        if self.cfg.tiers[0].caller_policy.is_some() {
-            let now = self.now;
-            if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
-                br.on_failure(now);
+        if !self.requests[i].orphan {
+            if self.cfg.tiers[0].caller_policy.is_some() {
+                let now = self.now;
+                if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+                    br.on_failure(now);
+                }
+                if self.try_client_retry(req) {
+                    self.free_request(i);
+                    return;
+                }
             }
-            if self.try_client_retry(req) {
-                return;
-            }
+            self.failed += 1;
+            self.client_next(req);
         }
-        self.failed += 1;
-        self.client_next(req);
+        self.free_request(i);
     }
 
     /// Frees every thread, admission slot and pooled connection `req`
     /// holds, upstream-last so handed-over connections find their takers.
-    fn release_resources(&mut self, req: u32) {
+    fn release_resources(&mut self, req: ReqId) {
+        let i = self.live_expect(req);
         for tier in (0..self.tiers.len()).rev() {
-            if self.requests[req as usize].conn_held[tier] {
-                self.requests[req as usize].conn_held[tier] = false;
+            if self.requests[i].conn_held[tier] {
+                self.requests[i].conn_held[tier] = false;
                 self.release_conn(tier);
             }
-            let occ = self.requests[req as usize].occupying[tier];
+            let occ = self.requests[i].occupying[tier];
             match occ {
                 Occupancy::Thread => {
                     match &mut self.tiers[tier].state {
                         TierState::Sync(pg) => pg.release(),
                         TierState::Async(_) => unreachable!("thread occupancy on async tier"),
                     }
-                    self.requests[req as usize].occupying[tier] = Occupancy::None;
+                    self.requests[i].occupying[tier] = Occupancy::None;
                     self.drain_backlog(tier);
                     self.record_queue(tier);
                 }
@@ -1054,7 +1210,7 @@ impl Engine {
                         TierState::Async(el) => el.complete(),
                         TierState::Sync(_) => unreachable!("admission occupancy on sync tier"),
                     }
-                    self.requests[req as usize].occupying[tier] = Occupancy::None;
+                    self.requests[i].occupying[tier] = Occupancy::None;
                     self.record_queue(tier);
                 }
                 Occupancy::None => {}
@@ -1062,11 +1218,12 @@ impl Engine {
         }
     }
 
-    fn complete_request(&mut self, req: u32) {
-        self.requests[req as usize].done = true;
-        if self.requests[req as usize].orphan {
+    fn complete_request(&mut self, req: ReqId) {
+        let i = self.live_expect(req);
+        if self.requests[i].orphan {
             // The reply nobody is waiting for: all that work was wasted.
             self.tiers[0].res.orphan_completions += 1;
+            self.free_request(i);
             return;
         }
         let now = self.now;
@@ -1074,28 +1231,26 @@ impl Engine {
             br.on_success(now);
         }
         self.completed += 1;
-        let latency = self.now - self.requests[req as usize].injected_at;
+        let latency = self.now - self.requests[i].injected_at;
         self.latency.record(latency);
-        let stats = self
-            .class_stats
-            .entry(self.requests[req as usize].class)
-            .or_default();
+        let stats = self.class_stats.entry(self.requests[i].class).or_default();
         stats.completed += 1;
         stats.latency_sum_us += u128::from(latency.as_micros());
         if latency >= SimDuration::from_millis(ntier_telemetry::VLRT_THRESHOLD_MS) {
             stats.vlrt += 1;
             self.vlrt_total += 1;
             self.vlrt_by_completion.add(self.now, 1.0);
-            if let Some(first_drop) = self.requests[req as usize].drops.first().copied() {
+            if let Some(first_drop) = self.requests[i].drops.first() {
                 self.tiers[first_drop.tier].vlrt.add(first_drop.at, 1.0);
             }
         }
         self.client_next(req);
+        self.free_request(i);
     }
 
     /// Closed-loop continuation: the owning client thinks, then sends again.
-    fn client_next(&mut self, req: u32) {
-        let client = self.requests[req as usize].client;
+    fn client_next(&mut self, req: ReqId) {
+        let client = self.requests[self.live_expect(req)].client;
         self.schedule_client_next(client);
     }
 
@@ -1178,6 +1333,7 @@ impl Engine {
         let throughput = self.completed as f64 / self.horizon.as_secs_f64();
         RunReport {
             horizon: self.horizon,
+            events: self.events_handled,
             injected: self.injected,
             completed: self.completed,
             failed: self.failed,

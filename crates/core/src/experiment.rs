@@ -288,6 +288,22 @@ fn fig12_workload(concurrency: u32) -> Workload {
 /// The Fig. 12 sweep points from the paper.
 pub const FIG12_CONCURRENCIES: [u32; 5] = [100, 200, 400, 800, 1_600];
 
+/// The full Fig. 12 grid — sync and async arms interleaved per concurrency
+/// level — as one submission list for the parallel runner. Index `2i` is
+/// the sync arm and `2i + 1` the async arm of `FIG12_CONCURRENCIES[i]`.
+pub fn fig12_grid(seed: u64) -> Vec<ExperimentSpec> {
+    FIG12_CONCURRENCIES
+        .into_iter()
+        .flat_map(|c| [fig12_sync(c, seed), fig12_async(c, seed)])
+        .collect()
+}
+
+/// One spec per seed for any seeded experiment constructor — the
+/// replication pattern behind confidence bands, shaped for the runner.
+pub fn replications(seeds: &[u64], make: impl FnMut(u64) -> ExperimentSpec) -> Vec<ExperimentSpec> {
+    seeds.iter().copied().map(make).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

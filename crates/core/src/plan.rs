@@ -21,6 +21,8 @@
 //! Arbitrary-depth chains are built with [`Plan::pipeline`] or
 //! [`Plan::from_tier_plans`].
 
+use std::sync::Arc;
+
 use ntier_des::time::SimDuration;
 use ntier_workload::{RequestKind, SampledRequest};
 
@@ -70,9 +72,12 @@ impl TierPlan {
 }
 
 /// The compiled execution plan of one request across the whole chain.
+///
+/// The tier list is behind an [`Arc`], so cloning a plan (retries, open-plan
+/// arrival tables) is a reference-count bump rather than a deep copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Plan {
-    tiers: Vec<TierPlan>,
+    tiers: Arc<[TierPlan]>,
 }
 
 impl Plan {
@@ -99,18 +104,20 @@ impl Plan {
             0,
             "the last tier cannot call further downstream"
         );
-        Plan { tiers }
+        Plan {
+            tiers: tiers.into(),
+        }
     }
 
     /// Compiles a RUBBoS-style sampled request into a 3-tier plan.
     pub fn compile(req: &SampledRequest) -> Plan {
         match req.kind {
             RequestKind::Static => Plan {
-                tiers: vec![
+                tiers: Arc::from(vec![
                     TierPlan::single(vec![req.web_demand]),
                     TierPlan::skipped(),
                     TierPlan::skipped(),
-                ],
+                ]),
             },
             RequestKind::Dynamic => {
                 let web_us = req.web_demand.as_micros();
@@ -140,13 +147,13 @@ impl Plan {
                     }
                 }
                 Plan {
-                    tiers: vec![
+                    tiers: Arc::from(vec![
                         web,
                         TierPlan::single(app_slices),
                         TierPlan {
                             visits: req.db_demands.iter().map(|d| vec![*d]).collect(),
                         },
-                    ],
+                    ]),
                 }
             }
         }
@@ -174,6 +181,15 @@ impl Plan {
             })
             .collect();
         Plan { tiers }
+    }
+
+    /// Shares the underlying tier storage (`Arc` bump, no deep copy).
+    /// Identical to [`Clone::clone`]; spelled out for hot-path call sites.
+    #[inline]
+    pub fn share(&self) -> Plan {
+        Plan {
+            tiers: Arc::clone(&self.tiers),
+        }
     }
 
     /// Number of tiers in the chain.

@@ -64,6 +64,10 @@ impl TierReport {
 pub struct RunReport {
     /// Simulated horizon.
     pub horizon: SimDuration,
+    /// Discrete events the engine handled within the horizon — the
+    /// denominator-independent work measure behind events-per-second
+    /// throughput benchmarks.
+    pub events: u64,
     /// Requests injected (client sends, not counting TCP retransmissions).
     pub injected: u64,
     /// Requests completed within the horizon.

@@ -237,7 +237,7 @@ pub fn fire_burst_with_policy(
     let mut clients = Vec::with_capacity(n);
     for id in 0..n as u64 {
         let front = front.clone();
-        let retry = policy.retry.clone();
+        let retry = policy.retry;
         let breaker = breaker.clone();
         let bucket = bucket.clone();
         clients.push(std::thread::spawn(move || {

@@ -9,7 +9,7 @@
 use ntier_des::time::{SimDuration, SimTime};
 
 /// One injected fault.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Fault {
     /// The tier refuses every admission in the window (process crash and
     /// restart): arrivals behave exactly like backlog-overflow drops.

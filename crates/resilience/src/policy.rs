@@ -8,7 +8,7 @@
 use ntier_des::time::{SimDuration, SimTime};
 
 /// Bounded retries with capped exponential backoff and deterministic jitter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Maximum retry attempts after the initial try (0 = never retry).
     pub max_retries: u32,

@@ -1,0 +1,212 @@
+//! Deterministic parallel experiment runner.
+//!
+//! The figures in the paper are sweeps: the same system simulated across a
+//! workload ladder (Fig. 1's 20 workload steps, Fig. 12's concurrency grid),
+//! or the same spec replicated across seeds for confidence bands. Each run
+//! is an independent, seeded, single-threaded simulation, so the sweep is
+//! embarrassingly parallel — *as long as parallelism cannot perturb
+//! results*.
+//!
+//! Determinism argument: a [`ExperimentSpec`](ntier_core::experiment::ExperimentSpec)
+//! owns every input of its simulation (config, workload, horizon, seed) and
+//! `run()` touches no global state; the engine draws randomness only from
+//! its own seeded RNG. Workers claim specs by atomically incrementing a
+//! shared index — *which* thread runs a spec is racy, but each report is a
+//! pure function of its spec, and reports are written into a slot keyed by
+//! submission index. `run_all(specs, n)` therefore returns bit-identical
+//! reports for every `n`, which `tests/` asserts field-for-field.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ntier_core::experiment::ExperimentSpec;
+use ntier_core::RunReport;
+
+/// Worker-pool size to use when the caller has no opinion: one worker per
+/// available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every spec and returns the reports **in submission order**,
+/// spreading the work across `threads` scoped worker threads.
+///
+/// Results are bit-identical for every `threads` value (see the module
+/// docs); the thread count only changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if any experiment panics (the panic is
+/// propagated after all workers have been joined).
+pub fn run_all(specs: Vec<ExperimentSpec>, threads: usize) -> Vec<RunReport> {
+    assert!(threads > 0, "runner needs at least one worker thread");
+    let n = specs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // One slot per spec: workers take the spec out and put the report in.
+    // Slots are claimed exclusively via `next`, so each mutex is touched by
+    // exactly one worker; the locks exist to satisfy the borrow checker,
+    // not to arbitrate contention.
+    let jobs: Vec<Mutex<Option<ExperimentSpec>>> =
+        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let slots: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let workers = threads.min(n);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = jobs[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("spec slot claimed twice");
+                let report = spec.run();
+                *slots[i].lock().unwrap() = Some(report);
+            });
+        }
+    })
+    .unwrap_or_else(|_| panic!("experiment worker panicked"));
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker exited without storing a report")
+        })
+        .collect()
+}
+
+/// Replicates one experiment across `seeds`, in seed order.
+///
+/// `make` receives each seed and builds the spec; building happens up front
+/// on the calling thread, so the closure needs no thread bounds.
+pub fn replicate(
+    seeds: &[u64],
+    mut make: impl FnMut(u64) -> ExperimentSpec,
+    threads: usize,
+) -> Vec<RunReport> {
+    run_all(seeds.iter().map(|&s| make(s)).collect(), threads)
+}
+
+/// Sweeps one experiment across a parameter grid, in grid order — the shape
+/// of every figure's x-axis (workload steps, concurrency levels, chain
+/// depths).
+pub fn sweep<P: Copy>(
+    params: &[P],
+    mut make: impl FnMut(P) -> ExperimentSpec,
+    threads: usize,
+) -> Vec<RunReport> {
+    run_all(params.iter().map(|&p| make(p)).collect(), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntier_core::experiment;
+    use ntier_des::time::SimDuration;
+
+    fn tiny_specs() -> Vec<ExperimentSpec> {
+        vec![
+            experiment::fig1(1_000, SimDuration::from_secs(5), 1),
+            experiment::fig1(2_000, SimDuration::from_secs(5), 2),
+            experiment::fig1(3_000, SimDuration::from_secs(5), 3),
+            experiment::fig12_sync(100, 7),
+            experiment::fig12_async(100, 7),
+        ]
+    }
+
+    fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            r.events,
+            r.injected,
+            r.completed,
+            r.drops_total,
+            r.vlrt_total,
+            r.latency.quantile(0.999).map_or(0, |d| d.as_micros()),
+        )
+    }
+
+    #[test]
+    fn reports_come_back_in_submission_order() {
+        // Horizons differ, so if merge order followed completion order the
+        // long run would come back last regardless of submission position.
+        let specs = vec![
+            experiment::fig1(2_000, SimDuration::from_secs(10), 1),
+            experiment::fig1(2_000, SimDuration::from_secs(1), 1),
+        ];
+        let reports = run_all(specs, 2);
+        assert_eq!(reports[0].horizon, SimDuration::from_secs(10));
+        assert_eq!(reports[1].horizon, SimDuration::from_secs(1));
+        assert!(reports[0].injected > reports[1].injected);
+    }
+
+    #[test]
+    fn thread_count_cannot_change_results() {
+        let serial: Vec<_> = run_all(tiny_specs(), 1).iter().map(fingerprint).collect();
+        for threads in [2, 4, 8] {
+            let parallel: Vec<_> = run_all(tiny_specs(), threads)
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert_eq!(serial, parallel, "results diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_specs_is_fine() {
+        let reports = run_all(vec![experiment::fig12_sync(100, 1)], 16);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].completed > 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(run_all(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = run_all(tiny_specs(), 0);
+    }
+
+    #[test]
+    fn replicate_orders_by_seed() {
+        let reports = replicate(
+            &[1, 2, 3],
+            |seed| experiment::fig12_sync(100, seed),
+            default_threads().max(2),
+        );
+        let direct: Vec<_> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| experiment::fig12_sync(100, s).run())
+            .collect();
+        for (r, d) in reports.iter().zip(&direct) {
+            assert_eq!(fingerprint(r), fingerprint(d));
+        }
+    }
+
+    #[test]
+    fn sweep_orders_by_param() {
+        let reports = sweep(&[100u32, 200, 400], |c| experiment::fig12_sync(c, 5), 2);
+        let direct: Vec<_> = [100u32, 200, 400]
+            .iter()
+            .map(|&c| experiment::fig12_sync(c, 5).run())
+            .collect();
+        assert_eq!(reports.len(), 3);
+        for (r, d) in reports.iter().zip(&direct) {
+            assert_eq!(fingerprint(r), fingerprint(d));
+        }
+    }
+}

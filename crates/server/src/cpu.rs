@@ -63,9 +63,28 @@ impl StallTimeline {
     /// stalled intervals. Returns the actual execution segments (for busy
     /// accounting) and the completion time.
     pub fn execute(&self, start: SimTime, demand: SimDuration) -> Execution {
+        let mut segments = Vec::new();
+        let end = self.execute_with(start, demand, |s, e| segments.push((s, e)));
+        Execution {
+            start,
+            end,
+            segments,
+        }
+    }
+
+    /// Allocation-free variant of [`StallTimeline::execute`]: invokes
+    /// `segment` for each actual execution interval (in time order) and
+    /// returns the completion time. The engine's hot path uses this to feed
+    /// busy segments straight into utilization accounting without building
+    /// an intermediate `Vec` per CPU slice.
+    pub fn execute_with(
+        &self,
+        start: SimTime,
+        demand: SimDuration,
+        mut segment: impl FnMut(SimTime, SimTime),
+    ) -> SimTime {
         let mut remaining = demand.as_micros();
         let mut cursor = start.as_micros();
-        let mut segments = Vec::new();
         // Index of the first stall that could affect us.
         let mut i = self.intervals.partition_point(|(_, e)| *e <= cursor);
         if remaining == 0 {
@@ -75,11 +94,7 @@ impl StallTimeline {
                     cursor = e;
                 }
             }
-            return Execution {
-                start,
-                end: SimTime::from_micros(cursor),
-                segments,
-            };
+            return SimTime::from_micros(cursor);
         }
         while remaining > 0 {
             // If inside a stall, jump to its end.
@@ -92,10 +107,10 @@ impl StallTimeline {
                 // Run until the stall starts or demand is exhausted.
                 let run = remaining.min(s - cursor);
                 if run > 0 {
-                    segments.push((
+                    segment(
                         SimTime::from_micros(cursor),
                         SimTime::from_micros(cursor + run),
-                    ));
+                    );
                     cursor += run;
                     remaining -= run;
                 }
@@ -104,19 +119,15 @@ impl StallTimeline {
                     i += 1;
                 }
             } else {
-                segments.push((
+                segment(
                     SimTime::from_micros(cursor),
                     SimTime::from_micros(cursor + remaining),
-                ));
+                );
                 cursor += remaining;
                 remaining = 0;
             }
         }
-        Execution {
-            start,
-            end: SimTime::from_micros(cursor),
-            segments,
-        }
+        SimTime::from_micros(cursor)
     }
 }
 
@@ -204,6 +215,29 @@ impl CpuModel {
         exec
     }
 
+    /// Allocation-free variant of [`CpuModel::run`]: schedules the work item
+    /// FIFO on the least-loaded core, reports each busy segment through
+    /// `segment`, and returns the completion time.
+    pub fn run_with(
+        &mut self,
+        now: SimTime,
+        demand: SimDuration,
+        segment: impl FnMut(SimTime, SimTime),
+    ) -> SimTime {
+        let core = self
+            .core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = self.core_free[core].max(now);
+        let end = self.stalls.execute_with(start, demand, segment);
+        self.core_free[core] = end;
+        self.queued_demand_us += demand.as_micros();
+        end
+    }
+
     /// The earliest time any core becomes free.
     pub fn earliest_free(&self) -> SimTime {
         *self.core_free.iter().min().expect("at least one core")
@@ -284,6 +318,33 @@ mod tests {
         assert!(e.segments.is_empty());
         let e2 = t.execute(ms(50), SimDuration::ZERO);
         assert_eq!(e2.end, ms(50));
+    }
+
+    #[test]
+    fn execute_with_matches_execute() {
+        let t = StallTimeline::from_intervals(vec![(ms(10), ms(400)), (ms(500), ms(600))]);
+        for (start, demand) in [(0u64, 0u64), (8, 4), (150, 1), (0, 700), (650, 3)] {
+            let e = t.execute(ms(start), dms(demand));
+            let mut segs = Vec::new();
+            let end = t.execute_with(ms(start), dms(demand), |s, en| segs.push((s, en)));
+            assert_eq!(end, e.end, "start={start} demand={demand}");
+            assert_eq!(segs, e.segments, "start={start} demand={demand}");
+        }
+    }
+
+    #[test]
+    fn run_with_matches_run() {
+        let stalls = StallTimeline::from_intervals(vec![(ms(5), ms(9))]);
+        let mut a = CpuModel::new(2, stalls.clone());
+        let mut b = CpuModel::new(2, stalls);
+        for (now, demand) in [(0u64, 2u64), (0, 3), (1, 4), (6, 1)] {
+            let e = a.run(ms(now), dms(demand));
+            let mut segs = Vec::new();
+            let end = b.run_with(ms(now), dms(demand), |s, en| segs.push((s, en)));
+            assert_eq!(end, e.end);
+            assert_eq!(segs, e.segments);
+        }
+        assert_eq!(a.submitted_demand(), b.submitted_demand());
     }
 
     #[test]

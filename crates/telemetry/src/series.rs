@@ -72,6 +72,23 @@ impl WindowedSeries {
         WindowedSeries::with_window(SimDuration::from_millis(crate::MONITOR_WINDOW_MS))
     }
 
+    /// Like [`WindowedSeries::paper_default`], but with backing storage
+    /// reserved for a run of length `horizon` so the hot path never
+    /// reallocates. Only capacity is reserved: `len()` still reports the
+    /// windows actually touched, so reads are unchanged.
+    pub fn paper_default_for(horizon: SimDuration) -> Self {
+        let mut s = WindowedSeries::paper_default();
+        s.reserve_through(horizon);
+        s
+    }
+
+    /// Reserves capacity for every window up to `horizon` (plus one spill
+    /// window for events that land exactly at the horizon).
+    pub fn reserve_through(&mut self, horizon: SimDuration) {
+        let n = (horizon.as_micros() / self.window.as_micros()) as usize + 2;
+        self.windows.reserve(n.saturating_sub(self.windows.len()));
+    }
+
     /// The window size.
     pub fn window_size(&self) -> SimDuration {
         self.window
@@ -196,6 +213,16 @@ impl UtilizationSeries {
     /// Creates a series with the paper's 50 ms window.
     pub fn paper_default(cores: u32) -> Self {
         UtilizationSeries::with_window(SimDuration::from_millis(crate::MONITOR_WINDOW_MS), cores)
+    }
+
+    /// Like [`UtilizationSeries::paper_default`], but with busy-time storage
+    /// reserved for a run of length `horizon` (capacity only — observable
+    /// state is identical to the on-demand series).
+    pub fn paper_default_for(cores: u32, horizon: SimDuration) -> Self {
+        let mut s = UtilizationSeries::paper_default(cores);
+        let n = (horizon.as_micros() / s.window.as_micros()) as usize + 2;
+        s.busy_micros.reserve(n);
+        s
     }
 
     /// Accounts one core as busy over `[start, end)`.

@@ -9,15 +9,22 @@
 //! Run with: `cargo run --release --example deep_chains`
 
 use ntier_core::experiment;
+use ntier_runner::{default_threads, sweep};
 
 fn main() {
+    let depths: Vec<usize> = (2..=6).collect();
+
     println!("== synchronous chains: stall at the LAST tier, drops at tier 0 ==");
     println!(
         "   {:>6} {:>12} {:>14} {:>14}",
         "depth", "total drops", "drops @tier 0", "drops elsewhere"
     );
-    for depth in 2..=6 {
-        let report = experiment::chain_depth(depth, false, 7).run();
+    let sync_reports = sweep(
+        &depths,
+        |depth| experiment::chain_depth(depth, false, 7),
+        default_threads(),
+    );
+    for (&depth, report) in depths.iter().zip(&sync_reports) {
         let front = report.tiers[0].drops_total;
         let elsewhere = report.drops_total - front;
         println!(
@@ -32,8 +39,12 @@ fn main() {
         "   {:>6} {:>12} {:>12} {:>12} {:>12}",
         "depth", "total drops", "@tier 0", "@tier 1", "front peak"
     );
-    for depth in 2..=6 {
-        let report = experiment::chain_depth(depth, true, 7).run();
+    let async_reports = sweep(
+        &depths,
+        |depth| experiment::chain_depth(depth, true, 7),
+        default_threads(),
+    );
+    for (&depth, report) in depths.iter().zip(&async_reports) {
         println!(
             "   {depth:>6} {:>12} {:>12} {:>12} {:>12}",
             report.drops_total,

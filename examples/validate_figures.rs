@@ -1,16 +1,27 @@
 //! Internal validation sweep: runs every figure preset and prints the
 //! headline numbers to compare against the paper (used while calibrating;
 //! kept as a fast way to regenerate the EXPERIMENTS.md table).
+//!
+//! All presets are fanned across the deterministic parallel runner — the
+//! printed numbers are identical to serial runs for every worker count.
 
 use ntier_core::analysis;
 use ntier_core::experiment as exp;
 use ntier_des::prelude::*;
+use ntier_runner::{default_threads, run_all};
 
 fn main() {
     let seed = 42;
 
-    for (label, clients) in [("fig1a", 4_000u32), ("fig1b", 7_000), ("fig1c", 8_000)] {
-        let r = exp::fig1(clients, SimDuration::from_secs(120), seed).run();
+    let fig1_labels = [("fig1a", 4_000u32), ("fig1b", 7_000), ("fig1c", 8_000)];
+    let fig1_specs = fig1_labels
+        .iter()
+        .map(|&(_, clients)| exp::fig1(clients, SimDuration::from_secs(120), seed))
+        .collect();
+    for ((label, _), r) in fig1_labels
+        .iter()
+        .zip(run_all(fig1_specs, default_threads()))
+    {
         let modes: Vec<String> = r
             .latency_modes()
             .iter()
@@ -26,7 +37,7 @@ fn main() {
         );
     }
 
-    for (label, spec) in [
+    let timeline_presets = [
         ("fig3 ", exp::fig3(seed)),
         ("fig5 ", exp::fig5(seed)),
         ("fig7 ", exp::fig7(seed)),
@@ -35,10 +46,21 @@ fn main() {
         ("fig9 ", exp::fig9(seed)),
         ("fig10", exp::fig10(seed)),
         ("fig11", exp::fig11(seed)),
-    ] {
-        let sys = spec.system.clone();
-        let r = spec.run();
-        let episodes = analysis::detect(&r, &sys, SimDuration::from_secs(1));
+    ];
+    let mut labels = Vec::new();
+    let mut systems = Vec::new();
+    let mut specs = Vec::new();
+    for (label, spec) in timeline_presets {
+        labels.push(label);
+        systems.push(spec.system.clone());
+        specs.push(spec);
+    }
+    for ((label, sys), r) in labels
+        .iter()
+        .zip(&systems)
+        .zip(run_all(specs, default_threads()))
+    {
+        let episodes = analysis::detect(&r, sys, SimDuration::from_secs(1));
         let (up, down, other) = analysis::drops_by_class(&episodes);
         let per_tier: Vec<String> = r
             .tiers
@@ -54,12 +76,12 @@ fn main() {
         );
     }
 
-    for c in exp::FIG12_CONCURRENCIES {
-        let sync = exp::fig12_sync(c, seed).run();
-        let asyn = exp::fig12_async(c, seed).run();
+    let fig12 = run_all(exp::fig12_grid(seed), default_threads());
+    for (i, c) in exp::FIG12_CONCURRENCIES.into_iter().enumerate() {
         println!(
             "fig12 @{c}: sync {:.0} req/s, async {:.0} req/s",
-            sync.throughput, asyn.throughput
+            fig12[2 * i].throughput,
+            fig12[2 * i + 1].throughput
         );
     }
 }

@@ -10,6 +10,7 @@ pub use ntier_interference as interference;
 pub use ntier_live as live;
 pub use ntier_net as net;
 pub use ntier_resilience as resilience;
+pub use ntier_runner as runner;
 pub use ntier_server as server;
 pub use ntier_telemetry as telemetry;
 pub use ntier_workload as workload;

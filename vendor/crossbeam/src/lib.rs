@@ -2,8 +2,10 @@
 //!
 //! Provides `crossbeam::channel` — multi-producer multi-consumer bounded and
 //! unbounded channels with disconnect semantics — implemented over
-//! `std::sync::{Mutex, Condvar}`. Only the API surface this workspace uses
-//! is exposed; throughput is adequate for the live testbed's hundreds of
-//! messages per run, not a general replacement.
+//! `std::sync::{Mutex, Condvar}` — and `crossbeam::thread` — scoped threads
+//! adapted over `std::thread::scope`. Only the API surface this workspace
+//! uses is exposed; throughput is adequate for the live testbed's hundreds
+//! of messages per run, not a general replacement.
 
 pub mod channel;
+pub mod thread;

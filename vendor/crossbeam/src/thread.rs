@@ -1,0 +1,122 @@
+//! Scoped threads, mirroring `crossbeam::thread`'s API shape.
+//!
+//! Real crossbeam predates `std::thread::scope` (Rust 1.63); this stand-in
+//! is a thin adapter over the std primitive so callers keep the familiar
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... })` surface. Two
+//! deliberate differences from upstream:
+//!
+//! * the spawn closure receives `&Scope` (upstream passes it so nested
+//!   spawns can outlive the closure; std's borrow rules make the same
+//!   pattern work directly), and
+//! * `scope` returns `thread::Result<R>` capturing the closure's value;
+//!   panics in spawned threads propagate at join, exactly like upstream.
+
+use std::thread;
+
+/// A handle to a spawn scope; passed to both the `scope` closure and each
+/// spawned-thread closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, joinable before the scope ends.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread guaranteed to be joined before `scope` returns. The
+    /// closure receives the scope again so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reborrow = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&reborrow)),
+        }
+    }
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its value or its panic
+    /// payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which all spawned threads are joined before it
+/// returns. Returns `Ok(r)` with the closure's value, or `Err` carrying the
+/// first panic payload if the closure itself panicked.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let total = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                .collect();
+            let mut joined = 0;
+            for h in handles {
+                h.join().unwrap();
+                joined += 1;
+            }
+            joined
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = scope(|s| {
+            let h1 = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let h2 = s.spawn(|_| data[2..].iter().sum::<u64>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(7, Ordering::SeqCst))
+                    .join()
+                    .unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panic_in_spawned_thread_surfaces_at_join() {
+        let res = scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(res.unwrap().is_err());
+    }
+}
