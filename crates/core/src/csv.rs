@@ -32,6 +32,7 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
         vec!["completed".into(), report.completed.to_string()],
         vec!["failed".into(), report.failed.to_string()],
         vec!["shed".into(), report.shed.to_string()],
+        vec!["cancelled".into(), report.cancelled.to_string()],
         vec!["in_flight_end".into(), report.in_flight_end.to_string()],
         vec!["throughput_rps".into(), format!("{:.3}", report.throughput)],
         vec!["drops_total".into(), report.drops_total.to_string()],
@@ -53,6 +54,15 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
         vec![
             "orphan_completions".into(),
             report.resilience.orphan_completions.to_string(),
+        ],
+        vec!["hedges".into(), report.resilience.hedges.to_string()],
+        vec![
+            "cancels_propagated".into(),
+            report.resilience.cancels_propagated.to_string(),
+        ],
+        vec![
+            "wasted_work_saved".into(),
+            report.resilience.wasted_work_saved.to_string(),
         ],
     ];
     files.push((
@@ -88,6 +98,9 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
                 tier.resilience.shed.to_string(),
                 tier.resilience.breaker_transitions.to_string(),
                 tier.resilience.orphan_completions.to_string(),
+                tier.resilience.hedges.to_string(),
+                tier.resilience.cancels_propagated.to_string(),
+                tier.resilience.wasted_work_saved.to_string(),
             ]
         })
         .collect();
@@ -103,6 +116,9 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
                 "shed",
                 "breaker_transitions",
                 "orphan_completions",
+                "hedges",
+                "cancels_propagated",
+                "wasted_work_saved",
             ],
             &res_rows,
         ),

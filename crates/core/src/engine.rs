@@ -44,7 +44,9 @@ use std::collections::HashMap;
 
 use ntier_des::prelude::*;
 use ntier_net::{Backlog, RetransmitState, RetryDecision};
-use ntier_resilience::{CircuitBreaker, Fault, ResilienceStats, TokenBucket};
+use ntier_resilience::{
+    AimdLimiter, CircuitBreaker, Fault, HedgeDelay, ResilienceStats, ShedPolicy, TokenBucket,
+};
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
@@ -137,6 +139,26 @@ enum Event {
     FaultEnd {
         idx: u16,
     },
+    /// A hedged caller's backup timer fired: launch the next backup attempt
+    /// of logical request `logical`, unless it already resolved (the `lgen`
+    /// mismatch catches recycled logical slots).
+    HedgeFire {
+        logical: u32,
+        lgen: u32,
+    },
+    /// The hedged caller's overall deadline passed: resolve the logical
+    /// request as failed (or cancelled, when losing attempts are chased).
+    LogicalDeadline {
+        logical: u32,
+        lgen: u32,
+    },
+    /// A cancel chasing attempt `req` reaches `tier`: reap the attempt if
+    /// its front is here, forward the cancel if it is deeper, drop the
+    /// chase if the reply already raced past upstream.
+    CancelArrive {
+        req: ReqId,
+        tier: u8,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -164,6 +186,31 @@ enum Occupancy {
     None,
     Thread,
     Admission,
+}
+
+/// Sentinel for "this attempt belongs to no hedged logical request".
+const LOGICAL_NONE: u32 = u32::MAX;
+
+/// One *logical* request under a hedged caller: the primary attempt plus up
+/// to K backups race down the chain; the first completion wins and the
+/// losers are orphaned (and, with a [`ntier_resilience::CancelPolicy`],
+/// chased down and reaped). Slots are recycled through
+/// `Engine::free_logicals`; `gen` invalidates stale `HedgeFire` /
+/// `LogicalDeadline` events exactly like [`ReqId::gen`] does for requests.
+#[derive(Debug)]
+struct LogicalState {
+    gen: u32,
+    /// A winner completed or the deadline passed; later attempt outcomes
+    /// are orphan completions / silent reaps.
+    resolved: bool,
+    /// Live attempt handles (winner/losers are unlinked as they terminate).
+    attempts: Vec<ReqId>,
+    /// Backup attempts launched so far (excludes the primary).
+    hedges_launched: u32,
+    injected_at: SimTime,
+    client: Option<u32>,
+    class: &'static str,
+    plan: Plan,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -249,6 +296,17 @@ struct RequestState {
     /// App-level retries of the current in-flight message (inner-hop caller
     /// policies); reset on successful admission like `retrans`.
     hop_attempts: u32,
+    /// Index into `Engine::logicals` when this attempt belongs to a hedged
+    /// logical request; [`LOGICAL_NONE`] otherwise.
+    logical: u32,
+    /// The deepest tier this attempt's front is currently at (queued,
+    /// executing, in flight towards, or waiting out a retransmit at) — the
+    /// coordinate a cancel chase homes in on. Updated on every send and
+    /// every reply hop.
+    head: u8,
+    /// When the in-flight message was admitted at each tier (backlog entry
+    /// or visit start) — feeds the AIMD limiter's latency samples.
+    arrived_at: Vec<SimTime>,
 }
 
 #[derive(Debug)]
@@ -273,6 +331,9 @@ struct TierRuntime {
     hop_breaker: Option<CircuitBreaker>,
     /// Retry budget for the hop into this tier.
     hop_bucket: Option<TokenBucket>,
+    /// Adaptive concurrency limiter when the tier sheds via
+    /// [`ShedPolicy::Aimd`]; fed a latency sample per finished visit.
+    aimd: Option<AimdLimiter>,
     /// Resilience counters for the hop into this tier.
     res: ResilienceStats,
 }
@@ -314,6 +375,12 @@ pub struct Engine {
     free_slots: Vec<u32>,
     /// Granted-but-not-yet-fired client retries (see [`RetryTicket`]).
     tickets: Vec<RetryTicket>,
+    /// Hedged logical requests (see [`LogicalState`]); recycled like the
+    /// request slab.
+    logicals: Vec<LogicalState>,
+    free_logicals: Vec<u32>,
+    /// Caller-wide token bucket metering hedge launches.
+    hedge_bucket: Option<TokenBucket>,
     events_handled: u64,
     rng_mix: SimRng,
     rng_clients: SimRng,
@@ -323,6 +390,9 @@ pub struct Engine {
     completed: u64,
     failed: u64,
     shed: u64,
+    /// Logical requests resolved by a deadline *with* cancellation: the
+    /// caller gave up and revoked the outstanding work.
+    cancelled: u64,
     drops_total: u64,
     vlrt_total: u64,
     next_token: u64,
@@ -411,12 +481,22 @@ impl Engine {
                         .as_ref()
                         .and_then(|p| p.budget)
                         .map(|b| TokenBucket::new(b, SimTime::ZERO)),
+                    aimd: match tc.shed {
+                        Some(ShedPolicy::Aimd(acfg)) => Some(AimdLimiter::new(acfg)),
+                        _ => None,
+                    },
                     res: ResilienceStats::default(),
                 }
             })
             .collect();
         let n_tiers = cfg.tiers.len();
         let n_faults = cfg.faults.faults().len();
+        let hedge_bucket = cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .and_then(|p| p.hedge)
+            .and_then(|h| h.budget)
+            .map(|b| TokenBucket::new(b, SimTime::ZERO));
         Engine {
             cfg,
             workload,
@@ -427,6 +507,9 @@ impl Engine {
             requests: Vec::with_capacity(1024),
             free_slots: Vec::new(),
             tickets: Vec::new(),
+            logicals: Vec::new(),
+            free_logicals: Vec::new(),
+            hedge_bucket,
             events_handled: 0,
             rng_mix: root.fork("mix"),
             rng_clients: root.fork("clients"),
@@ -436,6 +519,7 @@ impl Engine {
             completed: 0,
             failed: 0,
             shed: 0,
+            cancelled: 0,
             drops_total: 0,
             vlrt_total: 0,
             next_token: 0,
@@ -509,6 +593,9 @@ impl Engine {
             Event::RetryFire { ticket } => self.on_retry_fire(ticket),
             Event::FaultBegin { idx } => self.on_fault_begin(idx as usize),
             Event::FaultEnd { idx } => self.on_fault_end(idx as usize),
+            Event::HedgeFire { logical, lgen } => self.on_hedge_fire(logical, lgen),
+            Event::LogicalDeadline { logical, lgen } => self.on_logical_deadline(logical, lgen),
+            Event::CancelArrive { req, tier } => self.on_cancel_arrive(req, tier as usize),
         }
     }
 
@@ -556,6 +643,9 @@ impl Engine {
             r.attempt = attempt;
             r.orphan = false;
             r.hop_attempts = 0;
+            r.logical = LOGICAL_NONE;
+            r.head = 0;
+            r.arrived_at.fill(SimTime::ZERO);
             ReqId { slot, gen: r.gen }
         } else {
             let n = self.tiers.len();
@@ -576,9 +666,70 @@ impl Engine {
                 attempt,
                 orphan: false,
                 hop_attempts: 0,
+                logical: LOGICAL_NONE,
+                head: 0,
+                arrived_at: vec![SimTime::ZERO; n],
             });
             ReqId { slot, gen: 0 }
         }
+    }
+
+    /// Claims a logical-request slot for a hedged injection.
+    fn alloc_logical(
+        &mut self,
+        injected_at: SimTime,
+        client: Option<u32>,
+        class: &'static str,
+        plan: Plan,
+    ) -> u32 {
+        if let Some(lid) = self.free_logicals.pop() {
+            let l = &mut self.logicals[lid as usize];
+            l.resolved = false;
+            l.attempts.clear();
+            l.hedges_launched = 0;
+            l.injected_at = injected_at;
+            l.client = client;
+            l.class = class;
+            l.plan = plan;
+            lid
+        } else {
+            self.logicals.push(LogicalState {
+                gen: 0,
+                resolved: false,
+                attempts: Vec::new(),
+                hedges_launched: 0,
+                injected_at,
+                client,
+                class,
+                plan,
+            });
+            (self.logicals.len() - 1) as u32
+        }
+    }
+
+    /// Recycles a logical slot once it has resolved *and* every attempt has
+    /// reached its terminal path; outstanding `HedgeFire`/`LogicalDeadline`
+    /// events go stale via the generation bump.
+    fn maybe_free_logical(&mut self, lid: u32) {
+        let l = &mut self.logicals[lid as usize];
+        if l.resolved && l.attempts.is_empty() {
+            l.gen = l.gen.wrapping_add(1);
+            self.free_logicals.push(lid);
+        }
+    }
+
+    /// Detaches `req` from its logical request (no-op for non-hedged
+    /// attempts) and recycles the logical slot if this was the last link.
+    fn unlink_from_logical(&mut self, req: ReqId) {
+        let lid = self.requests[req.slot as usize].logical;
+        if lid == LOGICAL_NONE {
+            return;
+        }
+        let l = &mut self.logicals[lid as usize];
+        if let Some(pos) = l.attempts.iter().position(|a| *a == req) {
+            l.attempts.remove(pos);
+        }
+        self.maybe_free_logical(lid);
     }
 
     /// Returns slot `i` to the free list; every outstanding [`ReqId`] for it
@@ -623,10 +774,225 @@ impl Engine {
                 return;
             }
         }
+        if self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .is_some_and(|p| p.hedge.is_some())
+        {
+            self.inject_hedged(client, class, plan);
+            return;
+        }
         let id = self.alloc_request(self.now, client, class, plan, 0);
         self.injected += 1;
         self.arm_attempt_timer(id);
         self.send(id, 0, 0);
+    }
+
+    /// Injects under a hedged client policy: one logical request, a primary
+    /// attempt now, backups on the hedge timer, and a single overall
+    /// deadline instead of per-attempt timers (`retry` is ignored — hedging
+    /// replaces sequential retry).
+    fn inject_hedged(&mut self, client: Option<u32>, class: &'static str, plan: Plan) {
+        let deadline = self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .expect("checked by caller")
+            .attempt_timeout;
+        let lid = self.alloc_logical(self.now, client, class, plan.share());
+        self.injected += 1;
+        let id = self.alloc_request(self.now, client, class, plan, 0);
+        self.requests[id.slot as usize].logical = lid;
+        self.logicals[lid as usize].attempts.push(id);
+        let lgen = self.logicals[lid as usize].gen;
+        self.queue.push(
+            self.now + deadline,
+            Event::LogicalDeadline { logical: lid, lgen },
+        );
+        self.schedule_next_hedge(lid);
+        self.send(id, 0, 0);
+    }
+
+    /// Schedules the next `HedgeFire` for `lid`, if the per-request backup
+    /// bound allows another. The delay is the policy's fixed value or the
+    /// currently observed latency quantile (clamped), read from the run's
+    /// completion histogram.
+    fn schedule_next_hedge(&mut self, lid: u32) {
+        let hedge = self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .and_then(|p| p.hedge)
+            .expect("hedged path requires a hedge policy");
+        let l = &self.logicals[lid as usize];
+        if l.hedges_launched >= hedge.max_hedges {
+            return;
+        }
+        let observed = match hedge.delay {
+            HedgeDelay::Quantile { q, .. } => self.latency.quantile(q),
+            HedgeDelay::Fixed(_) => None,
+        };
+        let delay = hedge.delay.resolve(observed);
+        let lgen = l.gen;
+        self.queue
+            .push(self.now + delay, Event::HedgeFire { logical: lid, lgen });
+    }
+
+    /// A hedge timer fired: launch the next backup attempt unless the
+    /// logical request already resolved or the hedge budget is empty (an
+    /// empty budget also stops the hedge ladder for this request — budget
+    /// pressure means the system is already saturated with duplicates).
+    fn on_hedge_fire(&mut self, lid: u32, lgen: u32) {
+        {
+            let l = &self.logicals[lid as usize];
+            if l.gen != lgen || l.resolved {
+                return;
+            }
+        }
+        let now = self.now;
+        if let Some(bucket) = self.hedge_bucket.as_mut() {
+            if !bucket.try_withdraw(now) {
+                self.tiers[0].res.budget_exhausted += 1;
+                return;
+            }
+        }
+        let (injected_at, client, class, plan, attempt) = {
+            let l = &mut self.logicals[lid as usize];
+            l.hedges_launched += 1;
+            (
+                l.injected_at,
+                l.client,
+                l.class,
+                l.plan.share(),
+                l.hedges_launched,
+            )
+        };
+        self.tiers[0].res.hedges += 1;
+        let id = self.alloc_request(injected_at, client, class, plan, attempt);
+        self.requests[id.slot as usize].logical = lid;
+        self.logicals[lid as usize].attempts.push(id);
+        self.send(id, 0, 0);
+        self.schedule_next_hedge(lid);
+    }
+
+    /// The hedged caller's deadline passed with no winner: the logical
+    /// request resolves as cancelled (cancel policy set — the caller
+    /// revokes the outstanding work) or failed (no cancellation — the
+    /// attempts run on as orphans).
+    fn on_logical_deadline(&mut self, lid: u32, lgen: u32) {
+        {
+            let l = &self.logicals[lid as usize];
+            if l.gen != lgen || l.resolved {
+                return;
+            }
+        }
+        self.logicals[lid as usize].resolved = true;
+        self.tiers[0].res.timeouts += 1;
+        let now = self.now;
+        if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
+            br.on_failure(now);
+        }
+        let cancel = self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .and_then(|p| p.cancel);
+        if cancel.is_some() {
+            self.cancelled += 1;
+        } else {
+            self.failed += 1;
+        }
+        let attempts = self.logicals[lid as usize].attempts.clone();
+        for att in attempts {
+            if let Some(i) = self.live(att) {
+                self.requests[i].orphan = true;
+                if cancel.is_some() {
+                    self.start_cancel(att);
+                }
+            }
+        }
+        let client = self.logicals[lid as usize].client;
+        self.schedule_client_next(client);
+        self.maybe_free_logical(lid);
+    }
+
+    /// Launches a cancel chase after attempt `req`, starting at tier 0.
+    fn start_cancel(&mut self, req: ReqId) {
+        let hop = self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .and_then(|p| p.cancel)
+            .expect("start_cancel requires a cancel policy")
+            .hop_delay;
+        self.queue
+            .push(self.now + hop, Event::CancelArrive { req, tier: 0 });
+    }
+
+    /// A cancel reaches `tier`. Three races, all realistic:
+    /// * the attempt's front is **deeper** — forward the cancel one hop;
+    /// * the front is **here** — reap: pluck it from the backlog or the
+    ///   connection-pool wait queue, free every held thread/slot, and
+    ///   retire the attempt (counted as `wasted_work_saved`);
+    /// * the front is already **upstream** — the reply outran the cancel;
+    ///   the chase ends and the reply completes as an orphan.
+    fn on_cancel_arrive(&mut self, req: ReqId, tier: usize) {
+        let Some(i) = self.live(req) else {
+            return; // the attempt terminated on its own before the cancel landed
+        };
+        self.tiers[tier].res.cancels_propagated += 1;
+        let head = self.requests[i].head as usize;
+        if head > tier {
+            let hop = self.cfg.tiers[0]
+                .caller_policy
+                .as_ref()
+                .and_then(|p| p.cancel)
+                .expect("cancel event requires a cancel policy")
+                .hop_delay;
+            self.queue.push(
+                self.now + hop,
+                Event::CancelArrive {
+                    req,
+                    tier: (tier + 1) as u8,
+                },
+            );
+            return;
+        }
+        if head < tier {
+            return;
+        }
+        self.reap_attempt(req, tier);
+    }
+
+    /// Physically removes attempt `req` from the system at `tier`: backlog
+    /// slot, pooled-connection wait, and all held threads/admission slots
+    /// are reclaimed; pending events for the attempt go stale via the
+    /// generation bump.
+    fn reap_attempt(&mut self, req: ReqId, tier: usize) {
+        let i = self.live_expect(req);
+        if self.tiers[tier]
+            .backlog
+            .remove_where(|p| p.req == req)
+            .is_some()
+        {
+            self.record_queue(tier);
+        }
+        // At most one parked pool wait can reference the attempt, so the
+        // unordered scan is deterministic.
+        let parked_token = self
+            .parked
+            .iter()
+            .find_map(|(tok, (r, _, _))| (*r == req).then_some(*tok));
+        if let Some(tok) = parked_token {
+            let (_, target, _) = self.parked.remove(&tok).expect("token just seen");
+            let pool_tier = target - 1;
+            let removed = self.tiers[pool_tier]
+                .conn_pool
+                .as_mut()
+                .expect("parked wait implies a pool")
+                .cancel_waiter(tok);
+            debug_assert!(removed, "parked token missing from pool wait queue");
+        }
+        self.release_resources(req);
+        self.tiers[tier].res.wasted_work_saved += 1;
+        self.unlink_from_logical(req);
+        self.free_request(i);
     }
 
     /// Arms the client's per-attempt timer, when a client policy is set.
@@ -641,6 +1007,12 @@ impl Engine {
 
     /// Schedules a message (SYN/query/forward) to arrive at `tier`.
     fn send(&mut self, req: ReqId, tier: usize, visit: u16) {
+        // The attempt's front is now headed at `tier`; a cancel chasing it
+        // must look there. During a retransmit wait the head *stays* at the
+        // dropped tier, which is exactly what lets a cancel catch an attempt
+        // stuck in RTO limbo.
+        let i = self.live_expect(req);
+        self.requests[i].head = tier as u8;
         let at = self.now + self.cfg.hop_delay + self.extra_hop[tier];
         self.queue.push(
             at,
@@ -676,6 +1048,14 @@ impl Engine {
             let depth = self.tiers[tier].depth();
             let age = self.now.saturating_since(self.requests[i].injected_at);
             if sp.should_shed(depth, age) {
+                self.shed_request(req, tier);
+                return;
+            }
+        }
+        // AIMD adaptive concurrency limit: reject once the tier's in-system
+        // count reaches the current (latency-derived) limit.
+        if let Some(lim) = self.tiers[tier].aimd.as_ref() {
+            if self.tiers[tier].depth() >= lim.limit() {
                 self.shed_request(req, tier);
                 return;
             }
@@ -732,6 +1112,7 @@ impl Engine {
         let i = self.live_expect(req);
         self.requests[i].retrans = RetransmitState::new();
         self.requests[i].hop_attempts = 0;
+        self.requests[i].arrived_at[tier] = self.now;
         if tier > 0 {
             let now = self.now;
             if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
@@ -831,6 +1212,16 @@ impl Engine {
         };
         let i = self.live_expect(req);
         self.requests[i].occupying[tier] = Occupancy::None;
+        // Feed the per-tier residence time (admission → visit done) to the
+        // AIMD limiter: congestion shows up as inflated residence.
+        if self.tiers[tier].aimd.is_some() {
+            let sample = self.now.saturating_since(self.requests[i].arrived_at[tier]);
+            self.tiers[tier]
+                .aimd
+                .as_mut()
+                .expect("checked above")
+                .on_sample(sample);
+        }
         if released_thread {
             self.drain_backlog(tier);
         }
@@ -838,6 +1229,9 @@ impl Engine {
         if tier == 0 {
             self.complete_request(req);
         } else {
+            // The reply heads upstream: a cancel arriving at this tier or
+            // deeper has been outrun.
+            self.requests[i].head = (tier - 1) as u8;
             self.queue.push(
                 self.now + self.cfg.hop_delay,
                 Event::ReplyArrive {
@@ -1023,6 +1417,17 @@ impl Engine {
             self.failed += 1;
             self.client_next(req);
         }
+        // With a cancel policy the abandoned attempt does not linger as an
+        // orphan eating capacity until it finishes on its own (the classic
+        // retry-storm leak): a cancel chases it down and reclaims the
+        // threads and backlog slots it holds.
+        if self.cfg.tiers[0]
+            .caller_policy
+            .as_ref()
+            .is_some_and(|p| p.cancel.is_some())
+        {
+            self.start_cancel(req);
+        }
     }
 
     /// Consults the client's retry policy, budget and breaker; on success
@@ -1089,6 +1494,13 @@ impl Engine {
         let i = self.live_expect(req);
         self.tiers[tier].res.shed += 1;
         self.release_resources(req);
+        // Like `fail_request`: shedding one hedged attempt does not decide
+        // the logical request — the race continues (or the deadline does).
+        if self.requests[i].logical != LOGICAL_NONE {
+            self.unlink_from_logical(req);
+            self.free_request(i);
+            return;
+        }
         if !self.requests[i].orphan {
             self.shed += 1;
             self.class_stats
@@ -1168,6 +1580,15 @@ impl Engine {
     fn fail_request(&mut self, req: ReqId) {
         let i = self.live_expect(req);
         self.release_resources(req);
+        // A hedged attempt dying (retransmits exhausted) is not a logical
+        // failure: its siblings — or the hedge ladder — may still win, and
+        // the logical deadline is the backstop. The attempt just drops out
+        // of the race.
+        if self.requests[i].logical != LOGICAL_NONE {
+            self.unlink_from_logical(req);
+            self.free_request(i);
+            return;
+        }
         if !self.requests[i].orphan {
             if self.cfg.tiers[0].caller_policy.is_some() {
                 let now = self.now;
@@ -1223,8 +1644,35 @@ impl Engine {
         if self.requests[i].orphan {
             // The reply nobody is waiting for: all that work was wasted.
             self.tiers[0].res.orphan_completions += 1;
+            self.unlink_from_logical(req);
             self.free_request(i);
             return;
+        }
+        // A hedged attempt finishing first *wins* its logical request: the
+        // logical resolves as completed exactly once, and every still-live
+        // sibling becomes a loser — orphaned, and (with a cancel policy)
+        // chased down so it stops eating capacity.
+        let lid = self.requests[i].logical;
+        if lid != LOGICAL_NONE {
+            self.logicals[lid as usize].resolved = true;
+            let losers: Vec<ReqId> = self.logicals[lid as usize]
+                .attempts
+                .iter()
+                .copied()
+                .filter(|a| *a != req)
+                .collect();
+            let cancel = self.cfg.tiers[0]
+                .caller_policy
+                .as_ref()
+                .and_then(|p| p.cancel);
+            for loser in losers {
+                if let Some(j) = self.live(loser) {
+                    self.requests[j].orphan = true;
+                    if cancel.is_some() {
+                        self.start_cancel(loser);
+                    }
+                }
+            }
         }
         let now = self.now;
         if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
@@ -1245,6 +1693,7 @@ impl Engine {
             }
         }
         self.client_next(req);
+        self.unlink_from_logical(req);
         self.free_request(i);
     }
 
@@ -1338,7 +1787,12 @@ impl Engine {
             completed: self.completed,
             failed: self.failed,
             shed: self.shed,
-            in_flight_end: self.injected - self.completed - self.failed - self.shed,
+            cancelled: self.cancelled,
+            in_flight_end: self.injected
+                - self.completed
+                - self.failed
+                - self.shed
+                - self.cancelled,
             throughput,
             latency: self.latency,
             vlrt_total: self.vlrt_total,
@@ -1750,6 +2204,8 @@ mod tests {
             )),
             budget: None,
             breaker: None,
+            hedge: None,
+            cancel: None,
         };
         let sys = tiny_sync_system().with_client_policy(policy).with_faults(
             FaultPlan::none().drop_messages(1, 1.0, SimTime::ZERO, SimTime::from_secs(1)),
@@ -1782,6 +2238,8 @@ mod tests {
             )),
             budget: None,
             breaker: Some(BreakerConfig::new(1, SimDuration::from_secs(60))),
+            hedge: None,
+            cancel: None,
         };
         let mut sys = tiny_sync_system().with_client_policy(policy);
         sys.tiers[1] = sys.tiers[1].clone().with_stalls(StallSchedule::at_marks(
@@ -1836,6 +2294,8 @@ mod tests {
             )),
             budget: None,
             breaker: None,
+            hedge: None,
+            cancel: None,
         });
         let sys = sys.with_faults(FaultPlan::none().drop_messages(
             1,

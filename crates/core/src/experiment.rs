@@ -366,10 +366,16 @@ pub enum RetryStormVariant {
 ///   each stall drains before latency reaches the 3 s VLRT threshold:
 ///   **zero VLRT**.
 /// * [`RetryStormVariant::Naive`] — a 2 s attempt timeout with 4 eager,
-///   unmetered retries and no breaker. Timed-out attempts are *orphaned*,
-///   not cancelled: they keep consuming capacity while their replacements
-///   re-enter the queue, so the same stalls now push completions past 3 s —
-///   the VLRT tail is entirely self-inflicted retry amplification.
+///   unmetered retries and no breaker. With no [`CancelPolicy`] configured
+///   (none of these arms sets one), timed-out attempts are *orphaned*: they
+///   keep consuming capacity while their replacements re-enter the queue,
+///   so the same stalls now push completions past 3 s — the VLRT tail is
+///   entirely self-inflicted retry amplification. Setting a `CancelPolicy`
+///   routes each timeout through the cancellation path instead, reaping
+///   the abandoned attempt wherever it sits; [`hedging_frontier`] measures
+///   that difference.
+///
+/// [`CancelPolicy`]: ntier_resilience::CancelPolicy
 /// * [`RetryStormVariant::Hardened`] — the same timeout and retry bound,
 ///   but retries spend from a token-bucket budget, a breaker trips after
 ///   consecutive failures (failing fast instead of amplifying), and the
@@ -421,6 +427,208 @@ pub fn retry_storm(variant: RetryStormVariant, seed: u64) -> ExperimentSpec {
         horizon: SimDuration::from_secs(25),
         seed,
     }
+}
+
+/// Which caller-policy arm of the [`hedging_frontier`] experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgingVariant {
+    /// No client policy: drops ride the kernel 3 s retransmit schedule, so
+    /// every stall mints 3 s (and, when a retransmit lands inside the next
+    /// stall, 6 s) latency modes.
+    Baseline,
+    /// The PR-1 hardened *sequential* stack: 2 s attempt timeout, budgeted
+    /// capped retries, circuit breaker, 10 s deadline shedding. Abandoned
+    /// attempts are orphaned (no cancellation).
+    Hardened,
+    /// Budgeted hedging with cancellation propagation: a backup attempt
+    /// fires 1.1 s into each unresolved logical request (at most 2, each
+    /// spending from a caller-wide token bucket), and the moment one
+    /// attempt wins — or the 12 s deadline passes — a cancel chases every
+    /// losing attempt down the chain and reaps it.
+    HedgedCancelling,
+    /// [`HedgingVariant::HedgedCancelling`] plus an AIMD adaptive
+    /// concurrency limit on web admission: instead of a fixed backlog
+    /// bound, the admission threshold follows observed residence time, so
+    /// overload turns into fast sheds rather than deep queues.
+    HedgedCancellingAimd,
+    /// The replication anti-pattern: eager 400 ms hedges, K = 3, no budget,
+    /// no cancellation. Fine at low utilization; at high load the duplicate
+    /// attempts multiply effective arrival rate and the orphaned losers
+    /// never give their capacity back (Poloczek & Ciucu's flip).
+    HedgedNoCancel,
+}
+
+/// Operating point for [`hedging_frontier`]: which open-loop arrival rate
+/// drives the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HedgingLoad {
+    /// ~571 req/s — the Fig. 1 WL 4000 operating point (~43% app-tier
+    /// utilization), where stalls cause drops but the system has headroom.
+    Moderate,
+    /// ~1149 req/s — ~88% of app-tier capacity, where duplicate attempts
+    /// are enough to tip the system into sustained overload.
+    High,
+}
+
+impl HedgingLoad {
+    /// Open-loop inter-arrival gap.
+    fn interarrival_us(self) -> u64 {
+        match self {
+            HedgingLoad::Moderate => 1_750,
+            HedgingLoad::High => 870,
+        }
+    }
+}
+
+/// Shared plant for the hedging-frontier arms: a *shallow* web backlog
+/// (64 threads + 16 slots) so each 1.8 s app stall overflows into drops,
+/// and dropped attempts ride the kernel 3 s RTO — the raw material of the
+/// paper's 3/6/9 s modes.
+fn hedging_spec(web: TierConfig, load: HedgingLoad, seed: u64) -> ExperimentSpec {
+    // Two 1.8 s stalls, 3.5 s apart: a 2 s sequential attempt timeout from
+    // late in stall 1 retries straight into stall 2, while a hedge fired in
+    // the inter-stall gap completes immediately — and the gap is just wide
+    // enough for the gap-landing hedge burst to drain before stall 2.
+    let stall = StallSchedule::at_marks(
+        [SimTime::from_secs(2), SimTime::from_millis(5_500)],
+        SimDuration::from_millis(1_800),
+    );
+    let app = TierConfig::sync("App", 64, 64).with_stalls(stall);
+    let db = TierConfig::sync("Db", 64, 64);
+    let system = SystemConfig::three_tier(web, app, db);
+    let step = load.interarrival_us();
+    let arrivals: Vec<SimTime> = (0..8_000_000 / step)
+        .map(|i| SimTime::from_micros(i * step))
+        .collect();
+    ExperimentSpec {
+        name: "ext-hedging-frontier",
+        system,
+        workload: Workload::Open {
+            arrivals,
+            mix: RequestMix::view_story(),
+        },
+        horizon: SimDuration::from_secs(25),
+        seed,
+    }
+}
+
+/// **Extension (not in the paper):** the hedging frontier — where backup
+/// requests erase the VLRT modes, and where they recreate the overload they
+/// were meant to route around.
+///
+/// Unlike [`retry_storm`]'s deep backlog, this plant gives the web tier
+/// only 16 backlog slots, so each 2.5 s app stall overflows admission and
+/// arrivals *drop*. The paper's mechanism then takes over: dropped attempts
+/// sit in kernel RTO limbo and return 3 s (or 6 s, across two stalls)
+/// later — the VLRT modes of Fig. 1.
+///
+/// * At [`HedgingLoad::Moderate`] (the Fig. 1 ~43% operating point) a
+///   hedged caller short-circuits the RTO wait: the 1.1 s backup lands
+///   after the stall has cleared and completes in milliseconds, so the
+///   logical request finishes in ~1–3 s instead of 3–6 s and the VLRT modes
+///   vanish. Cancellation then reaps the RTO-limbo loser *before* its
+///   retransmit fires — `wasted_work_saved` counts exactly those reclaimed
+///   attempts — so the post-stall convoy is not inflated by zombie
+///   retransmissions the way [`HedgingVariant::Hardened`]'s orphans
+///   inflate it.
+/// * At [`HedgingLoad::High`] (~88%) the same trick flips:
+///   [`HedgingVariant::HedgedNoCancel`] multiplies the effective arrival
+///   rate by up to 1 + K with nothing reclaiming the losers, pushing the
+///   system into sustained overload — p99 *rises* well above the
+///   budgeted + cancelling arm at the same load (Poloczek & Ciucu's
+///   replication flip). The hedge budget bounds the duplicate rate and
+///   cancellation returns loser capacity, which is what keeps
+///   [`HedgingVariant::HedgedCancelling`] stable there.
+pub fn hedging_frontier(variant: HedgingVariant, load: HedgingLoad, seed: u64) -> ExperimentSpec {
+    use ntier_resilience::{
+        AimdConfig, BreakerConfig, CallerPolicy, CancelPolicy, HedgePolicy, RetryBudget,
+        RetryPolicy, ShedPolicy,
+    };
+    let deadline = SimDuration::from_secs(12);
+    let cancel = CancelPolicy::new(SimDuration::from_micros(50));
+    // Caller-wide hedge budget: deep enough for the ~2k backups a stall
+    // burst wants at the moderate point, while the 500/s refill caps the
+    // *sustained* hedge rate under overload.
+    let budget = RetryBudget::new(4_000.0, 500.0);
+    let hedged = CallerPolicy::hedged(
+        deadline,
+        HedgePolicy::fixed(SimDuration::from_millis(1_100), 2).with_budget(budget),
+    )
+    .with_cancel(cancel);
+    let web = TierConfig::sync("Web", 64, 16);
+    let web = match variant {
+        HedgingVariant::Baseline => web,
+        // The same CallerPolicy::hardened stack PR 1's retry-storm arm
+        // uses, with the budget and breaker scaled to this plant's drop
+        // bursts (hundreds of simultaneous timeouts per stall) so retries
+        // actually run instead of starving — the strongest sequential
+        // opponent the hedged arms can be compared against.
+        HedgingVariant::Hardened => web
+            .with_caller_policy(CallerPolicy::hardened(
+                SimDuration::from_secs(2),
+                RetryPolicy::capped(4, SimDuration::from_millis(100), SimDuration::from_secs(1))
+                    .with_jitter(0.2),
+                RetryBudget::new(2_048.0, 256.0),
+                BreakerConfig::new(64, SimDuration::from_secs(1)),
+            ))
+            .with_shed_policy(ShedPolicy::on_deadline(SimDuration::from_secs(10))),
+        HedgingVariant::HedgedCancelling => web.with_caller_policy(hedged),
+        HedgingVariant::HedgedCancellingAimd => web
+            .with_caller_policy(hedged)
+            .with_shed_policy(ShedPolicy::adaptive(AimdConfig::new(64.0, 8.0, 512.0))),
+        HedgingVariant::HedgedNoCancel => web.with_caller_policy(CallerPolicy::hedged(
+            deadline,
+            HedgePolicy::fixed(SimDuration::from_millis(400), 3),
+        )),
+    };
+    hedging_spec(web, load, seed)
+}
+
+/// One point of the hedge-delay × K × load frontier: budgeted, cancelling
+/// hedging with the given backup `delay` and per-request bound
+/// `max_hedges`, on the same plant as [`hedging_frontier`].
+pub fn hedging_frontier_point(
+    delay: ntier_resilience::HedgeDelay,
+    max_hedges: u32,
+    load: HedgingLoad,
+    seed: u64,
+) -> ExperimentSpec {
+    use ntier_resilience::{CallerPolicy, CancelPolicy, HedgePolicy, RetryBudget};
+    let hedge = HedgePolicy {
+        delay,
+        max_hedges,
+        budget: Some(RetryBudget::new(4_000.0, 500.0)),
+    };
+    let web = TierConfig::sync("Web", 64, 16).with_caller_policy(
+        CallerPolicy::hedged(SimDuration::from_secs(12), hedge)
+            .with_cancel(CancelPolicy::new(SimDuration::from_micros(50))),
+    );
+    hedging_spec(web, load, seed)
+}
+
+/// The sweep grid behind the frontier table in EXPERIMENTS.md: three hedge
+/// delays (eager fixed, patient fixed, p95-adaptive) × K ∈ {1, 2} × both
+/// load points — 12 specs, shaped for `ntier_runner::run_all`.
+pub fn hedging_frontier_sweep(seed: u64) -> Vec<ExperimentSpec> {
+    use ntier_resilience::HedgeDelay;
+    let delays = [
+        HedgeDelay::Fixed(SimDuration::from_millis(300)),
+        HedgeDelay::Fixed(SimDuration::from_millis(1_100)),
+        HedgeDelay::Quantile {
+            q: 0.95,
+            floor: SimDuration::from_millis(300),
+            cap: SimDuration::from_secs(2),
+        },
+    ];
+    let mut specs = Vec::with_capacity(delays.len() * 2 * 2);
+    for delay in delays {
+        for max_hedges in [1u32, 2] {
+            for load in [HedgingLoad::Moderate, HedgingLoad::High] {
+                specs.push(hedging_frontier_point(delay, max_hedges, load, seed));
+            }
+        }
+    }
+    specs
 }
 
 /// **Extension (not in the paper):** CTQO at arbitrary chain depth.

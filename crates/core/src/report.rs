@@ -77,6 +77,10 @@ pub struct RunReport {
     /// Requests rejected fast by a breaker or shed policy before (or at)
     /// admission — a terminal outcome distinct from `failed`.
     pub shed: u64,
+    /// Hedged logical requests whose caller deadline passed with
+    /// cancellation enabled: the caller gave up *and revoked* the
+    /// outstanding attempts instead of letting them run on as orphans.
+    pub cancelled: u64,
     /// Requests still in flight when the horizon ended.
     pub in_flight_end: u64,
     /// Completed requests per second.
@@ -135,8 +139,14 @@ impl RunReport {
     pub fn summary(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "horizon {}  injected {}  completed {}  failed {}  shed {}  in-flight {}\n",
-            self.horizon, self.injected, self.completed, self.failed, self.shed, self.in_flight_end
+            "horizon {}  injected {}  completed {}  failed {}  shed {}  cancelled {}  in-flight {}\n",
+            self.horizon,
+            self.injected,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.cancelled,
+            self.in_flight_end
         ));
         s.push_str(&format!(
             "throughput {:.1} req/s  drops {}  VLRT {} ({:.3}%)  highest mean CPU {:.0}%\n",
@@ -156,6 +166,14 @@ impl RunReport {
                 self.resilience.breaker_transitions,
                 self.resilience.orphan_completions
             ));
+            if self.resilience.hedges > 0 || self.resilience.cancels_propagated > 0 {
+                s.push_str(&format!(
+                    "hedging: hedges {}  cancels propagated {}  wasted work saved {}\n",
+                    self.resilience.hedges,
+                    self.resilience.cancels_propagated,
+                    self.resilience.wasted_work_saved
+                ));
+            }
         }
         for t in &self.tiers {
             s.push_str(&format!(
@@ -173,9 +191,11 @@ impl RunReport {
     }
 
     /// Conservation check: injected == completed + failed + shed +
-    /// in-flight. Used by tests; always true for a correct engine.
+    /// cancelled + in-flight. Used by tests; always true for a correct
+    /// engine.
     pub fn is_conserved(&self) -> bool {
-        self.injected == self.completed + self.failed + self.shed + self.in_flight_end
+        self.injected
+            == self.completed + self.failed + self.shed + self.cancelled + self.in_flight_end
     }
 
     /// The per-class report for `class`, if any requests of it completed

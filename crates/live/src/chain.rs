@@ -91,6 +91,13 @@ impl Built {
         }
     }
 
+    fn reaped(&self) -> u64 {
+        match self {
+            Built::Sync(t) => t.reaped(),
+            Built::Async(t) => t.reaped(),
+        }
+    }
+
     fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
         match self {
             Built::Sync(t) => t.take_handles(),
@@ -191,6 +198,13 @@ impl Chain {
     /// Per-tier downstream retransmission counts, front first.
     pub fn retransmits(&self) -> Vec<u64> {
         self.tiers.iter().map(Built::retransmits).collect()
+    }
+
+    /// Per-tier counts of cancelled attempts discarded at dequeue (or
+    /// abandoned in retransmission limbo), front first — the live analogue
+    /// of the simulator's `wasted_work_saved`.
+    pub fn reaped(&self) -> Vec<u64> {
+        self.tiers.iter().map(Built::reaped).collect()
     }
 
     /// Per-tier names, front first.

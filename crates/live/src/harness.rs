@@ -5,11 +5,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded};
-use ntier_resilience::{CallerPolicy, CircuitBreaker, TokenBucket};
+use ntier_des::time::SimDuration;
+use ntier_resilience::{CallerPolicy, CircuitBreaker, HedgeDelay, HedgePolicy, TokenBucket};
 use parking_lot::Mutex;
 
 use crate::policy::{wall, WallClock};
-use crate::tier::{LiveRequest, Tier};
+use crate::tier::{CancelToken, LiveRequest, Tier};
 use crate::LiveError;
 
 /// What a burst produced.
@@ -94,11 +95,7 @@ pub fn fire_burst_with_rto(
         let retransmits = retransmits.clone();
         senders.push(std::thread::spawn(move || {
             let sent_at = Instant::now();
-            let mut req = LiveRequest {
-                id,
-                sent_at,
-                reply: reply_tx,
-            };
+            let mut req = LiveRequest::new(id, sent_at, reply_tx);
             loop {
                 match front.submit(req) {
                     Ok(()) => break,
@@ -165,6 +162,12 @@ pub struct PolicyOutcome {
     pub retries: u64,
     /// Front-tier drops observed by clients (instant NACKs).
     pub front_drops: u64,
+    /// Backup (hedge) attempts actually sent.
+    pub hedges: u64,
+    /// Losing attempts the clients cancelled (winner decided, or the
+    /// logical deadline passed). The chain-side effect is visible in
+    /// [`crate::Chain::reaped`].
+    pub cancels: u64,
 }
 
 impl PolicyOutcome {
@@ -203,6 +206,23 @@ struct ClientEnd {
     timeouts: u64,
     retries: u64,
     front_drops: u64,
+    hedges: u64,
+    cancels: u64,
+}
+
+impl ClientEnd {
+    /// A fresh tally, pessimistically classed as failed.
+    fn failed() -> Self {
+        ClientEnd {
+            class: 1,
+            latency: None,
+            timeouts: 0,
+            retries: 0,
+            front_drops: 0,
+            hedges: 0,
+            cancels: 0,
+        }
+    }
 }
 
 /// Fires `n` simultaneous requests, each governed by the *same*
@@ -217,6 +237,15 @@ struct ClientEnd {
 /// channel is dropped, the chain keeps processing it, and a late reply is
 /// discarded.
 ///
+/// When the policy carries a [`HedgePolicy`], the sequential retry loop is
+/// replaced by the simulator's hedged semantics: `attempt_timeout` becomes
+/// the *whole-logical* deadline, backup attempts launch after the hedge
+/// delay (metered by the hedge budget when one is set), and the first reply
+/// wins. With a `CancelPolicy` the losing attempts are cancelled through
+/// their [`CancelToken`]s — tiers discard them at dequeue instead of
+/// servicing orphans (`hop_delay` is not simulated; shared memory is the
+/// wire). Retries are ignored in hedged mode, exactly as in the engine.
+///
 /// # Errors
 ///
 /// Returns [`LiveError::ClientPanicked`] if a sender thread died.
@@ -229,11 +258,36 @@ pub fn fire_burst_with_policy(
     let breaker = policy
         .breaker
         .map(|cfg| Arc::new(Mutex::new(CircuitBreaker::new(cfg))));
+    let attempt_timeout = wall(policy.attempt_timeout);
+
+    if let Some(hedge) = policy.hedge {
+        let shared = Arc::new(HedgeShared {
+            front,
+            hedge,
+            cancel_losers: policy.cancel.is_some(),
+            deadline: attempt_timeout,
+            clock,
+            breaker,
+            bucket: hedge
+                .budget
+                .map(|b| Mutex::new(TokenBucket::new(b, clock.now()))),
+            observed: Mutex::new(ntier_telemetry::LatencyHistogram::new(
+                SimDuration::from_millis(10),
+                2_048,
+            )),
+        });
+        let clients: Vec<_> = (0..n as u64)
+            .map(|id| {
+                let shared = shared.clone();
+                std::thread::spawn(move || hedged_client(&shared, id))
+            })
+            .collect();
+        return collect_clients(clients, n);
+    }
+
     let bucket = policy
         .budget
         .map(|b| Arc::new(Mutex::new(TokenBucket::new(b, clock.now()))));
-    let attempt_timeout = wall(policy.attempt_timeout);
-
     let mut clients = Vec::with_capacity(n);
     for id in 0..n as u64 {
         let front = front.clone();
@@ -241,13 +295,7 @@ pub fn fire_burst_with_policy(
         let breaker = breaker.clone();
         let bucket = bucket.clone();
         clients.push(std::thread::spawn(move || {
-            let mut end = ClientEnd {
-                class: 1,
-                latency: None,
-                timeouts: 0,
-                retries: 0,
-                front_drops: 0,
-            };
+            let mut end = ClientEnd::failed();
             // Initial admission: an open breaker fast-fails the request.
             if let Some(br) = &breaker {
                 if !br.lock().try_acquire(clock.now()) {
@@ -259,11 +307,7 @@ pub fn fire_burst_with_policy(
             let mut attempt: u32 = 0;
             loop {
                 let (tx, rx) = bounded(1);
-                let req = LiveRequest {
-                    id,
-                    sent_at: first_sent,
-                    reply: tx,
-                };
+                let req = LiveRequest::new(id, first_sent, tx);
                 let outcome = match front.submit(req) {
                     Err(_) => {
                         end.front_drops += 1;
@@ -324,7 +368,14 @@ pub fn fire_burst_with_policy(
             }
         }));
     }
+    collect_clients(clients, n)
+}
 
+/// Joins the client threads into an aggregate [`PolicyOutcome`].
+fn collect_clients(
+    clients: Vec<std::thread::JoinHandle<ClientEnd>>,
+    n: usize,
+) -> Result<PolicyOutcome, LiveError> {
     let mut out = PolicyOutcome {
         completed: 0,
         failed: 0,
@@ -333,6 +384,8 @@ pub fn fire_burst_with_policy(
         timeouts: 0,
         retries: 0,
         front_drops: 0,
+        hedges: 0,
+        cancels: 0,
     };
     for h in clients {
         let end = h.join().map_err(|_| LiveError::ClientPanicked)?;
@@ -347,8 +400,137 @@ pub fn fire_burst_with_policy(
         out.timeouts += end.timeouts;
         out.retries += end.retries;
         out.front_drops += end.front_drops;
+        out.hedges += end.hedges;
+        out.cancels += end.cancels;
     }
     Ok(out)
+}
+
+/// State shared by every client of a hedged burst.
+struct HedgeShared {
+    front: Arc<dyn Tier>,
+    hedge: HedgePolicy,
+    cancel_losers: bool,
+    /// The whole-logical deadline (`CallerPolicy::attempt_timeout`).
+    deadline: Duration,
+    clock: WallClock,
+    breaker: Option<Arc<Mutex<CircuitBreaker>>>,
+    /// The hedge budget (`HedgePolicy::budget`), shared caller-wide.
+    bucket: Option<Mutex<TokenBucket>>,
+    /// Completed latencies, feeding [`HedgeDelay::Quantile`] resolution.
+    observed: Mutex<ntier_telemetry::LatencyHistogram>,
+}
+
+impl HedgeShared {
+    /// The wall-clock delay before the next hedge, resolving quantile
+    /// tracking against the latencies this burst has completed so far.
+    fn hedge_delay(&self) -> Duration {
+        let observed = match self.hedge.delay {
+            HedgeDelay::Quantile { q, .. } => self.observed.lock().quantile(q),
+            HedgeDelay::Fixed(_) => None,
+        };
+        wall(self.hedge.delay.resolve(observed))
+    }
+}
+
+/// One hedged logical request: fire the primary, launch backups on the
+/// hedge timer, take the first reply, and (with cancellation enabled) chase
+/// the losers down via their [`CancelToken`]s.
+fn hedged_client(sh: &HedgeShared, id: u64) -> ClientEnd {
+    let mut end = ClientEnd::failed();
+    // Initial admission: an open breaker fast-fails the logical request.
+    if let Some(br) = &sh.breaker {
+        if !br.lock().try_acquire(sh.clock.now()) {
+            end.class = 2;
+            return end;
+        }
+    }
+    let first_sent = Instant::now();
+    let deadline_at = first_sent + sh.deadline;
+    // Every attempt of this logical request answers on one channel; the
+    // first reply wins. A front-dropped attempt is simply dead — hedged
+    // mode replaces the retransmit ladder with the next hedge.
+    let (tx, rx) = bounded(sh.hedge.max_hedges as usize + 1);
+    let mut tokens: Vec<CancelToken> = Vec::new();
+    let launch = |end: &mut ClientEnd, tokens: &mut Vec<CancelToken>| {
+        let req = LiveRequest::new(id, first_sent, tx.clone());
+        let token = req.cancel.clone();
+        match sh.front.submit(req) {
+            Ok(()) => tokens.push(token),
+            Err(_) => end.front_drops += 1,
+        }
+    };
+    launch(&mut end, &mut tokens);
+    let mut hedges_fired: u32 = 0;
+    let mut next_hedge_at = first_sent + sh.hedge_delay();
+    loop {
+        let now = Instant::now();
+        if now >= deadline_at {
+            break; // failed: the logical deadline passed
+        }
+        if tokens.is_empty() && hedges_fired >= sh.hedge.max_hedges {
+            break; // every attempt was dropped and no hedges remain
+        }
+        let wake_at = if hedges_fired < sh.hedge.max_hedges {
+            next_hedge_at.min(deadline_at)
+        } else {
+            deadline_at
+        };
+        match rx.recv_timeout(wake_at.saturating_duration_since(now)) {
+            Ok(reply) => {
+                if let Some(br) = &sh.breaker {
+                    br.lock().on_success(sh.clock.now());
+                }
+                let lat = reply.completed_at.duration_since(first_sent);
+                sh.observed
+                    .lock()
+                    .record(SimDuration::from_secs_f64(lat.as_secs_f64()));
+                end.class = 0;
+                end.latency = Some(lat);
+                if sh.cancel_losers {
+                    // Everything else still in flight is a loser. The
+                    // winner's token is among these, but it already left
+                    // the chain — cancelling it is a no-op.
+                    end.cancels += (tokens.len() as u64).saturating_sub(1);
+                    for t in &tokens {
+                        t.cancel();
+                    }
+                }
+                return end;
+            }
+            Err(_) => {
+                // Woke for the hedge timer (or for the deadline, which the
+                // loop top handles).
+                if hedges_fired >= sh.hedge.max_hedges || Instant::now() < next_hedge_at {
+                    continue;
+                }
+                hedges_fired += 1;
+                if let Some(b) = &sh.bucket {
+                    if !b.lock().try_withdraw(sh.clock.now()) {
+                        // Budget exhausted: suppress this hedge and the
+                        // rest; ride the surviving attempts to the wire.
+                        hedges_fired = sh.hedge.max_hedges;
+                        continue;
+                    }
+                }
+                end.hedges += 1;
+                launch(&mut end, &mut tokens);
+                next_hedge_at = Instant::now() + sh.hedge_delay();
+            }
+        }
+    }
+    // Failed at the deadline: report it and chase down every attempt still
+    // in the chain rather than leaving orphans.
+    if let Some(br) = &sh.breaker {
+        br.lock().on_failure(sh.clock.now());
+    }
+    if sh.cancel_losers {
+        end.cancels += tokens.len() as u64;
+        for t in &tokens {
+            t.cancel();
+        }
+    }
+    end
 }
 
 /// Drives `front` at a fixed request rate for `duration` from a single
@@ -411,11 +593,7 @@ pub fn fire_sustained(
                 }
                 let sent_at = Instant::now();
                 sent_ats[id as usize] = Some(sent_at);
-                let req = LiveRequest {
-                    id,
-                    sent_at,
-                    reply: reply_tx.clone(),
-                };
+                let req = LiveRequest::new(id, sent_at, reply_tx.clone());
                 if let Err(back) = front.submit(req) {
                     retransmits.fetch_add(1, Ordering::Relaxed);
                     retries.push_back((sent_at + client_rto, back));
@@ -705,6 +883,8 @@ mod tests {
             )),
             budget: None,
             breaker: None,
+            hedge: None,
+            cancel: None,
         };
         let outcome = fire_burst_with_policy(chain.front(), 4, &policy).expect("burst");
         assert!(outcome.is_conserved(4));
@@ -740,6 +920,8 @@ mod tests {
             )),
             budget: None,
             breaker: Some(BreakerConfig::new(1, SimDuration::from_secs(10))),
+            hedge: None,
+            cancel: None,
         };
         let outcome = fire_burst_with_policy(chain.front(), 8, &policy).expect("burst");
         gate.end();
@@ -747,6 +929,96 @@ mod tests {
         assert_eq!(outcome.completed, 0, "{outcome:?}");
         assert!(outcome.shed > 0, "{outcome:?}");
         assert!(outcome.timeouts > 0, "{outcome:?}");
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn hedged_burst_cancels_losers_and_tiers_reap_them() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::{CallerPolicy, CancelPolicy, HedgePolicy};
+        // One worker behind a 200 ms stall. Every primary queues during the
+        // stall; each client hedges at +60 ms, so the backups queue *behind*
+        // all the primaries. As primaries complete, their clients cancel
+        // the losing hedges — which the worker must then discard at dequeue
+        // instead of servicing. The simulator's cancels_propagated /
+        // wasted_work_saved arithmetic, on real threads.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
+            .build()
+            .expect("spawn chain");
+        gate.schedule_stall(Duration::ZERO, Duration::from_millis(200));
+        std::thread::sleep(Duration::from_millis(20));
+        let policy = CallerPolicy::hedged(
+            SimDuration::from_secs(10),
+            HedgePolicy::fixed(SimDuration::from_millis(60), 1),
+        )
+        .with_cancel(CancelPolicy::new(SimDuration::from_micros(50)));
+        let outcome = fire_burst_with_policy(chain.front(), 4, &policy).expect("burst");
+        assert!(outcome.is_conserved(4));
+        assert_eq!(outcome.completed, 4, "{outcome:?}");
+        assert_eq!(outcome.hedges, 4, "{outcome:?}");
+        assert_eq!(outcome.cancels, 4, "{outcome:?}");
+        // The losers must be discarded by the worker, not serviced: give it
+        // a beat to drain the queue, then check the reap counter.
+        std::thread::sleep(Duration::from_millis(150));
+        let reaped = chain.reaped();
+        assert!(reaped[0] >= 3, "losers must be reaped, got {reaped:?}");
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn hedged_without_cancel_leaves_orphans_to_run() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::{CallerPolicy, HedgePolicy};
+        // The same plant without a CancelPolicy: the losing hedges are
+        // orphans — the tier services every one of them for nothing.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
+            .build()
+            .expect("spawn chain");
+        gate.schedule_stall(Duration::ZERO, Duration::from_millis(200));
+        std::thread::sleep(Duration::from_millis(20));
+        let policy = CallerPolicy::hedged(
+            SimDuration::from_secs(10),
+            HedgePolicy::fixed(SimDuration::from_millis(60), 1),
+        );
+        let outcome = fire_burst_with_policy(chain.front(), 4, &policy).expect("burst");
+        assert!(outcome.is_conserved(4));
+        assert_eq!(outcome.completed, 4, "{outcome:?}");
+        assert_eq!(outcome.cancels, 0, "{outcome:?}");
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(chain.reaped(), vec![0], "orphans must not be reaped");
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn hedged_attempts_rescue_front_dropped_primaries() {
+        use ntier_des::time::SimDuration;
+        use ntier_resilience::{CallerPolicy, CancelPolicy, HedgePolicy};
+        // Capacity 1 worker + 1 backlog = 2 during a 150 ms stall: most of
+        // the 6 primaries are NACKed at the front door and die (hedged mode
+        // has no retransmit ladder). The hedge timer is the recovery path:
+        // backups at +200 ms and +400 ms land after the stall on a drained
+        // queue. K = 2 covers two consecutive full-queue collisions.
+        let gate = StallGate::new();
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 1, 1, Duration::from_millis(10)).with_gate(gate.clone()))
+            .build()
+            .expect("spawn chain");
+        gate.schedule_stall(Duration::ZERO, Duration::from_millis(150));
+        std::thread::sleep(Duration::from_millis(20));
+        let policy = CallerPolicy::hedged(
+            SimDuration::from_secs(10),
+            HedgePolicy::fixed(SimDuration::from_millis(200), 2),
+        )
+        .with_cancel(CancelPolicy::new(SimDuration::from_micros(50)));
+        let outcome = fire_burst_with_policy(chain.front(), 6, &policy).expect("burst");
+        assert!(outcome.is_conserved(6));
+        assert_eq!(outcome.completed, 6, "{outcome:?}");
+        assert!(outcome.front_drops > 0, "{outcome:?}");
+        assert!(outcome.hedges > 0, "{outcome:?}");
         chain.shutdown().expect("clean shutdown");
     }
 }

@@ -39,10 +39,14 @@
 //! ```
 //!
 //! Application-level resilience — attempt timeouts, bounded retries, retry
-//! budgets and circuit breaking — reuses the `ntier-resilience` policies on
-//! a wall clock (see [`policy::WallClock`]) via
-//! [`harness::fire_burst_with_policy`], so simulator and testbed exercise
-//! one implementation.
+//! budgets, circuit breaking, hedged requests and cancellation propagation
+//! — reuses the `ntier-resilience` policies on a wall clock (see
+//! [`policy::WallClock`]) via [`harness::fire_burst_with_policy`], so
+//! simulator and testbed exercise one implementation. In hedged mode the
+//! first reply wins and losing attempts are chased down through their
+//! [`tier::CancelToken`]s: tiers discard cancelled work at dequeue (or
+//! abandon it in retransmission limbo) instead of servicing orphans, and
+//! report the reclaimed work via [`chain::Chain::reaped`].
 
 pub mod chain;
 pub mod harness;
@@ -54,7 +58,7 @@ pub use chain::{Chain, ChainBuilder, TierSpec};
 pub use harness::{fire_burst, fire_burst_with_policy, BurstOutcome, PolicyOutcome};
 pub use policy::WallClock;
 pub use stall::StallGate;
-pub use tier::{AsyncTier, LiveReply, LiveRequest, SyncTier, Tier};
+pub use tier::{AsyncTier, CancelToken, LiveReply, LiveRequest, SyncTier, Tier};
 
 /// Errors surfaced by the live testbed instead of aborting the process: a
 /// worker that cannot be spawned or a thread that panicked mid-run becomes a

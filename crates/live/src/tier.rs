@@ -1,6 +1,6 @@
 //! Live tiers: thread-pool RPC servers and event-loop async servers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -8,6 +8,34 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::stall::StallGate;
 use crate::LiveError;
+
+/// A cooperative cancellation flag that travels with a request through the
+/// chain. The client keeps a clone; raising it marks the attempt as a loser.
+/// Live tiers cannot yank a request out of a bounded channel (any more than
+/// a real server can un-receive a socket buffer), so cancellation is
+/// observed at the next touch point: a worker dequeuing a cancelled request
+/// discards it without spending service time, and a worker stuck in the
+/// retransmit loop for one abandons the send. Both count as a reap — the
+/// live analogue of the simulator's cancellation chase.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Marks the attempt as cancelled.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the attempt has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// A request travelling down the chain.
 #[derive(Debug)]
@@ -18,6 +46,21 @@ pub struct LiveRequest {
     pub sent_at: Instant,
     /// Where the handling tier should deliver the reply.
     pub reply: Sender<LiveReply>,
+    /// Cancellation flag shared with the client (and, for sync forwards,
+    /// with every hop the attempt visits).
+    pub cancel: CancelToken,
+}
+
+impl LiveRequest {
+    /// A request with a fresh cancellation token.
+    pub fn new(id: u64, sent_at: Instant, reply: Sender<LiveReply>) -> Self {
+        LiveRequest {
+            id,
+            sent_at,
+            reply,
+            cancel: CancelToken::new(),
+        }
+    }
 }
 
 /// The reply travelling back.
@@ -45,6 +88,12 @@ pub trait Tier: Send + Sync {
 
     /// Messages rejected so far.
     fn drops(&self) -> u64;
+
+    /// Cancelled attempts this tier discarded instead of servicing — the
+    /// wasted work that cancellation propagation reclaimed here.
+    fn reaped(&self) -> u64 {
+        0
+    }
 }
 
 fn submit_with_retransmit(
@@ -52,8 +101,15 @@ fn submit_with_retransmit(
     mut req: LiveRequest,
     rto: Duration,
     retransmits: &AtomicU64,
+    reaped: &AtomicU64,
 ) {
     loop {
+        if req.cancel.is_cancelled() {
+            // The attempt was abandoned while waiting out an RTO — the live
+            // equivalent of reaping from retransmission limbo.
+            reaped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         match target.submit(req) {
             Ok(()) => return,
             Err(back) => {
@@ -73,6 +129,7 @@ pub struct SyncTier {
     input: Sender<LiveRequest>,
     drops: AtomicU64,
     retransmits: Arc<AtomicU64>,
+    reaped: Arc<AtomicU64>,
     handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -106,11 +163,13 @@ impl SyncTier {
         let name = name.into();
         let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(workers + backlog);
         let retransmits = Arc::new(AtomicU64::new(0));
+        let reaped = Arc::new(AtomicU64::new(0));
         let tier = Arc::new(SyncTier {
             name: name.clone(),
             input: tx,
             drops: AtomicU64::new(0),
             retransmits: retransmits.clone(),
+            reaped: reaped.clone(),
             handles: parking_lot::Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -119,6 +178,7 @@ impl SyncTier {
             let gate = gate.clone();
             let downstream = downstream.clone();
             let retransmits = retransmits.clone();
+            let reaped = reaped.clone();
             let thread_name = format!("{name}-worker-{i}");
             handles.push(
                 std::thread::Builder::new()
@@ -126,6 +186,14 @@ impl SyncTier {
                     .spawn(move || {
                         while let Ok(req) = rx.recv() {
                             gate.wait_if_stalled();
+                            if req.cancel.is_cancelled() {
+                                // A loser surfaced from the queue: discard
+                                // it — no service time, no downstream work,
+                                // no reply. Dropping its reply sender
+                                // unwinds any upstream hop blocked on it.
+                                reaped.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
                             std::thread::sleep(service);
                             match &downstream {
                                 None => {
@@ -142,8 +210,9 @@ impl SyncTier {
                                         id: req.id,
                                         sent_at: req.sent_at,
                                         reply: tx,
+                                        cancel: req.cancel.clone(),
                                     };
-                                    submit_with_retransmit(d, fwd, rto, &retransmits);
+                                    submit_with_retransmit(d, fwd, rto, &retransmits, &reaped);
                                     if let Ok(reply) = rx_reply.recv() {
                                         let _ = req.reply.send(reply);
                                     }
@@ -186,6 +255,10 @@ impl Tier for SyncTier {
     fn drops(&self) -> u64 {
         self.drops.load(Ordering::Relaxed)
     }
+
+    fn reaped(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
+    }
 }
 
 /// An asynchronous (event-driven) tier: a large `LiteQDepth` accept queue in
@@ -197,6 +270,7 @@ pub struct AsyncTier {
     input: Sender<LiveRequest>,
     drops: AtomicU64,
     retransmits: Arc<AtomicU64>,
+    reaped: Arc<AtomicU64>,
     handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -224,11 +298,13 @@ impl AsyncTier {
         let name = name.into();
         let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(lite_q);
         let retransmits = Arc::new(AtomicU64::new(0));
+        let reaped = Arc::new(AtomicU64::new(0));
         let tier = Arc::new(AsyncTier {
             name: name.clone(),
             input: tx,
             drops: AtomicU64::new(0),
             retransmits: retransmits.clone(),
+            reaped: reaped.clone(),
             handles: parking_lot::Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -237,12 +313,17 @@ impl AsyncTier {
             let gate = gate.clone();
             let downstream = downstream.clone();
             let retransmits = retransmits.clone();
+            let reaped = reaped.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-loop-{i}"))
                     .spawn(move || {
                         while let Ok(req) = rx.recv() {
                             gate.wait_if_stalled();
+                            if req.cancel.is_cancelled() {
+                                reaped.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
                             std::thread::sleep(service);
                             match &downstream {
                                 None => {
@@ -254,7 +335,7 @@ impl AsyncTier {
                                 Some(d) => {
                                     // Continuation: the reply bypasses this
                                     // tier; no worker is held.
-                                    submit_with_retransmit(d, req, rto, &retransmits);
+                                    submit_with_retransmit(d, req, rto, &retransmits, &reaped);
                                 }
                             }
                         }
@@ -294,6 +375,10 @@ impl Tier for AsyncTier {
     fn drops(&self) -> u64 {
         self.drops.load(Ordering::Relaxed)
     }
+
+    fn reaped(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -302,11 +387,7 @@ mod tests {
     use crossbeam::channel::unbounded;
 
     fn req(id: u64, reply: &Sender<LiveReply>) -> LiveRequest {
-        LiveRequest {
-            id,
-            sent_at: Instant::now(),
-            reply: reply.clone(),
-        }
+        LiveRequest::new(id, Instant::now(), reply.clone())
     }
 
     #[test]
@@ -380,6 +461,37 @@ mod tests {
             rx.recv_timeout(Duration::from_secs(2)).unwrap();
         }
         assert_eq!(tier.drops(), 0);
+    }
+
+    #[test]
+    fn cancelled_request_is_reaped_without_service_or_reply() {
+        // One worker busy on a slow request; a second, already-cancelled
+        // request queued behind it must be discarded at dequeue: no reply,
+        // reaped counter incremented.
+        let tier = SyncTier::spawn(
+            "t",
+            1,
+            4,
+            Duration::from_millis(50),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+        )
+        .expect("spawn tier");
+        let (tx, rx) = unbounded();
+        tier.submit(req(0, &tx)).unwrap();
+        let doomed = req(1, &tx);
+        let token = doomed.cancel.clone();
+        token.cancel();
+        tier.submit(doomed).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().id, 0);
+        // Give the worker a beat to dequeue and discard the loser.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(tier.reaped(), 1);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(20)).is_err(),
+            "cancelled request must not reply"
+        );
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl<T> Backlog<T> {
         self.items.pop_front()
     }
 
+    /// Removes and returns the first queued item matching `pred` — the
+    /// cancellation hook: a cancel chasing a queued attempt plucks it out
+    /// of the accept queue, freeing the slot without it ever being served.
+    /// Removal counts as neither a drop nor a pop; `accepted_total` keeps
+    /// reflecting admissions, so `accepted - popped - removed == len`.
+    pub fn remove_where(&mut self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
+        self.items.remove(idx)
+    }
+
     /// Current queue length.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -126,6 +136,24 @@ mod tests {
         assert_eq!(b.pop(), Some('a'));
         assert_eq!(b.pop(), Some('b'));
         assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn remove_where_plucks_first_match_only() {
+        let mut b = Backlog::new(4);
+        for x in [1, 2, 3, 2] {
+            b.offer(x).unwrap();
+        }
+        assert_eq!(b.remove_where(|&x| x == 2), Some(2));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.remove_where(|&x| x == 9), None);
+        // FIFO order of the survivors is preserved; the duplicate stays.
+        assert_eq!(b.pop(), Some(1));
+        assert_eq!(b.pop(), Some(3));
+        assert_eq!(b.pop(), Some(2));
+        // Removal is not a drop and does not disturb admission counts.
+        assert_eq!(b.dropped_total(), 0);
+        assert_eq!(b.accepted_total(), 4);
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //! * [`policy`] — per-hop caller policies: attempt timeouts, bounded
 //!   retries with capped exponential backoff and deterministic jitter,
 //!   token-bucket retry budgets, a closed/open/half-open circuit breaker,
-//!   and queue-depth / deadline load shedding. All state machines are
-//!   driven by simulation time passed in by the caller, so the same types
-//!   serve the DES engine (`ntier-core`) and the real-thread testbed
-//!   (`ntier-live`).
+//!   hedged requests (fixed or latency-quantile backup delay, budgeted),
+//!   cancellation propagation for losing attempts, and load shedding —
+//!   static queue-depth / deadline thresholds or an AIMD adaptive
+//!   concurrency limit. All state machines are driven by simulation time
+//!   passed in by the caller, so the same types serve the DES engine
+//!   (`ntier-core`) and the real-thread testbed (`ntier-live`).
 //!
-//! The headline experiment (see `ntier_core::experiment::retry_storm`):
-//! naive timeout-and-retry clients *amplify* CTQO — every retry is a fresh
-//! message aimed at an already-overflowing tier while the abandoned attempt
-//! keeps consuming threads — whereas a retry budget plus circuit breaker
-//! bounds the very-long-response-time fraction at the cost of shed load.
+//! The headline experiments (see `ntier_core::experiment::retry_storm` and
+//! `ntier_core::experiment::hedging_frontier`): naive timeout-and-retry
+//! clients *amplify* CTQO — every retry is a fresh message aimed at an
+//! already-overflowing tier while the abandoned attempt keeps consuming
+//! threads — whereas a retry budget plus circuit breaker bounds the
+//! very-long-response-time fraction at the cost of shed load; hedged
+//! requests with cancellation erase the 3/6/9 s retransmission modes at
+//! moderate load, while un-budgeted hedging without cancellation recreates
+//! the overload it was meant to dodge.
 
 pub mod fault;
 pub mod policy;
@@ -32,7 +38,7 @@ pub mod stats;
 
 pub use fault::{Fault, FaultPlan};
 pub use policy::{
-    BreakerConfig, BreakerState, CallerPolicy, CircuitBreaker, RetryBudget, RetryPolicy,
-    ShedPolicy, TokenBucket,
+    AimdConfig, AimdLimiter, BreakerConfig, BreakerState, CallerPolicy, CancelPolicy,
+    CircuitBreaker, HedgeDelay, HedgePolicy, RetryBudget, RetryPolicy, ShedPolicy, TokenBucket,
 };
 pub use stats::ResilienceStats;

@@ -280,21 +280,250 @@ impl CircuitBreaker {
     }
 }
 
+/// When the caller launches a backup (hedge) attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgeDelay {
+    /// Hedge after a fixed delay.
+    Fixed(SimDuration),
+    /// Hedge after the observed latency quantile `q` (e.g. p95), clamped to
+    /// `[floor, cap]`. The caller resolves the quantile against whatever
+    /// latency telemetry it keeps — the DES engine uses its run histogram —
+    /// and falls back to `floor` before any completions exist.
+    Quantile {
+        /// The quantile to track, in `(0, 1)`.
+        q: f64,
+        /// Lower clamp (also the cold-start delay before any samples).
+        floor: SimDuration,
+        /// Upper clamp, so a long tail cannot push hedges out to never.
+        cap: SimDuration,
+    },
+}
+
+impl HedgeDelay {
+    /// The delay to wait before the next hedge, given the currently
+    /// `observed` value of the tracked quantile (if any).
+    pub fn resolve(&self, observed: Option<SimDuration>) -> SimDuration {
+        match *self {
+            HedgeDelay::Fixed(d) => d,
+            HedgeDelay::Quantile { floor, cap, .. } => match observed {
+                Some(d) => d.max(floor).min(cap),
+                None => floor,
+            },
+        }
+    }
+}
+
+/// Hedged-request policy: after [`HedgeDelay`] with no reply, launch a
+/// backup attempt; first completion wins. At most `max_hedges` backups are
+/// launched per logical request, each spending a token from the shared
+/// hedge `budget` (when configured) so hedges cannot snowball into a
+/// replication storm under load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// When to fire each backup attempt.
+    pub delay: HedgeDelay,
+    /// Maximum backup attempts per logical request (K).
+    pub max_hedges: u32,
+    /// Caller-wide token bucket metering hedges; `None` = unmetered.
+    pub budget: Option<RetryBudget>,
+}
+
+impl HedgePolicy {
+    /// At most `max_hedges` backups, each after a fixed `delay`, unmetered.
+    pub fn fixed(delay: SimDuration, max_hedges: u32) -> Self {
+        HedgePolicy {
+            delay: HedgeDelay::Fixed(delay),
+            max_hedges,
+            budget: None,
+        }
+    }
+
+    /// At most `max_hedges` backups, each after the observed `q` quantile
+    /// clamped to `[floor, cap]`, unmetered.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is within `(0, 1)`.
+    pub fn at_quantile(q: f64, floor: SimDuration, cap: SimDuration, max_hedges: u32) -> Self {
+        assert!(q > 0.0 && q < 1.0, "hedge quantile must be in (0, 1)");
+        HedgePolicy {
+            delay: HedgeDelay::Quantile { q, floor, cap },
+            max_hedges,
+            budget: None,
+        }
+    }
+
+    /// Meters hedges through a caller-wide token bucket.
+    pub fn with_budget(mut self, budget: RetryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Cancellation-propagation policy: when a logical request resolves (a
+/// winner completes, or the caller deadline passes), a cancel chases each
+/// losing attempt down the chain, hop by hop, reclaiming backlog slots and
+/// in-flight work it catches up with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CancelPolicy {
+    /// Propagation delay per hop the cancel traverses (its "network" cost).
+    pub hop_delay: SimDuration,
+}
+
+impl CancelPolicy {
+    /// Cancels propagating at `hop_delay` per hop.
+    pub fn new(hop_delay: SimDuration) -> Self {
+        CancelPolicy { hop_delay }
+    }
+}
+
+/// AIMD (additive-increase / multiplicative-decrease) concurrency-limit
+/// configuration, in the style of Netflix's adaptive concurrency limits:
+/// the limit grows while observed latency stays near the best-seen RTT and
+/// collapses multiplicatively when latency gradients indicate queueing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdConfig {
+    /// Starting concurrency limit.
+    pub initial_limit: f64,
+    /// Floor the limit cannot decrease below.
+    pub min_limit: f64,
+    /// Ceiling the limit cannot grow above.
+    pub max_limit: f64,
+    /// Latency tolerance: a sample above `tolerance * min_rtt` is treated
+    /// as congestion and triggers multiplicative decrease.
+    pub tolerance: f64,
+    /// Multiplier applied on decrease (`0 < backoff_ratio < 1`).
+    pub backoff_ratio: f64,
+    /// Additive growth per uncongested sample, scaled by `1 / limit` so
+    /// growth slows as the limit rises (matching TCP-style probing).
+    pub increase_by: f64,
+}
+
+impl AimdConfig {
+    /// A limiter starting at `initial_limit`, bounded to `[min, max]`, with
+    /// Netflix-flavoured defaults: 2.0 tolerance, 0.9 backoff, +1 additive
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inconsistent or ratios are out of range.
+    pub fn new(initial_limit: f64, min_limit: f64, max_limit: f64) -> Self {
+        assert!(
+            min_limit >= 1.0,
+            "min limit must admit at least one request"
+        );
+        assert!(
+            min_limit <= initial_limit && initial_limit <= max_limit,
+            "limits must satisfy min <= initial <= max"
+        );
+        AimdConfig {
+            initial_limit,
+            min_limit,
+            max_limit,
+            tolerance: 2.0,
+            backoff_ratio: 0.9,
+            increase_by: 1.0,
+        }
+    }
+
+    /// Overrides the congestion tolerance (must exceed 1).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance > 1.0, "tolerance must exceed 1");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Overrides the multiplicative-decrease ratio (in `(0, 1)`).
+    pub fn with_backoff(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio < 1.0,
+            "backoff ratio must be in (0, 1)"
+        );
+        self.backoff_ratio = ratio;
+        self
+    }
+}
+
+/// Runtime state of an AIMD concurrency limiter for one hop.
+#[derive(Debug, Clone)]
+pub struct AimdLimiter {
+    cfg: AimdConfig,
+    limit: f64,
+    min_rtt: Option<SimDuration>,
+}
+
+impl AimdLimiter {
+    /// A limiter at its configured initial limit with no RTT samples yet.
+    pub fn new(cfg: AimdConfig) -> Self {
+        AimdLimiter {
+            limit: cfg.initial_limit,
+            cfg,
+            min_rtt: None,
+        }
+    }
+
+    /// Feeds one observed per-request latency sample (queueing + service at
+    /// the guarded hop) and adjusts the limit.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        let min_rtt = match self.min_rtt {
+            Some(m) if m <= rtt => m,
+            _ => {
+                self.min_rtt = Some(rtt);
+                rtt
+            }
+        };
+        let congested =
+            rtt.as_micros() as f64 > self.cfg.tolerance * (min_rtt.as_micros() as f64).max(1.0);
+        if congested {
+            self.limit = (self.limit * self.cfg.backoff_ratio).max(self.cfg.min_limit);
+        } else {
+            self.limit = (self.limit + self.cfg.increase_by / self.limit).min(self.cfg.max_limit);
+        }
+    }
+
+    /// The current concurrency limit, floored to a whole admission count.
+    pub fn limit(&self) -> usize {
+        (self.limit.floor() as usize).max(1)
+    }
+
+    /// Best RTT observed so far.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+}
+
 /// Load-shedding policy for a tier's admission point: reject fast instead
 /// of queueing work that is already doomed.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct ShedPolicy {
-    /// Shed when the tier's queue depth is at or above this before
-    /// admission.
-    pub max_queue_depth: Option<usize>,
-    /// Shed requests older than this (age measured from injection).
-    pub deadline: Option<SimDuration>,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedPolicy {
+    /// Fixed thresholds on queue depth and/or request age.
+    Static {
+        /// Shed when the tier's queue depth is at or above this before
+        /// admission.
+        max_queue_depth: Option<usize>,
+        /// Shed requests older than this (age measured from injection).
+        deadline: Option<SimDuration>,
+    },
+    /// Adaptive concurrency limit: the admission threshold follows an
+    /// [`AimdLimiter`] fed by the tier's observed per-request latency. The
+    /// engine owns the limiter state; [`ShedPolicy::should_shed`] is not
+    /// consulted for this variant.
+    Aimd(AimdConfig),
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy::Static {
+            max_queue_depth: None,
+            deadline: None,
+        }
+    }
 }
 
 impl ShedPolicy {
     /// Shed on queue depth only.
     pub fn on_depth(max_queue_depth: usize) -> Self {
-        ShedPolicy {
+        ShedPolicy::Static {
             max_queue_depth: Some(max_queue_depth),
             deadline: None,
         }
@@ -302,32 +531,53 @@ impl ShedPolicy {
 
     /// Shed on request age only.
     pub fn on_deadline(deadline: SimDuration) -> Self {
-        ShedPolicy {
+        ShedPolicy::Static {
             max_queue_depth: None,
             deadline: Some(deadline),
         }
     }
 
+    /// Adaptive admission via an AIMD concurrency limiter.
+    pub fn adaptive(cfg: AimdConfig) -> Self {
+        ShedPolicy::Aimd(cfg)
+    }
+
     /// Adds a deadline to a depth-based policy.
-    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
-        self.deadline = Some(deadline);
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`ShedPolicy::Aimd`] variant, which has no deadline.
+    pub fn with_deadline(mut self, new_deadline: SimDuration) -> Self {
+        match &mut self {
+            ShedPolicy::Static { deadline, .. } => *deadline = Some(new_deadline),
+            ShedPolicy::Aimd(_) => panic!("an AIMD shed policy has no deadline threshold"),
+        }
         self
     }
 
     /// Whether a request of the given `age` arriving at a tier of the given
-    /// queue `depth` should be shed.
+    /// queue `depth` should be shed. Always `false` for the adaptive
+    /// variant — the engine consults its [`AimdLimiter`] instead.
     pub fn should_shed(&self, depth: usize, age: SimDuration) -> bool {
-        if let Some(max) = self.max_queue_depth {
-            if depth >= max {
-                return true;
+        match *self {
+            ShedPolicy::Static {
+                max_queue_depth,
+                deadline,
+            } => {
+                if let Some(max) = max_queue_depth {
+                    if depth >= max {
+                        return true;
+                    }
+                }
+                if let Some(deadline) = deadline {
+                    if age > deadline {
+                        return true;
+                    }
+                }
+                false
             }
+            ShedPolicy::Aimd(_) => false,
         }
-        if let Some(deadline) = self.deadline {
-            if age > deadline {
-                return true;
-            }
-        }
-        false
     }
 }
 
@@ -342,9 +592,17 @@ impl ShedPolicy {
 /// * On **inter-tier** hops the policy replaces the kernel retransmit
 ///   schedule for dropped messages: app-controlled capped backoff instead
 ///   of the fixed 3 s RTO, gated by the same budget and breaker.
+///
+/// When `hedge` is set on the client policy, the caller runs in *hedged
+/// mode*: `attempt_timeout` becomes the deadline of the whole logical
+/// request (all concurrent attempts), backups launch per the
+/// [`HedgePolicy`], and `retry` is ignored — hedging replaces sequential
+/// retry. `cancel` controls whether losing attempts are chased down and
+/// reclaimed or left to run to completion as orphans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CallerPolicy {
-    /// Time the caller waits for one attempt before abandoning it.
+    /// Time the caller waits for one attempt before abandoning it (in
+    /// hedged mode: the deadline for the whole logical request).
     pub attempt_timeout: SimDuration,
     /// Retry schedule; `None` = fail on first timeout/drop.
     pub retry: Option<RetryPolicy>,
@@ -352,6 +610,11 @@ pub struct CallerPolicy {
     pub budget: Option<RetryBudget>,
     /// Circuit breaker; `None` = never fail fast.
     pub breaker: Option<BreakerConfig>,
+    /// Hedged-request policy; `None` = sequential attempts only.
+    pub hedge: Option<HedgePolicy>,
+    /// Cancellation propagation for losing/abandoned attempts; `None` =
+    /// orphans run to completion (the PR-1 capacity-leak behaviour).
+    pub cancel: Option<CancelPolicy>,
 }
 
 impl CallerPolicy {
@@ -368,6 +631,8 @@ impl CallerPolicy {
             )),
             budget: None,
             breaker: None,
+            hedge: None,
+            cancel: None,
         }
     }
 
@@ -384,6 +649,8 @@ impl CallerPolicy {
             retry: Some(retry),
             budget: Some(budget),
             breaker: Some(breaker),
+            hedge: None,
+            cancel: None,
         }
     }
 
@@ -394,7 +661,41 @@ impl CallerPolicy {
             retry: None,
             budget: None,
             breaker: None,
+            hedge: None,
+            cancel: None,
         }
+    }
+
+    /// A hedged caller: `deadline` bounds the whole logical request and
+    /// `hedge` governs the backup attempts. No sequential retry (hedging
+    /// replaces it), no budget/breaker unless added with the builders.
+    pub fn hedged(deadline: SimDuration, hedge: HedgePolicy) -> Self {
+        CallerPolicy {
+            attempt_timeout: deadline,
+            retry: None,
+            budget: None,
+            breaker: None,
+            hedge: Some(hedge),
+            cancel: None,
+        }
+    }
+
+    /// Adds (or replaces) the hedge policy.
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Adds (or replaces) cancellation propagation.
+    pub fn with_cancel(mut self, cancel: CancelPolicy) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Adds (or replaces) the circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
     }
 }
 
@@ -480,6 +781,74 @@ mod tests {
         assert!(p.should_shed(10, SimDuration::ZERO));
         assert!(p.should_shed(0, SimDuration::from_millis(1_001)));
         assert!(!ShedPolicy::default().should_shed(usize::MAX, SimDuration::from_secs(999)));
+    }
+
+    #[test]
+    fn hedge_delay_resolves_fixed_and_quantile() {
+        let fixed = HedgeDelay::Fixed(SimDuration::from_millis(120));
+        assert_eq!(
+            fixed.resolve(Some(SimDuration::from_secs(9))),
+            SimDuration::from_millis(120)
+        );
+        let q = HedgeDelay::Quantile {
+            q: 0.95,
+            floor: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(2),
+        };
+        // Cold start → floor; in-range → as observed; extremes → clamped.
+        assert_eq!(q.resolve(None), SimDuration::from_millis(100));
+        assert_eq!(
+            q.resolve(Some(SimDuration::from_millis(700))),
+            SimDuration::from_millis(700)
+        );
+        assert_eq!(
+            q.resolve(Some(SimDuration::from_millis(10))),
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(
+            q.resolve(Some(SimDuration::from_secs(60))),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn aimd_limiter_grows_additively_and_backs_off_multiplicatively() {
+        let mut l = AimdLimiter::new(AimdConfig::new(10.0, 2.0, 100.0));
+        // Fast samples establish min RTT and grow the limit.
+        for _ in 0..50 {
+            l.on_sample(SimDuration::from_millis(10));
+        }
+        let grown = l.limit();
+        assert!(grown > 10, "limit should have grown, got {grown}");
+        assert_eq!(l.min_rtt(), Some(SimDuration::from_millis(10)));
+        // Congested samples (> tolerance × min RTT) collapse it quickly.
+        for _ in 0..60 {
+            l.on_sample(SimDuration::from_millis(100));
+        }
+        assert_eq!(l.limit(), 2, "limit should hit the floor");
+    }
+
+    #[test]
+    fn aimd_shed_variant_never_sheds_statically() {
+        let p = ShedPolicy::adaptive(AimdConfig::new(4.0, 1.0, 64.0));
+        assert!(!p.should_shed(usize::MAX, SimDuration::from_secs(999)));
+    }
+
+    #[test]
+    fn hedged_policy_constructor_sets_deadline_semantics() {
+        let h = HedgePolicy::at_quantile(
+            0.95,
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(1),
+            2,
+        )
+        .with_budget(RetryBudget::new(20.0, 5.0));
+        let p = CallerPolicy::hedged(SimDuration::from_secs(10), h)
+            .with_cancel(CancelPolicy::new(SimDuration::from_micros(50)));
+        assert_eq!(p.attempt_timeout, SimDuration::from_secs(10));
+        assert!(p.retry.is_none(), "hedging replaces sequential retry");
+        assert_eq!(p.hedge.unwrap().max_hedges, 2);
+        assert_eq!(p.cancel.unwrap().hop_delay, SimDuration::from_micros(50));
     }
 
     proptest! {

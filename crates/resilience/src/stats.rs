@@ -9,15 +9,25 @@ pub struct ResilienceStats {
     pub timeouts: u64,
     /// Application-level retries actually sent.
     pub retries: u64,
-    /// Retries suppressed by an exhausted token-bucket budget.
+    /// Retries suppressed by an exhausted token-bucket budget (or hedges
+    /// suppressed by an exhausted hedge budget).
     pub budget_exhausted: u64,
     /// Requests rejected fast by an open breaker or a shed policy.
     pub shed: u64,
     /// Circuit-breaker state transitions.
     pub breaker_transitions: u64,
-    /// Orphaned attempts (abandoned by timeout) that still ran to
-    /// completion downstream — pure wasted work.
+    /// Orphaned attempts (abandoned by timeout, or hedge losers with no
+    /// cancellation) that still ran to completion downstream — pure wasted
+    /// work.
     pub orphan_completions: u64,
+    /// Backup (hedge) attempts actually launched.
+    pub hedges: u64,
+    /// Cancel events delivered to a tier (whether or not they caught the
+    /// attempt there).
+    pub cancels_propagated: u64,
+    /// Attempts a cancel actually reaped — work reclaimed from a queue or
+    /// an in-flight set before it finished.
+    pub wasted_work_saved: u64,
 }
 
 impl ResilienceStats {
@@ -30,6 +40,9 @@ impl ResilienceStats {
             shed: self.shed + other.shed,
             breaker_transitions: self.breaker_transitions + other.breaker_transitions,
             orphan_completions: self.orphan_completions + other.orphan_completions,
+            hedges: self.hedges + other.hedges,
+            cancels_propagated: self.cancels_propagated + other.cancels_propagated,
+            wasted_work_saved: self.wasted_work_saved + other.wasted_work_saved,
         }
     }
 
@@ -52,10 +65,16 @@ mod tests {
             shed: 4,
             breaker_transitions: 5,
             orphan_completions: 6,
+            hedges: 7,
+            cancels_propagated: 8,
+            wasted_work_saved: 9,
         };
         let b = a.merge(&a);
         assert_eq!(b.timeouts, 2);
         assert_eq!(b.orphan_completions, 12);
+        assert_eq!(b.hedges, 14);
+        assert_eq!(b.cancels_propagated, 16);
+        assert_eq!(b.wasted_work_saved, 18);
         assert!(!b.is_quiet());
         assert!(ResilienceStats::default().is_quiet());
     }

@@ -18,10 +18,38 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use ntier_core::experiment::ExperimentSpec;
 use ntier_core::RunReport;
+
+/// Errors surfaced by the runner as values instead of process aborts, so
+/// sweep drivers can report *which* run died and keep the rest.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// A worker thread panicked while running an experiment.
+    WorkerPanicked,
+    /// A report slot was still empty after every worker exited — the spec
+    /// at `index` was claimed but produced no report (a worker died between
+    /// claiming and storing).
+    MissingReport {
+        /// Submission index of the spec whose report is missing.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::WorkerPanicked => write!(f, "an experiment worker thread panicked"),
+            RunnerError::MissingReport { index } => {
+                write!(f, "no report was stored for spec #{index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
 
 /// Worker-pool size to use when the caller has no opinion: one worker per
 /// available core.
@@ -40,18 +68,41 @@ pub fn default_threads() -> usize {
 /// # Panics
 ///
 /// Panics if `threads` is zero, or if any experiment panics (the panic is
-/// propagated after all workers have been joined).
+/// propagated after all workers have been joined). Use [`try_run_all`] to
+/// receive those failures as a [`RunnerError`] instead.
 pub fn run_all(specs: Vec<ExperimentSpec>, threads: usize) -> Vec<RunReport> {
+    try_run_all(specs, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_all`], with worker failures returned as values: a panicking
+/// experiment yields [`RunnerError::WorkerPanicked`] after every other
+/// worker has been joined, rather than aborting the sweep driver.
+///
+/// # Errors
+///
+/// Returns [`RunnerError::WorkerPanicked`] when any worker thread panicked,
+/// or [`RunnerError::MissingReport`] when a claimed spec never stored its
+/// report.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero — a caller bug, not a runtime failure.
+pub fn try_run_all(
+    specs: Vec<ExperimentSpec>,
+    threads: usize,
+) -> Result<Vec<RunReport>, RunnerError> {
     assert!(threads > 0, "runner needs at least one worker thread");
     let n = specs.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // One slot per spec: workers take the spec out and put the report in.
     // Slots are claimed exclusively via `next`, so each mutex is touched by
     // exactly one worker; the locks exist to satisfy the borrow checker,
-    // not to arbitrate contention.
+    // not to arbitrate contention. Poisoning is recovered rather than
+    // unwrapped — a slot holds a whole `Option`, never a half-written one,
+    // and the panic that poisoned it is reported via `WorkerPanicked`.
     let jobs: Vec<Mutex<Option<ExperimentSpec>>> =
         specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
     let slots: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -67,22 +118,27 @@ pub fn run_all(specs: Vec<ExperimentSpec>, threads: usize) -> Vec<RunReport> {
                 }
                 let spec = jobs[i]
                     .lock()
-                    .unwrap()
-                    .take()
-                    .expect("spec slot claimed twice");
-                let report = spec.run();
-                *slots[i].lock().unwrap() = Some(report);
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                // An empty job slot is unreachable (each index is claimed
+                // once); treat it as already-run rather than dying in a
+                // worker, where the panic message is least visible.
+                if let Some(spec) = spec {
+                    let report = spec.run();
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+                }
             });
         }
     })
-    .unwrap_or_else(|_| panic!("experiment worker panicked"));
+    .map_err(|_| RunnerError::WorkerPanicked)?;
 
     slots
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(index, m)| {
             m.into_inner()
-                .unwrap()
-                .expect("worker exited without storing a report")
+                .unwrap_or_else(PoisonError::into_inner)
+                .ok_or(RunnerError::MissingReport { index })
         })
         .collect()
 }
@@ -173,6 +229,13 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         assert!(run_all(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn try_run_all_returns_reports_as_values() {
+        let reports = try_run_all(tiny_specs(), 2).expect("no worker failures");
+        assert_eq!(reports.len(), 5);
+        assert!(reports.iter().all(|r| r.completed > 0));
     }
 
     #[test]

@@ -97,6 +97,19 @@ impl ConnectionPool {
         }
     }
 
+    /// Removes a queued caller from the wait queue — the cancellation hook:
+    /// an attempt reaped while parked on the pool must not receive a
+    /// connection later. Returns `false` when `token` was not waiting
+    /// (already granted, or never queued).
+    pub fn cancel_waiter(&mut self, token: u64) -> bool {
+        if let Some(idx) = self.waiters.iter().position(|&t| t == token) {
+            self.waiters.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Connections currently leased.
     pub fn in_use(&self) -> usize {
         self.in_use
@@ -162,6 +175,21 @@ mod tests {
         p.acquire(2);
         p.release();
         assert_eq!(p.granted_total(), 2);
+    }
+
+    #[test]
+    fn cancel_waiter_removes_from_queue_without_disturbing_leases() {
+        let mut p = ConnectionPool::new(1);
+        assert_eq!(p.acquire(1), Lease::Granted);
+        assert_eq!(p.acquire(2), Lease::Queued);
+        assert_eq!(p.acquire(3), Lease::Queued);
+        assert!(p.cancel_waiter(2));
+        assert!(!p.cancel_waiter(2), "already removed");
+        assert!(!p.cancel_waiter(1), "holder, not waiter");
+        assert_eq!(p.waiting(), 1);
+        // The handover skips the cancelled token.
+        assert_eq!(p.release(), Some(3));
+        assert_eq!(p.in_use(), 1);
     }
 
     #[test]

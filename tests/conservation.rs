@@ -7,7 +7,8 @@ use ntier_repro::core::{SystemConfig, TierConfig};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
 use ntier_repro::resilience::{
-    BreakerConfig, CallerPolicy, FaultPlan, RetryBudget, RetryPolicy, ShedPolicy,
+    AimdConfig, BreakerConfig, CallerPolicy, CancelPolicy, FaultPlan, HedgePolicy, RetryBudget,
+    RetryPolicy, ShedPolicy,
 };
 use ntier_repro::workload::{BurstSchedule, ClosedLoopSpec, RequestMix};
 use proptest::prelude::*;
@@ -110,9 +111,57 @@ fn arb_client_policy() -> impl Strategy<Value = Option<CallerPolicy>> {
                     budget: metered.then(|| RetryBudget::new(8.0, 2.0)),
                     breaker: broken
                         .then(|| BreakerConfig::new(threshold, SimDuration::from_millis(700))),
+                    hedge: None,
+                    cancel: None,
                 },
             ),
     )
+}
+
+/// An arbitrary hedged client policy: fixed or quantile hedge delay, K up
+/// to 3, optionally budgeted, optionally cancelling, under an overall
+/// deadline — the full cross-product the hedging subsystem must conserve
+/// through.
+fn arb_hedged_policy() -> impl Strategy<Value = CallerPolicy> {
+    (
+        (300u64..4_000, 10u64..1_500, 1u32..4),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(10u64..300),
+    )
+        .prop_map(
+            |(
+                (deadline_ms, delay_ms, max_hedges),
+                quantile,
+                metered,
+                cancelling,
+                cancel_hop_us,
+            )| {
+                let hedge = if quantile {
+                    HedgePolicy::at_quantile(
+                        0.95,
+                        SimDuration::from_millis(delay_ms),
+                        SimDuration::from_secs(2),
+                        max_hedges,
+                    )
+                } else {
+                    HedgePolicy::fixed(SimDuration::from_millis(delay_ms), max_hedges)
+                };
+                let hedge = if metered {
+                    hedge.with_budget(RetryBudget::new(10.0, 3.0))
+                } else {
+                    hedge
+                };
+                let mut p = CallerPolicy::hedged(SimDuration::from_millis(deadline_ms), hedge);
+                if cancelling {
+                    p = p.with_cancel(CancelPolicy::new(SimDuration::from_micros(
+                        cancel_hop_us.unwrap_or(50),
+                    )));
+                }
+                p
+            },
+        )
 }
 
 proptest! {
@@ -159,6 +208,47 @@ proptest! {
         // Per-tier resilience counters aggregate to the whole-run view.
         let shed_sum: u64 = report.tiers.iter().map(|t| t.resilience.shed).sum();
         prop_assert_eq!(shed_sum, report.resilience.shed);
+    }
+
+    /// injected == completed + failed + shed + cancelled + in-flight under
+    /// random hedge/cancel schedules: arbitrary hedge delays (fixed and
+    /// quantile-tracking), K, budgets, cancellation on/off, AIMD admission
+    /// on the app tier, and fault plans — the hedging subsystem must never
+    /// lose or double-count a logical request.
+    #[test]
+    fn conservation_under_hedging(
+        system in arb_system(),
+        plan in arb_fault_plan(),
+        policy in arb_hedged_policy(),
+        aimd in proptest::option::of(2f64..40.0),
+        batch in 1u32..80,
+        seed in any::<u64>(),
+    ) {
+        let mut system = system.with_faults(plan).with_client_policy(policy);
+        if let Some(init) = aimd {
+            system.tiers[1] = system.tiers[1].clone().with_shed_policy(
+                ShedPolicy::adaptive(AimdConfig::new(init, 1.0, 256.0)),
+            );
+        }
+        let burst = BurstSchedule::from_bursts([
+            (SimTime::from_millis(200), batch),
+            (SimTime::from_millis(2_500), batch / 2 + 1),
+        ]);
+        let report = Engine::new(
+            system,
+            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            SimDuration::from_secs(15),
+            seed,
+        )
+        .run();
+        prop_assert!(report.is_conserved(), "{}", report.summary());
+        prop_assert_eq!(report.injected, u64::from(batch + batch / 2 + 1));
+        prop_assert!(report.completed + report.failed + report.shed + report.cancelled
+            <= report.injected);
+        // Cancels only reap work that actually existed: every reap was
+        // first a propagated cancel, and hedges stay within K per request.
+        prop_assert!(report.resilience.wasted_work_saved <= report.resilience.cancels_propagated);
+        prop_assert!(report.resilience.hedges <= report.injected * 3);
     }
 
     /// injected == completed + failed + in-flight for arbitrary systems

@@ -213,7 +213,7 @@ fn deep_fingerprint(r: &ntier_core::RunReport) -> String {
     };
     write!(
         s,
-        "ev={} inj={} comp={} fail={} shed={} infl={} tput={:.6} vlrt={} drops={} \
+        "ev={} inj={} comp={} fail={} shed={} canc={} infl={} tput={:.6} vlrt={} drops={} \
          mean={} q50={} q90={} q99={} q999={} q9999={} classes={:?} res={:?} \
          vlrt_windows={:?}",
         r.events,
@@ -221,6 +221,7 @@ fn deep_fingerprint(r: &ntier_core::RunReport) -> String {
         r.completed,
         r.failed,
         r.shed,
+        r.cancelled,
         r.in_flight_end,
         r.throughput,
         r.vlrt_total,
@@ -265,6 +266,16 @@ fn invariance_specs() -> Vec<experiment::ExperimentSpec> {
         experiment::fig3(3),
         experiment::retry_storm(experiment::RetryStormVariant::Naive, 7),
         experiment::chain_depth(4, true, 9),
+        experiment::hedging_frontier(
+            experiment::HedgingVariant::HedgedCancelling,
+            experiment::HedgingLoad::Moderate,
+            7,
+        ),
+        experiment::hedging_frontier(
+            experiment::HedgingVariant::HedgedNoCancel,
+            experiment::HedgingLoad::High,
+            7,
+        ),
     ];
     for c in experiment::FIG12_CONCURRENCIES {
         specs.push(experiment::fig12_sync(c, 11));

@@ -136,6 +136,41 @@ fn fig12_sync_collapses_async_stays_flat() {
 }
 
 #[test]
+fn hedging_frontier_smoke_both_regimes() {
+    // The hedging-frontier arms of examples/hedging_frontier.rs, at the
+    // smoke level: the baseline plant shows the RTO modes, hedging with
+    // cancellation erases most of that tail at the moderate point, and the
+    // un-budgeted no-cancel config is worse than useless at high load.
+    let base = exp::hedging_frontier(
+        exp::HedgingVariant::Baseline,
+        exp::HedgingLoad::Moderate,
+        42,
+    )
+    .run();
+    let hedged = exp::hedging_frontier(
+        exp::HedgingVariant::HedgedCancelling,
+        exp::HedgingLoad::Moderate,
+        42,
+    )
+    .run();
+    assert!(base.has_mode_near(3), "modes {:?}", base.latency_modes());
+    assert!(
+        hedged.vlrt_fraction() < base.vlrt_fraction() / 4.0,
+        "hedged {:.4} vs base {:.4}",
+        hedged.vlrt_fraction(),
+        base.vlrt_fraction()
+    );
+    assert!(
+        hedged.resilience.wasted_work_saved > 0,
+        "{}",
+        hedged.summary()
+    );
+    for r in [&base, &hedged] {
+        assert!(r.is_conserved());
+    }
+}
+
+#[test]
 fn fig4_narrative_static_requests_also_become_vlrt() {
     // Fig. 4's point: during upstream CTQO, even static requests — served
     // entirely by the web tier, never touching the stalled Tomcat — queue

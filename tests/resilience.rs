@@ -111,6 +111,8 @@ fn crash_window_with_hardened_client_resolves_every_request() {
         ),
         budget: Some(RetryBudget::new(20.0, 5.0)),
         breaker: Some(BreakerConfig::new(6, SimDuration::from_millis(800))),
+        hedge: None,
+        cancel: None,
     };
     // Web→app drops use app-level retries (not kernel RTO): ~5 attempts over
     // ~1.5 s, then fail — the holding web thread is released quickly.
@@ -123,6 +125,8 @@ fn crash_window_with_hardened_client_resolves_every_request() {
         )),
         budget: None,
         breaker: None,
+        hedge: None,
+        cancel: None,
     };
     let mut sys = SystemConfig::three_tier(
         TierConfig::sync("Web", 8, 16),

@@ -16,9 +16,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // Upstream proptest runs 256; this stub keeps the same default so
-        // coverage does not silently shrink.
-        ProptestConfig { cases: 256 }
+        // Upstream proptest runs 256 cases and honours the PROPTEST_CASES
+        // environment variable; this stub does both so CI can raise the
+        // case count (e.g. PROPTEST_CASES=512) without code changes.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
