@@ -13,6 +13,7 @@ use ntier_interference::StallSchedule;
 use ntier_net::RetransmitPolicy;
 use ntier_resilience::{CallerPolicy, FaultPlan, ShedPolicy};
 use ntier_server::ThreadOverheadModel;
+use ntier_trace::TraceConfig;
 
 /// The server architecture of one tier.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,6 +224,9 @@ pub struct SystemConfig {
     pub hop_delay: SimDuration,
     /// Scheduled fault injection; empty by default.
     pub faults: FaultPlan,
+    /// Per-request tracing; disabled by default (and strictly free on the
+    /// engine hot path while disabled).
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -243,6 +247,7 @@ impl SystemConfig {
             retransmit: RetransmitPolicy::default(),
             hop_delay: SimDuration::from_micros(50),
             faults: FaultPlan::none(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -278,6 +283,12 @@ impl SystemConfig {
     /// policy — the hop into tier 0 is the client's).
     pub fn with_client_policy(mut self, policy: CallerPolicy) -> Self {
         self.tiers[0].caller_policy = Some(policy);
+        self
+    }
+
+    /// Enables per-request tracing with the given config.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 

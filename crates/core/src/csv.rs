@@ -20,6 +20,12 @@ use crate::report::RunReport;
 /// * `resilience.csv` — per-hop timeout/retry/budget/shed/breaker counters;
 /// * `tier_<i>_<name>.csv` — per-50 ms-window queue peak, drops, VLRT,
 ///   own CPU utilization and interferer utilization.
+///
+/// Traced runs (`report.trace` is `Some`) append two more files:
+///
+/// * `trace_events.csv` — one row per retained span event;
+/// * `trace_chains.csv` — the root-cause analysis: one row per attributed
+///   3 s step of every VLRT/failed trace, with the culprit window.
 pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
     let mut files = Vec::with_capacity(report.tiers.len() + 3);
 
@@ -160,6 +166,16 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
             ),
         ));
     }
+
+    if let Some(log) = &report.trace {
+        let tier_data = report.trace_tier_data();
+        let analysis = ntier_trace::RootCause::default().analyze(log, &tier_data);
+        files.push(("trace_events.csv".to_string(), ntier_trace::events_csv(log)));
+        files.push((
+            "trace_chains.csv".to_string(),
+            ntier_trace::chains_csv(&analysis, &tier_data),
+        ));
+    }
     files
 }
 
@@ -274,6 +290,40 @@ mod tests {
                 assert_eq!(line.split(',').count(), 6, "{name}: {line}");
             }
         }
+    }
+
+    #[test]
+    fn traced_run_appends_trace_files() {
+        let report = Engine::new(
+            SystemConfig::three_tier(
+                TierConfig::sync("Web", 4, 2),
+                TierConfig::sync("App", 4, 2),
+                TierConfig::sync("Db", 4, 2),
+            )
+            .with_trace(ntier_trace::TraceConfig::always()),
+            Workload::Open {
+                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                mix: RequestMix::view_story(),
+            },
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        let bundle = csv_bundle(&report);
+        let names: Vec<&str> = bundle.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            &names[names.len() - 2..],
+            ["trace_events.csv", "trace_chains.csv"]
+        );
+        let events = &bundle[names.len() - 2].1;
+        // Every completed request retains a trace under TraceConfig::always.
+        assert_eq!(
+            events
+                .lines()
+                .filter(|l| l.contains(",client_send,"))
+                .count() as u64,
+            report.completed
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ use ntier_resilience::{
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_trace::{TerminalClass, TraceEventKind, TraceHandle, Tracer, TRACE_NONE};
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
 use crate::config::{SystemConfig, TierKind};
@@ -179,6 +180,9 @@ struct RetryTicket {
     plan: Plan,
     /// 0-based attempt index of the attempt this ticket launches.
     attempt: u32,
+    /// The logical request's trace; the ticket holds a reference across the
+    /// backoff and hands it to the relaunched attempt.
+    trace: TraceHandle,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +215,9 @@ struct LogicalState {
     client: Option<u32>,
     class: &'static str,
     plan: Plan,
+    /// The logical request's trace. The logical slot owns one reference;
+    /// every attempt retains it, so hedge races append into one timeline.
+    trace: TraceHandle,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -258,8 +265,13 @@ impl DropLog {
         self.len += 1;
     }
 
-    fn first(&self) -> Option<DropRecord> {
-        (self.len > 0).then(|| self.inline[0])
+    /// Iterates the full drop history in push order: the inline records
+    /// first, then the heap spill (drops past [`DROP_INLINE`]).
+    fn iter(&self) -> impl Iterator<Item = DropRecord> + '_ {
+        self.inline[..self.len.min(DROP_INLINE)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
     }
 
     fn clear(&mut self) {
@@ -307,6 +319,9 @@ struct RequestState {
     /// When the in-flight message was admitted at each tier (backlog entry
     /// or visit start) — feeds the AIMD limiter's latency samples.
     arrived_at: Vec<SimTime>,
+    /// The attempt's trace handle ([`TRACE_NONE`] when tracing is off).
+    /// Shared with the logical slot and retry ticket via refcounts.
+    trace: TraceHandle,
 }
 
 #[derive(Debug)]
@@ -406,6 +421,9 @@ pub struct Engine {
     extra_hop: Vec<SimDuration>,
     /// Workers actually wedged per stuck-worker fault (index = fault index).
     stuck_acquired: Vec<usize>,
+    /// Per-request span recorder; every call is a no-op compare against
+    /// [`TRACE_NONE`] when tracing is disabled.
+    tracer: Tracer,
 }
 
 impl Engine {
@@ -497,6 +515,7 @@ impl Engine {
             .and_then(|p| p.hedge)
             .and_then(|h| h.budget)
             .map(|b| TokenBucket::new(b, SimTime::ZERO));
+        let trace_cfg = cfg.trace;
         Engine {
             cfg,
             workload,
@@ -531,6 +550,7 @@ impl Engine {
             drop_prob: vec![0.0; n_tiers],
             extra_hop: vec![SimDuration::ZERO; n_tiers],
             stuck_acquired: vec![0; n_faults],
+            tracer: Tracer::new(trace_cfg, root.fork("trace-sample")),
         }
     }
 
@@ -646,6 +666,7 @@ impl Engine {
             r.logical = LOGICAL_NONE;
             r.head = 0;
             r.arrived_at.fill(SimTime::ZERO);
+            r.trace = TRACE_NONE;
             ReqId { slot, gen: r.gen }
         } else {
             let n = self.tiers.len();
@@ -669,6 +690,7 @@ impl Engine {
                 logical: LOGICAL_NONE,
                 head: 0,
                 arrived_at: vec![SimTime::ZERO; n],
+                trace: TRACE_NONE,
             });
             ReqId { slot, gen: 0 }
         }
@@ -691,6 +713,7 @@ impl Engine {
             l.client = client;
             l.class = class;
             l.plan = plan;
+            l.trace = TRACE_NONE;
             lid
         } else {
             self.logicals.push(LogicalState {
@@ -702,6 +725,7 @@ impl Engine {
                 client,
                 class,
                 plan,
+                trace: TRACE_NONE,
             });
             (self.logicals.len() - 1) as u32
         }
@@ -714,7 +738,10 @@ impl Engine {
         let l = &mut self.logicals[lid as usize];
         if l.resolved && l.attempts.is_empty() {
             l.gen = l.gen.wrapping_add(1);
+            let h = l.trace;
+            l.trace = TRACE_NONE;
             self.free_logicals.push(lid);
+            self.tracer.release(h);
         }
     }
 
@@ -735,8 +762,13 @@ impl Engine {
     /// Returns slot `i` to the free list; every outstanding [`ReqId`] for it
     /// goes stale.
     fn free_request(&mut self, i: usize) {
+        let h = self.requests[i].trace;
+        self.requests[i].trace = TRACE_NONE;
         self.requests[i].gen = self.requests[i].gen.wrapping_add(1);
         self.free_slots.push(i as u32);
+        // The slot's release is the attempt's single release point; the
+        // trace survives while a logical slot or retry ticket still holds it.
+        self.tracer.release(h);
     }
 
     fn inject(&mut self, client: Option<u32>, idx: u32) {
@@ -770,6 +802,14 @@ impl Engine {
                 self.shed += 1;
                 self.tiers[0].res.shed += 1;
                 self.class_stats.entry(class).or_default().shed += 1;
+                // No RequestState ever exists: open and close a mini-trace
+                // so breaker sheds still show up in the log.
+                let h = self.tracer.start(self.now, class);
+                self.tracer
+                    .record(h, self.now, TraceEventKind::Shed { tier: 0 });
+                self.tracer
+                    .set_terminal(h, self.now, TerminalClass::Shed, SimDuration::ZERO);
+                self.tracer.release(h);
                 self.schedule_client_next(client);
                 return;
             }
@@ -783,6 +823,7 @@ impl Engine {
             return;
         }
         let id = self.alloc_request(self.now, client, class, plan, 0);
+        self.requests[id.slot as usize].trace = self.tracer.start(self.now, class);
         self.injected += 1;
         self.arm_attempt_timer(id);
         self.send(id, 0, 0);
@@ -800,7 +841,13 @@ impl Engine {
             .attempt_timeout;
         let lid = self.alloc_logical(self.now, client, class, plan.share());
         self.injected += 1;
+        // The logical slot owns the trace's start reference; the primary
+        // attempt retains it so both must release before finalization.
+        let h = self.tracer.start(self.now, class);
+        self.logicals[lid as usize].trace = h;
         let id = self.alloc_request(self.now, client, class, plan, 0);
+        self.tracer.retain(h);
+        self.requests[id.slot as usize].trace = h;
         self.requests[id.slot as usize].logical = lid;
         self.logicals[lid as usize].attempts.push(id);
         let lgen = self.logicals[lid as usize].gen;
@@ -867,6 +914,11 @@ impl Engine {
         };
         self.tiers[0].res.hedges += 1;
         let id = self.alloc_request(injected_at, client, class, plan, attempt);
+        let h = self.logicals[lid as usize].trace;
+        self.tracer.retain(h);
+        self.tracer
+            .record(h, self.now, TraceEventKind::HedgeFire { attempt });
+        self.requests[id.slot as usize].trace = h;
         self.requests[id.slot as usize].logical = lid;
         self.logicals[lid as usize].attempts.push(id);
         self.send(id, 0, 0);
@@ -898,6 +950,17 @@ impl Engine {
             self.cancelled += 1;
         } else {
             self.failed += 1;
+        }
+        {
+            let l = &self.logicals[lid as usize];
+            let latency = self.now.saturating_since(l.injected_at);
+            let class = if cancel.is_some() {
+                TerminalClass::Cancelled
+            } else {
+                TerminalClass::Failed
+            };
+            let h = l.trace;
+            self.tracer.set_terminal(h, self.now, class, latency);
         }
         let attempts = self.logicals[lid as usize].attempts.clone();
         for att in attempts {
@@ -966,6 +1029,11 @@ impl Engine {
     /// generation bump.
     fn reap_attempt(&mut self, req: ReqId, tier: usize) {
         let i = self.live_expect(req);
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::CancelReap { tier: tier as u8 },
+        );
         if self.tiers[tier]
             .backlog
             .remove_where(|p| p.req == req)
@@ -1098,6 +1166,11 @@ impl Engine {
                 self.begin_visit(req, tier, visit);
             }
             Admit::Backlogged => {
+                self.tracer.record(
+                    self.requests[i].trace,
+                    self.now,
+                    TraceEventKind::Enqueue { tier: tier as u8 },
+                );
                 self.on_admitted(req, tier);
                 self.record_queue(tier);
             }
@@ -1123,6 +1196,14 @@ impl Engine {
 
     fn begin_visit(&mut self, req: ReqId, tier: usize, visit: u16) {
         let i = self.live_expect(req);
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::ServiceStart {
+                tier: tier as u8,
+                visit,
+            },
+        );
         self.requests[i].slice_idx[tier] = 0;
         self.requests[i].active_visit[tier] = visit;
         self.exec_slice(req, tier, visit, 0);
@@ -1197,7 +1278,7 @@ impl Engine {
         }
     }
 
-    fn finish_visit(&mut self, req: ReqId, tier: usize, _visit: u16) {
+    fn finish_visit(&mut self, req: ReqId, tier: usize, visit: u16) {
         let released_thread = {
             match &mut self.tiers[tier].state {
                 TierState::Sync(pg) => {
@@ -1211,6 +1292,14 @@ impl Engine {
             }
         };
         let i = self.live_expect(req);
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::ServiceEnd {
+                tier: tier as u8,
+                visit,
+            },
+        );
         self.requests[i].occupying[tier] = Occupancy::None;
         // Feed the per-tier residence time (admission → visit done) to the
         // AIMD limiter: congestion shows up as inflated residence.
@@ -1325,9 +1414,26 @@ impl Engine {
         self.requests[i]
             .drops
             .push(DropRecord { tier, at: self.now });
+        // Record the drop with its retransmit ordinal *before* the retry
+        // decision mutates the counter: ordinal 0 is the original send,
+        // ordinal n the n-th retransmit of this message.
+        let app_hop = tier > 0 && self.cfg.tiers[tier].caller_policy.is_some();
+        let retransmit_no = if app_hop {
+            self.requests[i].hop_attempts as u8
+        } else {
+            self.requests[i].retrans.attempts() as u8
+        };
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::SynDrop {
+                tier: tier as u8,
+                retransmit_no,
+            },
+        );
         // A caller policy on an inner hop replaces the kernel retransmit
         // schedule with app-controlled backoff + budget + breaker.
-        if tier > 0 && self.cfg.tiers[tier].caller_policy.is_some() {
+        if app_hop {
             self.app_hop_drop(req, tier, visit);
             return;
         }
@@ -1384,6 +1490,11 @@ impl Engine {
             }
         }
         self.tiers[tier].res.retries += 1;
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::AppRetry { tier: tier as u8 },
+        );
         self.requests[i].hop_attempts = attempt + 1;
         let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
         self.queue.push(
@@ -1409,12 +1520,19 @@ impl Engine {
         }
         self.requests[i].orphan = true;
         self.tiers[0].res.timeouts += 1;
+        let h = self.requests[i].trace;
+        let attempt = self.requests[i].attempt;
+        self.tracer
+            .record(h, self.now, TraceEventKind::AttemptTimeout { attempt });
         let now = self.now;
         if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
             br.on_failure(now);
         }
         if !self.try_client_retry(req) {
             self.failed += 1;
+            let latency = self.now - self.requests[i].injected_at;
+            self.tracer
+                .set_terminal(h, self.now, TerminalClass::Failed, latency);
             self.client_next(req);
         }
         // With a cancel policy the abandoned attempt does not linger as an
@@ -1464,7 +1582,11 @@ impl Engine {
             class: r.class,
             plan: r.plan.share(),
             attempt: attempt + 1,
+            trace: r.trace,
         };
+        // The ticket keeps the trace alive across the backoff (the current
+        // attempt's slot — and its reference — is freed before RetryFire).
+        self.tracer.retain(ticket.trace);
         let tid = self.tickets.len() as u32;
         self.tickets.push(ticket);
         self.queue
@@ -1479,9 +1601,20 @@ impl Engine {
     /// incremented: a retry is the same logical request.
     fn on_retry_fire(&mut self, ticket: u32) {
         let t = &self.tickets[ticket as usize];
-        let (class, plan, client, injected_at, attempt) =
-            (t.class, t.plan.share(), t.client, t.injected_at, t.attempt);
+        let (class, plan, client, injected_at, attempt, trace) = (
+            t.class,
+            t.plan.share(),
+            t.client,
+            t.injected_at,
+            t.attempt,
+            t.trace,
+        );
         let id = self.alloc_request(injected_at, client, class, plan, attempt);
+        // The ticket's reference transfers to the new attempt (a ticket
+        // fires exactly once), so no retain/release pair is needed here.
+        self.requests[id.slot as usize].trace = trace;
+        self.tracer
+            .record(trace, self.now, TraceEventKind::ClientSend { attempt });
         self.arm_attempt_timer(id);
         self.send(id, 0, 0);
     }
@@ -1493,6 +1626,11 @@ impl Engine {
     fn shed_request(&mut self, req: ReqId, tier: usize) {
         let i = self.live_expect(req);
         self.tiers[tier].res.shed += 1;
+        self.tracer.record(
+            self.requests[i].trace,
+            self.now,
+            TraceEventKind::Shed { tier: tier as u8 },
+        );
         self.release_resources(req);
         // Like `fail_request`: shedding one hedged attempt does not decide
         // the logical request — the race continues (or the deadline does).
@@ -1507,6 +1645,13 @@ impl Engine {
                 .entry(self.requests[i].class)
                 .or_default()
                 .shed += 1;
+            let latency = self.now - self.requests[i].injected_at;
+            self.tracer.set_terminal(
+                self.requests[i].trace,
+                self.now,
+                TerminalClass::Shed,
+                latency,
+            );
             let now = self.now;
             if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
                 br.on_failure(now);
@@ -1601,6 +1746,13 @@ impl Engine {
                 }
             }
             self.failed += 1;
+            let latency = self.now - self.requests[i].injected_at;
+            self.tracer.set_terminal(
+                self.requests[i].trace,
+                self.now,
+                TerminalClass::Failed,
+                latency,
+            );
             self.client_next(req);
         }
         self.free_request(i);
@@ -1680,6 +1832,12 @@ impl Engine {
         }
         self.completed += 1;
         let latency = self.now - self.requests[i].injected_at;
+        self.tracer.set_terminal(
+            self.requests[i].trace,
+            self.now,
+            TerminalClass::Completed,
+            latency,
+        );
         self.latency.record(latency);
         let stats = self.class_stats.entry(self.requests[i].class).or_default();
         stats.completed += 1;
@@ -1688,7 +1846,7 @@ impl Engine {
             stats.vlrt += 1;
             self.vlrt_total += 1;
             self.vlrt_by_completion.add(self.now, 1.0);
-            if let Some(first_drop) = self.requests[i].drops.first() {
+            if let Some(first_drop) = self.requests[i].drops.iter().next() {
                 self.tiers[first_drop.tier].vlrt.add(first_drop.at, 1.0);
             }
         }
@@ -1801,6 +1959,7 @@ impl Engine {
             vlrt_by_completion: self.vlrt_by_completion,
             classes,
             resilience,
+            trace: self.tracer.into_log(),
         }
     }
 }
@@ -2350,5 +2509,132 @@ mod tests {
             TierConfig::sync("Db", 2, 2).with_downstream_pool(5),
         );
         let _ = Engine::new(sys, open_workload(vec![]), SimDuration::from_secs(1), 1);
+    }
+
+    #[test]
+    fn drop_log_iterates_inline_then_spill() {
+        let mut log = DropLog::new();
+        for k in 0..(DROP_INLINE + 3) {
+            log.push(DropRecord {
+                tier: k,
+                at: SimTime::from_millis(k as u64),
+            });
+        }
+        let tiers: Vec<usize> = log.iter().map(|r| r.tier).collect();
+        assert_eq!(tiers, (0..DROP_INLINE + 3).collect::<Vec<_>>());
+        assert_eq!(log.iter().next().map(|r| r.tier), Some(0));
+        log.clear();
+        assert_eq!(log.iter().count(), 0);
+    }
+
+    #[test]
+    fn traced_run_retains_spans_for_dropped_requests() {
+        use ntier_trace::{TraceConfig, TraceEventKind};
+        let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 24)]);
+        let report = Engine::new(
+            tiny_sync_system().with_trace(TraceConfig::sampled(0.0)),
+            open_workload(burst.arrivals()),
+            SimDuration::from_secs(12),
+            1,
+        )
+        .run();
+        let log = report.trace.as_ref().expect("tracing enabled");
+        assert_eq!(log.started, 24);
+        // With zero sampling, only the VLRT requests (the retransmitted
+        // wave) are promoted, and each carries its syn_drop events.
+        assert_eq!(log.traces.len() as u64, report.vlrt_total);
+        assert!(report.vlrt_total > 0, "{}", report.summary());
+        for t in log.vlrt_traces() {
+            assert!(
+                t.events
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceEventKind::SynDrop { .. })),
+                "VLRT trace {} has no syn_drop",
+                t.id
+            );
+            // Drop count matches the latency step: one drop per +3 s.
+            let drops = t.syn_drops().count() as u64;
+            let steps = t.latency.as_millis() / 3_000;
+            assert_eq!(drops, steps, "trace {}: {} vs {}", t.id, drops, t.latency);
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_report() {
+        use ntier_trace::TraceConfig;
+        let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 24)]);
+        let run = |trace: TraceConfig| {
+            let mut report = Engine::new(
+                tiny_sync_system().with_trace(trace),
+                open_workload(burst.arrivals()),
+                SimDuration::from_secs(12),
+                7,
+            )
+            .run();
+            report.trace = None;
+            report
+        };
+        let off = run(TraceConfig::disabled());
+        let on = run(TraceConfig::always());
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.drops_total, on.drops_total);
+        assert_eq!(off.latency.total(), on.latency.total());
+        assert_eq!(
+            off.latency.quantile(0.99),
+            on.latency.quantile(0.99),
+            "tracing must not perturb the simulation"
+        );
+    }
+
+    #[test]
+    fn retried_request_accumulates_one_trace_across_attempts() {
+        use ntier_resilience::{CallerPolicy, RetryPolicy};
+        use ntier_trace::{TraceConfig, TraceEventKind};
+        // One request into a 30 s stall: the 1 s attempt timeout fires, the
+        // retry relaunches, and both attempts land in one trace.
+        let policy = CallerPolicy {
+            attempt_timeout: SimDuration::from_secs(1),
+            retry: Some(RetryPolicy::capped(
+                1,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+            )),
+            budget: None,
+            breaker: None,
+            hedge: None,
+            cancel: None,
+        };
+        let mut sys = tiny_sync_system()
+            .with_client_policy(policy)
+            .with_trace(TraceConfig::sampled(0.0));
+        sys.tiers[1] = sys.tiers[1].clone().with_stalls(StallSchedule::at_marks(
+            [SimTime::ZERO],
+            SimDuration::from_secs(30),
+        ));
+        let report = Engine::new(
+            sys,
+            open_workload(vec![SimTime::from_millis(10)]),
+            SimDuration::from_secs(40),
+            1,
+        )
+        .run();
+        let log = report.trace.as_ref().expect("tracing enabled");
+        assert_eq!(log.started, 1);
+        assert_eq!(log.traces.len(), 1, "failed request is always promoted");
+        let t = &log.traces[0];
+        let sends: Vec<u32> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::ClientSend { attempt } => Some(attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![0, 1], "both attempts in one timeline");
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::AttemptTimeout { .. })));
     }
 }

@@ -93,6 +93,23 @@ pub fn fig1(clients: u32, horizon: SimDuration, seed: u64) -> ExperimentSpec {
     }
 }
 
+/// The tracing showcase: Fig. 1's WL 4000 operating point (~43% app-tier
+/// utilization, recurring Tomcat millibottlenecks) with per-request causal
+/// tracing enabled. Every VLRT/failed/shed request's span tree is retained
+/// (plus 1% of fast ones for context), ready for [`ntier_trace::RootCause`]
+/// attribution and Chrome-trace export — the micro-level evidence behind
+/// the paper's Fig. 2 timestamp analysis, reproduced per request.
+pub fn trace_vlrt(seed: u64) -> ExperimentSpec {
+    use ntier_trace::TraceConfig;
+    let horizon = SimDuration::from_secs(60);
+    let mut spec = fig1(4_000, horizon, seed);
+    spec.name = "trace-vlrt";
+    spec.system = spec
+        .system
+        .with_trace(TraceConfig::sampled(0.01).with_ring_capacity(32_768));
+    spec
+}
+
 /// Fig. 3: upstream CTQO from VM-consolidation CPU millibottlenecks in
 /// Tomcat, burst marks at 2/5/9/15 s (SysBursty batches of ~530 requests ≈
 /// 400 ms of stolen CPU), WL 7000, 20 s timeline.

@@ -4,6 +4,7 @@ use ntier_des::time::{SimDuration, SimTime};
 use ntier_resilience::ResilienceStats;
 use ntier_telemetry::histogram::Mode;
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_trace::{TierData, TraceLog};
 
 /// Per-tier measurements from one run.
 #[derive(Debug, Clone)]
@@ -99,6 +100,9 @@ pub struct RunReport {
     pub classes: Vec<ClassReport>,
     /// Whole-run resilience counters (sum of the per-tier hop counters).
     pub resilience: ResilienceStats,
+    /// Retained per-request traces, when the run had tracing enabled
+    /// (`None` for untraced runs — the common case).
+    pub trace: Option<TraceLog>,
 }
 
 impl RunReport {
@@ -202,6 +206,21 @@ impl RunReport {
     /// or dropped.
     pub fn class(&self, class: &str) -> Option<&ClassReport> {
         self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// The per-tier telemetry in the shape the trace analyzer joins
+    /// against: own utilization, interferer utilization, and drop counts
+    /// per 50 ms window, for each tier in chain order.
+    pub fn trace_tier_data(&self) -> Vec<TierData> {
+        self.tiers
+            .iter()
+            .map(|t| TierData {
+                name: t.name.clone(),
+                util: t.util.utilizations(),
+                interferer_util: t.interferer_util.clone(),
+                drops: t.drops.sums(),
+            })
+            .collect()
     }
 }
 

@@ -3,6 +3,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use ntier_trace::TraceSink;
+
 use crate::stall::StallGate;
 use crate::tier::{AsyncTier, SyncTier, Tier};
 use crate::LiveError;
@@ -111,6 +113,7 @@ impl Built {
 pub struct ChainBuilder {
     specs: Vec<TierSpec>,
     rto: Duration,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl ChainBuilder {
@@ -119,12 +122,23 @@ impl ChainBuilder {
         ChainBuilder {
             specs: Vec::new(),
             rto,
+            trace: None,
         }
     }
 
     /// Appends a tier (front first).
     pub fn tier(mut self, spec: TierSpec) -> Self {
         self.specs.push(spec);
+        self
+    }
+
+    /// Records every tier's enqueue/service/drop/reap events onto `sink`,
+    /// stamped with the tier's front-first index — the live mirror of the
+    /// simulator's per-request tracing. Pair with
+    /// [`crate::harness::fire_burst_traced`] so client sends and terminals
+    /// land in the same sink.
+    pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -142,9 +156,10 @@ impl ChainBuilder {
         assert!(!self.specs.is_empty(), "a chain needs at least one tier");
         let mut built: Vec<Built> = Vec::with_capacity(self.specs.len());
         let mut downstream: Option<Arc<dyn Tier>> = None;
-        for spec in self.specs.iter().rev() {
+        for (idx, spec) in self.specs.iter().enumerate().rev() {
+            let trace = self.trace.as_ref().map(|s| (s.clone(), idx as u8));
             let b = match &spec.arch {
-                Arch::Sync { backlog } => Built::Sync(SyncTier::spawn(
+                Arch::Sync { backlog } => Built::Sync(SyncTier::spawn_traced(
                     spec.name.clone(),
                     spec.workers,
                     *backlog,
@@ -152,8 +167,9 @@ impl ChainBuilder {
                     spec.gate.clone(),
                     downstream.take(),
                     self.rto,
+                    trace,
                 )?),
-                Arch::Async { lite_q } => Built::Async(AsyncTier::spawn(
+                Arch::Async { lite_q } => Built::Async(AsyncTier::spawn_traced(
                     spec.name.clone(),
                     *lite_q,
                     spec.workers,
@@ -161,6 +177,7 @@ impl ChainBuilder {
                     spec.gate.clone(),
                     downstream.take(),
                     self.rto,
+                    trace,
                 )?),
             };
             downstream = Some(b.as_tier());

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded};
 use ntier_des::time::SimDuration;
 use ntier_resilience::{CallerPolicy, CircuitBreaker, HedgeDelay, HedgePolicy, TokenBucket};
+use ntier_trace::{TerminalClass, TraceEventKind, TraceSink};
 use parking_lot::Mutex;
 
 use crate::policy::{wall, WallClock};
@@ -85,6 +86,39 @@ pub fn fire_burst_with_rto(
     deadline: Duration,
     client_rto: Duration,
 ) -> Result<BurstOutcome, LiveError> {
+    burst_inner(front, n, deadline, client_rto, None)
+}
+
+/// [`fire_burst_with_rto`] recording every request into `sink`: the client
+/// side stamps the `client_send`, front-tier `syn_drop`s (with their RTO
+/// ordinal) and the terminal class, while a chain built with
+/// [`crate::chain::ChainBuilder::trace`] on the same sink stamps the
+/// per-tier enqueue/service/reap events — together they mirror the DES
+/// engine's span vocabulary on wall-clock time. Requests still unanswered at
+/// the deadline are closed as `Failed`; read the result with
+/// [`TraceSink::log`].
+///
+/// # Errors
+///
+/// Returns [`LiveError::ClientPanicked`] if a sender thread died instead of
+/// handing back its send time.
+pub fn fire_burst_traced(
+    front: Arc<dyn Tier>,
+    n: usize,
+    deadline: Duration,
+    client_rto: Duration,
+    sink: Arc<TraceSink>,
+) -> Result<BurstOutcome, LiveError> {
+    burst_inner(front, n, deadline, client_rto, Some(sink))
+}
+
+fn burst_inner(
+    front: Arc<dyn Tier>,
+    n: usize,
+    deadline: Duration,
+    client_rto: Duration,
+    trace: Option<Arc<TraceSink>>,
+) -> Result<BurstOutcome, LiveError> {
     let (reply_tx, reply_rx) = unbounded();
     let retransmits = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -93,15 +127,30 @@ pub fn fire_burst_with_rto(
         let front = front.clone();
         let reply_tx = reply_tx.clone();
         let retransmits = retransmits.clone();
+        let trace = trace.clone();
         senders.push(std::thread::spawn(move || {
+            if let Some(sink) = &trace {
+                sink.begin(id, "live");
+            }
             let sent_at = Instant::now();
             let mut req = LiveRequest::new(id, sent_at, reply_tx);
+            let mut drop_no: u8 = 0;
             loop {
                 match front.submit(req) {
                     Ok(()) => break,
                     Err(back) => {
                         req = back;
                         retransmits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(sink) = &trace {
+                            sink.record(
+                                id,
+                                TraceEventKind::SynDrop {
+                                    tier: 0,
+                                    retransmit_no: drop_no,
+                                },
+                            );
+                        }
+                        drop_no = drop_no.saturating_add(1);
                         std::thread::sleep(client_rto);
                     }
                 }
@@ -116,6 +165,7 @@ pub fn fire_burst_with_rto(
     drop(reply_tx);
 
     let mut latencies = Vec::with_capacity(n);
+    let mut done = vec![false; n];
     let mut completed = 0;
     while completed < n {
         let remaining = deadline
@@ -124,6 +174,12 @@ pub fn fire_burst_with_rto(
         match reply_rx.recv_timeout(remaining) {
             Ok(reply) => {
                 completed += 1;
+                if let Some(d) = done.get_mut(reply.id as usize) {
+                    *d = true;
+                }
+                if let Some(sink) = &trace {
+                    sink.end(reply.id, TerminalClass::Completed);
+                }
                 latencies.push(
                     reply
                         .completed_at
@@ -131,6 +187,13 @@ pub fn fire_burst_with_rto(
                 );
             }
             Err(_) => break,
+        }
+    }
+    if let Some(sink) = &trace {
+        for (id, d) in done.iter().enumerate() {
+            if !d {
+                sink.end(id as u64, TerminalClass::Failed);
+            }
         }
     }
     Ok(BurstOutcome {
@@ -841,6 +904,135 @@ mod tests {
         assert!(drops[1] > 0, "expected downstream drops: {drops:?}");
         assert_eq!(outcome.completed, 24);
         chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn traced_burst_mirrors_the_simulator_span_vocabulary() {
+        let sink = Arc::new(TraceSink::new());
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(TierSpec::sync("web", 2, 4, SERVICE))
+            .tier(TierSpec::sync("app", 2, 4, SERVICE))
+            .trace(sink.clone())
+            .build()
+            .expect("spawn chain");
+        let outcome = fire_burst_traced(
+            chain.front(),
+            6,
+            Duration::from_secs(5),
+            Duration::from_millis(250),
+            sink.clone(),
+        )
+        .expect("burst");
+        assert_eq!(outcome.completed, 6);
+        chain.shutdown().expect("clean shutdown");
+        let log = sink.log();
+        assert_eq!(log.traces.len(), 6);
+        for t in &log.traces {
+            assert_eq!(t.outcome, TerminalClass::Completed);
+            let kinds: Vec<TraceEventKind> = t.events.iter().map(|e| e.kind).collect();
+            assert!(kinds.contains(&TraceEventKind::ClientSend { attempt: 0 }));
+            for tier in 0..2u8 {
+                assert!(
+                    kinds.contains(&TraceEventKind::Enqueue { tier }),
+                    "{kinds:?}"
+                );
+                assert!(kinds.contains(&TraceEventKind::ServiceStart { tier, visit: 0 }));
+                assert!(kinds.contains(&TraceEventKind::ServiceEnd { tier, visit: 0 }));
+            }
+            assert!(t.events.windows(2).all(|w| w[0].at <= w[1].at));
+        }
+    }
+
+    #[test]
+    fn traced_overflow_records_front_drops_with_rto_ordinals() {
+        let rto = Duration::from_millis(300);
+        let sink = Arc::new(TraceSink::new());
+        let chain = ChainBuilder::new(rto)
+            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(20)))
+            .trace(sink.clone())
+            .build()
+            .expect("spawn chain");
+        let outcome = fire_burst_traced(
+            chain.front(),
+            12,
+            Duration::from_secs(10),
+            rto,
+            sink.clone(),
+        )
+        .expect("burst");
+        assert_eq!(outcome.completed, 12);
+        assert!(outcome.client_retransmits > 0);
+        chain.shutdown().expect("clean shutdown");
+        let log = sink.log();
+        let dropped: Vec<_> = log
+            .traces
+            .iter()
+            .filter(|t| t.syn_drops().next().is_some())
+            .collect();
+        assert!(!dropped.is_empty(), "overflow must leave syn_drop events");
+        for t in &dropped {
+            let ords: Vec<u8> = t
+                .syn_drops()
+                .map(|(_, tier, no)| {
+                    assert_eq!(tier, 0, "drops happen at the front door");
+                    no
+                })
+                .collect();
+            let expect: Vec<u8> = (0..ords.len() as u8).collect();
+            assert_eq!(ords, expect, "ordinals count up from 0");
+        }
+    }
+
+    #[test]
+    fn traced_downstream_drops_land_on_the_back_tier() {
+        // Async front admits everything and floods the tiny sync back tier
+        // during its stall: the traces must pin every syn_drop on tier 1,
+        // recorded by the forwarding workers' retransmit loops.
+        let gate = StallGate::new();
+        let sink = Arc::new(TraceSink::new());
+        let chain = ChainBuilder::new(Duration::from_millis(200))
+            .tier(TierSpec::asynchronous(
+                "web",
+                1_000,
+                4,
+                Duration::from_micros(50),
+            ))
+            .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
+            .trace(sink.clone())
+            .build()
+            .expect("spawn chain");
+        gate.begin();
+        let front = chain.front();
+        let s = sink.clone();
+        let burst = std::thread::spawn(move || {
+            fire_burst_traced(
+                front,
+                24,
+                Duration::from_secs(10),
+                Duration::from_millis(300),
+                s,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        gate.end();
+        let outcome = burst.join().expect("burst thread").expect("burst");
+        assert_eq!(outcome.completed, 24);
+        chain.shutdown().expect("clean shutdown");
+        let log = sink.log();
+        let back_drops = log
+            .traces
+            .iter()
+            .flat_map(|t| t.syn_drops())
+            .filter(|(_, tier, _)| *tier == 1)
+            .count();
+        assert!(back_drops > 0, "expected tier-1 syn_drop events");
+        let front_drops = log
+            .traces
+            .iter()
+            .flat_map(|t| t.syn_drops())
+            .filter(|(_, tier, _)| *tier == 0)
+            .count();
+        assert_eq!(front_drops, 0, "async front must not drop");
     }
 
     #[test]

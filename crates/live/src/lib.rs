@@ -47,6 +47,13 @@
 //! [`tier::CancelToken`]s: tiers discard cancelled work at dequeue (or
 //! abandon it in retransmission limbo) instead of servicing orphans, and
 //! report the reclaimed work via [`chain::Chain::reaped`].
+//!
+//! Per-request tracing mirrors the simulator's span vocabulary on a wall
+//! clock: build the chain with [`chain::ChainBuilder::trace`] and drive it
+//! with [`harness::fire_burst_traced`], both sharing one
+//! [`ntier_trace::TraceSink`]; `sink.log()` then yields the same
+//! [`ntier_trace::TraceLog`] the engine reports, ready for the shared
+//! exporters and root-cause analyzer.
 
 pub mod chain;
 pub mod harness;
@@ -55,10 +62,13 @@ pub mod stall;
 pub mod tier;
 
 pub use chain::{Chain, ChainBuilder, TierSpec};
-pub use harness::{fire_burst, fire_burst_with_policy, BurstOutcome, PolicyOutcome};
+pub use harness::{
+    fire_burst, fire_burst_traced, fire_burst_with_policy, BurstOutcome, PolicyOutcome,
+};
+pub use ntier_trace::TraceSink;
 pub use policy::WallClock;
 pub use stall::StallGate;
-pub use tier::{AsyncTier, CancelToken, LiveReply, LiveRequest, SyncTier, Tier};
+pub use tier::{AsyncTier, CancelToken, LiveReply, LiveRequest, SyncTier, Tier, TierTrace};
 
 /// Errors surfaced by the live testbed instead of aborting the process: a
 /// worker that cannot be spawned or a thread that panicked mid-run becomes a

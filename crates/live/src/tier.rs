@@ -5,9 +5,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ntier_trace::{TraceEventKind, TraceSink};
 
 use crate::stall::StallGate;
 use crate::LiveError;
+
+/// A shared wall-clock trace recorder plus the tier index its events are
+/// stamped with. `None` — the default everywhere — records nothing, so
+/// untraced chains pay only an `Option` check per touch point.
+pub type TierTrace = Option<(Arc<TraceSink>, u8)>;
 
 /// A cooperative cancellation flag that travels with a request through the
 /// chain. The client keeps a clone; raising it marks the attempt as a loser.
@@ -102,12 +108,17 @@ fn submit_with_retransmit(
     rto: Duration,
     retransmits: &AtomicU64,
     reaped: &AtomicU64,
+    trace: &TierTrace,
 ) {
+    let mut drop_no: u8 = 0;
     loop {
         if req.cancel.is_cancelled() {
             // The attempt was abandoned while waiting out an RTO — the live
             // equivalent of reaping from retransmission limbo.
             reaped.fetch_add(1, Ordering::Relaxed);
+            if let Some((sink, tier)) = trace {
+                sink.record(req.id, TraceEventKind::CancelReap { tier: *tier });
+            }
             return;
         }
         match target.submit(req) {
@@ -115,6 +126,16 @@ fn submit_with_retransmit(
             Err(back) => {
                 req = back;
                 retransmits.fetch_add(1, Ordering::Relaxed);
+                if let Some((sink, tier)) = trace {
+                    sink.record(
+                        req.id,
+                        TraceEventKind::SynDrop {
+                            tier: *tier,
+                            retransmit_no: drop_no,
+                        },
+                    );
+                }
+                drop_no = drop_no.saturating_add(1);
                 std::thread::sleep(rto);
             }
         }
@@ -130,6 +151,7 @@ pub struct SyncTier {
     drops: AtomicU64,
     retransmits: Arc<AtomicU64>,
     reaped: Arc<AtomicU64>,
+    trace: TierTrace,
     handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -159,6 +181,32 @@ impl SyncTier {
         downstream: Option<Arc<dyn Tier>>,
         rto: Duration,
     ) -> Result<Arc<SyncTier>, LiveError> {
+        SyncTier::spawn_traced(name, workers, backlog, service, gate, downstream, rto, None)
+    }
+
+    /// [`SyncTier::spawn`] with a trace recorder: the tier stamps
+    /// enqueue/service/reap events for every request onto `trace`'s sink
+    /// under its tier index, and its workers stamp the downstream hop's
+    /// drops (tier index + 1) from the retransmit loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when the OS refuses a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_traced(
+        name: impl Into<String>,
+        workers: usize,
+        backlog: usize,
+        service: Duration,
+        gate: StallGate,
+        downstream: Option<Arc<dyn Tier>>,
+        rto: Duration,
+        trace: TierTrace,
+    ) -> Result<Arc<SyncTier>, LiveError> {
         assert!(workers > 0, "a sync tier needs at least one worker");
         let name = name.into();
         let (tx, rx): (Sender<LiveRequest>, Receiver<LiveRequest>) = bounded(workers + backlog);
@@ -170,6 +218,7 @@ impl SyncTier {
             drops: AtomicU64::new(0),
             retransmits: retransmits.clone(),
             reaped: reaped.clone(),
+            trace: trace.clone(),
             handles: parking_lot::Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -179,6 +228,8 @@ impl SyncTier {
             let downstream = downstream.clone();
             let retransmits = retransmits.clone();
             let reaped = reaped.clone();
+            let trace = trace.clone();
+            let downstream_trace: TierTrace = trace.as_ref().map(|(sink, t)| (sink.clone(), t + 1));
             let thread_name = format!("{name}-worker-{i}");
             handles.push(
                 std::thread::Builder::new()
@@ -192,9 +243,24 @@ impl SyncTier {
                                 // no reply. Dropping its reply sender
                                 // unwinds any upstream hop blocked on it.
                                 reaped.fetch_add(1, Ordering::Relaxed);
+                                if let Some((sink, t)) = &trace {
+                                    sink.record(req.id, TraceEventKind::CancelReap { tier: *t });
+                                }
                                 continue;
                             }
+                            if let Some((sink, t)) = &trace {
+                                sink.record(
+                                    req.id,
+                                    TraceEventKind::ServiceStart { tier: *t, visit: 0 },
+                                );
+                            }
                             std::thread::sleep(service);
+                            if let Some((sink, t)) = &trace {
+                                sink.record(
+                                    req.id,
+                                    TraceEventKind::ServiceEnd { tier: *t, visit: 0 },
+                                );
+                            }
                             match &downstream {
                                 None => {
                                     let _ = req.reply.send(LiveReply {
@@ -212,7 +278,14 @@ impl SyncTier {
                                         reply: tx,
                                         cancel: req.cancel.clone(),
                                     };
-                                    submit_with_retransmit(d, fwd, rto, &retransmits, &reaped);
+                                    submit_with_retransmit(
+                                        d,
+                                        fwd,
+                                        rto,
+                                        &retransmits,
+                                        &reaped,
+                                        &downstream_trace,
+                                    );
                                     if let Ok(reply) = rx_reply.recv() {
                                         let _ = req.reply.send(reply);
                                     }
@@ -239,8 +312,14 @@ impl SyncTier {
 
 impl Tier for SyncTier {
     fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest> {
+        let id = req.id;
         match self.input.try_send(req) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let Some((sink, t)) = &self.trace {
+                    sink.record(id, TraceEventKind::Enqueue { tier: *t });
+                }
+                Ok(())
+            }
             Err(TrySendError::Full(r)) | Err(TrySendError::Disconnected(r)) => {
                 self.drops.fetch_add(1, Ordering::Relaxed);
                 Err(r)
@@ -271,6 +350,7 @@ pub struct AsyncTier {
     drops: AtomicU64,
     retransmits: Arc<AtomicU64>,
     reaped: Arc<AtomicU64>,
+    trace: TierTrace,
     handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -293,6 +373,30 @@ impl AsyncTier {
         downstream: Option<Arc<dyn Tier>>,
         rto: Duration,
     ) -> Result<Arc<AsyncTier>, LiveError> {
+        AsyncTier::spawn_traced(name, lite_q, workers, service, gate, downstream, rto, None)
+    }
+
+    /// [`AsyncTier::spawn`] with a trace recorder; see
+    /// [`SyncTier::spawn_traced`] for the event vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when the OS refuses a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `lite_q` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_traced(
+        name: impl Into<String>,
+        lite_q: usize,
+        workers: usize,
+        service: Duration,
+        gate: StallGate,
+        downstream: Option<Arc<dyn Tier>>,
+        rto: Duration,
+        trace: TierTrace,
+    ) -> Result<Arc<AsyncTier>, LiveError> {
         assert!(workers > 0, "an async tier needs at least one worker");
         assert!(lite_q > 0, "LiteQDepth must be non-zero");
         let name = name.into();
@@ -305,6 +409,7 @@ impl AsyncTier {
             drops: AtomicU64::new(0),
             retransmits: retransmits.clone(),
             reaped: reaped.clone(),
+            trace: trace.clone(),
             handles: parking_lot::Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -314,6 +419,8 @@ impl AsyncTier {
             let downstream = downstream.clone();
             let retransmits = retransmits.clone();
             let reaped = reaped.clone();
+            let trace = trace.clone();
+            let downstream_trace: TierTrace = trace.as_ref().map(|(sink, t)| (sink.clone(), t + 1));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-loop-{i}"))
@@ -322,9 +429,24 @@ impl AsyncTier {
                             gate.wait_if_stalled();
                             if req.cancel.is_cancelled() {
                                 reaped.fetch_add(1, Ordering::Relaxed);
+                                if let Some((sink, t)) = &trace {
+                                    sink.record(req.id, TraceEventKind::CancelReap { tier: *t });
+                                }
                                 continue;
                             }
+                            if let Some((sink, t)) = &trace {
+                                sink.record(
+                                    req.id,
+                                    TraceEventKind::ServiceStart { tier: *t, visit: 0 },
+                                );
+                            }
                             std::thread::sleep(service);
+                            if let Some((sink, t)) = &trace {
+                                sink.record(
+                                    req.id,
+                                    TraceEventKind::ServiceEnd { tier: *t, visit: 0 },
+                                );
+                            }
                             match &downstream {
                                 None => {
                                     let _ = req.reply.send(LiveReply {
@@ -335,7 +457,14 @@ impl AsyncTier {
                                 Some(d) => {
                                     // Continuation: the reply bypasses this
                                     // tier; no worker is held.
-                                    submit_with_retransmit(d, req, rto, &retransmits, &reaped);
+                                    submit_with_retransmit(
+                                        d,
+                                        req,
+                                        rto,
+                                        &retransmits,
+                                        &reaped,
+                                        &downstream_trace,
+                                    );
                                 }
                             }
                         }
@@ -359,8 +488,14 @@ impl AsyncTier {
 
 impl Tier for AsyncTier {
     fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest> {
+        let id = req.id;
         match self.input.try_send(req) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let Some((sink, t)) = &self.trace {
+                    sink.record(id, TraceEventKind::Enqueue { tier: *t });
+                }
+                Ok(())
+            }
             Err(TrySendError::Full(r)) | Err(TrySendError::Disconnected(r)) => {
                 self.drops.fetch_add(1, Ordering::Relaxed);
                 Err(r)
@@ -491,6 +626,64 @@ mod tests {
         assert!(
             rx.recv_timeout(Duration::from_millis(20)).is_err(),
             "cancelled request must not reply"
+        );
+    }
+
+    #[test]
+    fn traced_tier_records_enqueue_service_and_reap() {
+        use ntier_trace::TerminalClass;
+        let sink = Arc::new(TraceSink::new());
+        let tier = SyncTier::spawn_traced(
+            "t",
+            1,
+            4,
+            Duration::from_millis(10),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+            Some((sink.clone(), 0)),
+        )
+        .expect("spawn tier");
+        let (tx, rx) = unbounded();
+        sink.begin(0, "live");
+        tier.submit(req(0, &tx)).unwrap();
+        sink.begin(1, "live");
+        let doomed = req(1, &tx);
+        doomed.cancel.cancel();
+        tier.submit(doomed).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().id, 0);
+        // Give the worker a beat to dequeue and discard the loser.
+        std::thread::sleep(Duration::from_millis(50));
+        sink.end(0, TerminalClass::Completed);
+        sink.end(1, TerminalClass::Cancelled);
+        let log = sink.log();
+        assert_eq!(log.traces.len(), 2);
+        let kinds = |id: u64| -> Vec<TraceEventKind> {
+            log.traces
+                .iter()
+                .find(|t| t.id == id)
+                .expect("trace")
+                .events
+                .iter()
+                .map(|e| e.kind)
+                .collect()
+        };
+        assert_eq!(
+            kinds(0),
+            vec![
+                TraceEventKind::ClientSend { attempt: 0 },
+                TraceEventKind::Enqueue { tier: 0 },
+                TraceEventKind::ServiceStart { tier: 0, visit: 0 },
+                TraceEventKind::ServiceEnd { tier: 0, visit: 0 },
+            ]
+        );
+        assert_eq!(
+            kinds(1),
+            vec![
+                TraceEventKind::ClientSend { attempt: 0 },
+                TraceEventKind::Enqueue { tier: 0 },
+                TraceEventKind::CancelReap { tier: 0 },
+            ]
         );
     }
 

@@ -1,0 +1,467 @@
+//! Automated root-cause analysis of VLRT traces.
+//!
+//! The paper's Fig. 6/7 argument is a manual causal chain: a VLRT request's
+//! 3 s step is a SYN drop at tier *i* in window *w*; the drop happened
+//! because tier *i*'s queue overflowed; the queue overflowed because some
+//! tier saturated for ~100 ms (a millibottleneck, usually visible as a
+//! burst of interferer CPU). [`RootCause`] mechanizes that walk over a
+//! retained [`TraceLog`], joining each drop against per-tier utilization
+//! and drop series to name the culprit.
+
+use crate::event::{TerminalClass, TraceEventKind};
+use crate::tracer::TraceLog;
+use ntier_des::time::{SimDuration, SimTime};
+
+/// Per-tier time series the analyzer joins traces against, indexed by the
+/// same fixed windows the telemetry layer records (50 ms by default).
+#[derive(Debug, Clone, Default)]
+pub struct TierData {
+    pub name: String,
+    /// Own-work CPU utilization per window, in `[0, 1]`.
+    pub util: Vec<f64>,
+    /// Interferer (colocated-VM / stall) utilization per window.
+    pub interferer_util: Vec<f64>,
+    /// Connection drops per window.
+    pub drops: Vec<f64>,
+}
+
+/// Why a queue overflowed, in decreasing order of diagnostic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CulpritKind {
+    /// An interferer burst (CPU millibottleneck) was active at the named
+    /// tier shortly before the drop.
+    Millibottleneck,
+    /// The named tier's own work pinned its CPU shortly before the drop.
+    Saturation,
+    /// No utilization spike found; the drop window itself recorded queue
+    /// overflow drops at the tier (e.g. a pure burst-arrival overflow).
+    QueueOverflow,
+}
+
+impl CulpritKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CulpritKind::Millibottleneck => "millibottleneck",
+            CulpritKind::Saturation => "saturation",
+            CulpritKind::QueueOverflow => "queue-overflow",
+        }
+    }
+}
+
+/// The named cause behind one drop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Culprit {
+    /// Tier whose condition explains the overflow (may differ from the
+    /// dropping tier: an upstream CTQO drops at the web tier because the
+    /// app tier stalled).
+    pub tier: usize,
+    /// Window index where the culprit condition peaked.
+    pub window: u64,
+    pub kind: CulpritKind,
+    /// The peak utilization (or drop count) that triggered the verdict.
+    pub score: f64,
+}
+
+/// One 3 s step of a VLRT request: a concrete (tier, drop-window,
+/// retransmit-count) attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalStep {
+    /// Tier whose SYN queue dropped the connection attempt.
+    pub tier: usize,
+    pub drop_at: SimTime,
+    /// Monitoring window containing the drop.
+    pub window: u64,
+    /// 0-based retransmit ordinal at this hop (0 → +3 s, 1 → +6 s, …).
+    pub retransmit_no: u8,
+    /// How long the request stalled before its next recorded activity —
+    /// the RTO wait this drop cost (≈3 s under the RHEL 6 SYN schedule).
+    pub stalled_for: SimDuration,
+    pub culprit: Option<Culprit>,
+}
+
+/// The full causal chain for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalChain {
+    pub trace_id: u64,
+    pub class: &'static str,
+    pub outcome: TerminalClass,
+    pub latency: SimDuration,
+    pub steps: Vec<CausalStep>,
+}
+
+impl CausalChain {
+    /// Renders the chain as a one-request narrative, `tiers` naming the
+    /// tier indices.
+    pub fn narrate(&self, tiers: &[TierData]) -> String {
+        use std::fmt::Write as _;
+        let name = |i: usize| {
+            tiers
+                .get(i)
+                .map(|t| t.name.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        let mut out = format!(
+            "req #{} [{}] {} in {:.2}s via {} drop(s):",
+            self.trace_id,
+            self.class,
+            self.outcome.as_str(),
+            self.latency.as_secs_f64(),
+            self.steps.len()
+        );
+        for s in &self.steps {
+            let _ = write!(
+                out,
+                "\n  t={:.3}s drop #{} at {} (window {}) stalled {:.2}s",
+                s.drop_at.as_secs_f64(),
+                s.retransmit_no,
+                name(s.tier),
+                s.window,
+                s.stalled_for.as_secs_f64()
+            );
+            match &s.culprit {
+                Some(c) => {
+                    let _ = write!(
+                        out,
+                        " <- {} at {} (window {}, {:.0}%)",
+                        c.kind.as_str(),
+                        name(c.tier),
+                        c.window,
+                        c.score * 100.0
+                    );
+                }
+                None => {
+                    let _ = write!(out, " <- unattributed");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The analyzer's verdict over a whole log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// One chain per VLRT trace that has at least one attributed step,
+    /// in trace-id order.
+    pub chains: Vec<CausalChain>,
+    /// VLRT trace ids with no recorded drop to pin the latency on.
+    pub unattributed: Vec<u64>,
+    /// Total VLRT traces examined.
+    pub vlrt_total: usize,
+}
+
+impl Analysis {
+    /// Fraction of VLRT traces attributed to a concrete chain (1.0 when
+    /// there were none to attribute).
+    pub fn attribution_rate(&self) -> f64 {
+        if self.vlrt_total == 0 {
+            1.0
+        } else {
+            self.chains.len() as f64 / self.vlrt_total as f64
+        }
+    }
+
+    /// The `n` highest-latency chains.
+    pub fn top_chains(&self, n: usize) -> Vec<&CausalChain> {
+        let mut sorted: Vec<&CausalChain> = self.chains.iter().collect();
+        sorted.sort_by(|a, b| b.latency.cmp(&a.latency).then(a.trace_id.cmp(&b.trace_id)));
+        sorted.truncate(n);
+        sorted
+    }
+}
+
+/// Walks VLRT span trees and attributes each 3 s step to its cause.
+#[derive(Debug, Clone, Copy)]
+pub struct RootCause {
+    /// Monitoring window size the [`TierData`] series were recorded at.
+    pub window: SimDuration,
+    /// Completion latency at or above which a trace counts as VLRT.
+    pub vlrt_threshold: SimDuration,
+    /// How many windows before the drop to search for the culprit
+    /// condition. Millibottlenecks are ~100 ms and queues take a few
+    /// windows to fill, so the default looks back 12 windows (600 ms).
+    pub lookback: u64,
+    /// Interferer utilization at or above which a window counts as a
+    /// millibottleneck.
+    pub interferer_floor: f64,
+    /// Own-work utilization at or above which a window counts as
+    /// saturation.
+    pub saturation_floor: f64,
+}
+
+impl Default for RootCause {
+    fn default() -> Self {
+        RootCause {
+            window: SimDuration::from_millis(50),
+            vlrt_threshold: SimDuration::from_secs(3),
+            lookback: 12,
+            interferer_floor: 0.4,
+            saturation_floor: 0.95,
+        }
+    }
+}
+
+impl RootCause {
+    /// Analyzes every VLRT trace in the log against the tier series.
+    pub fn analyze(&self, log: &TraceLog, tiers: &[TierData]) -> Analysis {
+        let mut chains = Vec::new();
+        let mut unattributed = Vec::new();
+        let mut vlrt_total = 0;
+        for trace in log.traces.iter().filter(|t| t.is_vlrt(self.vlrt_threshold)) {
+            vlrt_total += 1;
+            let steps = self.steps_for(trace, tiers);
+            if steps.is_empty() {
+                unattributed.push(trace.id);
+            } else {
+                chains.push(CausalChain {
+                    trace_id: trace.id,
+                    class: trace.class,
+                    outcome: trace.outcome,
+                    latency: trace.latency,
+                    steps,
+                });
+            }
+        }
+        Analysis {
+            chains,
+            unattributed,
+            vlrt_total,
+        }
+    }
+
+    fn steps_for(&self, trace: &crate::event::RequestTrace, tiers: &[TierData]) -> Vec<CausalStep> {
+        let mut steps = Vec::new();
+        for (i, ev) in trace.events.iter().enumerate() {
+            let TraceEventKind::SynDrop {
+                tier,
+                retransmit_no,
+            } = ev.kind
+            else {
+                continue;
+            };
+            // The RTO wait this drop cost: time until the request's next
+            // recorded activity (or its terminal instant).
+            let next = trace.events[i + 1..]
+                .iter()
+                .map(|e| e.at)
+                .find(|&at| at > ev.at)
+                .unwrap_or(trace.terminal_at);
+            let window = ev.at.window_index(self.window);
+            steps.push(CausalStep {
+                tier: tier as usize,
+                drop_at: ev.at,
+                window,
+                retransmit_no,
+                stalled_for: next.saturating_since(ev.at),
+                culprit: self.culprit_for(tier as usize, window, tiers),
+            });
+        }
+        steps
+    }
+
+    /// Names the condition behind a drop at `drop_tier` in `window`:
+    /// the strongest interferer burst in the lookback beats the strongest
+    /// own-work saturation, which beats the bare queue-overflow evidence.
+    fn culprit_for(&self, drop_tier: usize, window: u64, tiers: &[TierData]) -> Option<Culprit> {
+        let lo = window.saturating_sub(self.lookback) as usize;
+        let hi = window as usize;
+        let mut best_interferer: Option<Culprit> = None;
+        let mut best_saturation: Option<Culprit> = None;
+        for (ti, td) in tiers.iter().enumerate() {
+            for w in lo..=hi {
+                if let Some(&v) = td.interferer_util.get(w) {
+                    if v >= self.interferer_floor
+                        && best_interferer.as_ref().is_none_or(|b| v > b.score)
+                    {
+                        best_interferer = Some(Culprit {
+                            tier: ti,
+                            window: w as u64,
+                            kind: CulpritKind::Millibottleneck,
+                            score: v,
+                        });
+                    }
+                }
+                if let Some(&v) = td.util.get(w) {
+                    if v >= self.saturation_floor
+                        && best_saturation.as_ref().is_none_or(|b| v > b.score)
+                    {
+                        best_saturation = Some(Culprit {
+                            tier: ti,
+                            window: w as u64,
+                            kind: CulpritKind::Saturation,
+                            score: v,
+                        });
+                    }
+                }
+            }
+        }
+        if best_interferer.is_some() {
+            return best_interferer;
+        }
+        if best_saturation.is_some() {
+            return best_saturation;
+        }
+        let drops_here = tiers
+            .get(drop_tier)
+            .and_then(|td| td.drops.get(window as usize))
+            .copied()
+            .unwrap_or(0.0);
+        if drops_here > 0.0 {
+            Some(Culprit {
+                tier: drop_tier,
+                window,
+                kind: CulpritKind::QueueOverflow,
+                score: drops_here,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RequestTrace, TraceEvent};
+    use crate::tracer::TraceLog;
+
+    fn vlrt_trace(id: u64, drop_ms: u64, tier: u8) -> RequestTrace {
+        RequestTrace {
+            id,
+            class: "browse",
+            injected_at: SimTime::from_millis(drop_ms - 5),
+            terminal_at: SimTime::from_millis(drop_ms + 3_010),
+            outcome: TerminalClass::Completed,
+            latency: SimDuration::from_millis(3_015),
+            sampled: false,
+            events: vec![
+                TraceEvent {
+                    at: SimTime::from_millis(drop_ms - 5),
+                    kind: TraceEventKind::ClientSend { attempt: 0 },
+                },
+                TraceEvent {
+                    at: SimTime::from_millis(drop_ms),
+                    kind: TraceEventKind::SynDrop {
+                        tier,
+                        retransmit_no: 0,
+                    },
+                },
+                TraceEvent {
+                    at: SimTime::from_millis(drop_ms + 3_000),
+                    kind: TraceEventKind::ServiceStart { tier, visit: 0 },
+                },
+            ],
+        }
+    }
+
+    fn log_of(traces: Vec<RequestTrace>) -> TraceLog {
+        TraceLog {
+            started: traces.len() as u64,
+            promoted: traces.len() as u64,
+            evicted: 0,
+            unterminated: 0,
+            vlrt_threshold: SimDuration::from_secs(3),
+            traces,
+        }
+    }
+
+    fn tier(name: &str, windows: usize) -> TierData {
+        TierData {
+            name: name.into(),
+            util: vec![0.3; windows],
+            interferer_util: vec![0.0; windows],
+            drops: vec![0.0; windows],
+        }
+    }
+
+    #[test]
+    fn drop_step_names_the_interferer_burst() {
+        // Drop at web (tier 0) in window 20; the app tier (1) had an
+        // interferer burst in windows 18-19 — upstream CTQO.
+        let mut web = tier("web", 64);
+        let mut app = tier("app", 64);
+        web.drops[20] = 1.0;
+        app.interferer_util[18] = 0.9;
+        app.interferer_util[19] = 0.8;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web, app]);
+        assert_eq!(a.vlrt_total, 1);
+        assert_eq!(a.attribution_rate(), 1.0);
+        let step = &a.chains[0].steps[0];
+        assert_eq!(step.tier, 0);
+        assert_eq!(step.window, 20);
+        assert_eq!(step.retransmit_no, 0);
+        assert_eq!(step.stalled_for, SimDuration::from_secs(3));
+        let c = step.culprit.as_ref().expect("culprit");
+        assert_eq!(c.tier, 1);
+        assert_eq!(c.window, 18);
+        assert_eq!(c.kind, CulpritKind::Millibottleneck);
+    }
+
+    #[test]
+    fn saturation_beats_bare_queue_overflow() {
+        let mut web = tier("web", 64);
+        web.drops[20] = 2.0;
+        web.util[19] = 1.0;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web]);
+        let c = a.chains[0].steps[0].culprit.as_ref().expect("culprit");
+        assert_eq!(c.kind, CulpritKind::Saturation);
+        assert_eq!(c.window, 19);
+    }
+
+    #[test]
+    fn queue_overflow_is_the_fallback_and_none_without_evidence() {
+        let mut web = tier("web", 64);
+        web.drops[20] = 3.0;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0), vlrt_trace(1, 2_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web]);
+        let c0 = a.chains[0].steps[0].culprit.as_ref().expect("culprit");
+        assert_eq!(c0.kind, CulpritKind::QueueOverflow);
+        assert_eq!(c0.score, 3.0);
+        // Second trace drops in window 40 where nothing is recorded.
+        assert!(a.chains[1].steps[0].culprit.is_none());
+    }
+
+    #[test]
+    fn vlrt_without_drops_is_unattributed() {
+        let mut t = vlrt_trace(3, 1_000, 0);
+        t.events
+            .retain(|e| !matches!(e.kind, TraceEventKind::SynDrop { .. }));
+        let log = log_of(vec![t]);
+        let a = RootCause::default().analyze(&log, &[tier("web", 64)]);
+        assert_eq!(a.vlrt_total, 1);
+        assert_eq!(a.chains.len(), 0);
+        assert_eq!(a.unattributed, vec![3]);
+        assert_eq!(a.attribution_rate(), 0.0);
+    }
+
+    #[test]
+    fn top_chains_rank_by_latency() {
+        let mut slow = vlrt_trace(0, 1_000, 0);
+        slow.latency = SimDuration::from_millis(9_020);
+        let fast = vlrt_trace(1, 2_000, 0);
+        let log = log_of(vec![fast, slow]);
+        // Ids sort ascending in the log, but top_chains ranks by latency.
+        let mut log = log;
+        log.traces.sort_by_key(|t| t.id);
+        let a = RootCause::default().analyze(&log, &[tier("web", 64)]);
+        let top = a.top_chains(1);
+        assert_eq!(top[0].trace_id, 0);
+        assert_eq!(a.top_chains(10).len(), 2);
+    }
+
+    #[test]
+    fn narration_mentions_tier_names_and_cause() {
+        let mut web = tier("web", 64);
+        let mut app = tier("app", 64);
+        web.drops[20] = 1.0;
+        app.interferer_util[19] = 0.7;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web, app]);
+        let text = a.chains[0].narrate(&[tier("web", 1), tier("app", 1)]);
+        assert!(text.contains("drop #0 at web"), "{text}");
+        assert!(text.contains("millibottleneck at app"), "{text}");
+    }
+}

@@ -1,0 +1,107 @@
+//! The span/event vocabulary shared by the DES engine and the live testbed.
+//!
+//! A trace is a flat, time-ordered list of [`TraceEvent`]s for one *logical*
+//! request — all hedge attempts and client retries share the trace of the
+//! logical request they serve, distinguished by their `attempt` ordinal.
+//! Span-shaped views (service spans, RTO-wait spans) are reconstructed from
+//! the flat list at export/analysis time; keeping the wire format flat keeps
+//! the hot-path record a single fixed-size push.
+
+use ntier_des::time::{SimDuration, SimTime};
+
+/// One timestamped occurrence within a request's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time (DES) or microseconds since harness start (live).
+    pub at: SimTime,
+    pub kind: TraceEventKind,
+}
+
+/// What happened. Tier indices are `u8` (the paper's systems are 3–5 tiers;
+/// the engine caps well below 256) so the event stays 2 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A client (re)issued this logical request; `attempt` is 0 for the
+    /// original send and increments per client retry.
+    ClientSend { attempt: u32 },
+    /// A hedge backup was launched as attempt `attempt`.
+    HedgeFire { attempt: u32 },
+    /// The message was admitted but parked in the tier's backlog
+    /// (the accept queue); the wait ends at the next `ServiceStart`.
+    Enqueue { tier: u8 },
+    /// A worker picked the request up at `tier` for its `visit`-th visit.
+    ServiceStart { tier: u8, visit: u16 },
+    /// The visit's CPU demand finished at `tier`.
+    ServiceEnd { tier: u8, visit: u16 },
+    /// The connection attempt was dropped at `tier` (SYN queue overflow or
+    /// injected fault). `retransmit_no` is the 0-based ordinal of the drop
+    /// at this hop: drop #0 costs the 3 s RTO, #1 another 3 s (6 s total),
+    /// #2 another (9 s) under the RHEL 6 SYN schedule.
+    SynDrop { tier: u8, retransmit_no: u8 },
+    /// An application-level hop retry was granted after a drop at `tier`.
+    AppRetry { tier: u8 },
+    /// The attempt's caller timeout fired; `attempt` names which one.
+    AttemptTimeout { attempt: u32 },
+    /// A cancellation chase reaped the attempt's work at `tier`.
+    CancelReap { tier: u8 },
+    /// The request was load-shed at `tier` (or by the client-side breaker
+    /// when `tier` is the first hop and the send never entered the plant).
+    Shed { tier: u8 },
+}
+
+/// How the logical request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalClass {
+    Completed,
+    Failed,
+    Shed,
+    Cancelled,
+}
+
+impl TerminalClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TerminalClass::Completed => "completed",
+            TerminalClass::Failed => "failed",
+            TerminalClass::Shed => "shed",
+            TerminalClass::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A finished, retained trace: the promotion buffer's unit of storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Stable per-run id, assigned in trace-start order.
+    pub id: u64,
+    /// Workload class label.
+    pub class: &'static str,
+    pub injected_at: SimTime,
+    pub terminal_at: SimTime,
+    pub outcome: TerminalClass,
+    /// Terminal latency of the logical request.
+    pub latency: SimDuration,
+    /// True if this trace was probabilistically sampled at start (as opposed
+    /// to promoted post hoc because it turned out slow or failed).
+    pub sampled: bool,
+    /// Time-ordered events (stable order for simultaneous events).
+    pub events: Vec<TraceEvent>,
+}
+
+impl RequestTrace {
+    /// True when the request completed but took at least `threshold`.
+    pub fn is_vlrt(&self, threshold: SimDuration) -> bool {
+        self.outcome == TerminalClass::Completed && self.latency >= threshold
+    }
+
+    /// Iterates the SYN-drop events in time order.
+    pub fn syn_drops(&self) -> impl Iterator<Item = (SimTime, u8, u8)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            TraceEventKind::SynDrop {
+                tier,
+                retransmit_no,
+            } => Some((e.at, tier, retransmit_no)),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,167 @@
+//! Wall-clock trace recording for the live testbed.
+//!
+//! The live tiers run on real threads, so the recorder here is a shared,
+//! mutex-guarded sink rather than the engine's single-owner [`Tracer`].
+//! Timestamps are microseconds since the sink was created, expressed as
+//! [`SimTime`] so live traces reuse the exact span vocabulary — and the
+//! exporters and analyzer — of the DES engine, making DES-vs-live diffs a
+//! plain comparison of two [`TraceLog`]s.
+//!
+//! [`Tracer`]: crate::tracer::Tracer
+
+use crate::event::{RequestTrace, TerminalClass, TraceEvent, TraceEventKind};
+use crate::tracer::TraceLog;
+use ntier_des::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Entry {
+    class: &'static str,
+    injected_at: SimTime,
+    terminal: Option<(SimTime, TerminalClass)>,
+    events: Vec<TraceEvent>,
+}
+
+/// A thread-safe wall-clock recorder shared by live tiers and the harness.
+#[derive(Debug)]
+pub struct TraceSink {
+    origin: Instant,
+    vlrt_threshold: SimDuration,
+    entries: Mutex<BTreeMap<u64, Entry>>,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        TraceSink {
+            origin: Instant::now(),
+            vlrt_threshold: SimDuration::from_secs(3),
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the sink was created, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.origin.elapsed().as_micros() as u64)
+    }
+
+    /// Opens a trace for live request `id` and records its client send.
+    pub fn begin(&self, id: u64, class: &'static str) {
+        let at = self.now();
+        let mut entries = self.entries.lock().expect("trace sink poisoned");
+        let e = entries.entry(id).or_default();
+        e.class = class;
+        e.injected_at = at;
+        e.events.push(TraceEvent {
+            at,
+            kind: TraceEventKind::ClientSend { attempt: 0 },
+        });
+    }
+
+    /// Appends an event to request `id`, stamped with the sink clock.
+    /// Events for unknown ids are dropped (the request may have been
+    /// recorded by a tier after the harness gave up on it).
+    pub fn record(&self, id: u64, kind: TraceEventKind) {
+        let at = self.now();
+        let mut entries = self.entries.lock().expect("trace sink poisoned");
+        if let Some(e) = entries.get_mut(&id) {
+            e.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// Records the request's outcome. First write wins.
+    pub fn end(&self, id: u64, outcome: TerminalClass) {
+        let at = self.now();
+        let mut entries = self.entries.lock().expect("trace sink poisoned");
+        if let Some(e) = entries.get_mut(&id) {
+            if e.terminal.is_none() {
+                e.terminal = Some((at, outcome));
+            }
+        }
+    }
+
+    /// Snapshots finished requests into a [`TraceLog`]. Requests with no
+    /// terminal record are counted as unterminated and skipped.
+    pub fn log(&self) -> TraceLog {
+        let entries = self.entries.lock().expect("trace sink poisoned");
+        let mut traces = Vec::new();
+        let mut unterminated = 0;
+        for (&id, e) in entries.iter() {
+            match e.terminal {
+                Some((terminal_at, outcome)) => {
+                    let mut events = e.events.clone();
+                    events.sort_by_key(|ev| ev.at);
+                    traces.push(RequestTrace {
+                        id,
+                        class: e.class,
+                        injected_at: e.injected_at,
+                        terminal_at,
+                        outcome,
+                        latency: terminal_at.saturating_since(e.injected_at),
+                        sampled: true,
+                        events,
+                    });
+                }
+                None => unterminated += 1,
+            }
+        }
+        let n = traces.len() as u64;
+        TraceLog {
+            traces,
+            started: entries.len() as u64,
+            promoted: n,
+            evicted: 0,
+            unterminated,
+            vlrt_threshold: self.vlrt_threshold,
+        }
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_record_end_roundtrip() {
+        let sink = TraceSink::new();
+        sink.begin(7, "burst");
+        sink.record(7, TraceEventKind::ServiceStart { tier: 0, visit: 0 });
+        sink.record(7, TraceEventKind::ServiceEnd { tier: 0, visit: 0 });
+        sink.end(7, TerminalClass::Completed);
+        let log = sink.log();
+        assert_eq!(log.traces.len(), 1);
+        let t = &log.traces[0];
+        assert_eq!(t.id, 7);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.outcome, TerminalClass::Completed);
+    }
+
+    #[test]
+    fn unknown_ids_and_unfinished_requests_are_tolerated() {
+        let sink = TraceSink::new();
+        sink.record(99, TraceEventKind::Enqueue { tier: 1 }); // never began
+        sink.begin(1, "burst"); // never ends
+        sink.begin(2, "burst");
+        sink.end(2, TerminalClass::Shed);
+        let log = sink.log();
+        assert_eq!(log.traces.len(), 1);
+        assert_eq!(log.traces[0].id, 2);
+        assert_eq!(log.unterminated, 1);
+    }
+
+    #[test]
+    fn double_end_keeps_the_first_outcome() {
+        let sink = TraceSink::new();
+        sink.begin(1, "burst");
+        sink.end(1, TerminalClass::Failed);
+        sink.end(1, TerminalClass::Completed);
+        assert_eq!(sink.log().traces[0].outcome, TerminalClass::Failed);
+    }
+}

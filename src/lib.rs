@@ -13,4 +13,5 @@ pub use ntier_resilience as resilience;
 pub use ntier_runner as runner;
 pub use ntier_server as server;
 pub use ntier_telemetry as telemetry;
+pub use ntier_trace as trace;
 pub use ntier_workload as workload;
