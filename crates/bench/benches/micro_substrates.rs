@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ntier_core::engine::{Engine, Workload};
-use ntier_core::{SystemConfig, TierConfig};
+use ntier_core::{TierSpec, Topology};
 use ntier_des::prelude::*;
 use ntier_server::cpu::{CpuModel, StallTimeline};
 use ntier_telemetry::LatencyHistogram;
@@ -101,10 +101,10 @@ fn bench_engine(c: &mut Criterion) {
     // ~10k requests through the full 3-tier chain.
     g.bench_function("open_loop_10k_requests", |b| {
         b.iter(|| {
-            let sys = SystemConfig::three_tier(
-                TierConfig::sync("Web", 150, 128),
-                TierConfig::sync("App", 150, 128).with_downstream_pool(50),
-                TierConfig::sync("Db", 100, 128),
+            let sys = Topology::three_tier(
+                TierSpec::sync("Web", 150, 128),
+                TierSpec::sync("App", 150, 128).with_downstream_pool(50),
+                TierSpec::sync("Db", 100, 128),
             );
             let arrivals: Vec<SimTime> = (0..10_000)
                 .map(|i| SimTime::from_micros(i * 1_000))

@@ -165,14 +165,14 @@ pub fn save_bundle(report: &RunReport, figure: &str) {
 mod tests {
     use super::*;
     use ntier_core::engine::{Engine, Workload};
-    use ntier_core::{presets, SystemConfig, TierConfig};
+    use ntier_core::{presets, SystemConfig, TierSpec, Topology};
     use ntier_workload::RequestMix;
 
     fn tiny_report() -> RunReport {
-        let sys: SystemConfig = SystemConfig::three_tier(
-            TierConfig::sync("Web", 4, 4),
-            TierConfig::sync("App", 4, 4),
-            TierConfig::sync("Db", 4, 4),
+        let sys: SystemConfig = Topology::three_tier(
+            TierSpec::sync("Web", 4, 4),
+            TierSpec::sync("App", 4, 4),
+            TierSpec::sync("Db", 4, 4),
         );
         Engine::new(
             sys,

@@ -138,18 +138,19 @@ pub fn drops_by_class(episodes: &[CtqoEpisode]) -> (u64, u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TierConfig;
+    use crate::config::TierSpec;
     use crate::engine::{Engine, Workload};
+    use crate::topology::Topology;
     use ntier_interference::StallSchedule;
     use ntier_workload::{BurstSchedule, RequestMix};
 
     fn run_with_stall(stall_tier: usize) -> (RunReport, SystemConfig) {
         let stall =
             StallSchedule::at_marks([SimTime::from_millis(200)], SimDuration::from_millis(600));
-        let mut sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 4, 2),
-            TierConfig::sync("App", 4, 2).with_downstream_pool(2),
-            TierConfig::sync("Db", 4, 2),
+        let mut sys = Topology::three_tier(
+            TierSpec::sync("Web", 4, 2),
+            TierSpec::sync("App", 4, 2).with_downstream_pool(2),
+            TierSpec::sync("Db", 4, 2),
         );
         sys.tiers[stall_tier] = sys.tiers[stall_tier].clone().with_stalls(stall);
         let arrivals: Vec<SimTime> = (0..300)
@@ -185,10 +186,10 @@ mod tests {
 
     #[test]
     fn no_stall_classifies_unattributed() {
-        let sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 2, 1),
-            TierConfig::sync("App", 8, 8),
-            TierConfig::sync("Db", 8, 8),
+        let sys = Topology::three_tier(
+            TierSpec::sync("Web", 2, 1),
+            TierSpec::sync("App", 8, 8),
+            TierSpec::sync("Db", 8, 8),
         );
         let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 30)]);
         let report = Engine::new(
@@ -214,10 +215,10 @@ mod tests {
             [SimTime::from_millis(200), SimTime::from_millis(3_200)],
             SimDuration::from_millis(600),
         );
-        let mut sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 4, 2),
-            TierConfig::sync("App", 4, 2).with_downstream_pool(2),
-            TierConfig::sync("Db", 4, 2),
+        let mut sys = Topology::three_tier(
+            TierSpec::sync("Web", 4, 2),
+            TierSpec::sync("App", 4, 2).with_downstream_pool(2),
+            TierSpec::sync("Db", 4, 2),
         );
         sys.tiers[1] = sys.tiers[1].clone().with_stalls(stall);
         let arrivals: Vec<SimTime> = (0..1900)

@@ -1,13 +1,20 @@
 //! System configuration: tiers, their server architecture, and capacities.
 //!
-//! A [`SystemConfig`] describes the 3-tier chain (web → app → db). Each tier
-//! is either *synchronous* (RPC: thread-per-request, bounded accept backlog,
+//! A [`SystemConfig`] describes a call-graph of tiers (the classic case
+//! being the 3-tier web → app → db chain). Each tier is either
+//! *synchronous* (RPC: thread-per-request, bounded accept backlog,
 //! optionally a growable process group) or *asynchronous* (event-driven:
-//! large lightweight queue, continuation-based downstream calls). The
-//! capacity arithmetic of the paper — `MaxSysQDepth = threads + backlog` vs
+//! large lightweight queue, continuation-based downstream calls), and may
+//! be a replica set fronted by a deterministic load balancer. The capacity
+//! arithmetic of the paper — `MaxSysQDepth = threads + backlog` vs
 //! `LiteQDepth` — is all derivable from this type, see
-//! [`TierConfig::max_sys_q_depth`].
+//! [`TierSpec::max_sys_q_depth`].
+//!
+//! [`TierSpec`] is the *one* tier description in the workspace: the live
+//! testbed's `ChainBuilder` consumes the same type, so there is a single
+//! definition of admission capacity across simulator and testbed.
 
+use crate::topology::{Balancer, Topology, TopologyShape};
 use ntier_des::time::SimDuration;
 use ntier_interference::StallSchedule;
 use ntier_net::RetransmitPolicy;
@@ -54,16 +61,21 @@ impl TierKind {
     }
 }
 
-/// Configuration of one tier.
+/// Configuration of one tier (one node of the call graph). When
+/// `replicas > 1` the tier is a replica set: `replicas` identical
+/// instances, each with its *own* thread pool / LiteQ, accept backlog,
+/// stall schedule and drop accounting, fronted by `balancer`.
 #[derive(Debug, Clone)]
-pub struct TierConfig {
+pub struct TierSpec {
     /// Display name ("Apache", "XTomcat", ...).
     pub name: String,
     /// Sync or async architecture.
     pub kind: TierKind,
-    /// CPU cores available to the tier's VM.
+    /// CPU cores available to each instance's VM.
     pub cores: u32,
-    /// Millibottleneck schedule for this tier's CPU.
+    /// Millibottleneck schedule for this tier's CPU. Applies to every
+    /// replica unless overridden per replica via
+    /// [`TierSpec::with_replica_stalls`].
     pub stalls: StallSchedule,
     /// Connection-pool size used by *this tier's* calls to its downstream
     /// neighbour (`Some(50)` for sync Tomcat's JDBC pool; `None` for async
@@ -80,12 +92,21 @@ pub struct TierConfig {
     /// Admission-time load shedding at this tier (fast reject instead of
     /// queueing); `None` admits per the paper's capacity rules only.
     pub shed: Option<ShedPolicy>,
+    /// Number of identical instances behind the balancer (1 = the
+    /// unreplicated tier every pre-topology config described).
+    pub replicas: usize,
+    /// How callers pick a replica for a fresh connection attempt.
+    pub balancer: Balancer,
+    /// Per-replica stall-schedule overrides as `(replica, schedule)` pairs;
+    /// replicas without an entry use `stalls`. This is how one hot replica
+    /// is modelled behind an otherwise healthy set.
+    pub replica_stalls: Vec<(usize, StallSchedule)>,
 }
 
-impl TierConfig {
+impl TierSpec {
     /// A synchronous tier with a fixed pool (no process spawning).
     pub fn sync(name: impl Into<String>, threads: usize, backlog: usize) -> Self {
-        TierConfig {
+        TierSpec {
             name: name.into(),
             kind: TierKind::Sync {
                 threads,
@@ -99,12 +120,15 @@ impl TierConfig {
             overhead: ThreadOverheadModel::none(),
             caller_policy: None,
             shed: None,
+            replicas: 1,
+            balancer: Balancer::RoundRobin,
+            replica_stalls: Vec::new(),
         }
     }
 
     /// An asynchronous tier.
     pub fn asynchronous(name: impl Into<String>, lite_q_depth: usize, workers: u32) -> Self {
-        TierConfig {
+        TierSpec {
             name: name.into(),
             kind: TierKind::Async {
                 lite_q_depth,
@@ -116,6 +140,9 @@ impl TierConfig {
             overhead: ThreadOverheadModel::none(),
             caller_policy: None,
             shed: None,
+            replicas: 1,
+            balancer: Balancer::RoundRobin,
+            replica_stalls: Vec::new(),
         }
     }
 
@@ -146,7 +173,7 @@ impl TierConfig {
         self
     }
 
-    /// Sets the millibottleneck schedule.
+    /// Sets the millibottleneck schedule (all replicas).
     pub fn with_stalls(mut self, stalls: StallSchedule) -> Self {
         self.stalls = stalls;
         self
@@ -176,9 +203,38 @@ impl TierConfig {
         self
     }
 
+    /// Makes the tier a replica set of `n` identical instances.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Sets the load-balancing policy callers use to pick a replica.
+    pub fn balancer(mut self, balancer: Balancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Overrides the stall schedule of one replica (others keep `stalls`).
+    pub fn with_replica_stalls(mut self, replica: usize, stalls: StallSchedule) -> Self {
+        self.replica_stalls.retain(|(r, _)| *r != replica);
+        self.replica_stalls.push((replica, stalls));
+        self
+    }
+
+    /// The stall schedule replica `replica` runs under.
+    pub fn stalls_for(&self, replica: usize) -> &StallSchedule {
+        self.replica_stalls
+            .iter()
+            .find(|(r, _)| *r == replica)
+            .map(|(_, s)| s)
+            .unwrap_or(&self.stalls)
+    }
+
     /// `MaxSysQDepth` for a sync tier at its *initial* process count:
     /// `threads + backlog` (278 for Apache, 293 for the NX=1 Tomcat, 228 for
-    /// MySQL). Returns `None` for async tiers.
+    /// MySQL). Returns `None` for async tiers. Per instance: a replica set
+    /// has this much admission capacity per replica.
     pub fn max_sys_q_depth(&self) -> Option<usize> {
         match &self.kind {
             TierKind::Sync {
@@ -202,7 +258,7 @@ impl TierConfig {
     }
 
     /// Admission capacity regardless of architecture: `MaxSysQDepth` or
-    /// `LiteQDepth`.
+    /// `LiteQDepth`. Per instance.
     pub fn admission_capacity(&self) -> usize {
         match &self.kind {
             TierKind::Sync {
@@ -213,11 +269,19 @@ impl TierConfig {
     }
 }
 
-/// The whole 3-tier system.
+/// The old name of [`TierSpec`], kept so pre-topology call sites migrate
+/// mechanically.
+#[deprecated(note = "renamed to TierSpec; the type is unchanged")]
+pub type TierConfig = TierSpec;
+
+/// The whole system: per-node tier specs plus the call-graph shape.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// Tier 0 = web, tier 1 = app, tier 2 = db.
-    pub tiers: Vec<TierConfig>,
+    /// Tier specs in preorder node-id order (a chain reads tier 0 = web,
+    /// tier 1 = app, tier 2 = db).
+    pub tiers: Vec<TierSpec>,
+    /// Who calls whom; [`TopologyShape::linear`] for chains.
+    pub shape: TopologyShape,
     /// Client/inter-tier TCP retransmission schedule.
     pub retransmit: RetransmitPolicy,
     /// One-way per-hop message delay.
@@ -230,9 +294,25 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Assembles a config from validated parts — the [`crate::Topology`]
+    /// builder's output path. Prefer `Topology::client()...build()?` or
+    /// [`Topology::chain`] over calling this directly.
+    pub fn from_parts(tiers: Vec<TierSpec>, shape: TopologyShape) -> Self {
+        debug_assert_eq!(tiers.len(), shape.len());
+        SystemConfig {
+            tiers,
+            shape,
+            retransmit: RetransmitPolicy::default(),
+            hop_delay: SimDuration::from_micros(50),
+            faults: FaultPlan::none(),
+            trace: TraceConfig::disabled(),
+        }
+    }
+
     /// Builds a 3-tier system (web, app, db).
-    pub fn three_tier(web: TierConfig, app: TierConfig, db: TierConfig) -> Self {
-        SystemConfig::chain(vec![web, app, db])
+    #[deprecated(note = "use Topology::three_tier (or the Topology::client builder)")]
+    pub fn three_tier(web: TierSpec, app: TierSpec, db: TierSpec) -> Self {
+        Topology::three_tier(web, app, db)
     }
 
     /// Builds a chain of arbitrary depth (tier 0 is client-facing).
@@ -240,15 +320,9 @@ impl SystemConfig {
     /// # Panics
     ///
     /// Panics if `tiers` is empty.
-    pub fn chain(tiers: Vec<TierConfig>) -> Self {
-        assert!(!tiers.is_empty(), "a system needs at least one tier");
-        SystemConfig {
-            tiers,
-            retransmit: RetransmitPolicy::default(),
-            hop_delay: SimDuration::from_micros(50),
-            faults: FaultPlan::none(),
-            trace: TraceConfig::disabled(),
-        }
+    #[deprecated(note = "use Topology::chain (or the Topology::client builder)")]
+    pub fn chain(tiers: Vec<TierSpec>) -> Self {
+        Topology::chain(tiers)
     }
 
     /// Overrides the retransmission policy.
@@ -307,14 +381,23 @@ impl SystemConfig {
         self.nx() == self.tiers.len()
     }
 
+    /// `true` when no tier is replicated and no node fans out — the exact
+    /// system class the pre-topology engine simulated.
+    pub fn is_plain_chain(&self) -> bool {
+        self.shape.is_linear() && self.tiers.iter().all(|t| t.replicas == 1)
+    }
+
     /// The tier index whose stall schedule is non-empty, if exactly one tier
-    /// stalls (the common experimental setup).
+    /// stalls (the common experimental setup). Replica-level overrides count
+    /// as that tier stalling.
     pub fn stalled_tier(&self) -> Option<usize> {
         let stalled: Vec<usize> = self
             .tiers
             .iter()
             .enumerate()
-            .filter(|(_, t)| !t.stalls.is_empty())
+            .filter(|(_, t)| {
+                !t.stalls.is_empty() || t.replica_stalls.iter().any(|(_, s)| !s.is_empty())
+            })
             .map(|(i, _)| i)
             .collect();
         match stalled.as_slice() {
@@ -331,41 +414,42 @@ mod tests {
 
     #[test]
     fn max_sys_q_depth_matches_paper_values() {
-        let apache = TierConfig::sync("Apache", 150, 128)
-            .with_process_spawning(2, SimDuration::from_secs(1));
+        let apache =
+            TierSpec::sync("Apache", 150, 128).with_process_spawning(2, SimDuration::from_secs(1));
         assert_eq!(apache.max_sys_q_depth(), Some(278));
         assert_eq!(apache.max_sys_q_depth_full(), Some(428));
 
-        let tomcat_nx1 = TierConfig::sync("Tomcat", 165, 128);
+        let tomcat_nx1 = TierSpec::sync("Tomcat", 165, 128);
         assert_eq!(tomcat_nx1.max_sys_q_depth(), Some(293));
 
-        let mysql = TierConfig::sync("MySQL", 100, 128);
+        let mysql = TierSpec::sync("MySQL", 100, 128);
         assert_eq!(mysql.max_sys_q_depth(), Some(228));
 
-        let nginx = TierConfig::asynchronous("Nginx", 65_535, 4);
+        let nginx = TierSpec::asynchronous("Nginx", 65_535, 4);
         assert_eq!(nginx.max_sys_q_depth(), None);
         assert_eq!(nginx.admission_capacity(), 65_535);
     }
 
     #[test]
     fn nx_counts_async_tiers() {
-        let sys = SystemConfig::three_tier(
-            TierConfig::asynchronous("Nginx", 65_535, 4),
-            TierConfig::sync("Tomcat", 165, 128),
-            TierConfig::sync("MySQL", 100, 128),
+        let sys = Topology::three_tier(
+            TierSpec::asynchronous("Nginx", 65_535, 4),
+            TierSpec::sync("Tomcat", 165, 128),
+            TierSpec::sync("MySQL", 100, 128),
         );
         assert_eq!(sys.nx(), 1);
         assert!(!sys.is_fully_sync());
         assert!(!sys.is_fully_async());
+        assert!(sys.is_plain_chain());
     }
 
     #[test]
     fn stalled_tier_requires_exactly_one() {
         let stall = StallSchedule::at_marks([SimTime::from_secs(1)], SimDuration::from_millis(300));
-        let mut sys = SystemConfig::three_tier(
-            TierConfig::sync("A", 10, 10),
-            TierConfig::sync("B", 10, 10).with_stalls(stall.clone()),
-            TierConfig::sync("C", 10, 10),
+        let mut sys = Topology::three_tier(
+            TierSpec::sync("A", 10, 10),
+            TierSpec::sync("B", 10, 10).with_stalls(stall.clone()),
+            TierSpec::sync("C", 10, 10),
         );
         assert_eq!(sys.stalled_tier(), Some(1));
         sys.tiers[2].stalls = stall;
@@ -373,9 +457,29 @@ mod tests {
     }
 
     #[test]
+    fn replica_stall_overrides_resolve_per_replica() {
+        let train = StallSchedule::at_marks([SimTime::from_secs(1)], SimDuration::from_millis(300));
+        let spec = TierSpec::sync("Tomcat", 50, 42)
+            .replicas(3)
+            .with_replica_stalls(1, train.clone());
+        assert!(spec.stalls_for(0).is_empty());
+        assert_eq!(spec.stalls_for(1), &train);
+        assert!(spec.stalls_for(2).is_empty());
+        let sys = Topology::chain(vec![TierSpec::sync("web", 10, 10), spec]);
+        assert_eq!(sys.stalled_tier(), Some(1));
+        assert!(!sys.is_plain_chain());
+    }
+
+    #[test]
     #[should_panic(expected = "sync tiers only")]
     fn spawning_on_async_tier_rejected() {
-        let _ =
-            TierConfig::asynchronous("Nginx", 100, 1).with_process_spawning(2, SimDuration::ZERO);
+        let _ = TierSpec::asynchronous("Nginx", 100, 1).with_process_spawning(2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deprecated_constructors_still_build_chains() {
+        #[allow(deprecated)]
+        let sys = SystemConfig::chain(vec![TierSpec::sync("web", 10, 10)]);
+        assert_eq!(sys.shape, TopologyShape::linear(1));
     }
 }

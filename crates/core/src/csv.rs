@@ -10,6 +10,7 @@ use std::io;
 use std::path::Path;
 
 use ntier_telemetry::render::to_csv;
+use ntier_telemetry::{UtilizationSeries, WindowedSeries};
 
 use crate::report::RunReport;
 
@@ -20,6 +21,11 @@ use crate::report::RunReport;
 /// * `resilience.csv` — per-hop timeout/retry/budget/shed/breaker counters;
 /// * `tier_<i>_<name>.csv` — per-50 ms-window queue peak, drops, VLRT,
 ///   own CPU utilization and interferer utilization.
+///
+/// Replicated tiers (`replicas > 1` in their spec) additionally emit one
+/// `tier_<i>_r<r>_<name>.csv` per replica with the same columns — the
+/// per-instance view behind the tier-level aggregate. Unreplicated runs
+/// produce exactly the pre-replica file list, byte for byte.
 ///
 /// Traced runs (`report.trace` is `Some`) append two more files:
 ///
@@ -131,40 +137,28 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
     ));
 
     for (i, tier) in report.tiers.iter().enumerate() {
-        let utils = tier.util.utilizations();
-        let windows = tier
-            .queue_depth
-            .len()
-            .max(tier.drops.len())
-            .max(tier.vlrt.len())
-            .max(utils.len())
-            .max(tier.interferer_util.len());
-        let rows: Vec<Vec<String>> = (0..windows)
-            .map(|w| {
-                vec![
-                    (w as u64 * ntier_telemetry::MONITOR_WINDOW_MS).to_string(),
-                    format!("{:.0}", tier.queue_depth.window(w).max),
-                    format!("{:.0}", tier.drops.window(w).sum),
-                    format!("{:.0}", tier.vlrt.window(w).sum),
-                    format!("{:.4}", utils.get(w).copied().unwrap_or(0.0)),
-                    format!("{:.4}", tier.interferer_util.get(w).copied().unwrap_or(0.0)),
-                ]
-            })
-            .collect();
         files.push((
             format!("tier_{i}_{}.csv", sanitize(&tier.name)),
-            to_csv(
-                &[
-                    "window_start_ms",
-                    "queue_peak",
-                    "drops",
-                    "vlrt",
-                    "cpu_util",
-                    "interferer_util",
-                ],
-                &rows,
+            window_series_csv(
+                &tier.queue_depth,
+                &tier.drops,
+                &tier.vlrt,
+                &tier.util,
+                &tier.interferer_util,
             ),
         ));
+        for r in &tier.replicas {
+            files.push((
+                format!("tier_{i}_r{}_{}.csv", r.id, sanitize(&tier.name)),
+                window_series_csv(
+                    &r.queue_depth,
+                    &r.drops,
+                    &r.vlrt,
+                    &r.util,
+                    &r.interferer_util,
+                ),
+            ));
+        }
     }
 
     if let Some(log) = &report.trace {
@@ -192,6 +186,48 @@ pub fn write_csv_bundle(report: &RunReport, dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// One 50 ms window per row: queue peak, drops, VLRT, own CPU and
+/// interferer utilization — used for tier-level files and per-replica files
+/// alike, so the two are column-compatible.
+fn window_series_csv(
+    queue_depth: &WindowedSeries,
+    drops: &WindowedSeries,
+    vlrt: &WindowedSeries,
+    util: &UtilizationSeries,
+    interferer_util: &[f64],
+) -> String {
+    let utils = util.utilizations();
+    let windows = queue_depth
+        .len()
+        .max(drops.len())
+        .max(vlrt.len())
+        .max(utils.len())
+        .max(interferer_util.len());
+    let rows: Vec<Vec<String>> = (0..windows)
+        .map(|w| {
+            vec![
+                (w as u64 * ntier_telemetry::MONITOR_WINDOW_MS).to_string(),
+                format!("{:.0}", queue_depth.window(w).max),
+                format!("{:.0}", drops.window(w).sum),
+                format!("{:.0}", vlrt.window(w).sum),
+                format!("{:.4}", utils.get(w).copied().unwrap_or(0.0)),
+                format!("{:.4}", interferer_util.get(w).copied().unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    to_csv(
+        &[
+            "window_start_ms",
+            "queue_peak",
+            "drops",
+            "vlrt",
+            "cpu_util",
+            "interferer_util",
+        ],
+        &rows,
+    )
+}
+
 fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
@@ -208,16 +244,16 @@ fn sanitize(name: &str) -> String {
 mod tests {
     use super::*;
     use crate::engine::{Engine, Workload};
-    use crate::{SystemConfig, TierConfig};
+    use crate::{TierSpec, Topology};
     use ntier_des::prelude::*;
     use ntier_workload::RequestMix;
 
     fn small_report() -> RunReport {
         Engine::new(
-            SystemConfig::three_tier(
-                TierConfig::sync("Web", 4, 2),
-                TierConfig::sync("App", 4, 2),
-                TierConfig::sync("Db", 4, 2),
+            Topology::three_tier(
+                TierSpec::sync("Web", 4, 2),
+                TierSpec::sync("App", 4, 2),
+                TierSpec::sync("Db", 4, 2),
             ),
             Workload::Open {
                 arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
@@ -241,6 +277,38 @@ mod tests {
                 "resilience.csv",
                 "tier_0_web.csv",
                 "tier_1_app.csv",
+                "tier_2_db.csv"
+            ]
+        );
+    }
+
+    #[test]
+    fn replicated_tier_appends_per_replica_files() {
+        let report = Engine::new(
+            Topology::three_tier(
+                TierSpec::sync("Web", 4, 2),
+                TierSpec::sync("App", 2, 2).replicas(2),
+                TierSpec::sync("Db", 4, 2),
+            ),
+            Workload::Open {
+                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                mix: RequestMix::view_story(),
+            },
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        let names: Vec<String> = csv_bundle(&report).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "summary.csv",
+                "latency_histogram.csv",
+                "resilience.csv",
+                "tier_0_web.csv",
+                "tier_1_app.csv",
+                "tier_1_r0_app.csv",
+                "tier_1_r1_app.csv",
                 "tier_2_db.csv"
             ]
         );
@@ -295,10 +363,10 @@ mod tests {
     #[test]
     fn traced_run_appends_trace_files() {
         let report = Engine::new(
-            SystemConfig::three_tier(
-                TierConfig::sync("Web", 4, 2),
-                TierConfig::sync("App", 4, 2),
-                TierConfig::sync("Db", 4, 2),
+            Topology::three_tier(
+                TierSpec::sync("Web", 4, 2),
+                TierSpec::sync("App", 4, 2),
+                TierSpec::sync("Db", 4, 2),
             )
             .with_trace(ntier_trace::TraceConfig::always()),
             Workload::Open {

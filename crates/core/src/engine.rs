@@ -1,7 +1,7 @@
 //! The n-tier simulation engine.
 //!
 //! Wires the substrates together: workload generators inject requests; each
-//! request walks the tier chain according to its [`Plan`]; tiers admit
+//! request walks the call graph according to its [`Plan`]; tiers admit
 //! messages through thread pools + backlogs (sync) or lightweight queues
 //! (async); CPUs execute slices around stall intervals; overflowing a tier
 //! drops the message and arms the TCP retransmission timer. Every mutation
@@ -19,9 +19,27 @@
 //!   full) is dropped; the sender retransmits per the configured policy
 //!   (default: +3 s per attempt, the RHEL 6.3 behaviour).
 //!
-//! The chain may have any depth ≥ 1: the paper's 3-tier experiments use
-//! [`crate::presets`]; deeper chains (and per-request custom plans) use
-//! [`SystemConfig::chain`] with [`Workload::OpenPlans`].
+//! # Topologies (see DESIGN.md §12)
+//!
+//! The system is a *tree* of tiers described by [`crate::Topology`]. Beyond
+//! the paper's linear chains:
+//!
+//! * A tier with `replicas > 1` is a **replica set**: each instance has its
+//!   own thread pool / LiteQ, backlog, CPU (with per-replica stall
+//!   overrides) and drop accounting. A fresh connection attempt picks a
+//!   replica through the tier's deterministic [`Balancer`]; kernel SYN
+//!   retransmits re-hit the *same* replica (an L4 balancer pins the
+//!   5-tuple), which keeps the 3 s / 6 s / 9 s ladder attached to the
+//!   replica that dropped.
+//! * A node with several children is a **scatter-gather fan-out**: its
+//!   single call point launches one *arm* sub-request per child, and the
+//!   node resumes once the configured quorum of arms has replied. Arms that
+//!   can no longer form a quorum fail the parent; late arms run to
+//!   completion and their replies land on stale handles harmlessly.
+//!
+//! Chains of any depth ≥ 1 remain the common case: the paper's 3-tier
+//! experiments use [`crate::presets`]; deeper chains (and per-request custom
+//! plans) use [`crate::Topology::chain`] with [`Workload::OpenPlans`].
 //!
 //! # Example
 //!
@@ -55,7 +73,8 @@ use ntier_workload::{ClosedLoopSpec, RequestMix};
 
 use crate::config::{SystemConfig, TierKind};
 use crate::plan::Plan;
-use crate::report::{ClassReport, DropRecord, RunReport, TierReport};
+use crate::report::{ClassReport, DropRecord, ReplicaReport, RunReport, TierReport};
+use crate::topology::Balancer;
 
 /// The workload driving a run.
 #[derive(Debug)]
@@ -120,6 +139,14 @@ enum Event {
     },
     SpawnDone {
         tier: u8,
+        replica: u8,
+    },
+    /// A scatter arm finished its subtree and replies to the parent request
+    /// waiting at the fan-out node. The arm's slot is already recycled by
+    /// the time this fires; only the parent handle matters (and it goes
+    /// stale harmlessly if the parent failed first).
+    ArmReply {
+        parent: ReqId,
     },
     /// The client's per-attempt timer fired: orphan the attempt and consult
     /// the retry stack.
@@ -249,6 +276,7 @@ impl DropLog {
         DropLog {
             inline: [DropRecord {
                 tier: 0,
+                replica: ReplicaId::FIRST,
                 at: SimTime::ZERO,
             }; DROP_INLINE],
             len: 0,
@@ -319,6 +347,25 @@ struct RequestState {
     /// When the in-flight message was admitted at each tier (backlog entry
     /// or visit start) — feeds the AIMD limiter's latency samples.
     arrived_at: Vec<SimTime>,
+    /// The replica the balancer chose at each tier for the current
+    /// in-flight message. Kernel SYN retransmits reuse this pin (L4
+    /// 5-tuple affinity); fresh sends and app-level retries re-pick.
+    replica: Vec<u8>,
+    /// `Some(parent)` when this request is one *arm* of `parent`'s
+    /// scatter-gather fan-out: it never counts in the run totals, and its
+    /// terminal outcome feeds the parent's quorum instead of a client.
+    arm_parent: Option<ReqId>,
+    /// The child node this arm's subtree is rooted at (meaningful only
+    /// with `arm_parent`); finishing its visit there replies to the parent.
+    arm_root: u8,
+    /// Arm replies still needed before this request's scatter completes
+    /// (0 = no scatter outstanding / quorum already met).
+    fan_awaiting: u32,
+    /// Arms still able to reply; dropping below `fan_awaiting` makes the
+    /// quorum unreachable and fails the request.
+    fan_live: u32,
+    /// The node this request's scatter was issued from.
+    fan_node: u8,
     /// The attempt's trace handle ([`TRACE_NONE`] when tracing is off).
     /// Shared with the logical slot and retry ticket via refcounts.
     trace: TraceHandle,
@@ -330,8 +377,11 @@ enum TierState {
     Async(EventLoop),
 }
 
+/// One instance of a (possibly replicated) tier: its own admission state,
+/// backlog, CPU, downstream connection pool and telemetry. An unreplicated
+/// tier is a [`NodeRuntime`] with exactly one `Replica`.
 #[derive(Debug)]
-struct TierRuntime {
+struct Replica {
     state: TierState,
     backlog: Backlog<Pending>,
     cpu: CpuModel,
@@ -342,6 +392,36 @@ struct TierRuntime {
     vlrt: WindowedSeries,
     drops_total: u64,
     peak_queue: usize,
+}
+
+impl Replica {
+    fn depth(&self) -> usize {
+        match &self.state {
+            TierState::Sync(pg) => pg.busy() + self.backlog.len(),
+            TierState::Async(el) => el.in_flight(),
+        }
+    }
+
+    fn spawns(&self) -> u64 {
+        match &self.state {
+            TierState::Sync(pg) => pg.spawns_total(),
+            TierState::Async(_) => 0,
+        }
+    }
+}
+
+/// Runtime state of one call-graph node: its replica set plus the per-hop
+/// policy machinery (which belongs to the hop *into* the node, not to any
+/// single replica).
+#[derive(Debug)]
+struct NodeRuntime {
+    replicas: Vec<Replica>,
+    /// Round-robin cursor for [`Balancer::RoundRobin`].
+    rr_next: u32,
+    /// Dedicated stream for balancer policies that draw ([`Balancer::P2c`]).
+    /// Forked per node, consumed only when `replicas > 1` — single-instance
+    /// nodes take no randomness, which keeps pre-topology runs bit-stable.
+    rng: SimRng,
     /// Breaker guarding the hop *into* this tier (tier 0: the client's).
     hop_breaker: Option<CircuitBreaker>,
     /// Retry budget for the hop into this tier.
@@ -351,15 +431,6 @@ struct TierRuntime {
     aimd: Option<AimdLimiter>,
     /// Resilience counters for the hop into this tier.
     res: ResilienceStats,
-}
-
-impl TierRuntime {
-    fn depth(&self) -> usize {
-        match &self.state {
-            TierState::Sync(pg) => pg.busy() + self.backlog.len(),
-            TierState::Async(el) => el.in_flight(),
-        }
-    }
 }
 
 /// Outcome of an admission attempt, computed while the tier is mutably
@@ -382,7 +453,10 @@ pub struct Engine {
     horizon: SimDuration,
     queue: EventQueue<Event>,
     now: SimTime,
-    tiers: Vec<TierRuntime>,
+    tiers: Vec<NodeRuntime>,
+    /// Cached `cfg.shape.has_fanout()`: fan-out runs pay the plan/shape
+    /// cross-check at inject; linear chains skip it.
+    has_fanout: bool,
     /// Request slab: slots are recycled through `free_slots` when a request
     /// reaches a terminal outcome, so steady-state memory tracks the peak
     /// in-flight population instead of the total injected count.
@@ -432,22 +506,30 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` has no tiers, if the last tier declares a downstream
-    /// pool, or if a mix-based workload is paired with a non-3-tier system.
+    /// Panics if `cfg` has no tiers, if a tier declares a downstream pool
+    /// without exactly one downstream, or if a mix-based workload is paired
+    /// with a system that is not a plain 3-tier chain. (Configs built
+    /// through [`crate::TopologyBuilder`] are already validated; these
+    /// asserts catch hand-assembled configs.)
     pub fn new(cfg: SystemConfig, workload: Workload, horizon: SimDuration, seed: u64) -> Self {
         assert!(!cfg.tiers.is_empty(), "a system needs at least one tier");
-        assert!(
-            cfg.tiers
-                .last()
-                .expect("non-empty")
-                .downstream_pool
-                .is_none(),
-            "the last tier has no downstream to pool connections for"
+        assert_eq!(
+            cfg.shape.len(),
+            cfg.tiers.len(),
+            "topology shape covers {} nodes but the config has {} tiers",
+            cfg.shape.len(),
+            cfg.tiers.len()
         );
+        for (i, tc) in cfg.tiers.iter().enumerate() {
+            assert!(
+                tc.downstream_pool.is_none() || cfg.shape.children[i].len() == 1,
+                "tier {}: a downstream connection pool requires exactly one downstream",
+                tc.name
+            );
+        }
         if matches!(workload, Workload::Closed { .. } | Workload::Open { .. }) {
-            assert_eq!(
-                cfg.tiers.len(),
-                3,
+            assert!(
+                cfg.tiers.len() == 3 && cfg.shape.is_linear(),
                 "mix-based workloads compile 3-tier plans; use Workload::OpenPlans for other depths"
             );
         }
@@ -458,37 +540,54 @@ impl Engine {
             );
         }
         let root = SimRng::seed_from(seed);
+        let bal_root = root.fork("balancer");
         let tiers = cfg
             .tiers
             .iter()
-            .map(|tc| {
-                let stalls = StallTimeline::from_intervals(tc.stalls.intervals().iter().copied());
-                let (state, backlog_cap) = match &tc.kind {
-                    TierKind::Sync {
-                        threads,
-                        backlog,
-                        max_processes,
-                        spawn_delay,
-                    } => (
-                        TierState::Sync(ProcessGroup::new(*threads, *max_processes, *spawn_delay)),
-                        *backlog,
-                    ),
-                    TierKind::Async {
-                        lite_q_depth,
-                        workers,
-                    } => (TierState::Async(EventLoop::new(*lite_q_depth, *workers)), 0),
-                };
-                TierRuntime {
-                    state,
-                    backlog: Backlog::new(backlog_cap),
-                    cpu: CpuModel::new(tc.cores, stalls),
-                    conn_pool: tc.downstream_pool.map(ConnectionPool::new),
-                    util: UtilizationSeries::paper_default_for(tc.cores, horizon),
-                    queue_depth: WindowedSeries::paper_default_for(horizon),
-                    drops: WindowedSeries::paper_default_for(horizon),
-                    vlrt: WindowedSeries::paper_default_for(horizon),
-                    drops_total: 0,
-                    peak_queue: 0,
+            .enumerate()
+            .map(|(i, tc)| {
+                let replicas = (0..tc.replicas.max(1))
+                    .map(|r| {
+                        let stalls = StallTimeline::from_intervals(
+                            tc.stalls_for(r).intervals().iter().copied(),
+                        );
+                        let (state, backlog_cap) = match &tc.kind {
+                            TierKind::Sync {
+                                threads,
+                                backlog,
+                                max_processes,
+                                spawn_delay,
+                            } => (
+                                TierState::Sync(ProcessGroup::new(
+                                    *threads,
+                                    *max_processes,
+                                    *spawn_delay,
+                                )),
+                                *backlog,
+                            ),
+                            TierKind::Async {
+                                lite_q_depth,
+                                workers,
+                            } => (TierState::Async(EventLoop::new(*lite_q_depth, *workers)), 0),
+                        };
+                        Replica {
+                            state,
+                            backlog: Backlog::new(backlog_cap),
+                            cpu: CpuModel::new(tc.cores, stalls),
+                            conn_pool: tc.downstream_pool.map(ConnectionPool::new),
+                            util: UtilizationSeries::paper_default_for(tc.cores, horizon),
+                            queue_depth: WindowedSeries::paper_default_for(horizon),
+                            drops: WindowedSeries::paper_default_for(horizon),
+                            vlrt: WindowedSeries::paper_default_for(horizon),
+                            drops_total: 0,
+                            peak_queue: 0,
+                        }
+                    })
+                    .collect();
+                NodeRuntime {
+                    replicas,
+                    rr_next: 0,
+                    rng: bal_root.fork(&format!("node-{i}")),
                     hop_breaker: tc
                         .caller_policy
                         .as_ref()
@@ -516,6 +615,7 @@ impl Engine {
             .and_then(|h| h.budget)
             .map(|b| TokenBucket::new(b, SimTime::ZERO));
         let trace_cfg = cfg.trace;
+        let has_fanout = cfg.shape.has_fanout();
         Engine {
             cfg,
             workload,
@@ -523,6 +623,7 @@ impl Engine {
             queue: EventQueue::with_capacity(1 << 16),
             now: SimTime::ZERO,
             tiers,
+            has_fanout,
             requests: Vec::with_capacity(1024),
             free_slots: Vec::new(),
             tickets: Vec::new(),
@@ -608,7 +709,10 @@ impl Engine {
             Event::Arrival { req, tier, visit } => self.on_arrival(req, tier as usize, visit),
             Event::SliceDone { req, tier, visit } => self.on_slice_done(req, tier as usize, visit),
             Event::ReplyArrive { req, tier } => self.on_reply(req, tier as usize),
-            Event::SpawnDone { tier } => self.on_spawn_done(tier as usize),
+            Event::SpawnDone { tier, replica } => {
+                self.on_spawn_done(tier as usize, replica as usize)
+            }
+            Event::ArmReply { parent } => self.on_arm_reply(parent),
             Event::AttemptTimeout { req } => self.on_attempt_timeout(req),
             Event::RetryFire { ticket } => self.on_retry_fire(ticket),
             Event::FaultBegin { idx } => self.on_fault_begin(idx as usize),
@@ -666,6 +770,12 @@ impl Engine {
             r.logical = LOGICAL_NONE;
             r.head = 0;
             r.arrived_at.fill(SimTime::ZERO);
+            r.replica.fill(0);
+            r.arm_parent = None;
+            r.arm_root = 0;
+            r.fan_awaiting = 0;
+            r.fan_live = 0;
+            r.fan_node = 0;
             r.trace = TRACE_NONE;
             ReqId { slot, gen: r.gen }
         } else {
@@ -690,6 +800,12 @@ impl Engine {
                 logical: LOGICAL_NONE,
                 head: 0,
                 arrived_at: vec![SimTime::ZERO; n],
+                replica: vec![0; n],
+                arm_parent: None,
+                arm_root: 0,
+                fan_awaiting: 0,
+                fan_live: 0,
+                fan_node: 0,
                 trace: TRACE_NONE,
             });
             ReqId { slot, gen: 0 }
@@ -788,6 +904,11 @@ impl Engine {
             self.tiers.len(),
             "plan depth must match the system's tier count"
         );
+        if self.has_fanout {
+            if let Err(e) = plan.matches_shape(&self.cfg.shape) {
+                panic!("{e}");
+            }
+        }
         // Fast-fail at the client while its breaker refuses the hop (in
         // half-open this admits the request as the probe).
         if self.tiers[0].hop_breaker.is_some() {
@@ -805,8 +926,14 @@ impl Engine {
                 // No RequestState ever exists: open and close a mini-trace
                 // so breaker sheds still show up in the log.
                 let h = self.tracer.start(self.now, class);
-                self.tracer
-                    .record(h, self.now, TraceEventKind::Shed { tier: 0 });
+                self.tracer.record(
+                    h,
+                    self.now,
+                    TraceEventKind::Shed {
+                        tier: TierId::ROOT,
+                        replica: ReplicaId::FIRST,
+                    },
+                );
                 self.tracer
                     .set_terminal(h, self.now, TerminalClass::Shed, SimDuration::ZERO);
                 self.tracer.release(h);
@@ -1029,17 +1156,21 @@ impl Engine {
     /// generation bump.
     fn reap_attempt(&mut self, req: ReqId, tier: usize) {
         let i = self.live_expect(req);
+        let rep = self.requests[i].replica[tier] as usize;
         self.tracer.record(
             self.requests[i].trace,
             self.now,
-            TraceEventKind::CancelReap { tier: tier as u8 },
+            TraceEventKind::CancelReap {
+                tier: TierId::from(tier),
+                replica: ReplicaId::from(rep),
+            },
         );
-        if self.tiers[tier]
+        if self.tiers[tier].replicas[rep]
             .backlog
             .remove_where(|p| p.req == req)
             .is_some()
         {
-            self.record_queue(tier);
+            self.record_queue(tier, rep);
         }
         // At most one parked pool wait can reference the attempt, so the
         // unordered scan is deterministic.
@@ -1049,8 +1180,9 @@ impl Engine {
             .find_map(|(tok, (r, _, _))| (*r == req).then_some(*tok));
         if let Some(tok) = parked_token {
             let (_, target, _) = self.parked.remove(&tok).expect("token just seen");
-            let pool_tier = target - 1;
-            let removed = self.tiers[pool_tier]
+            let pool_tier = self.cfg.shape.parent[target].expect("pooled hop has a caller");
+            let pool_rep = self.requests[i].replica[pool_tier] as usize;
+            let removed = self.tiers[pool_tier].replicas[pool_rep]
                 .conn_pool
                 .as_mut()
                 .expect("parked wait implies a pool")
@@ -1092,45 +1224,111 @@ impl Engine {
         );
     }
 
+    /// Chooses the replica of `tier` a fresh connection attempt lands on,
+    /// per the tier's [`Balancer`]. A single-instance tier short-circuits to
+    /// replica 0 without consuming randomness, which keeps replica-count-1
+    /// topologies bit-identical to the pre-replication engine.
+    fn pick_replica(&mut self, tier: usize) -> u8 {
+        let node = &mut self.tiers[tier];
+        let n = node.replicas.len();
+        if n == 1 {
+            return 0;
+        }
+        match self.cfg.tiers[tier].balancer {
+            Balancer::RoundRobin => {
+                let r = (node.rr_next as usize % n) as u8;
+                node.rr_next = node.rr_next.wrapping_add(1);
+                r
+            }
+            Balancer::LeastOutstanding => {
+                let mut best = 0usize;
+                let mut best_depth = node.replicas[0].depth();
+                for (r, rep) in node.replicas.iter().enumerate().skip(1) {
+                    let d = rep.depth();
+                    if d < best_depth {
+                        best = r;
+                        best_depth = d;
+                    }
+                }
+                best as u8
+            }
+            Balancer::Jsq => {
+                let mut best = 0usize;
+                let mut best_len = node.replicas[0].backlog.len();
+                for (r, rep) in node.replicas.iter().enumerate().skip(1) {
+                    let l = rep.backlog.len();
+                    if l < best_len {
+                        best = r;
+                        best_len = l;
+                    }
+                }
+                best as u8
+            }
+            Balancer::P2c => {
+                let a = node.rng.below(n as u64) as usize;
+                let mut b = node.rng.below(n as u64 - 1) as usize;
+                if b >= a {
+                    b += 1;
+                }
+                if node.replicas[b].depth() < node.replicas[a].depth() {
+                    b as u8
+                } else {
+                    a as u8
+                }
+            }
+        }
+    }
+
     fn on_arrival(&mut self, req: ReqId, tier: usize, visit: u16) {
         let Some(i) = self.live(req) else {
             return;
         };
+        // Resolve the replica first: a kernel SYN retransmit re-hits its
+        // pinned replica (L4 5-tuple affinity); everything else — fresh
+        // sends and app-level hop retries — re-picks through the balancer.
+        let rep = if self.requests[i].retrans.attempts() > 0 {
+            self.requests[i].replica[tier] as usize
+        } else {
+            let r = self.pick_replica(tier);
+            self.requests[i].replica[tier] = r;
+            r as usize
+        };
         // Injected faults act at the admission point: a crashed tier
         // behaves like a full backlog, a flaky link drops the message with
-        // the configured probability.
+        // the configured probability. Both hit the whole replica set (the
+        // fault models the tier's shared ingress, not one instance).
         if self.tier_down[tier] {
-            self.drop_message(req, tier, visit);
+            self.drop_message(req, tier, rep, visit);
             return;
         }
         if self.drop_prob[tier] > 0.0 {
             let p = self.drop_prob[tier];
             if self.rng_faults.chance(p) {
-                self.drop_message(req, tier, visit);
+                self.drop_message(req, tier, rep, visit);
                 return;
             }
         }
         // Admission-time load shedding: reject fast instead of queueing
-        // work that is already doomed.
+        // work that is already doomed. Depth is the chosen replica's.
         if let Some(sp) = self.cfg.tiers[tier].shed {
-            let depth = self.tiers[tier].depth();
+            let depth = self.tiers[tier].replicas[rep].depth();
             let age = self.now.saturating_since(self.requests[i].injected_at);
             if sp.should_shed(depth, age) {
-                self.shed_request(req, tier);
+                self.shed_request(req, tier, rep);
                 return;
             }
         }
-        // AIMD adaptive concurrency limit: reject once the tier's in-system
-        // count reaches the current (latency-derived) limit.
+        // AIMD adaptive concurrency limit: reject once the replica's
+        // in-system count reaches the current (latency-derived) limit.
         if let Some(lim) = self.tiers[tier].aimd.as_ref() {
-            if self.tiers[tier].depth() >= lim.limit() {
-                self.shed_request(req, tier);
+            if self.tiers[tier].replicas[rep].depth() >= lim.limit() {
+                self.shed_request(req, tier, rep);
                 return;
             }
         }
         let mut spawn_at: Option<SimTime> = None;
         let admit = {
-            let rt = &mut self.tiers[tier];
+            let rt = &mut self.tiers[tier].replicas[rep];
             match &mut rt.state {
                 TierState::Sync(pg) => {
                     if pg.try_acquire() {
@@ -1156,25 +1354,34 @@ impl Engine {
             }
         };
         if let Some(at) = spawn_at {
-            self.queue.push(at, Event::SpawnDone { tier: tier as u8 });
+            self.queue.push(
+                at,
+                Event::SpawnDone {
+                    tier: tier as u8,
+                    replica: rep as u8,
+                },
+            );
         }
         match admit {
             Admit::Start(occ) => {
                 self.requests[i].occupying[tier] = occ;
                 self.on_admitted(req, tier);
-                self.record_queue(tier);
+                self.record_queue(tier, rep);
                 self.begin_visit(req, tier, visit);
             }
             Admit::Backlogged => {
                 self.tracer.record(
                     self.requests[i].trace,
                     self.now,
-                    TraceEventKind::Enqueue { tier: tier as u8 },
+                    TraceEventKind::Enqueue {
+                        tier: TierId::from(tier),
+                        replica: ReplicaId::from(rep),
+                    },
                 );
                 self.on_admitted(req, tier);
-                self.record_queue(tier);
+                self.record_queue(tier, rep);
             }
-            Admit::Dropped => self.drop_message(req, tier, visit),
+            Admit::Dropped => self.drop_message(req, tier, rep, visit),
         }
     }
 
@@ -1200,7 +1407,8 @@ impl Engine {
             self.requests[i].trace,
             self.now,
             TraceEventKind::ServiceStart {
-                tier: tier as u8,
+                tier: TierId::from(tier),
+                replica: ReplicaId::from(self.requests[i].replica[tier] as usize),
                 visit,
             },
         );
@@ -1212,7 +1420,8 @@ impl Engine {
     fn exec_slice(&mut self, req: ReqId, tier: usize, visit: u16, slice: usize) {
         let i = self.live_expect(req);
         let demand = self.requests[i].plan.slices_at(tier, visit as usize)[slice];
-        let rt = &mut self.tiers[tier];
+        let rep = self.requests[i].replica[tier] as usize;
+        let rt = &mut self.tiers[tier].replicas[rep];
         let active = match &rt.state {
             TierState::Sync(pg) => pg.busy(),
             TierState::Async(el) => el.workers() as usize,
@@ -1250,16 +1459,22 @@ impl Engine {
     }
 
     /// Issues the next downstream call from `tier` (the request's thread,
-    /// if sync, stays held).
+    /// if sync, stays held). A single child is the RPC hop; several children
+    /// scatter one arm per child.
     fn issue_call(&mut self, req: ReqId, tier: usize) {
         let i = self.live_expect(req);
-        let target = tier + 1;
+        if self.cfg.shape.children[tier].len() > 1 {
+            self.do_scatter(req, tier);
+            return;
+        }
+        let target = self.cfg.shape.children[tier][0];
         let target_visit = self.requests[i].next_visit[target];
         self.requests[i].next_visit[target] = target_visit + 1;
-        if self.tiers[tier].conn_pool.is_some() {
+        let rep = self.requests[i].replica[tier] as usize;
+        if self.tiers[tier].replicas[rep].conn_pool.is_some() {
             let token = self.next_token;
             self.next_token += 1;
-            let lease = self.tiers[tier]
+            let lease = self.tiers[tier].replicas[rep]
                 .conn_pool
                 .as_mut()
                 .expect("pool checked above")
@@ -1278,9 +1493,82 @@ impl Engine {
         }
     }
 
+    /// Scatters from `tier` to every child at once: one *arm* sub-request
+    /// per child, each walking its own subtree. The parent parks (its
+    /// thread, if sync, stays held — scatter-gather is an RPC construct)
+    /// until `quorum[tier]` arms have replied.
+    fn do_scatter(&mut self, req: ReqId, tier: usize) {
+        let i = self.live_expect(req);
+        let kids = self.cfg.shape.children[tier].clone();
+        let quorum = self.cfg.shape.quorum[tier];
+        debug_assert!(quorum >= 1 && quorum <= kids.len());
+        self.requests[i].fan_awaiting = quorum as u32;
+        self.requests[i].fan_live = kids.len() as u32;
+        self.requests[i].fan_node = tier as u8;
+        let (injected_at, class, plan, attempt, trace) = {
+            let r = &self.requests[i];
+            (r.injected_at, r.class, r.plan.share(), r.attempt, r.trace)
+        };
+        for c in kids {
+            // Arms are slab requests of their own: alloc after capturing the
+            // parent's ingredients (alloc may grow the slab and move it).
+            let arm = self.alloc_request(injected_at, None, class, plan.share(), attempt);
+            let j = arm.slot as usize;
+            self.requests[j].arm_parent = Some(req);
+            self.requests[j].arm_root = c as u8;
+            if trace != TRACE_NONE {
+                // Arms append into the parent's timeline; the arm's slot
+                // holds its own reference like any attempt.
+                self.tracer.retain(trace);
+                self.requests[j].trace = trace;
+            }
+            self.send(arm, c, 0);
+        }
+    }
+
+    /// A scatter arm's reply reached the parent waiting at its fan-out
+    /// node: count it against the quorum and resume the parent's visit once
+    /// the quorum is met. Late arms beyond the quorum land here harmlessly.
+    fn on_arm_reply(&mut self, parent: ReqId) {
+        let Some(i) = self.live(parent) else {
+            return;
+        };
+        if self.requests[i].fan_awaiting == 0 {
+            return; // quorum already met; this is a straggler's reply
+        }
+        self.requests[i].fan_live -= 1;
+        self.requests[i].fan_awaiting -= 1;
+        if self.requests[i].fan_awaiting > 0 {
+            return;
+        }
+        let fan = self.requests[i].fan_node as usize;
+        let next = self.requests[i].slice_idx[fan] + 1;
+        self.requests[i].slice_idx[fan] = next;
+        let visit = self.requests[i].active_visit[fan];
+        self.exec_slice(parent, fan, visit, next);
+    }
+
+    /// A scatter arm died (drops exhausted, shed): if the surviving arms
+    /// can no longer form the quorum, the parent fails.
+    fn on_arm_failed(&mut self, parent: ReqId) {
+        let Some(i) = self.live(parent) else {
+            return;
+        };
+        if self.requests[i].fan_awaiting == 0 {
+            return;
+        }
+        self.requests[i].fan_live -= 1;
+        if self.requests[i].fan_live < self.requests[i].fan_awaiting {
+            self.requests[i].fan_awaiting = 0;
+            self.fail_request(parent);
+        }
+    }
+
     fn finish_visit(&mut self, req: ReqId, tier: usize, visit: u16) {
+        let i = self.live_expect(req);
+        let rep = self.requests[i].replica[tier] as usize;
         let released_thread = {
-            match &mut self.tiers[tier].state {
+            match &mut self.tiers[tier].replicas[rep].state {
                 TierState::Sync(pg) => {
                     pg.release();
                     true
@@ -1291,12 +1579,12 @@ impl Engine {
                 }
             }
         };
-        let i = self.live_expect(req);
         self.tracer.record(
             self.requests[i].trace,
             self.now,
             TraceEventKind::ServiceEnd {
-                tier: tier as u8,
+                tier: TierId::from(tier),
+                replica: ReplicaId::from(rep),
                 visit,
             },
         );
@@ -1312,20 +1600,31 @@ impl Engine {
                 .on_sample(sample);
         }
         if released_thread {
-            self.drain_backlog(tier);
+            self.drain_backlog(tier, rep);
         }
-        self.record_queue(tier);
+        self.record_queue(tier, rep);
+        if self.requests[i].arm_parent.is_some() && tier == self.requests[i].arm_root as usize {
+            // The arm's subtree is done: reply to the parent's fan-out node
+            // and retire the arm now — the reply event carries only the
+            // parent handle, so nothing keeps the slot alive.
+            let parent = self.requests[i].arm_parent.expect("checked above");
+            self.queue
+                .push(self.now + self.cfg.hop_delay, Event::ArmReply { parent });
+            self.free_request(i);
+            return;
+        }
         if tier == 0 {
             self.complete_request(req);
         } else {
             // The reply heads upstream: a cancel arriving at this tier or
             // deeper has been outrun.
-            self.requests[i].head = (tier - 1) as u8;
+            let up = self.cfg.shape.parent[tier].expect("non-root tier has a parent");
+            self.requests[i].head = up as u8;
             self.queue.push(
                 self.now + self.cfg.hop_delay,
                 Event::ReplyArrive {
                     req,
-                    tier: (tier - 1) as u8,
+                    tier: up as u8,
                 },
             );
         }
@@ -1339,7 +1638,8 @@ impl Engine {
         // parked call (its thread already held) inherits it and fires.
         if self.requests[i].conn_held[tier] {
             self.requests[i].conn_held[tier] = false;
-            self.release_conn(tier);
+            let rep = self.requests[i].replica[tier] as usize;
+            self.release_conn(tier, rep);
         }
         let next = self.requests[i].slice_idx[tier] + 1;
         self.requests[i].slice_idx[tier] = next;
@@ -1347,8 +1647,8 @@ impl Engine {
         self.exec_slice(req, tier, visit, next);
     }
 
-    fn release_conn(&mut self, tier: usize) {
-        let handover = self.tiers[tier]
+    fn release_conn(&mut self, tier: usize, rep: usize) {
+        let handover = self.tiers[tier].replicas[rep]
             .conn_pool
             .as_mut()
             .expect("release_conn on tier without pool")
@@ -1366,10 +1666,10 @@ impl Engine {
         }
     }
 
-    fn drain_backlog(&mut self, tier: usize) {
+    fn drain_backlog(&mut self, tier: usize, rep: usize) {
         loop {
             let pending = {
-                let rt = &mut self.tiers[tier];
+                let rt = &mut self.tiers[tier].replicas[rep];
                 match &mut rt.state {
                     TierState::Sync(pg) => {
                         if pg.is_exhausted() {
@@ -1393,27 +1693,29 @@ impl Engine {
         }
     }
 
-    fn on_spawn_done(&mut self, tier: usize) {
-        match &mut self.tiers[tier].state {
+    fn on_spawn_done(&mut self, tier: usize, rep: usize) {
+        match &mut self.tiers[tier].replicas[rep].state {
             TierState::Sync(pg) => pg.complete_spawn(),
             TierState::Async(_) => unreachable!("async tiers do not spawn"),
         }
-        self.drain_backlog(tier);
-        self.record_queue(tier);
+        self.drain_backlog(tier, rep);
+        self.record_queue(tier, rep);
     }
 
-    fn drop_message(&mut self, req: ReqId, tier: usize, visit: u16) {
+    fn drop_message(&mut self, req: ReqId, tier: usize, rep: usize, visit: u16) {
         let i = self.live_expect(req);
         self.drops_total += 1;
-        self.tiers[tier].drops_total += 1;
-        self.tiers[tier].drops.add(self.now, 1.0);
+        self.tiers[tier].replicas[rep].drops_total += 1;
+        self.tiers[tier].replicas[rep].drops.add(self.now, 1.0);
         self.class_stats
             .entry(self.requests[i].class)
             .or_default()
             .drops += 1;
-        self.requests[i]
-            .drops
-            .push(DropRecord { tier, at: self.now });
+        self.requests[i].drops.push(DropRecord {
+            tier,
+            replica: ReplicaId::from(rep),
+            at: self.now,
+        });
         // Record the drop with its retransmit ordinal *before* the retry
         // decision mutates the counter: ordinal 0 is the original send,
         // ordinal n the n-th retransmit of this message.
@@ -1427,14 +1729,15 @@ impl Engine {
             self.requests[i].trace,
             self.now,
             TraceEventKind::SynDrop {
-                tier: tier as u8,
+                tier: TierId::from(tier),
+                replica: ReplicaId::from(rep),
                 retransmit_no,
             },
         );
         // A caller policy on an inner hop replaces the kernel retransmit
         // schedule with app-controlled backoff + budget + breaker.
         if app_hop {
-            self.app_hop_drop(req, tier, visit);
+            self.app_hop_drop(req, tier, rep, visit);
             return;
         }
         let decision = self.requests[i]
@@ -1459,7 +1762,7 @@ impl Engine {
     /// count the failure on the hop breaker, then either resend after
     /// app-level backoff (if retries, budget and breaker all allow) or give
     /// the request up.
-    fn app_hop_drop(&mut self, req: ReqId, tier: usize, visit: u16) {
+    fn app_hop_drop(&mut self, req: ReqId, tier: usize, rep: usize, visit: u16) {
         let i = self.live_expect(req);
         let now = self.now;
         if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
@@ -1485,7 +1788,7 @@ impl Engine {
         }
         if let Some(br) = self.tiers[tier].hop_breaker.as_mut() {
             if !br.try_acquire(now) {
-                self.shed_request(req, tier);
+                self.shed_request(req, tier, rep);
                 return;
             }
         }
@@ -1493,7 +1796,9 @@ impl Engine {
         self.tracer.record(
             self.requests[i].trace,
             self.now,
-            TraceEventKind::AppRetry { tier: tier as u8 },
+            TraceEventKind::AppRetry {
+                tier: TierId::from(tier),
+            },
         );
         self.requests[i].hop_attempts = attempt + 1;
         let backoff = retry.backoff_for(attempt, self.rng_jitter.next_f64());
@@ -1623,15 +1928,24 @@ impl Engine {
     /// open hop breaker): resources are freed and the request counts as
     /// shed, not failed — unless the attempt is already an orphan, in which
     /// case the logical outcome was decided at timeout time.
-    fn shed_request(&mut self, req: ReqId, tier: usize) {
+    fn shed_request(&mut self, req: ReqId, tier: usize, rep: usize) {
         let i = self.live_expect(req);
         self.tiers[tier].res.shed += 1;
         self.tracer.record(
             self.requests[i].trace,
             self.now,
-            TraceEventKind::Shed { tier: tier as u8 },
+            TraceEventKind::Shed {
+                tier: TierId::from(tier),
+                replica: ReplicaId::from(rep),
+            },
         );
         self.release_resources(req);
+        // A shed arm feeds the parent's quorum bookkeeping, not a client.
+        if let Some(parent) = self.requests[i].arm_parent {
+            self.free_request(i);
+            self.on_arm_failed(parent);
+            return;
+        }
         // Like `fail_request`: shedding one hedged attempt does not decide
         // the logical request — the race continues (or the deadline does).
         if self.requests[i].logical != LOGICAL_NONE {
@@ -1669,9 +1983,11 @@ impl Engine {
             Fault::SlowHops { tier, extra, .. } => self.extra_hop[tier] += extra,
             Fault::StuckWorkers { tier, count, .. } => {
                 // Wedge up to `count` workers by occupying their slots; the
-                // tier may already be too busy to give up that many.
+                // tier may already be too busy to give up that many. On a
+                // replica set the fault wedges replica 0 — a single sick
+                // instance, the scenario the balancer sweep studies.
                 let mut got = 0;
-                match &mut self.tiers[tier].state {
+                match &mut self.tiers[tier].replicas[0].state {
                     TierState::Sync(pg) => {
                         while got < count && pg.try_acquire() {
                             got += 1;
@@ -1684,7 +2000,7 @@ impl Engine {
                     }
                 }
                 self.stuck_acquired[idx] = got;
-                self.record_queue(tier);
+                self.record_queue(tier, 0);
             }
         }
     }
@@ -1700,7 +2016,7 @@ impl Engine {
             Fault::StuckWorkers { tier, .. } => {
                 let got = self.stuck_acquired[idx];
                 self.stuck_acquired[idx] = 0;
-                let released_thread = match &mut self.tiers[tier].state {
+                let released_thread = match &mut self.tiers[tier].replicas[0].state {
                     TierState::Sync(pg) => {
                         for _ in 0..got {
                             pg.release();
@@ -1715,9 +2031,9 @@ impl Engine {
                     }
                 };
                 if released_thread {
-                    self.drain_backlog(tier);
+                    self.drain_backlog(tier, 0);
                 }
-                self.record_queue(tier);
+                self.record_queue(tier, 0);
             }
         }
     }
@@ -1725,6 +2041,12 @@ impl Engine {
     fn fail_request(&mut self, req: ReqId) {
         let i = self.live_expect(req);
         self.release_resources(req);
+        // A dead arm feeds the parent's quorum bookkeeping, not a client.
+        if let Some(parent) = self.requests[i].arm_parent {
+            self.free_request(i);
+            self.on_arm_failed(parent);
+            return;
+        }
         // A hedged attempt dying (retransmits exhausted) is not a logical
         // failure: its siblings — or the hedge ladder — may still win, and
         // the logical deadline is the backstop. The attempt just drops out
@@ -1762,29 +2084,32 @@ impl Engine {
     /// holds, upstream-last so handed-over connections find their takers.
     fn release_resources(&mut self, req: ReqId) {
         let i = self.live_expect(req);
+        // Node ids are preorder, so the reverse walk still releases
+        // downstream holdings before their callers' pooled connections.
         for tier in (0..self.tiers.len()).rev() {
+            let rep = self.requests[i].replica[tier] as usize;
             if self.requests[i].conn_held[tier] {
                 self.requests[i].conn_held[tier] = false;
-                self.release_conn(tier);
+                self.release_conn(tier, rep);
             }
             let occ = self.requests[i].occupying[tier];
             match occ {
                 Occupancy::Thread => {
-                    match &mut self.tiers[tier].state {
+                    match &mut self.tiers[tier].replicas[rep].state {
                         TierState::Sync(pg) => pg.release(),
                         TierState::Async(_) => unreachable!("thread occupancy on async tier"),
                     }
                     self.requests[i].occupying[tier] = Occupancy::None;
-                    self.drain_backlog(tier);
-                    self.record_queue(tier);
+                    self.drain_backlog(tier, rep);
+                    self.record_queue(tier, rep);
                 }
                 Occupancy::Admission => {
-                    match &mut self.tiers[tier].state {
+                    match &mut self.tiers[tier].replicas[rep].state {
                         TierState::Async(el) => el.complete(),
                         TierState::Sync(_) => unreachable!("admission occupancy on sync tier"),
                     }
                     self.requests[i].occupying[tier] = Occupancy::None;
-                    self.record_queue(tier);
+                    self.record_queue(tier, rep);
                 }
                 Occupancy::None => {}
             }
@@ -1847,7 +2172,9 @@ impl Engine {
             self.vlrt_total += 1;
             self.vlrt_by_completion.add(self.now, 1.0);
             if let Some(first_drop) = self.requests[i].drops.iter().next() {
-                self.tiers[first_drop.tier].vlrt.add(first_drop.at, 1.0);
+                self.tiers[first_drop.tier].replicas[first_drop.replica.index()]
+                    .vlrt
+                    .add(first_drop.at, 1.0);
             }
         }
         self.client_next(req);
@@ -1877,12 +2204,13 @@ impl Engine {
         }
     }
 
-    fn record_queue(&mut self, tier: usize) {
-        let depth = self.tiers[tier].depth();
-        if depth > self.tiers[tier].peak_queue {
-            self.tiers[tier].peak_queue = depth;
+    fn record_queue(&mut self, tier: usize, rep: usize) {
+        let r = &mut self.tiers[tier].replicas[rep];
+        let depth = r.depth();
+        if depth > r.peak_queue {
+            r.peak_queue = depth;
         }
-        self.tiers[tier].queue_depth.record(self.now, depth as f64);
+        r.queue_depth.record(self.now, depth as f64);
     }
 
     fn into_report(mut self) -> RunReport {
@@ -1898,26 +2226,95 @@ impl Engine {
             .tiers
             .iter()
             .fold(ResilienceStats::default(), |acc, rt| acc.merge(&rt.res));
+        let horizon = self.horizon;
         let tiers = self
             .tiers
             .into_iter()
             .zip(self.cfg.tiers.iter())
-            .map(|(rt, tc)| TierReport {
-                name: tc.name.clone(),
-                arch: tc.kind.label(),
-                capacity: tc.admission_capacity(),
-                queue_depth: rt.queue_depth,
-                drops: rt.drops,
-                vlrt: rt.vlrt,
-                util: rt.util,
-                interferer_util: tc.stalls.interferer_utilization(window, self.horizon),
-                drops_total: rt.drops_total,
-                peak_queue: rt.peak_queue,
-                spawns: match &rt.state {
-                    TierState::Sync(pg) => pg.spawns_total(),
-                    TierState::Async(_) => 0,
-                },
-                resilience: rt.res,
+            .enumerate()
+            .map(|(idx, (node, tc))| {
+                let reps: Vec<ReplicaReport> = node
+                    .replicas
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, rep)| ReplicaReport {
+                        id: ReplicaId::from(r),
+                        spawns: rep.spawns(),
+                        queue_depth: rep.queue_depth,
+                        drops: rep.drops,
+                        vlrt: rep.vlrt,
+                        util: rep.util,
+                        interferer_util: tc.stalls_for(r).interferer_utilization(window, horizon),
+                        drops_total: rep.drops_total,
+                        peak_queue: rep.peak_queue,
+                    })
+                    .collect();
+                let mut reps = reps;
+                if reps.len() == 1 {
+                    // Single instance: the tier-level fields *are* the
+                    // instance's data — byte-stable with the pre-replication
+                    // reports.
+                    let only = reps.pop().expect("one replica");
+                    TierReport {
+                        id: TierId::from(idx),
+                        name: tc.name.clone(),
+                        arch: tc.kind.label(),
+                        capacity: tc.admission_capacity(),
+                        queue_depth: only.queue_depth,
+                        drops: only.drops,
+                        vlrt: only.vlrt,
+                        util: only.util,
+                        interferer_util: only.interferer_util,
+                        drops_total: only.drops_total,
+                        peak_queue: only.peak_queue,
+                        spawns: only.spawns,
+                        resilience: node.res,
+                        replicas: Vec::new(),
+                    }
+                } else {
+                    // Replica set: the tier-level view is the aggregate —
+                    // pooled utilization, summed windows, max peak.
+                    let mut queue_depth = reps[0].queue_depth.clone();
+                    let mut drops = reps[0].drops.clone();
+                    let mut vlrt = reps[0].vlrt.clone();
+                    let mut util = reps[0].util.clone();
+                    for rep in &reps[1..] {
+                        queue_depth.absorb(&rep.queue_depth);
+                        drops.absorb(&rep.drops);
+                        vlrt.absorb(&rep.vlrt);
+                        util.absorb(&rep.util);
+                    }
+                    let n = reps.len();
+                    let windows = reps
+                        .iter()
+                        .map(|r| r.interferer_util.len())
+                        .max()
+                        .unwrap_or(0);
+                    let interferer_util = (0..windows)
+                        .map(|w| {
+                            reps.iter()
+                                .map(|r| r.interferer_util.get(w).copied().unwrap_or(0.0))
+                                .sum::<f64>()
+                                / n as f64
+                        })
+                        .collect();
+                    TierReport {
+                        id: TierId::from(idx),
+                        name: tc.name.clone(),
+                        arch: tc.kind.label(),
+                        capacity: tc.admission_capacity() * n,
+                        queue_depth,
+                        drops,
+                        vlrt,
+                        util,
+                        interferer_util,
+                        drops_total: reps.iter().map(|r| r.drops_total).sum(),
+                        peak_queue: reps.iter().map(|r| r.peak_queue).max().unwrap_or(0),
+                        spawns: reps.iter().map(|r| r.spawns).sum(),
+                        resilience: node.res,
+                        replicas: reps,
+                    }
+                }
             })
             .collect();
         let mut classes: Vec<ClassReport> = self
@@ -1967,15 +2364,16 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TierConfig;
+    use crate::config::TierSpec;
+    use crate::topology::Topology;
     use ntier_interference::StallSchedule;
     use ntier_workload::BurstSchedule;
 
     fn tiny_sync_system() -> SystemConfig {
-        SystemConfig::three_tier(
-            TierConfig::sync("Web", 4, 2),
-            TierConfig::sync("App", 4, 2).with_downstream_pool(2),
-            TierConfig::sync("Db", 4, 2),
+        Topology::three_tier(
+            TierSpec::sync("Web", 4, 2),
+            TierSpec::sync("App", 4, 2).with_downstream_pool(2),
+            TierSpec::sync("Db", 4, 2),
         )
     }
 
@@ -2089,10 +2487,10 @@ mod tests {
 
     #[test]
     fn async_tiers_absorb_the_same_batch_without_drops() {
-        let sys = SystemConfig::three_tier(
-            TierConfig::asynchronous("Web", 65_535, 4),
-            TierConfig::asynchronous("App", 65_535, 8),
-            TierConfig::asynchronous("Db", 2_000, 8),
+        let sys = Topology::three_tier(
+            TierSpec::asynchronous("Web", 65_535, 4),
+            TierSpec::asynchronous("App", 65_535, 8),
+            TierSpec::asynchronous("Db", 2_000, 8),
         );
         let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 200)]);
         let report = Engine::new(
@@ -2148,10 +2546,10 @@ mod tests {
 
     #[test]
     fn conn_pool_caps_outstanding_db_queries() {
-        let sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 64, 64),
-            TierConfig::sync("App", 64, 64).with_downstream_pool(2),
-            TierConfig::sync("Db", 4, 2),
+        let sys = Topology::three_tier(
+            TierSpec::sync("Web", 64, 64),
+            TierSpec::sync("App", 64, 64).with_downstream_pool(2),
+            TierSpec::sync("Db", 4, 2),
         );
         let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 40)]);
         let report = Engine::new(
@@ -2168,10 +2566,10 @@ mod tests {
 
     #[test]
     fn give_up_after_retry_budget_counts_failed() {
-        let mut sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 1, 0),
-            TierConfig::sync("App", 1, 0),
-            TierConfig::sync("Db", 1, 0),
+        let mut sys = Topology::three_tier(
+            TierSpec::sync("Web", 1, 0),
+            TierSpec::sync("App", 1, 0),
+            TierSpec::sync("Db", 1, 0),
         );
         sys.tiers[0] = sys.tiers[0].clone().with_stalls(StallSchedule::at_marks(
             [SimTime::ZERO],
@@ -2186,9 +2584,9 @@ mod tests {
 
     #[test]
     fn five_tier_pipeline_round_trips() {
-        let sys = SystemConfig::chain(
+        let sys = Topology::chain(
             (0..5)
-                .map(|i| TierConfig::sync(format!("T{i}"), 8, 4))
+                .map(|i| TierSpec::sync(format!("T{i}"), 8, 4))
                 .collect(),
         )
         .with_hop_delay(SimDuration::ZERO);
@@ -2225,11 +2623,11 @@ mod tests {
         // overflow must surface at tier 0 — CTQO propagates any depth.
         let stall =
             StallSchedule::at_marks([SimTime::from_millis(500)], SimDuration::from_millis(800));
-        let mut tiers: Vec<TierConfig> = (0..5)
-            .map(|i| TierConfig::sync(format!("T{i}"), 4, 2))
+        let mut tiers: Vec<TierSpec> = (0..5)
+            .map(|i| TierSpec::sync(format!("T{i}"), 4, 2))
             .collect();
         tiers[4] = tiers[4].clone().with_stalls(stall);
-        let sys = SystemConfig::chain(tiers);
+        let sys = Topology::chain(tiers);
         let plan = || Plan::pipeline(&[SimDuration::from_micros(50); 5]);
         let arrivals: Vec<(SimTime, Plan)> = (0..400)
             .map(|i| (SimTime::from_millis(300 + i * 2), plan()))
@@ -2419,7 +2817,7 @@ mod tests {
         use ntier_resilience::ShedPolicy;
         let mut sys = tiny_sync_system();
         // Web admits everything (deep backlog); the app tier sheds at depth 2.
-        sys.tiers[0] = TierConfig::sync("Web", 64, 64);
+        sys.tiers[0] = TierSpec::sync("Web", 64, 64);
         sys.tiers[1] = sys.tiers[1]
             .clone()
             .with_shed_policy(ShedPolicy::on_depth(2));
@@ -2488,10 +2886,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "mix-based workloads compile 3-tier plans")]
     fn mix_workload_rejects_non_three_tier_system() {
-        let sys = SystemConfig::chain(vec![
-            TierConfig::sync("A", 2, 2),
-            TierConfig::sync("B", 2, 2),
-        ]);
+        let sys = Topology::chain(vec![TierSpec::sync("A", 2, 2), TierSpec::sync("B", 2, 2)]);
         let _ = Engine::new(
             sys,
             open_workload(vec![SimTime::from_millis(1)]),
@@ -2501,12 +2896,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no downstream to pool")]
+    #[should_panic(expected = "a downstream connection pool requires exactly one downstream")]
     fn last_tier_pool_rejected() {
-        let sys = SystemConfig::three_tier(
-            TierConfig::sync("Web", 2, 2),
-            TierConfig::sync("App", 2, 2),
-            TierConfig::sync("Db", 2, 2).with_downstream_pool(5),
+        let sys = Topology::three_tier(
+            TierSpec::sync("Web", 2, 2),
+            TierSpec::sync("App", 2, 2),
+            TierSpec::sync("Db", 2, 2).with_downstream_pool(5),
         );
         let _ = Engine::new(sys, open_workload(vec![]), SimDuration::from_secs(1), 1);
     }
@@ -2517,6 +2912,7 @@ mod tests {
         for k in 0..(DROP_INLINE + 3) {
             log.push(DropRecord {
                 tier: k,
+                replica: ReplicaId::FIRST,
                 at: SimTime::from_millis(k as u64),
             });
         }

@@ -12,10 +12,11 @@ use ntier_interference::{Colocation, LogFlush, StallSchedule};
 use ntier_server::ThreadOverheadModel;
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
-use crate::config::{SystemConfig, TierConfig};
+use crate::config::{SystemConfig, TierSpec};
 use crate::engine::{Engine, Workload};
 use crate::presets;
 use crate::report::RunReport;
+use crate::topology::{Balancer, Branch, Topology};
 
 /// Warm-up offset applied to every millibottleneck mark: closed-loop
 /// clients ramp in over one think time (~7 s), so stalls are scheduled
@@ -265,12 +266,12 @@ pub fn fig11(seed: u64) -> ExperimentSpec {
 /// the given workload concurrency. Thread-management overhead (context
 /// switching + GC) is applied at the app tier.
 pub fn fig12_sync(concurrency: u32, seed: u64) -> ExperimentSpec {
-    let system = SystemConfig::three_tier(
-        TierConfig::sync("Apache-2000", 2_000, 128),
-        TierConfig::sync("Tomcat-2000", 2_000, 128)
+    let system = Topology::three_tier(
+        TierSpec::sync("Apache-2000", 2_000, 128),
+        TierSpec::sync("Tomcat-2000", 2_000, 128)
             .with_downstream_pool(2_000)
             .with_overhead(ThreadOverheadModel::java_server_2000_threads()),
-        TierConfig::sync("MySQL-2000", 2_000, 128),
+        TierSpec::sync("MySQL-2000", 2_000, 128),
     );
     ExperimentSpec {
         name: "fig12-sync",
@@ -408,9 +409,9 @@ pub fn retry_storm(variant: RetryStormVariant, seed: u64) -> ExperimentSpec {
     // A deep web backlog keeps the congestion in the queue (no drops, no
     // kernel RTO): latency tracks queue length, which is exactly what
     // orphaned attempts and duplicate retries inflate.
-    let web = TierConfig::sync("Web", 64, 16_384);
-    let app = TierConfig::sync("App", 64, 64).with_stalls(stall);
-    let db = TierConfig::sync("Db", 64, 64);
+    let web = TierSpec::sync("Web", 64, 16_384);
+    let app = TierSpec::sync("App", 64, 64).with_stalls(stall);
+    let db = TierSpec::sync("Db", 64, 64);
     let web = match variant {
         RetryStormVariant::Baseline => web,
         RetryStormVariant::Naive => {
@@ -426,7 +427,7 @@ pub fn retry_storm(variant: RetryStormVariant, seed: u64) -> ExperimentSpec {
             ))
             .with_shed_policy(ShedPolicy::on_deadline(SimDuration::from_secs(10))),
     };
-    let system = SystemConfig::three_tier(web, app, db);
+    let system = Topology::three_tier(web, app, db);
     // 1000 req/s open-loop for 8 s — ~75% of the app tier's ~1.3k req/s
     // capacity, so the extra load from orphaned attempts and eager retries
     // is what tips the system into sustained overload. The horizon leaves
@@ -501,7 +502,7 @@ impl HedgingLoad {
 /// (64 threads + 16 slots) so each 1.8 s app stall overflows into drops,
 /// and dropped attempts ride the kernel 3 s RTO — the raw material of the
 /// paper's 3/6/9 s modes.
-fn hedging_spec(web: TierConfig, load: HedgingLoad, seed: u64) -> ExperimentSpec {
+fn hedging_spec(web: TierSpec, load: HedgingLoad, seed: u64) -> ExperimentSpec {
     // Two 1.8 s stalls, 3.5 s apart: a 2 s sequential attempt timeout from
     // late in stall 1 retries straight into stall 2, while a hedge fired in
     // the inter-stall gap completes immediately — and the gap is just wide
@@ -510,9 +511,9 @@ fn hedging_spec(web: TierConfig, load: HedgingLoad, seed: u64) -> ExperimentSpec
         [SimTime::from_secs(2), SimTime::from_millis(5_500)],
         SimDuration::from_millis(1_800),
     );
-    let app = TierConfig::sync("App", 64, 64).with_stalls(stall);
-    let db = TierConfig::sync("Db", 64, 64);
-    let system = SystemConfig::three_tier(web, app, db);
+    let app = TierSpec::sync("App", 64, 64).with_stalls(stall);
+    let db = TierSpec::sync("Db", 64, 64);
+    let system = Topology::three_tier(web, app, db);
     let step = load.interarrival_us();
     let arrivals: Vec<SimTime> = (0..8_000_000 / step)
         .map(|i| SimTime::from_micros(i * step))
@@ -572,7 +573,7 @@ pub fn hedging_frontier(variant: HedgingVariant, load: HedgingLoad, seed: u64) -
         HedgePolicy::fixed(SimDuration::from_millis(1_100), 2).with_budget(budget),
     )
     .with_cancel(cancel);
-    let web = TierConfig::sync("Web", 64, 16);
+    let web = TierSpec::sync("Web", 64, 16);
     let web = match variant {
         HedgingVariant::Baseline => web,
         // The same CallerPolicy::hardened stack PR 1's retry-storm arm
@@ -616,7 +617,7 @@ pub fn hedging_frontier_point(
         max_hedges,
         budget: Some(RetryBudget::new(4_000.0, 500.0)),
     };
-    let web = TierConfig::sync("Web", 64, 16).with_caller_policy(
+    let web = TierSpec::sync("Web", 64, 16).with_caller_policy(
         CallerPolicy::hedged(SimDuration::from_secs(12), hedge)
             .with_cancel(CancelPolicy::new(SimDuration::from_micros(50))),
     );
@@ -667,15 +668,15 @@ pub fn chain_depth(depth: usize, async_front: bool, seed: u64) -> ExperimentSpec
         [SimTime::from_secs(2), SimTime::from_secs(6)],
         SimDuration::from_millis(700),
     );
-    let mut tiers: Vec<TierConfig> = (0..depth)
-        .map(|i| TierConfig::sync(format!("T{i}"), 24, 8))
+    let mut tiers: Vec<TierSpec> = (0..depth)
+        .map(|i| TierSpec::sync(format!("T{i}"), 24, 8))
         .collect();
     if async_front {
-        tiers[0] = TierConfig::asynchronous("T0", 65_535, 4);
+        tiers[0] = TierSpec::asynchronous("T0", 65_535, 4);
     }
     let last = depth - 1;
     tiers[last] = tiers[last].clone().with_stalls(stall);
-    let system = SystemConfig::chain(tiers);
+    let system = Topology::chain(tiers);
     // 100 req/s of depth-n pipeline requests with 0.2 ms per tier.
     let plan = Plan::pipeline(&vec![SimDuration::from_micros(200); depth]);
     let arrivals: Vec<(SimTime, Plan)> = (0..1_000u64)
@@ -683,6 +684,111 @@ pub fn chain_depth(depth: usize, async_front: bool, seed: u64) -> ExperimentSpec
         .collect();
     ExperimentSpec {
         name: "ext-chain-depth",
+        system,
+        workload: Workload::OpenPlans { arrivals },
+        horizon: SimDuration::from_secs(15),
+        seed,
+    }
+}
+
+/// **Extension (not in the paper):** the replication ladder — Fig. 1's
+/// WL 4000 operating point with the app tier split into `replicas`
+/// identical Tomcat instances behind `balancer`.
+///
+/// Total capacity is held at the Fig. 1 operating point: each instance gets
+/// `150/replicas` threads, `128/replicas` backlog slots and `50/replicas`
+/// JDBC connections (rounded down, floored at 1), so the *set* has the same
+/// `MaxSysQDepth` as the unreplicated Tomcat up to integer-division
+/// remainders. Replica 0 alone carries the Fig. 1 millibottleneck
+/// train — one sick instance behind an otherwise healthy set. Per-request
+/// tracing is sampled like [`trace_vlrt`], so [`ntier_trace::RootCause`]
+/// can name the hot replica in the VLRT chains.
+///
+/// With `replicas = 1` this is exactly Fig. 1 (replica-0 stall override ≡
+/// tier stall schedule; a 1-instance set consumes no balancer randomness),
+/// which the golden-seed determinism tests pin.
+///
+/// # Panics
+///
+/// Panics if `replicas` is 0 or exceeds Tomcat's 150 threads (an instance
+/// needs at least one worker).
+pub fn replication_ladder(replicas: usize, balancer: Balancer, seed: u64) -> ExperimentSpec {
+    use ntier_trace::TraceConfig;
+    assert!(
+        (1..=150).contains(&replicas),
+        "replica count {replicas} must leave every Tomcat instance at least one of its 150 threads"
+    );
+    let horizon = SimDuration::from_secs(60);
+    let mut system = presets::sync_three_tier();
+    system.tiers[1] = TierSpec::sync("Tomcat", 150 / replicas, (128 / replicas).max(1))
+        .with_downstream_pool((50 / replicas).max(1))
+        .replicas(replicas)
+        .balancer(balancer)
+        .with_replica_stalls(0, fig1_stall_train(horizon, seed));
+    ExperimentSpec {
+        name: "replication-ladder",
+        system: system.with_trace(TraceConfig::sampled(0.01).with_ring_capacity(32_768)),
+        workload: rubbos_workload(4_000),
+        horizon,
+        seed,
+    }
+}
+
+/// The full replication-ladder sweep: replica counts 1/2/5, each under all
+/// four balancer policies (1-replica runs are policy-independent but kept
+/// per policy as a determinism cross-check).
+pub fn replication_ladder_sweep(seed: u64) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::with_capacity(12);
+    for replicas in [1usize, 2, 5] {
+        for balancer in [
+            Balancer::RoundRobin,
+            Balancer::LeastOutstanding,
+            Balancer::P2c,
+            Balancer::Jsq,
+        ] {
+            specs.push(replication_ladder(replicas, balancer, seed));
+        }
+    }
+    specs
+}
+
+/// **Extension (not in the paper):** scatter-gather fan-out. A synchronous
+/// front tier scatters every request to three shard subtrees and replies
+/// once a 2-of-3 quorum answers; shard 0 is additionally a 2-replica set
+/// behind least-outstanding, and shard 1 runs a recurring millibottleneck.
+/// Under quorum 2 the stalled shard's 3 s retransmit ladders are absorbed
+/// by the two healthy arms — the fan-out analogue of the paper's NX
+/// conversion — while quorum 3 (set `system.shape.quorum[0] = 3`) re-exposes
+/// them.
+pub fn replicated_fanout(seed: u64) -> ExperimentSpec {
+    use crate::plan::Plan;
+    let stall = StallSchedule::at_marks(
+        [SimTime::from_secs(2), SimTime::from_secs(6)],
+        SimDuration::from_millis(700),
+    );
+    let system = Topology::client()
+        .tier(TierSpec::sync("Front", 64, 32))
+        .fanout(
+            2,
+            vec![
+                Branch::tier(
+                    TierSpec::sync("Shard0", 12, 4)
+                        .replicas(2)
+                        .balancer(Balancer::LeastOutstanding),
+                ),
+                Branch::tier(TierSpec::sync("Shard1", 24, 8).with_stalls(stall)),
+                Branch::tier(TierSpec::sync("Shard2", 24, 8)),
+            ],
+        )
+        .build()
+        .expect("static fan-out topology is valid");
+    // 100 req/s of tree-pipeline requests, 0.2 ms per node.
+    let plan = Plan::tree_pipeline(&system.shape, &[SimDuration::from_micros(200); 4]);
+    let arrivals: Vec<(SimTime, Plan)> = (0..1_000u64)
+        .map(|i| (SimTime::from_millis(i * 10), plan.share()))
+        .collect();
+    ExperimentSpec {
+        name: "ext-replicated-fanout",
         system,
         workload: Workload::OpenPlans { arrivals },
         horizon: SimDuration::from_secs(15),

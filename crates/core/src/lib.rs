@@ -11,8 +11,10 @@
 //! The crate provides:
 //!
 //! * [`config`] — tier/system configuration (sync vs. async architecture,
-//!   pools, backlogs, `LiteQDepth`);
-//! * [`engine`] — the event-driven simulator of the 3-tier chain;
+//!   pools, backlogs, `LiteQDepth`, replica sets);
+//! * [`topology`] — the typed call-graph builder: replicated tiers behind
+//!   pluggable load balancers and scatter-gather fan-out with quorums;
+//! * [`engine`] — the event-driven simulator of the call graph;
 //! * [`presets`] — the paper's server configurations (Apache, Tomcat,
 //!   MySQL, Nginx, XTomcat, XMySQL) and the NX=0..3 ladder;
 //! * [`experiment`] — ready-made experiment specs for every figure;
@@ -55,10 +57,14 @@ pub mod plan;
 pub mod presets;
 pub mod report;
 pub mod servlet;
+pub mod topology;
 
 pub use analysis::{CtqoClass, CtqoEpisode};
-pub use config::{SystemConfig, TierConfig, TierKind};
+#[allow(deprecated)]
+pub use config::TierConfig;
+pub use config::{SystemConfig, TierKind, TierSpec};
 pub use engine::{Engine, Workload};
 pub use experiment::ExperimentSpec;
 pub use plan::Plan;
-pub use report::{RunReport, TierReport};
+pub use report::{ReplicaReport, RunReport, TierReport};
+pub use topology::{Balancer, Branch, Topology, TopologyBuilder, TopologyError, TopologyShape};

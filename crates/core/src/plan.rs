@@ -26,6 +26,8 @@ use std::sync::Arc;
 use ntier_des::time::SimDuration;
 use ntier_workload::{RequestKind, SampledRequest};
 
+use crate::topology::TopologyShape;
+
 /// Fraction of the app demand spent before the first query.
 pub const APP_PRE_QUERY_FRACTION: f64 = 0.05;
 
@@ -181,6 +183,93 @@ impl Plan {
             })
             .collect();
         Plan { tiers }
+    }
+
+    /// A plan spanning an arbitrary tree [`TopologyShape`]: every node runs
+    /// one visit, splitting its demand evenly around its single downstream
+    /// call point (fan-out nodes scatter to all children at that point);
+    /// leaves run one uninterrupted slice. `demands[i]` is node `i`'s CPU
+    /// demand in preorder id order — the tree analogue of
+    /// [`Plan::pipeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands.len() != shape.len()` or the shape is empty.
+    pub fn tree_pipeline(shape: &TopologyShape, demands: &[SimDuration]) -> Plan {
+        assert!(!shape.is_empty(), "a plan needs at least one tier");
+        assert_eq!(
+            demands.len(),
+            shape.len(),
+            "one demand per topology node required"
+        );
+        let tiers = demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                if shape.children[i].is_empty() {
+                    TierPlan::single(vec![*d])
+                } else {
+                    let half = SimDuration::from_micros(d.as_micros() / 2);
+                    TierPlan::single(vec![half, *d - half])
+                }
+            })
+            .collect();
+        Plan { tiers }
+    }
+
+    /// Validates this plan against a call-graph shape: the root is visited
+    /// once; a single-child node's calls equal its child's visit count; a
+    /// fan-out node makes exactly one call (one scatter) and each of its
+    /// children is visited exactly once (each arm owns its subtree's
+    /// visits); leaves call no further. Chains reduce to the
+    /// [`Plan::from_tier_plans`] invariant.
+    pub fn matches_shape(&self, shape: &TopologyShape) -> Result<(), String> {
+        if self.tiers.len() != shape.len() {
+            return Err(format!(
+                "plan depth {} does not match the topology's {} nodes",
+                self.tiers.len(),
+                shape.len()
+            ));
+        }
+        if self.tiers[0].visits.len() != 1 {
+            return Err("the root node must be visited exactly once".into());
+        }
+        for i in 0..self.tiers.len() {
+            let kids = &shape.children[i];
+            let calls = self.tiers[i].calls();
+            match kids.len() {
+                0 => {
+                    if calls != 0 {
+                        return Err(format!("leaf node {i} issues {calls} downstream calls"));
+                    }
+                }
+                1 => {
+                    let visits = self.tiers[kids[0]].visits.len();
+                    if calls != visits {
+                        return Err(format!(
+                            "node {i} issues {calls} calls but its child {} has {visits} visits",
+                            kids[0]
+                        ));
+                    }
+                }
+                _ => {
+                    if calls != 1 {
+                        return Err(format!(
+                            "fan-out node {i} must make exactly one call (one scatter), got {calls}"
+                        ));
+                    }
+                    for &c in kids {
+                        let visits = self.tiers[c].visits.len();
+                        if visits != 1 {
+                            return Err(format!(
+                                "scatter arm {c} must be visited exactly once, got {visits}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Shares the underlying tier storage (`Arc` bump, no deep copy).
@@ -374,6 +463,50 @@ mod tests {
         ]);
         assert_eq!(p.depth(), 3);
         assert_eq!(p.calls_from(1), 2);
+    }
+
+    #[test]
+    fn tree_pipeline_matches_its_shape() {
+        // web scatters to two shards; shard 0 has a store below it.
+        let shape = TopologyShape {
+            children: vec![vec![1, 3], vec![2], vec![], vec![]],
+            parent: vec![None, Some(0), Some(1), Some(0)],
+            quorum: vec![2, 1, 0, 0],
+        };
+        let d = |us| SimDuration::from_micros(us);
+        let p = Plan::tree_pipeline(&shape, &[d(100), d(200), d(300), d(400)]);
+        assert_eq!(p.depth(), 4);
+        assert_eq!(p.calls_from(0), 1, "one scatter from the fan-out node");
+        assert_eq!(p.calls_from(1), 1);
+        assert_eq!(p.calls_from(2), 0);
+        assert_eq!(p.total_demand(), d(1_000));
+        p.matches_shape(&shape)
+            .expect("tree pipeline fits its shape");
+        // A linear pipeline also validates against the linear shape.
+        let chain = Plan::pipeline(&[d(10), d(20), d(30)]);
+        chain
+            .matches_shape(&TopologyShape::linear(3))
+            .expect("chain fits linear shape");
+    }
+
+    #[test]
+    fn matches_shape_rejects_multi_call_scatter() {
+        let shape = TopologyShape {
+            children: vec![vec![1, 2], vec![], vec![]],
+            parent: vec![None, Some(0), Some(0)],
+            quorum: vec![2, 0, 0],
+        };
+        let d = |us| SimDuration::from_micros(us);
+        // Root with 3 slices = 2 call points: illegal for a fan-out node.
+        let p = Plan::from_tier_plans(vec![
+            TierPlan::single(vec![d(1), d(2), d(3)]),
+            TierPlan {
+                visits: vec![vec![d(4)], vec![d(5)]],
+            },
+            TierPlan::skipped(),
+        ]);
+        let err = p.matches_shape(&shape).unwrap_err();
+        assert!(err.contains("exactly one call"), "{err}");
     }
 
     proptest! {

@@ -16,64 +16,65 @@
 use ntier_des::time::SimDuration;
 use ntier_server::{LITE_Q_DEPTH_DEFAULT, LITE_Q_DEPTH_XMYSQL};
 
-use crate::config::{SystemConfig, TierConfig};
+use crate::config::{SystemConfig, TierSpec};
+use crate::topology::Topology;
 
 /// Apache httpd (prefork): 150 threads per process, up to 2 processes
 /// (spawn delay 1 s), backlog 128.
-pub fn apache() -> TierConfig {
-    TierConfig::sync("Apache", 150, 128).with_process_spawning(2, SimDuration::from_secs(1))
+pub fn apache() -> TierSpec {
+    TierSpec::sync("Apache", 150, 128).with_process_spawning(2, SimDuration::from_secs(1))
 }
 
 /// Tomcat (BIO connector): 150 threads, backlog 128, JDBC pool of 50.
-pub fn tomcat() -> TierConfig {
-    TierConfig::sync("Tomcat", 150, 128).with_downstream_pool(50)
+pub fn tomcat() -> TierSpec {
+    TierSpec::sync("Tomcat", 150, 128).with_downstream_pool(50)
 }
 
 /// The NX=1 Tomcat variant the paper measured at 165 threads
 /// (`MaxSysQDepth` 293).
-pub fn tomcat_nx1() -> TierConfig {
-    TierConfig::sync("Tomcat", 165, 128).with_downstream_pool(50)
+pub fn tomcat_nx1() -> TierSpec {
+    TierSpec::sync("Tomcat", 165, 128).with_downstream_pool(50)
 }
 
 /// MySQL: 100 threads, backlog 128 (`MaxSysQDepth` 228).
-pub fn mysql() -> TierConfig {
-    TierConfig::sync("MySQL", 100, 128)
+pub fn mysql() -> TierSpec {
+    TierSpec::sync("MySQL", 100, 128)
 }
 
 /// Nginx: event-driven, 4 workers, `LiteQDepth` 65535.
-pub fn nginx() -> TierConfig {
-    TierConfig::asynchronous("Nginx", LITE_Q_DEPTH_DEFAULT, 4)
+pub fn nginx() -> TierSpec {
+    TierSpec::asynchronous("Nginx", LITE_Q_DEPTH_DEFAULT, 4)
 }
 
 /// XTomcat (Tomcat NIO + async MySQL connector): 8 workers,
 /// `LiteQDepth` 65535, no connection-pool cap.
-pub fn xtomcat() -> TierConfig {
-    TierConfig::asynchronous("XTomcat", LITE_Q_DEPTH_DEFAULT, 8)
+pub fn xtomcat() -> TierSpec {
+    TierSpec::asynchronous("XTomcat", LITE_Q_DEPTH_DEFAULT, 8)
 }
 
 /// XMySQL (InnoDB thread concurrency 8 + wait queue 2000).
-pub fn xmysql() -> TierConfig {
-    TierConfig::asynchronous("XMySQL", LITE_Q_DEPTH_XMYSQL, 8)
+pub fn xmysql() -> TierSpec {
+    TierSpec::asynchronous("XMySQL", LITE_Q_DEPTH_XMYSQL, 8)
 }
 
 /// NX=0: Apache–Tomcat–MySQL, the fully synchronous baseline.
 pub fn sync_three_tier() -> SystemConfig {
-    SystemConfig::three_tier(apache(), tomcat(), mysql())
+    Topology::three_tier(apache(), tomcat(), mysql())
 }
 
 /// NX=1: Nginx–Tomcat–MySQL (§V-B).
 pub fn nx1() -> SystemConfig {
-    SystemConfig::three_tier(nginx(), tomcat_nx1(), mysql())
+    Topology::three_tier(nginx(), tomcat_nx1(), mysql())
 }
 
 /// NX=2: Nginx–XTomcat–MySQL (§V-C).
 pub fn nx2() -> SystemConfig {
-    SystemConfig::three_tier(nginx(), xtomcat(), mysql())
+    Topology::three_tier(nginx(), xtomcat(), mysql())
 }
 
 /// NX=3: Nginx–XTomcat–XMySQL (§V-D) — the CTQO-free configuration.
 pub fn nx3() -> SystemConfig {
-    SystemConfig::three_tier(nginx(), xtomcat(), xmysql())
+    Topology::three_tier(nginx(), xtomcat(), xmysql())
 }
 
 /// The system with `nx` asynchronous tiers (0–3), replaced in the paper's

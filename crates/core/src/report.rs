@@ -1,14 +1,42 @@
 //! Run reports: everything the paper's figures plot, in one structure.
 
+use ntier_des::ids::{ReplicaId, TierId};
 use ntier_des::time::{SimDuration, SimTime};
 use ntier_resilience::ResilienceStats;
 use ntier_telemetry::histogram::Mode;
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
 use ntier_trace::{TierData, TraceLog};
 
+/// Per-replica measurements for one instance of a replica set. Only
+/// populated on [`TierReport::replicas`] when the tier runs more than one
+/// replica; the tier-level fields then hold the aggregate view.
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Which replica (0-based).
+    pub id: ReplicaId,
+    /// Queued requests at this replica, sampled on every change.
+    pub queue_depth: WindowedSeries,
+    /// Dropped messages at this replica per 50 ms window.
+    pub drops: WindowedSeries,
+    /// VLRT requests attributed to drops at this replica.
+    pub vlrt: WindowedSeries,
+    /// This replica's own CPU busy time per 50 ms window.
+    pub util: UtilizationSeries,
+    /// Per-window utilization of interference co-located with this replica.
+    pub interferer_util: Vec<f64>,
+    /// Total drops at this replica.
+    pub drops_total: u64,
+    /// Highest observed queue depth at this replica.
+    pub peak_queue: usize,
+    /// Completed process spawns at this replica.
+    pub spawns: u64,
+}
+
 /// Per-tier measurements from one run.
 #[derive(Debug, Clone)]
 pub struct TierReport {
+    /// Node id in the call graph (preorder; chains read 0 = web, 1 = app…).
+    pub id: TierId,
     /// Tier display name.
     pub name: String,
     /// `"sync"` or `"async"`.
@@ -37,6 +65,10 @@ pub struct TierReport {
     /// Resilience counters for the hop into this tier (tier 0 carries the
     /// client hop: timeouts, app retries, breaker transitions, sheds).
     pub resilience: ResilienceStats,
+    /// Per-replica breakdown when the tier is a replica set (`replicas > 1`
+    /// in its [`crate::TierSpec`]); empty for single-instance tiers, whose
+    /// tier-level fields *are* the instance's data.
+    pub replicas: Vec<ReplicaReport>,
 }
 
 impl TierReport {
@@ -190,6 +222,12 @@ impl RunReport {
                 t.mean_util(self.horizon) * 100.0,
                 t.spawns
             ));
+            for r in &t.replicas {
+                s.push_str(&format!(
+                    "    {:<8} #{}            peak queue {:>5}  drops {:>5}\n",
+                    t.name, r.id, r.peak_queue, r.drops_total
+                ));
+            }
         }
         s
     }
@@ -219,6 +257,17 @@ impl RunReport {
                 util: t.util.utilizations(),
                 interferer_util: t.interferer_util.clone(),
                 drops: t.drops.sums(),
+                replicas: t
+                    .replicas
+                    .iter()
+                    .map(|r| TierData {
+                        name: t.name.clone(),
+                        util: r.util.utilizations(),
+                        interferer_util: r.interferer_util.clone(),
+                        drops: r.drops.sums(),
+                        replicas: Vec::new(),
+                    })
+                    .collect(),
             })
             .collect()
     }
@@ -248,6 +297,8 @@ pub struct ClassReport {
 pub struct DropRecord {
     /// Tier index where the drop occurred.
     pub tier: usize,
+    /// Replica of that tier the connection attempt was balanced to.
+    pub replica: ReplicaId,
     /// When it occurred.
     pub at: SimTime,
 }

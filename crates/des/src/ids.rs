@@ -1,0 +1,100 @@
+//! Typed identifiers for call-graph coordinates.
+//!
+//! A simulated system is a tree of tiers (nodes of the call graph), and each
+//! tier may be a replica set. Raw `usize` indices conflated the two axes;
+//! these newtypes make the coordinate system explicit while staying as cheap
+//! as the integers they wrap. `Display` renders the bare number, so CSV
+//! columns and golden fixtures produced before the newtypes existed are
+//! byte-identical for single-replica topologies.
+
+use std::fmt;
+
+/// Identifies one tier (node) of the call graph. Tier 0 is the client-facing
+/// root; children have larger ids (depth-first preorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// The client-facing root tier.
+    pub const ROOT: TierId = TierId(0);
+
+    /// The id as a plain index into per-tier storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for TierId {
+    fn from(i: usize) -> Self {
+        TierId(u8::try_from(i).expect("tier index exceeds the 255-tier limit"))
+    }
+}
+
+/// Identifies one replica within a tier's replica set. Single-instance tiers
+/// are replica 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(pub u8);
+
+impl ReplicaId {
+    /// The first (and, for unreplicated tiers, only) replica.
+    pub const FIRST: ReplicaId = ReplicaId(0);
+
+    /// The id as a plain index into per-replica storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for ReplicaId {
+    fn from(i: usize) -> Self {
+        ReplicaId(u8::try_from(i).expect("replica index exceeds the 255-replica limit"))
+    }
+}
+
+/// Renders a `(tier, replica)` coordinate the way user-facing output labels
+/// it: the bare tier number for replica 0 (byte-compatible with pre-replica
+/// output), `tier#replica` otherwise.
+pub fn site_label(tier: TierId, replica: ReplicaId) -> String {
+    if replica == ReplicaId::FIRST {
+        format!("{tier}")
+    } else {
+        format!("{tier}#{replica}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_bare_numbers() {
+        assert_eq!(TierId(3).to_string(), "3");
+        assert_eq!(ReplicaId(0).to_string(), "0");
+    }
+
+    #[test]
+    fn site_label_hides_replica_zero() {
+        assert_eq!(site_label(TierId(2), ReplicaId(0)), "2");
+        assert_eq!(site_label(TierId(2), ReplicaId(1)), "2#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "255-tier limit")]
+    fn oversized_tier_index_rejected() {
+        let _ = TierId::from(256usize);
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod dist;
+pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -39,6 +40,7 @@ pub mod time;
 /// Convenient re-exports of the items nearly every consumer needs.
 pub mod prelude {
     pub use crate::dist::{Distribution, Exponential, LogNormal, Pareto, Point, UniformRange};
+    pub use crate::ids::{ReplicaId, TierId};
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};

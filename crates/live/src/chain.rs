@@ -1,74 +1,111 @@
 //! Chain construction: wiring tiers front-to-back.
+//!
+//! The builder consumes the *simulator's* tier description —
+//! [`ntier_core::TierSpec`] — so the DES engine and the live testbed share
+//! one definition of a tier: architecture (sync thread pool vs. async
+//! LiteQ), admission capacity, replica count and balancer policy all come
+//! from the same struct. [`LiveTier`] adds the two things only a wall-clock
+//! testbed needs: a real service [`Duration`] and [`StallGate`]s to inject
+//! millibottlenecks with.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use ntier_core::{TierKind, TierSpec};
 use ntier_trace::TraceSink;
 
 use crate::stall::StallGate;
-use crate::tier::{AsyncTier, SyncTier, Tier};
+use crate::tier::{AsyncTier, ReplicaSet, SyncTier, Tier};
 use crate::LiveError;
 
-/// Declarative description of one tier.
+/// One tier of a live chain: the shared [`TierSpec`] plus wall-clock
+/// service time and stall gates.
+///
+/// When the spec says `replicas > 1` the builder spawns that many
+/// independent instances — each with its own accept queue, workers and
+/// stall gate — behind a [`ReplicaSet`] running the spec's [`Balancer`].
 #[derive(Debug, Clone)]
-pub struct TierSpec {
-    name: String,
-    arch: Arch,
-    workers: usize,
+pub struct LiveTier {
+    spec: TierSpec,
     service: Duration,
     gate: StallGate,
+    replica_gates: Vec<(usize, StallGate)>,
 }
 
-#[derive(Debug, Clone)]
-enum Arch {
-    Sync { backlog: usize },
-    Async { lite_q: usize },
-}
+impl LiveTier {
+    /// A live tier from the shared spec — the unified construction path.
+    pub fn new(spec: TierSpec, service: Duration) -> Self {
+        LiveTier {
+            spec,
+            service,
+            gate: StallGate::new(),
+            replica_gates: Vec::new(),
+        }
+    }
 
-impl TierSpec {
-    /// A synchronous tier: `workers` threads + `backlog` accept slots.
+    /// Shorthand for a synchronous tier: `workers` threads + `backlog`
+    /// accept slots.
     pub fn sync(
         name: impl Into<String>,
         workers: usize,
         backlog: usize,
         service: Duration,
     ) -> Self {
-        TierSpec {
-            name: name.into(),
-            arch: Arch::Sync { backlog },
-            workers,
-            service,
-            gate: StallGate::new(),
-        }
+        LiveTier::new(TierSpec::sync(name, workers, backlog), service)
     }
 
-    /// An asynchronous tier: `lite_q` accept slots + `workers` loop threads.
+    /// Shorthand for an asynchronous tier: `lite_q` accept slots +
+    /// `workers` loop threads.
     pub fn asynchronous(
         name: impl Into<String>,
         lite_q: usize,
         workers: usize,
         service: Duration,
     ) -> Self {
-        TierSpec {
-            name: name.into(),
-            arch: Arch::Async { lite_q },
-            workers,
+        LiveTier::new(
+            TierSpec::asynchronous(name, lite_q, workers as u32),
             service,
-            gate: StallGate::new(),
-        }
+        )
     }
 
     /// Uses an external stall gate (so the test can inject
-    /// millibottlenecks into this tier).
+    /// millibottlenecks into this tier). Applies to every replica unless
+    /// overridden per replica via [`LiveTier::with_replica_gate`].
     pub fn with_gate(mut self, gate: StallGate) -> Self {
         self.gate = gate;
         self
+    }
+
+    /// Gives one replica its own stall gate — the live mirror of the
+    /// simulator's `TierSpec::with_replica_stalls`, for modelling a single
+    /// sick instance behind an otherwise healthy set.
+    pub fn with_replica_gate(mut self, replica: usize, gate: StallGate) -> Self {
+        self.replica_gates.retain(|(r, _)| *r != replica);
+        self.replica_gates.push((replica, gate));
+        self
+    }
+
+    /// The shared spec this tier runs.
+    pub fn spec(&self) -> &TierSpec {
+        &self.spec
+    }
+
+    fn gate_for(&self, replica: usize) -> StallGate {
+        self.replica_gates
+            .iter()
+            .find(|(r, _)| *r == replica)
+            .map(|(_, g)| g.clone())
+            .unwrap_or_else(|| self.gate.clone())
     }
 }
 
 enum Built {
     Sync(Arc<SyncTier>),
     Async(Arc<AsyncTier>),
+    Set {
+        set: Arc<ReplicaSet>,
+        members: Vec<Built>,
+    },
 }
 
 impl Built {
@@ -76,6 +113,7 @@ impl Built {
         match self {
             Built::Sync(t) => t.clone(),
             Built::Async(t) => t.clone(),
+            Built::Set { set, .. } => set.clone(),
         }
     }
 
@@ -83,6 +121,7 @@ impl Built {
         match self {
             Built::Sync(t) => t.drops(),
             Built::Async(t) => t.drops(),
+            Built::Set { members, .. } => members.iter().map(Built::drops).sum(),
         }
     }
 
@@ -90,6 +129,7 @@ impl Built {
         match self {
             Built::Sync(t) => t.retransmits(),
             Built::Async(t) => t.retransmits(),
+            Built::Set { members, .. } => members.iter().map(Built::retransmits).sum(),
         }
     }
 
@@ -97,6 +137,7 @@ impl Built {
         match self {
             Built::Sync(t) => t.reaped(),
             Built::Async(t) => t.reaped(),
+            Built::Set { members, .. } => members.iter().map(Built::reaped).sum(),
         }
     }
 
@@ -104,6 +145,7 @@ impl Built {
         match self {
             Built::Sync(t) => t.take_handles(),
             Built::Async(t) => t.take_handles(),
+            Built::Set { members, .. } => members.iter().flat_map(Built::take_handles).collect(),
         }
     }
 }
@@ -111,7 +153,7 @@ impl Built {
 /// Builds a front-to-back chain of live tiers.
 #[derive(Debug)]
 pub struct ChainBuilder {
-    specs: Vec<TierSpec>,
+    tiers: Vec<LiveTier>,
     rto: Duration,
     trace: Option<Arc<TraceSink>>,
 }
@@ -120,26 +162,67 @@ impl ChainBuilder {
     /// Starts a chain whose drops retransmit after `rto`.
     pub fn new(rto: Duration) -> Self {
         ChainBuilder {
-            specs: Vec::new(),
+            tiers: Vec::new(),
             rto,
             trace: None,
         }
     }
 
     /// Appends a tier (front first).
-    pub fn tier(mut self, spec: TierSpec) -> Self {
-        self.specs.push(spec);
+    pub fn tier(mut self, tier: LiveTier) -> Self {
+        self.tiers.push(tier);
         self
     }
 
     /// Records every tier's enqueue/service/drop/reap events onto `sink`,
-    /// stamped with the tier's front-first index — the live mirror of the
-    /// simulator's per-request tracing. Pair with
-    /// [`crate::harness::fire_burst_traced`] so client sends and terminals
-    /// land in the same sink.
+    /// stamped with the tier's front-first index and the replica the
+    /// request landed on — the live mirror of the simulator's per-request
+    /// tracing. Pair with [`crate::harness::fire_burst_traced`] so client
+    /// sends and terminals land in the same sink.
     pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.trace = Some(sink);
         self
+    }
+
+    fn spawn_instance(
+        &self,
+        tier: &LiveTier,
+        idx: usize,
+        replica: usize,
+        name: String,
+        downstream: Option<Arc<dyn Tier>>,
+    ) -> Result<Built, LiveError> {
+        let trace = self
+            .trace
+            .as_ref()
+            .map(|s| (s.clone(), idx as u8, replica as u8));
+        Ok(match &tier.spec.kind {
+            TierKind::Sync {
+                threads, backlog, ..
+            } => Built::Sync(SyncTier::spawn_traced(
+                name,
+                *threads,
+                *backlog,
+                tier.service,
+                tier.gate_for(replica),
+                downstream,
+                self.rto,
+                trace,
+            )?),
+            TierKind::Async {
+                lite_q_depth,
+                workers,
+            } => Built::Async(AsyncTier::spawn_traced(
+                name,
+                *lite_q_depth,
+                *workers as usize,
+                tier.service,
+                tier.gate_for(replica),
+                downstream,
+                self.rto,
+                trace,
+            )?),
+        })
     }
 
     /// Spawns every tier and wires them together.
@@ -153,32 +236,31 @@ impl ChainBuilder {
     ///
     /// Panics if no tiers were added.
     pub fn build(self) -> Result<Chain, LiveError> {
-        assert!(!self.specs.is_empty(), "a chain needs at least one tier");
-        let mut built: Vec<Built> = Vec::with_capacity(self.specs.len());
+        assert!(!self.tiers.is_empty(), "a chain needs at least one tier");
+        let mut built: Vec<Built> = Vec::with_capacity(self.tiers.len());
         let mut downstream: Option<Arc<dyn Tier>> = None;
-        for (idx, spec) in self.specs.iter().enumerate().rev() {
-            let trace = self.trace.as_ref().map(|s| (s.clone(), idx as u8));
-            let b = match &spec.arch {
-                Arch::Sync { backlog } => Built::Sync(SyncTier::spawn_traced(
-                    spec.name.clone(),
-                    spec.workers,
-                    *backlog,
-                    spec.service,
-                    spec.gate.clone(),
-                    downstream.take(),
-                    self.rto,
-                    trace,
-                )?),
-                Arch::Async { lite_q } => Built::Async(AsyncTier::spawn_traced(
-                    spec.name.clone(),
-                    *lite_q,
-                    spec.workers,
-                    spec.service,
-                    spec.gate.clone(),
-                    downstream.take(),
-                    self.rto,
-                    trace,
-                )?),
+        for (idx, tier) in self.tiers.iter().enumerate().rev() {
+            let n = tier.spec.replicas.max(1);
+            let b = if n == 1 {
+                self.spawn_instance(tier, idx, 0, tier.spec.name.clone(), downstream.take())?
+            } else {
+                let shared_downstream = downstream.take();
+                let mut members = Vec::with_capacity(n);
+                for r in 0..n {
+                    members.push(self.spawn_instance(
+                        tier,
+                        idx,
+                        r,
+                        format!("{}#{r}", tier.spec.name),
+                        shared_downstream.clone(),
+                    )?);
+                }
+                let set = Arc::new(ReplicaSet::new(
+                    tier.spec.name.clone(),
+                    members.iter().map(Built::as_tier).collect(),
+                    tier.spec.balancer,
+                ));
+                Built::Set { set, members }
             };
             downstream = Some(b.as_tier());
             built.push(b);
@@ -207,9 +289,19 @@ impl Chain {
         self.tiers[0].as_tier()
     }
 
-    /// Per-tier drop counts, front first.
+    /// Per-tier drop counts, front first (replica sets report the sum over
+    /// their members; see [`Chain::replica_drops`] for the breakdown).
     pub fn drops(&self) -> Vec<u64> {
         self.tiers.iter().map(Built::drops).collect()
+    }
+
+    /// Per-replica drop counts of tier `idx`, or `None` when that tier is a
+    /// single instance.
+    pub fn replica_drops(&self, idx: usize) -> Option<Vec<u64>> {
+        match &self.tiers[idx] {
+            Built::Set { members, .. } => Some(members.iter().map(Built::drops).collect()),
+            _ => None,
+        }
     }
 
     /// Per-tier downstream retransmission counts, front first.
@@ -224,7 +316,7 @@ impl Chain {
         self.tiers.iter().map(Built::reaped).collect()
     }
 
-    /// Per-tier names, front first.
+    /// Per-tier names, front first (a replica set reports its set name).
     pub fn names(&self) -> Vec<String> {
         self.tiers
             .iter()
@@ -270,12 +362,13 @@ impl Chain {
 mod tests {
     use super::*;
     use crate::harness::fire_burst;
+    use ntier_core::Balancer;
 
     #[test]
     fn two_tier_sync_chain_round_trips() {
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 2, 4, Duration::from_micros(200)))
-            .tier(TierSpec::sync("app", 2, 4, Duration::from_micros(200)))
+            .tier(LiveTier::sync("web", 2, 4, Duration::from_micros(200)))
+            .tier(LiveTier::sync("app", 2, 4, Duration::from_micros(200)))
             .build()
             .expect("spawn chain");
         assert_eq!(chain.names(), vec!["web", "app"]);
@@ -288,15 +381,37 @@ mod tests {
     #[test]
     fn shutdown_joins_cleanly_with_no_traffic() {
         let chain = ChainBuilder::new(Duration::from_millis(50))
-            .tier(TierSpec::asynchronous(
+            .tier(LiveTier::asynchronous(
                 "a",
                 16,
                 1,
                 Duration::from_micros(50),
             ))
-            .tier(TierSpec::sync("b", 1, 1, Duration::from_micros(50)))
+            .tier(LiveTier::sync("b", 1, 1, Duration::from_micros(50)))
             .build()
             .expect("spawn chain");
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn replicated_tier_serves_through_the_set() {
+        // App tier: 2 replicas behind round-robin, built from the same
+        // TierSpec the simulator would consume.
+        let chain = ChainBuilder::new(Duration::from_millis(100))
+            .tier(LiveTier::sync("web", 2, 8, Duration::from_micros(100)))
+            .tier(LiveTier::new(
+                TierSpec::sync("app", 1, 4)
+                    .replicas(2)
+                    .balancer(Balancer::RoundRobin),
+                Duration::from_micros(100),
+            ))
+            .build()
+            .expect("spawn chain");
+        assert_eq!(chain.names(), vec!["web", "app"]);
+        let outcome = fire_burst(chain.front(), 8, Duration::from_secs(5)).expect("burst");
+        assert_eq!(outcome.completed, 8);
+        assert_eq!(chain.replica_drops(1), Some(vec![0, 0]));
+        assert_eq!(chain.replica_drops(0), None);
         chain.shutdown().expect("clean shutdown");
     }
 

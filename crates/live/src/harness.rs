@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded};
+use ntier_des::ids::{ReplicaId, TierId};
 use ntier_des::time::SimDuration;
 use ntier_resilience::{CallerPolicy, CircuitBreaker, HedgeDelay, HedgePolicy, TokenBucket};
 use ntier_trace::{TerminalClass, TraceEventKind, TraceSink};
@@ -145,7 +146,8 @@ fn burst_inner(
                             sink.record(
                                 id,
                                 TraceEventKind::SynDrop {
-                                    tier: 0,
+                                    tier: TierId::ROOT,
+                                    replica: ReplicaId::FIRST,
                                     retransmit_no: drop_no,
                                 },
                             );
@@ -708,7 +710,7 @@ pub fn fire_sustained(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chain::{ChainBuilder, TierSpec};
+    use crate::chain::{ChainBuilder, LiveTier};
     use crate::stall::StallGate;
 
     const SERVICE: Duration = Duration::from_micros(200);
@@ -716,7 +718,7 @@ mod tests {
     #[test]
     fn burst_within_capacity_completes_fast() {
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 4, 8, SERVICE))
+            .tier(LiveTier::sync("web", 4, 8, SERVICE))
             .build()
             .expect("spawn chain");
         let outcome = fire_burst(chain.front(), 8, Duration::from_secs(3)).expect("burst");
@@ -732,7 +734,7 @@ mod tests {
         // client-side retransmissions: the slow cluster sits >= one RTO.
         let rto = Duration::from_millis(300);
         let chain = ChainBuilder::new(rto)
-            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(20)))
+            .tier(LiveTier::sync("web", 2, 2, Duration::from_millis(20)))
             .build()
             .expect("spawn chain");
         let outcome =
@@ -752,8 +754,8 @@ mod tests {
         // queue fills, and the *web* tier drops — upstream CTQO, for real.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(200))
-            .tier(TierSpec::sync("web", 2, 2, SERVICE))
-            .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 2, 2, SERVICE))
+            .tier(LiveTier::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.begin();
@@ -780,8 +782,8 @@ mod tests {
     fn async_chain_absorbs_the_same_millibottleneck() {
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(200))
-            .tier(TierSpec::asynchronous("web", 1_000, 2, SERVICE))
-            .tier(TierSpec::asynchronous("app", 1_000, 2, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::asynchronous("web", 1_000, 2, SERVICE))
+            .tier(LiveTier::asynchronous("app", 1_000, 2, SERVICE).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.begin();
@@ -812,7 +814,7 @@ mod tests {
     fn histogram_of_an_overflowed_burst_is_multimodal() {
         let rto = Duration::from_millis(300);
         let chain = ChainBuilder::new(rto)
-            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(5)))
+            .tier(LiveTier::sync("web", 2, 2, Duration::from_millis(5)))
             .build()
             .expect("spawn chain");
         let outcome =
@@ -829,7 +831,7 @@ mod tests {
     #[test]
     fn sustained_load_completes_without_drops_at_moderate_rate() {
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 4, 8, Duration::from_micros(500)))
+            .tier(LiveTier::sync("web", 4, 8, Duration::from_micros(500)))
             .build()
             .expect("spawn chain");
         let outcome = fire_sustained(
@@ -852,7 +854,7 @@ mod tests {
         // every dropped request must still complete via retransmission.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(150))
-            .tier(TierSpec::sync("web", 1, 2, Duration::from_micros(200)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 1, 2, Duration::from_micros(200)).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.schedule_stall(Duration::from_millis(100), Duration::from_millis(300));
@@ -877,13 +879,13 @@ mod tests {
         // drops move downstream — exactly the paper's NX=1 observation.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(200))
-            .tier(TierSpec::asynchronous(
+            .tier(LiveTier::asynchronous(
                 "web",
                 1_000,
                 4,
                 Duration::from_micros(50),
             ))
-            .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.begin();
@@ -910,8 +912,8 @@ mod tests {
     fn traced_burst_mirrors_the_simulator_span_vocabulary() {
         let sink = Arc::new(TraceSink::new());
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 2, 4, SERVICE))
-            .tier(TierSpec::sync("app", 2, 4, SERVICE))
+            .tier(LiveTier::sync("web", 2, 4, SERVICE))
+            .tier(LiveTier::sync("app", 2, 4, SERVICE))
             .trace(sink.clone())
             .build()
             .expect("spawn chain");
@@ -931,13 +933,22 @@ mod tests {
             assert_eq!(t.outcome, TerminalClass::Completed);
             let kinds: Vec<TraceEventKind> = t.events.iter().map(|e| e.kind).collect();
             assert!(kinds.contains(&TraceEventKind::ClientSend { attempt: 0 }));
-            for tier in 0..2u8 {
+            for tier in (0..2usize).map(TierId::from) {
+                let replica = ReplicaId::FIRST;
                 assert!(
-                    kinds.contains(&TraceEventKind::Enqueue { tier }),
+                    kinds.contains(&TraceEventKind::Enqueue { tier, replica }),
                     "{kinds:?}"
                 );
-                assert!(kinds.contains(&TraceEventKind::ServiceStart { tier, visit: 0 }));
-                assert!(kinds.contains(&TraceEventKind::ServiceEnd { tier, visit: 0 }));
+                assert!(kinds.contains(&TraceEventKind::ServiceStart {
+                    tier,
+                    replica,
+                    visit: 0
+                }));
+                assert!(kinds.contains(&TraceEventKind::ServiceEnd {
+                    tier,
+                    replica,
+                    visit: 0
+                }));
             }
             assert!(t.events.windows(2).all(|w| w[0].at <= w[1].at));
         }
@@ -948,7 +959,7 @@ mod tests {
         let rto = Duration::from_millis(300);
         let sink = Arc::new(TraceSink::new());
         let chain = ChainBuilder::new(rto)
-            .tier(TierSpec::sync("web", 2, 2, Duration::from_millis(20)))
+            .tier(LiveTier::sync("web", 2, 2, Duration::from_millis(20)))
             .trace(sink.clone())
             .build()
             .expect("spawn chain");
@@ -973,8 +984,8 @@ mod tests {
         for t in &dropped {
             let ords: Vec<u8> = t
                 .syn_drops()
-                .map(|(_, tier, no)| {
-                    assert_eq!(tier, 0, "drops happen at the front door");
+                .map(|(_, tier, _, no)| {
+                    assert_eq!(tier, TierId::ROOT, "drops happen at the front door");
                     no
                 })
                 .collect();
@@ -991,13 +1002,13 @@ mod tests {
         let gate = StallGate::new();
         let sink = Arc::new(TraceSink::new());
         let chain = ChainBuilder::new(Duration::from_millis(200))
-            .tier(TierSpec::asynchronous(
+            .tier(LiveTier::asynchronous(
                 "web",
                 1_000,
                 4,
                 Duration::from_micros(50),
             ))
-            .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
             .trace(sink.clone())
             .build()
             .expect("spawn chain");
@@ -1023,14 +1034,14 @@ mod tests {
             .traces
             .iter()
             .flat_map(|t| t.syn_drops())
-            .filter(|(_, tier, _)| *tier == 1)
+            .filter(|(_, tier, _, _)| *tier == TierId(1))
             .count();
         assert!(back_drops > 0, "expected tier-1 syn_drop events");
         let front_drops = log
             .traces
             .iter()
             .flat_map(|t| t.syn_drops())
-            .filter(|(_, tier, _)| *tier == 0)
+            .filter(|(_, tier, _, _)| *tier == TierId::ROOT)
             .count();
         assert_eq!(front_drops, 0, "async front must not drop");
     }
@@ -1040,7 +1051,7 @@ mod tests {
         use ntier_des::time::SimDuration;
         use ntier_resilience::CallerPolicy;
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 4, 8, SERVICE))
+            .tier(LiveTier::sync("web", 4, 8, SERVICE))
             .build()
             .expect("spawn chain");
         let policy = CallerPolicy::naive(SimDuration::from_secs(2), 2);
@@ -1061,7 +1072,7 @@ mod tests {
         // first send, completions include the stall in their latency.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 4, 32, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 4, 32, SERVICE).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.schedule_stall(Duration::ZERO, Duration::from_millis(300));
@@ -1099,7 +1110,7 @@ mod tests {
         // timeouts trips it and later attempts are shed, not queued.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 2, 32, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 2, 32, SERVICE).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.begin();
@@ -1136,7 +1147,7 @@ mod tests {
         // wasted_work_saved arithmetic, on real threads.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.schedule_stall(Duration::ZERO, Duration::from_millis(200));
@@ -1167,7 +1178,7 @@ mod tests {
         // orphans — the tier services every one of them for nothing.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 1, 32, Duration::from_millis(20)).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.schedule_stall(Duration::ZERO, Duration::from_millis(200));
@@ -1196,7 +1207,7 @@ mod tests {
         // queue. K = 2 covers two consecutive full-queue collisions.
         let gate = StallGate::new();
         let chain = ChainBuilder::new(Duration::from_millis(100))
-            .tier(TierSpec::sync("web", 1, 1, Duration::from_millis(10)).with_gate(gate.clone()))
+            .tier(LiveTier::sync("web", 1, 1, Duration::from_millis(10)).with_gate(gate.clone()))
             .build()
             .expect("spawn chain");
         gate.schedule_stall(Duration::ZERO, Duration::from_millis(150));

@@ -19,17 +19,23 @@
 //! controllable inside a container, and bounded channels preserve exactly
 //! the queue-capacity arithmetic that produces CTQO (see DESIGN.md §2).
 //!
+//! Tiers are described by the *simulator's* [`ntier_core::TierSpec`] — one
+//! spec type across DES engine and testbed — wrapped in a
+//! [`chain::LiveTier`] that adds wall-clock service time and stall gates.
+//! A spec with `replicas > 1` spawns that many independent instances behind
+//! a [`tier::ReplicaSet`] running the spec's balancer policy.
+//!
 //! # Example
 //!
 //! ```
 //! use std::time::Duration;
-//! use ntier_live::chain::{ChainBuilder, TierSpec};
+//! use ntier_live::chain::{ChainBuilder, LiveTier};
 //! use ntier_live::harness::fire_burst;
 //!
 //! // Two async tiers absorb a burst without drops.
 //! let chain = ChainBuilder::new(Duration::from_millis(100))
-//!     .tier(TierSpec::asynchronous("web", 1_000, 2, Duration::from_micros(200)))
-//!     .tier(TierSpec::asynchronous("app", 1_000, 2, Duration::from_micros(200)))
+//!     .tier(LiveTier::asynchronous("web", 1_000, 2, Duration::from_micros(200)))
+//!     .tier(LiveTier::asynchronous("app", 1_000, 2, Duration::from_micros(200)))
 //!     .build()
 //!     .expect("spawn chain");
 //! let outcome = fire_burst(chain.front(), 32, Duration::from_secs(5)).expect("burst");
@@ -61,14 +67,17 @@ pub mod policy;
 pub mod stall;
 pub mod tier;
 
-pub use chain::{Chain, ChainBuilder, TierSpec};
+pub use chain::{Chain, ChainBuilder, LiveTier};
 pub use harness::{
     fire_burst, fire_burst_traced, fire_burst_with_policy, BurstOutcome, PolicyOutcome,
 };
+pub use ntier_core::{Balancer, TierSpec};
 pub use ntier_trace::TraceSink;
 pub use policy::WallClock;
 pub use stall::StallGate;
-pub use tier::{AsyncTier, CancelToken, LiveReply, LiveRequest, SyncTier, Tier, TierTrace};
+pub use tier::{
+    AsyncTier, CancelToken, LiveReply, LiveRequest, ReplicaSet, SyncTier, Tier, TierTrace,
+};
 
 /// Errors surfaced by the live testbed instead of aborting the process: a
 /// worker that cannot be spawned or a thread that panicked mid-run becomes a

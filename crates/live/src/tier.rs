@@ -5,15 +5,23 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ntier_core::Balancer;
+use ntier_des::ids::{ReplicaId, TierId};
 use ntier_trace::{TraceEventKind, TraceSink};
 
 use crate::stall::StallGate;
 use crate::LiveError;
 
-/// A shared wall-clock trace recorder plus the tier index its events are
-/// stamped with. `None` — the default everywhere — records nothing, so
-/// untraced chains pay only an `Option` check per touch point.
-pub type TierTrace = Option<(Arc<TraceSink>, u8)>;
+/// A shared wall-clock trace recorder plus the `(tier, replica)` coordinate
+/// its events are stamped with. `None` — the default everywhere — records
+/// nothing, so untraced chains pay only an `Option` check per touch point.
+///
+/// Caller-side events (the downstream `SynDrop`/`CancelReap` a worker stamps
+/// from its retransmit loop) use replica 0 for the downstream coordinate:
+/// the caller hands the message to the replica *set* and cannot know which
+/// member the balancer picked — the same simplification the simulator's
+/// caller-side mini-traces make.
+pub type TierTrace = Option<(Arc<TraceSink>, u8, u8)>;
 
 /// A cooperative cancellation flag that travels with a request through the
 /// chain. The client keeps a clone; raising it marks the attempt as a loser.
@@ -100,6 +108,13 @@ pub trait Tier: Send + Sync {
     fn reaped(&self) -> u64 {
         0
     }
+
+    /// Requests currently parked in this tier's accept queue — the signal a
+    /// least-outstanding balancer reads. The default (`0`) suits tiers that
+    /// cannot observe their depth.
+    fn depth(&self) -> usize {
+        0
+    }
 }
 
 fn submit_with_retransmit(
@@ -116,8 +131,14 @@ fn submit_with_retransmit(
             // The attempt was abandoned while waiting out an RTO — the live
             // equivalent of reaping from retransmission limbo.
             reaped.fetch_add(1, Ordering::Relaxed);
-            if let Some((sink, tier)) = trace {
-                sink.record(req.id, TraceEventKind::CancelReap { tier: *tier });
+            if let Some((sink, tier, replica)) = trace {
+                sink.record(
+                    req.id,
+                    TraceEventKind::CancelReap {
+                        tier: TierId(*tier),
+                        replica: ReplicaId(*replica),
+                    },
+                );
             }
             return;
         }
@@ -126,11 +147,12 @@ fn submit_with_retransmit(
             Err(back) => {
                 req = back;
                 retransmits.fetch_add(1, Ordering::Relaxed);
-                if let Some((sink, tier)) = trace {
+                if let Some((sink, tier, replica)) = trace {
                     sink.record(
                         req.id,
                         TraceEventKind::SynDrop {
-                            tier: *tier,
+                            tier: TierId(*tier),
+                            replica: ReplicaId(*replica),
                             retransmit_no: drop_no,
                         },
                     );
@@ -229,7 +251,8 @@ impl SyncTier {
             let retransmits = retransmits.clone();
             let reaped = reaped.clone();
             let trace = trace.clone();
-            let downstream_trace: TierTrace = trace.as_ref().map(|(sink, t)| (sink.clone(), t + 1));
+            let downstream_trace: TierTrace =
+                trace.as_ref().map(|(sink, t, _)| (sink.clone(), t + 1, 0));
             let thread_name = format!("{name}-worker-{i}");
             handles.push(
                 std::thread::Builder::new()
@@ -243,22 +266,36 @@ impl SyncTier {
                                 // no reply. Dropping its reply sender
                                 // unwinds any upstream hop blocked on it.
                                 reaped.fetch_add(1, Ordering::Relaxed);
-                                if let Some((sink, t)) = &trace {
-                                    sink.record(req.id, TraceEventKind::CancelReap { tier: *t });
+                                if let Some((sink, t, r)) = &trace {
+                                    sink.record(
+                                        req.id,
+                                        TraceEventKind::CancelReap {
+                                            tier: TierId(*t),
+                                            replica: ReplicaId(*r),
+                                        },
+                                    );
                                 }
                                 continue;
                             }
-                            if let Some((sink, t)) = &trace {
+                            if let Some((sink, t, r)) = &trace {
                                 sink.record(
                                     req.id,
-                                    TraceEventKind::ServiceStart { tier: *t, visit: 0 },
+                                    TraceEventKind::ServiceStart {
+                                        tier: TierId(*t),
+                                        replica: ReplicaId(*r),
+                                        visit: 0,
+                                    },
                                 );
                             }
                             std::thread::sleep(service);
-                            if let Some((sink, t)) = &trace {
+                            if let Some((sink, t, r)) = &trace {
                                 sink.record(
                                     req.id,
-                                    TraceEventKind::ServiceEnd { tier: *t, visit: 0 },
+                                    TraceEventKind::ServiceEnd {
+                                        tier: TierId(*t),
+                                        replica: ReplicaId(*r),
+                                        visit: 0,
+                                    },
                                 );
                             }
                             match &downstream {
@@ -315,8 +352,14 @@ impl Tier for SyncTier {
         let id = req.id;
         match self.input.try_send(req) {
             Ok(()) => {
-                if let Some((sink, t)) = &self.trace {
-                    sink.record(id, TraceEventKind::Enqueue { tier: *t });
+                if let Some((sink, t, r)) = &self.trace {
+                    sink.record(
+                        id,
+                        TraceEventKind::Enqueue {
+                            tier: TierId(*t),
+                            replica: ReplicaId(*r),
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -337,6 +380,10 @@ impl Tier for SyncTier {
 
     fn reaped(&self) -> u64 {
         self.reaped.load(Ordering::Relaxed)
+    }
+
+    fn depth(&self) -> usize {
+        self.input.len()
     }
 }
 
@@ -420,7 +467,8 @@ impl AsyncTier {
             let retransmits = retransmits.clone();
             let reaped = reaped.clone();
             let trace = trace.clone();
-            let downstream_trace: TierTrace = trace.as_ref().map(|(sink, t)| (sink.clone(), t + 1));
+            let downstream_trace: TierTrace =
+                trace.as_ref().map(|(sink, t, _)| (sink.clone(), t + 1, 0));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-loop-{i}"))
@@ -429,22 +477,36 @@ impl AsyncTier {
                             gate.wait_if_stalled();
                             if req.cancel.is_cancelled() {
                                 reaped.fetch_add(1, Ordering::Relaxed);
-                                if let Some((sink, t)) = &trace {
-                                    sink.record(req.id, TraceEventKind::CancelReap { tier: *t });
+                                if let Some((sink, t, r)) = &trace {
+                                    sink.record(
+                                        req.id,
+                                        TraceEventKind::CancelReap {
+                                            tier: TierId(*t),
+                                            replica: ReplicaId(*r),
+                                        },
+                                    );
                                 }
                                 continue;
                             }
-                            if let Some((sink, t)) = &trace {
+                            if let Some((sink, t, r)) = &trace {
                                 sink.record(
                                     req.id,
-                                    TraceEventKind::ServiceStart { tier: *t, visit: 0 },
+                                    TraceEventKind::ServiceStart {
+                                        tier: TierId(*t),
+                                        replica: ReplicaId(*r),
+                                        visit: 0,
+                                    },
                                 );
                             }
                             std::thread::sleep(service);
-                            if let Some((sink, t)) = &trace {
+                            if let Some((sink, t, r)) = &trace {
                                 sink.record(
                                     req.id,
-                                    TraceEventKind::ServiceEnd { tier: *t, visit: 0 },
+                                    TraceEventKind::ServiceEnd {
+                                        tier: TierId(*t),
+                                        replica: ReplicaId(*r),
+                                        visit: 0,
+                                    },
                                 );
                             }
                             match &downstream {
@@ -491,8 +553,14 @@ impl Tier for AsyncTier {
         let id = req.id;
         match self.input.try_send(req) {
             Ok(()) => {
-                if let Some((sink, t)) = &self.trace {
-                    sink.record(id, TraceEventKind::Enqueue { tier: *t });
+                if let Some((sink, t, r)) = &self.trace {
+                    sink.record(
+                        id,
+                        TraceEventKind::Enqueue {
+                            tier: TierId(*t),
+                            replica: ReplicaId(*r),
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -513,6 +581,107 @@ impl Tier for AsyncTier {
 
     fn reaped(&self) -> u64 {
         self.reaped.load(Ordering::Relaxed)
+    }
+
+    fn depth(&self) -> usize {
+        self.input.len()
+    }
+}
+
+/// A set of identical tier instances behind one submit point — the live
+/// mirror of the simulator's replicated tier. Each member is a full
+/// [`SyncTier`] or [`AsyncTier`] with its own accept queue, workers and
+/// stall gate; the set picks a member per connection attempt.
+///
+/// The live balancer maps the simulator's [`Balancer`] policies onto wall
+/// clocks: `RoundRobin` rotates an atomic counter; every queue-aware policy
+/// (`LeastOutstanding`, `Jsq`, `P2c`) becomes pick-least-depth, since real
+/// threads racing on live queue lengths have no deterministic rng stream to
+/// sample two candidates from — the *signal* (instantaneous depth) is what
+/// the policies share, and it is what the testbed validates.
+pub struct ReplicaSet {
+    name: String,
+    replicas: Vec<Arc<dyn Tier>>,
+    balancer: Balancer,
+    next: AtomicU64,
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("name", &self.name)
+            .field("replicas", &self.replicas.len())
+            .field("balancer", &self.balancer)
+            .finish()
+    }
+}
+
+impl ReplicaSet {
+    /// Fronts `replicas` with `balancer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(name: impl Into<String>, replicas: Vec<Arc<dyn Tier>>, balancer: Balancer) -> Self {
+        assert!(
+            !replicas.is_empty(),
+            "a replica set needs at least one member"
+        );
+        ReplicaSet {
+            name: name.into(),
+            replicas,
+            balancer,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The member a fresh attempt would go to right now.
+    fn pick(&self) -> &Arc<dyn Tier> {
+        match self.balancer {
+            Balancer::RoundRobin => {
+                let n = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+                &self.replicas[n % self.replicas.len()]
+            }
+            // All queue-aware policies: least instantaneous depth,
+            // first-wins on ties (matching the simulator's tie rule).
+            _ => self
+                .replicas
+                .iter()
+                .min_by_key(|r| r.depth())
+                .expect("non-empty set"),
+        }
+    }
+
+    /// The members, for per-replica counters.
+    pub fn members(&self) -> &[Arc<dyn Tier>] {
+        &self.replicas
+    }
+
+    /// Per-member drop counts.
+    pub fn member_drops(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.drops()).collect()
+    }
+}
+
+impl Tier for ReplicaSet {
+    fn submit(&self, req: LiveRequest) -> Result<(), LiveRequest> {
+        self.pick().submit(req)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drops(&self) -> u64 {
+        self.replicas.iter().map(|r| r.drops()).sum()
+    }
+
+    fn reaped(&self) -> u64 {
+        self.replicas.iter().map(|r| r.reaped()).sum()
+    }
+
+    fn depth(&self) -> usize {
+        self.replicas.iter().map(|r| r.depth()).sum()
     }
 }
 
@@ -641,7 +810,7 @@ mod tests {
             StallGate::new(),
             None,
             Duration::from_millis(50),
-            Some((sink.clone(), 0)),
+            Some((sink.clone(), 0, 0)),
         )
         .expect("spawn tier");
         let (tx, rx) = unbounded();
@@ -668,23 +837,121 @@ mod tests {
                 .map(|e| e.kind)
                 .collect()
         };
+        let at = (TierId(0), ReplicaId(0));
         assert_eq!(
             kinds(0),
             vec![
                 TraceEventKind::ClientSend { attempt: 0 },
-                TraceEventKind::Enqueue { tier: 0 },
-                TraceEventKind::ServiceStart { tier: 0, visit: 0 },
-                TraceEventKind::ServiceEnd { tier: 0, visit: 0 },
+                TraceEventKind::Enqueue {
+                    tier: at.0,
+                    replica: at.1
+                },
+                TraceEventKind::ServiceStart {
+                    tier: at.0,
+                    replica: at.1,
+                    visit: 0
+                },
+                TraceEventKind::ServiceEnd {
+                    tier: at.0,
+                    replica: at.1,
+                    visit: 0
+                },
             ]
         );
         assert_eq!(
             kinds(1),
             vec![
                 TraceEventKind::ClientSend { attempt: 0 },
-                TraceEventKind::Enqueue { tier: 0 },
-                TraceEventKind::CancelReap { tier: 0 },
+                TraceEventKind::Enqueue {
+                    tier: at.0,
+                    replica: at.1
+                },
+                TraceEventKind::CancelReap {
+                    tier: at.0,
+                    replica: at.1
+                },
             ]
         );
+    }
+
+    #[test]
+    fn round_robin_set_rotates_members() {
+        let mut members: Vec<Arc<dyn Tier>> = Vec::new();
+        for i in 0..2 {
+            members.push(
+                SyncTier::spawn(
+                    format!("t#{i}"),
+                    1,
+                    8,
+                    Duration::from_micros(100),
+                    StallGate::new(),
+                    None,
+                    Duration::from_millis(50),
+                )
+                .expect("spawn member"),
+            );
+        }
+        let set = ReplicaSet::new("t", members, Balancer::RoundRobin);
+        let (tx, rx) = unbounded();
+        for i in 0..8 {
+            set.submit(req(i, &tx)).unwrap();
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        assert_eq!(set.drops(), 0);
+        assert_eq!(set.member_drops(), vec![0, 0]);
+    }
+
+    #[test]
+    fn least_outstanding_set_avoids_the_stalled_member() {
+        // Member 0 is frozen behind a stall gate, so its queue holds
+        // whatever lands there; least-depth steers everything else to
+        // member 1, and the burst completes without drops despite member
+        // 0's MaxSysQDepth of 3 being far below the burst size.
+        let gate = StallGate::new();
+        let sick = SyncTier::spawn(
+            "t#0",
+            1,
+            2,
+            Duration::from_micros(100),
+            gate.clone(),
+            None,
+            Duration::from_millis(50),
+        )
+        .expect("spawn sick member");
+        let healthy = SyncTier::spawn(
+            "t#1",
+            1,
+            64,
+            Duration::from_micros(100),
+            StallGate::new(),
+            None,
+            Duration::from_millis(50),
+        )
+        .expect("spawn healthy member");
+        gate.begin();
+        let set = ReplicaSet::new(
+            "t",
+            vec![sick.clone() as Arc<dyn Tier>, healthy as Arc<dyn Tier>],
+            Balancer::LeastOutstanding,
+        );
+        let (tx, rx) = unbounded();
+        let mut submitted = 0;
+        for i in 0..32 {
+            if set.submit(req(i, &tx)).is_ok() {
+                submitted += 1;
+            }
+            // Pace the submissions so queue depths are observable.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gate.end();
+        for _ in 0..submitted {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(set.drops(), 0, "least-depth must route around the stall");
+        // The sick member absorbed at most its own capacity.
+        assert!(sick.depth() <= 3);
     }
 
     #[test]

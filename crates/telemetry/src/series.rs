@@ -163,6 +163,34 @@ impl WindowedSeries {
             .map(|(i, agg)| (SimTime::from_micros(i as u64 * w.as_micros()), agg.sum))
     }
 
+    /// Folds `other` into `self` window-by-window: sums and counts add, maxima
+    /// take the larger value. Used to pool per-replica series into one
+    /// tier-level view; both series must share a window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ.
+    pub fn absorb(&mut self, other: &WindowedSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot absorb series with a different window size"
+        );
+        if other.windows.is_empty() {
+            return;
+        }
+        self.ensure(other.windows.len() - 1);
+        for (w, o) in self.windows.iter_mut().zip(other.windows.iter()) {
+            w.sum += o.sum;
+            w.count += o.count;
+            if o.max > w.max {
+                w.max = o.max;
+            }
+            if o.count > 0 {
+                w.last = o.last;
+            }
+        }
+    }
+
     fn ensure(&mut self, idx: usize) {
         if idx >= self.windows.len() {
             self.windows.resize(idx + 1, WindowAgg::default());
@@ -272,6 +300,27 @@ impl UtilizationSeries {
             .map(|i| self.busy_micros.get(i).copied().unwrap_or(0))
             .sum();
         busy as f64 / (self.window.as_micros() as f64 * f64::from(self.cores) * n as f64)
+    }
+
+    /// Pools `other` into `self`: busy time and core counts add, so the
+    /// combined series reads as the utilization of the whole replica set
+    /// (total busy over total capacity). Window sizes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ.
+    pub fn absorb(&mut self, other: &UtilizationSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot absorb series with a different window size"
+        );
+        self.cores += other.cores;
+        if other.busy_micros.len() > self.busy_micros.len() {
+            self.busy_micros.resize(other.busy_micros.len(), 0);
+        }
+        for (b, o) in self.busy_micros.iter_mut().zip(other.busy_micros.iter()) {
+            *b += o;
+        }
     }
 
     /// Number of windows touched.

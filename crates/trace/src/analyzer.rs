@@ -6,10 +6,13 @@
 //! tier saturated for ~100 ms (a millibottleneck, usually visible as a
 //! burst of interferer CPU). [`RootCause`] mechanizes that walk over a
 //! retained [`TraceLog`], joining each drop against per-tier utilization
-//! and drop series to name the culprit.
+//! and drop series to name the culprit. When a tier is a replica set the
+//! series come per replica, and the verdict names the hot replica behind
+//! the balanced front.
 
 use crate::event::{TerminalClass, TraceEventKind};
 use crate::tracer::TraceLog;
+use ntier_des::ids::{site_label, ReplicaId, TierId};
 use ntier_des::time::{SimDuration, SimTime};
 
 /// Per-tier time series the analyzer joins traces against, indexed by the
@@ -23,6 +26,22 @@ pub struct TierData {
     pub interferer_util: Vec<f64>,
     /// Connection drops per window.
     pub drops: Vec<f64>,
+    /// Per-replica series for replicated tiers (empty for single-instance
+    /// tiers). Index `r` is replica `r`; the top-level series stay the
+    /// tier-wide aggregate so unreplicated analyses are unchanged.
+    pub replicas: Vec<TierData>,
+}
+
+impl TierData {
+    /// Renders the tier (or one of its replicas) the way narration labels
+    /// sites: the bare name for replica 0 of an unreplicated tier,
+    /// `name#r` for a specific replica of a replica set.
+    fn site_name(&self, replica: Option<ReplicaId>) -> String {
+        match replica {
+            Some(r) if !self.replicas.is_empty() => format!("{}#{}", self.name, r),
+            _ => self.name.clone(),
+        }
+    }
 }
 
 /// Why a queue overflowed, in decreasing order of diagnostic value.
@@ -55,6 +74,9 @@ pub struct Culprit {
     /// dropping tier: an upstream CTQO drops at the web tier because the
     /// app tier stalled).
     pub tier: usize,
+    /// The specific replica whose series carried the culprit condition,
+    /// when the tier is a replica set and one replica stands out.
+    pub replica: Option<ReplicaId>,
     /// Window index where the culprit condition peaked.
     pub window: u64,
     pub kind: CulpritKind,
@@ -68,6 +90,8 @@ pub struct Culprit {
 pub struct CausalStep {
     /// Tier whose SYN queue dropped the connection attempt.
     pub tier: usize,
+    /// Replica that dropped it (replica 0 for unreplicated tiers).
+    pub replica: ReplicaId,
     pub drop_at: SimTime,
     /// Monitoring window containing the drop.
     pub window: u64,
@@ -94,12 +118,11 @@ impl CausalChain {
     /// tier indices.
     pub fn narrate(&self, tiers: &[TierData]) -> String {
         use std::fmt::Write as _;
-        let name = |i: usize| {
+        let name = |i: usize, r: Option<ReplicaId>| {
             tiers
                 .get(i)
-                .map(|t| t.name.as_str())
-                .unwrap_or("?")
-                .to_string()
+                .map(|t| t.site_name(r))
+                .unwrap_or_else(|| "?".to_string())
         };
         let mut out = format!(
             "req #{} [{}] {} in {:.2}s via {} drop(s):",
@@ -110,12 +133,17 @@ impl CausalChain {
             self.steps.len()
         );
         for s in &self.steps {
+            let drop_site = if s.replica == ReplicaId::FIRST {
+                name(s.tier, None)
+            } else {
+                name(s.tier, Some(s.replica))
+            };
             let _ = write!(
                 out,
                 "\n  t={:.3}s drop #{} at {} (window {}) stalled {:.2}s",
                 s.drop_at.as_secs_f64(),
                 s.retransmit_no,
-                name(s.tier),
+                drop_site,
                 s.window,
                 s.stalled_for.as_secs_f64()
             );
@@ -125,7 +153,7 @@ impl CausalChain {
                         out,
                         " <- {} at {} (window {}, {:.0}%)",
                         c.kind.as_str(),
-                        name(c.tier),
+                        name(c.tier, c.replica),
                         c.window,
                         c.score * 100.0
                     );
@@ -168,6 +196,24 @@ impl Analysis {
         sorted.sort_by(|a, b| b.latency.cmp(&a.latency).then(a.trace_id.cmp(&b.trace_id)));
         sorted.truncate(n);
         sorted
+    }
+
+    /// Tallies, per `(tier, replica)` drop site, how many causal steps
+    /// landed there — the quickest way to see one hot replica absorbing
+    /// the VLRT ladder behind a balanced front. Keys render via
+    /// [`site_label`] ("1" or "1#2"), sorted.
+    pub fn drop_site_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<(usize, u8), usize> =
+            std::collections::BTreeMap::new();
+        for chain in &self.chains {
+            for step in &chain.steps {
+                *counts.entry((step.tier, step.replica.0)).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|((t, r), n)| (site_label(TierId::from(t), ReplicaId(r)), n))
+            .collect()
     }
 }
 
@@ -235,6 +281,7 @@ impl RootCause {
         for (i, ev) in trace.events.iter().enumerate() {
             let TraceEventKind::SynDrop {
                 tier,
+                replica,
                 retransmit_no,
             } = ev.kind
             else {
@@ -249,12 +296,13 @@ impl RootCause {
                 .unwrap_or(trace.terminal_at);
             let window = ev.at.window_index(self.window);
             steps.push(CausalStep {
-                tier: tier as usize,
+                tier: tier.index(),
+                replica,
                 drop_at: ev.at,
                 window,
                 retransmit_no,
                 stalled_for: next.saturating_since(ev.at),
-                culprit: self.culprit_for(tier as usize, window, tiers),
+                culprit: self.culprit_for(tier.index(), replica, window, tiers),
             });
         }
         steps
@@ -263,38 +311,81 @@ impl RootCause {
     /// Names the condition behind a drop at `drop_tier` in `window`:
     /// the strongest interferer burst in the lookback beats the strongest
     /// own-work saturation, which beats the bare queue-overflow evidence.
-    fn culprit_for(&self, drop_tier: usize, window: u64, tiers: &[TierData]) -> Option<Culprit> {
+    /// For replicated tiers the per-replica series are scanned alongside
+    /// the aggregate, and a replica-level peak that beats the aggregate
+    /// names that replica — a stall confined to one instance of a
+    /// balanced set is exactly the signal the aggregate dilutes.
+    fn culprit_for(
+        &self,
+        drop_tier: usize,
+        drop_replica: ReplicaId,
+        window: u64,
+        tiers: &[TierData],
+    ) -> Option<Culprit> {
         let lo = window.saturating_sub(self.lookback) as usize;
         let hi = window as usize;
         let mut best_interferer: Option<Culprit> = None;
         let mut best_saturation: Option<Culprit> = None;
-        for (ti, td) in tiers.iter().enumerate() {
+        let consider = |series: &[f64],
+                        floor: f64,
+                        best: &mut Option<Culprit>,
+                        tier: usize,
+                        replica: Option<ReplicaId>,
+                        kind: CulpritKind| {
             for w in lo..=hi {
-                if let Some(&v) = td.interferer_util.get(w) {
-                    if v >= self.interferer_floor
-                        && best_interferer.as_ref().is_none_or(|b| v > b.score)
-                    {
-                        best_interferer = Some(Culprit {
-                            tier: ti,
+                if let Some(&v) = series.get(w) {
+                    if v >= floor && best.as_ref().is_none_or(|b| v > b.score) {
+                        *best = Some(Culprit {
+                            tier,
+                            replica,
                             window: w as u64,
-                            kind: CulpritKind::Millibottleneck,
-                            score: v,
-                        });
-                    }
-                }
-                if let Some(&v) = td.util.get(w) {
-                    if v >= self.saturation_floor
-                        && best_saturation.as_ref().is_none_or(|b| v > b.score)
-                    {
-                        best_saturation = Some(Culprit {
-                            tier: ti,
-                            window: w as u64,
-                            kind: CulpritKind::Saturation,
+                            kind,
                             score: v,
                         });
                     }
                 }
             }
+        };
+        for (ti, td) in tiers.iter().enumerate() {
+            // Replica series first: `consider` keeps the first hit on a
+            // tie (strict `>`), so a burst visible at full strength in one
+            // replica and diluted in the aggregate is pinned on the
+            // replica.
+            for (ri, rd) in td.replicas.iter().enumerate() {
+                let r = Some(ReplicaId::from(ri));
+                consider(
+                    &rd.interferer_util,
+                    self.interferer_floor,
+                    &mut best_interferer,
+                    ti,
+                    r,
+                    CulpritKind::Millibottleneck,
+                );
+                consider(
+                    &rd.util,
+                    self.saturation_floor,
+                    &mut best_saturation,
+                    ti,
+                    r,
+                    CulpritKind::Saturation,
+                );
+            }
+            consider(
+                &td.interferer_util,
+                self.interferer_floor,
+                &mut best_interferer,
+                ti,
+                None,
+                CulpritKind::Millibottleneck,
+            );
+            consider(
+                &td.util,
+                self.saturation_floor,
+                &mut best_saturation,
+                ti,
+                None,
+                CulpritKind::Saturation,
+            );
         }
         if best_interferer.is_some() {
             return best_interferer;
@@ -302,14 +393,17 @@ impl RootCause {
         if best_saturation.is_some() {
             return best_saturation;
         }
-        let drops_here = tiers
-            .get(drop_tier)
-            .and_then(|td| td.drops.get(window as usize))
-            .copied()
-            .unwrap_or(0.0);
+        let (drops, replica) = tiers.get(drop_tier).map(|td| {
+            td.replicas
+                .get(drop_replica.index())
+                .map(|rd| (&rd.drops, Some(drop_replica)))
+                .unwrap_or((&td.drops, None))
+        })?;
+        let drops_here = drops.get(window as usize).copied().unwrap_or(0.0);
         if drops_here > 0.0 {
             Some(Culprit {
                 tier: drop_tier,
+                replica,
                 window,
                 kind: CulpritKind::QueueOverflow,
                 score: drops_here,
@@ -327,6 +421,10 @@ mod tests {
     use crate::tracer::TraceLog;
 
     fn vlrt_trace(id: u64, drop_ms: u64, tier: u8) -> RequestTrace {
+        vlrt_trace_at(id, drop_ms, tier, 0)
+    }
+
+    fn vlrt_trace_at(id: u64, drop_ms: u64, tier: u8, replica: u8) -> RequestTrace {
         RequestTrace {
             id,
             class: "browse",
@@ -343,13 +441,18 @@ mod tests {
                 TraceEvent {
                     at: SimTime::from_millis(drop_ms),
                     kind: TraceEventKind::SynDrop {
-                        tier,
+                        tier: TierId(tier),
+                        replica: ReplicaId(replica),
                         retransmit_no: 0,
                     },
                 },
                 TraceEvent {
                     at: SimTime::from_millis(drop_ms + 3_000),
-                    kind: TraceEventKind::ServiceStart { tier, visit: 0 },
+                    kind: TraceEventKind::ServiceStart {
+                        tier: TierId(tier),
+                        replica: ReplicaId(replica),
+                        visit: 0,
+                    },
                 },
             ],
         }
@@ -372,6 +475,7 @@ mod tests {
             util: vec![0.3; windows],
             interferer_util: vec![0.0; windows],
             drops: vec![0.0; windows],
+            replicas: Vec::new(),
         }
     }
 
@@ -390,11 +494,13 @@ mod tests {
         assert_eq!(a.attribution_rate(), 1.0);
         let step = &a.chains[0].steps[0];
         assert_eq!(step.tier, 0);
+        assert_eq!(step.replica, ReplicaId::FIRST);
         assert_eq!(step.window, 20);
         assert_eq!(step.retransmit_no, 0);
         assert_eq!(step.stalled_for, SimDuration::from_secs(3));
         let c = step.culprit.as_ref().expect("culprit");
         assert_eq!(c.tier, 1);
+        assert_eq!(c.replica, None);
         assert_eq!(c.window, 18);
         assert_eq!(c.kind, CulpritKind::Millibottleneck);
     }
@@ -463,5 +569,44 @@ mod tests {
         let text = a.chains[0].narrate(&[tier("web", 1), tier("app", 1)]);
         assert!(text.contains("drop #0 at web"), "{text}");
         assert!(text.contains("millibottleneck at app"), "{text}");
+    }
+
+    #[test]
+    fn hot_replica_is_named_over_the_diluted_aggregate() {
+        // App tier is a 3-replica set. Replica 1 carries a full-strength
+        // interferer burst; the tier-wide aggregate shows the same burst
+        // diluted by the two idle replicas (0.3 < floor).
+        let mut web = tier("web", 64);
+        web.drops[20] = 1.0;
+        let mut app = tier("app", 64);
+        app.interferer_util[19] = 0.3;
+        app.replicas = vec![tier("app", 64), tier("app", 64), tier("app", 64)];
+        app.replicas[1].interferer_util[19] = 0.9;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web, app.clone()]);
+        let c = a.chains[0].steps[0].culprit.as_ref().expect("culprit");
+        assert_eq!(c.tier, 1);
+        assert_eq!(c.replica, Some(ReplicaId(1)));
+        assert_eq!(c.kind, CulpritKind::Millibottleneck);
+        let text = a.chains[0].narrate(&[tier("web", 1), app]);
+        assert!(text.contains("millibottleneck at app#1"), "{text}");
+    }
+
+    #[test]
+    fn replica_qualified_drops_histogram() {
+        let log = log_of(vec![
+            vlrt_trace_at(0, 1_000, 1, 2),
+            vlrt_trace_at(1, 2_000, 1, 2),
+            vlrt_trace_at(2, 3_000, 0, 0),
+        ]);
+        let mut web = tier("web", 128);
+        web.drops[20] = 1.0;
+        web.drops[40] = 1.0;
+        web.drops[60] = 1.0;
+        let a = RootCause::default().analyze(&log, &[web, tier("app", 128)]);
+        assert_eq!(
+            a.drop_site_histogram(),
+            vec![("0".to_string(), 1), ("1#2".to_string(), 2)]
+        );
     }
 }

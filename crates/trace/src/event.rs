@@ -7,6 +7,7 @@
 //! the flat list at export/analysis time; keeping the wire format flat keeps
 //! the hot-path record a single fixed-size push.
 
+use ntier_des::ids::{ReplicaId, TierId};
 use ntier_des::time::{SimDuration, SimTime};
 
 /// One timestamped occurrence within a request's life.
@@ -17,8 +18,11 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
 }
 
-/// What happened. Tier indices are `u8` (the paper's systems are 3–5 tiers;
-/// the engine caps well below 256) so the event stays 2 words.
+/// What happened. Call-graph coordinates are the `u8`-backed
+/// [`TierId`]/[`ReplicaId`] newtypes (the paper's systems are 3–5 tiers; the
+/// engine caps well below 256) so the event stays 2 words. Tier-site events
+/// carry the *replica* chosen by the tier's load balancer, which is what lets
+/// the analyzer attribute a VLRT to one hot replica behind a balanced front.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEventKind {
     /// A client (re)issued this logical request; `attempt` is 0 for the
@@ -26,27 +30,41 @@ pub enum TraceEventKind {
     ClientSend { attempt: u32 },
     /// A hedge backup was launched as attempt `attempt`.
     HedgeFire { attempt: u32 },
-    /// The message was admitted but parked in the tier's backlog
+    /// The message was admitted but parked in the replica's backlog
     /// (the accept queue); the wait ends at the next `ServiceStart`.
-    Enqueue { tier: u8 },
+    Enqueue { tier: TierId, replica: ReplicaId },
     /// A worker picked the request up at `tier` for its `visit`-th visit.
-    ServiceStart { tier: u8, visit: u16 },
+    ServiceStart {
+        tier: TierId,
+        replica: ReplicaId,
+        visit: u16,
+    },
     /// The visit's CPU demand finished at `tier`.
-    ServiceEnd { tier: u8, visit: u16 },
+    ServiceEnd {
+        tier: TierId,
+        replica: ReplicaId,
+        visit: u16,
+    },
     /// The connection attempt was dropped at `tier` (SYN queue overflow or
     /// injected fault). `retransmit_no` is the 0-based ordinal of the drop
     /// at this hop: drop #0 costs the 3 s RTO, #1 another 3 s (6 s total),
-    /// #2 another (9 s) under the RHEL 6 SYN schedule.
-    SynDrop { tier: u8, retransmit_no: u8 },
+    /// #2 another (9 s) under the RHEL 6 SYN schedule. Kernel retransmits
+    /// re-hit the same `replica` (L4 affinity), so a stalled replica shows a
+    /// drop ladder with one replica id.
+    SynDrop {
+        tier: TierId,
+        replica: ReplicaId,
+        retransmit_no: u8,
+    },
     /// An application-level hop retry was granted after a drop at `tier`.
-    AppRetry { tier: u8 },
+    AppRetry { tier: TierId },
     /// The attempt's caller timeout fired; `attempt` names which one.
     AttemptTimeout { attempt: u32 },
     /// A cancellation chase reaped the attempt's work at `tier`.
-    CancelReap { tier: u8 },
+    CancelReap { tier: TierId, replica: ReplicaId },
     /// The request was load-shed at `tier` (or by the client-side breaker
     /// when `tier` is the first hop and the send never entered the plant).
-    Shed { tier: u8 },
+    Shed { tier: TierId, replica: ReplicaId },
 }
 
 /// How the logical request ended.
@@ -94,13 +112,15 @@ impl RequestTrace {
         self.outcome == TerminalClass::Completed && self.latency >= threshold
     }
 
-    /// Iterates the SYN-drop events in time order.
-    pub fn syn_drops(&self) -> impl Iterator<Item = (SimTime, u8, u8)> + '_ {
+    /// Iterates the SYN-drop events in time order as
+    /// `(at, tier, replica, retransmit_no)`.
+    pub fn syn_drops(&self) -> impl Iterator<Item = (SimTime, TierId, ReplicaId, u8)> + '_ {
         self.events.iter().filter_map(|e| match e.kind {
             TraceEventKind::SynDrop {
                 tier,
+                replica,
                 retransmit_no,
-            } => Some((e.at, tier, retransmit_no)),
+            } => Some((e.at, tier, replica, retransmit_no)),
             _ => None,
         })
     }

@@ -5,17 +5,27 @@
 //! events, and `"M"` metadata records naming each request's track. Each
 //! logical request gets its own `tid`, so Perfetto renders one lane per
 //! request with its service spans and RTO waits laid out on the lane.
+//!
+//! Tier sites render replica-qualified (`app#2`) only for replicas past the
+//! first, so exports from single-replica topologies are byte-identical to
+//! the pre-replica format.
 
 use crate::analyzer::{Analysis, TierData};
 use crate::event::{RequestTrace, TraceEventKind};
 use crate::tracer::TraceLog;
+use ntier_des::ids::{site_label, ReplicaId, TierId};
 use std::fmt::Write as _;
 
-fn tier_label(names: &[String], tier: u8) -> String {
-    names
-        .get(tier as usize)
+fn tier_label(names: &[String], tier: TierId, replica: ReplicaId) -> String {
+    let base = names
+        .get(tier.index())
         .cloned()
-        .unwrap_or_else(|| format!("T{tier}"))
+        .unwrap_or_else(|| format!("T{tier}"));
+    if replica == ReplicaId::FIRST {
+        base
+    } else {
+        format!("{base}#{replica}")
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -80,12 +90,24 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
         t.outcome.as_str(),
         t.sampled
     ));
-    // Service spans: pair ServiceStart/ServiceEnd by (tier, visit).
+    // Service spans: pair ServiceStart/ServiceEnd by (tier, replica, visit).
     for (i, ev) in t.events.iter().enumerate() {
-        if let TraceEventKind::ServiceStart { tier, visit } = ev.kind {
+        if let TraceEventKind::ServiceStart {
+            tier,
+            replica,
+            visit,
+        } = ev.kind
+        {
             let end = t.events[i + 1..]
                 .iter()
-                .find(|e| e.kind == TraceEventKind::ServiceEnd { tier, visit })
+                .find(|e| {
+                    e.kind
+                        == TraceEventKind::ServiceEnd {
+                            tier,
+                            replica,
+                            visit,
+                        }
+                })
                 .map(|e| e.at)
                 .unwrap_or(t.terminal_at);
             json.push(format!(
@@ -93,7 +115,7 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
                  \"cat\":\"service\",\"name\":\"{} v{}\"}}",
                 ev.at.as_micros(),
                 end.saturating_since(ev.at).as_micros(),
-                escape(&tier_label(tier_names, tier)),
+                escape(&tier_label(tier_names, tier, replica)),
                 visit
             ));
         }
@@ -104,6 +126,7 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
         match ev.kind {
             TraceEventKind::SynDrop {
                 tier,
+                replica,
                 retransmit_no,
             } => {
                 let resume = t.events[i + 1..]
@@ -115,13 +138,13 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
                     "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{},\
                      \"cat\":\"rto\",\"name\":\"rto wait {} #{}\"}}",
                     resume.saturating_since(ev.at).as_micros(),
-                    escape(&tier_label(tier_names, tier)),
+                    escape(&tier_label(tier_names, tier, replica)),
                     retransmit_no
                 ));
                 json.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
                      \"cat\":\"drop\",\"name\":\"syn_drop {} #{}\"}}",
-                    escape(&tier_label(tier_names, tier)),
+                    escape(&tier_label(tier_names, tier, replica)),
                     retransmit_no
                 ));
             }
@@ -137,18 +160,18 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
                      \"cat\":\"hedge\",\"name\":\"hedge_fire #{attempt}\"}}"
                 ));
             }
-            TraceEventKind::Enqueue { tier } => {
+            TraceEventKind::Enqueue { tier, replica } => {
                 json.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
                      \"cat\":\"queue\",\"name\":\"enqueue {}\"}}",
-                    escape(&tier_label(tier_names, tier))
+                    escape(&tier_label(tier_names, tier, replica))
                 ));
             }
             TraceEventKind::AppRetry { tier } => {
                 json.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
                      \"cat\":\"retry\",\"name\":\"app retry {}\"}}",
-                    escape(&tier_label(tier_names, tier))
+                    escape(&tier_label(tier_names, tier, ReplicaId::FIRST))
                 ));
             }
             TraceEventKind::AttemptTimeout { attempt } => {
@@ -157,18 +180,18 @@ fn emit_trace(json: &mut JsonEvents, t: &RequestTrace, tier_names: &[String]) {
                      \"cat\":\"timeout\",\"name\":\"attempt_timeout #{attempt}\"}}"
                 ));
             }
-            TraceEventKind::CancelReap { tier } => {
+            TraceEventKind::CancelReap { tier, replica } => {
                 json.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
                      \"cat\":\"cancel\",\"name\":\"cancel_reap {}\"}}",
-                    escape(&tier_label(tier_names, tier))
+                    escape(&tier_label(tier_names, tier, replica))
                 ));
             }
-            TraceEventKind::Shed { tier } => {
+            TraceEventKind::Shed { tier, replica } => {
                 json.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
                      \"cat\":\"shed\",\"name\":\"shed {}\"}}",
-                    escape(&tier_label(tier_names, tier))
+                    escape(&tier_label(tier_names, tier, replica))
                 ));
             }
             _ => {}
@@ -190,32 +213,45 @@ pub fn chrome_trace_json(log: &TraceLog, tier_names: &[String]) -> String {
     json.finish()
 }
 
-/// Flat per-event CSV over the retained log.
+/// Flat per-event CSV over the retained log. The `tier` column is the
+/// [`site_label`] coordinate ("1", "1#2") or `-1` for client-side events,
+/// so replica-0 rows match the pre-replica integer column exactly.
 pub fn events_csv(log: &TraceLog) -> String {
     let mut out =
         String::from("trace_id,class,outcome,latency_us,sampled,at_us,kind,tier,ordinal\n");
+    let site = |t: TierId, r: ReplicaId| site_label(t, r);
+    let client = || "-1".to_string();
     for t in &log.traces {
         for ev in &t.events {
             let (kind, tier, ordinal) = match ev.kind {
-                TraceEventKind::ClientSend { attempt } => ("client_send", -1i64, attempt as i64),
-                TraceEventKind::HedgeFire { attempt } => ("hedge_fire", -1, attempt as i64),
-                TraceEventKind::Enqueue { tier } => ("enqueue", tier as i64, -1),
-                TraceEventKind::ServiceStart { tier, visit } => {
-                    ("service_start", tier as i64, visit as i64)
-                }
-                TraceEventKind::ServiceEnd { tier, visit } => {
-                    ("service_end", tier as i64, visit as i64)
-                }
+                TraceEventKind::ClientSend { attempt } => ("client_send", client(), attempt as i64),
+                TraceEventKind::HedgeFire { attempt } => ("hedge_fire", client(), attempt as i64),
+                TraceEventKind::Enqueue { tier, replica } => ("enqueue", site(tier, replica), -1),
+                TraceEventKind::ServiceStart {
+                    tier,
+                    replica,
+                    visit,
+                } => ("service_start", site(tier, replica), visit as i64),
+                TraceEventKind::ServiceEnd {
+                    tier,
+                    replica,
+                    visit,
+                } => ("service_end", site(tier, replica), visit as i64),
                 TraceEventKind::SynDrop {
                     tier,
+                    replica,
                     retransmit_no,
-                } => ("syn_drop", tier as i64, retransmit_no as i64),
-                TraceEventKind::AppRetry { tier } => ("app_retry", tier as i64, -1),
-                TraceEventKind::AttemptTimeout { attempt } => {
-                    ("attempt_timeout", -1, attempt as i64)
+                } => ("syn_drop", site(tier, replica), retransmit_no as i64),
+                TraceEventKind::AppRetry { tier } => {
+                    ("app_retry", site(tier, ReplicaId::FIRST), -1)
                 }
-                TraceEventKind::CancelReap { tier } => ("cancel_reap", tier as i64, -1),
-                TraceEventKind::Shed { tier } => ("shed", tier as i64, -1),
+                TraceEventKind::AttemptTimeout { attempt } => {
+                    ("attempt_timeout", client(), attempt as i64)
+                }
+                TraceEventKind::CancelReap { tier, replica } => {
+                    ("cancel_reap", site(tier, replica), -1)
+                }
+                TraceEventKind::Shed { tier, replica } => ("shed", site(tier, replica), -1),
             };
             let _ = writeln!(
                 out,
@@ -232,13 +268,19 @@ pub fn events_csv(log: &TraceLog) -> String {
     out
 }
 
-/// Per-step CSV over an analysis: one row per attributed 3 s step.
+/// Per-step CSV over an analysis: one row per attributed 3 s step. Drop
+/// and culprit sites carry a `#replica` suffix when they name a specific
+/// replica of a replica set.
 pub fn chains_csv(analysis: &Analysis, tiers: &[TierData]) -> String {
-    let name = |i: usize| {
-        tiers
+    let name = |i: usize, r: Option<ReplicaId>| {
+        let base = tiers
             .get(i)
             .map(|t| t.name.clone())
-            .unwrap_or_else(|| format!("T{i}"))
+            .unwrap_or_else(|| format!("T{i}"));
+        match r {
+            Some(r) if r != ReplicaId::FIRST => format!("{base}#{r}"),
+            _ => base,
+        }
     };
     let mut out = String::from(
         "trace_id,class,outcome,latency_us,step,drop_tier,drop_at_us,window,\
@@ -249,7 +291,7 @@ pub fn chains_csv(analysis: &Analysis, tiers: &[TierData]) -> String {
             let (ck, ct, cw, cs) = match &s.culprit {
                 Some(c) => (
                     c.kind.as_str().to_string(),
-                    name(c.tier),
+                    name(c.tier, c.replica),
                     c.window as i64,
                     c.score,
                 ),
@@ -262,7 +304,7 @@ pub fn chains_csv(analysis: &Analysis, tiers: &[TierData]) -> String {
                 chain.class,
                 chain.outcome.as_str(),
                 chain.latency.as_micros(),
-                name(s.tier),
+                name(s.tier, Some(s.replica)),
                 s.drop_at.as_micros(),
                 s.window,
                 s.retransmit_no,
@@ -280,6 +322,10 @@ mod tests {
     use ntier_des::time::{SimDuration, SimTime};
 
     fn sample_log() -> TraceLog {
+        sample_log_at(ReplicaId(0))
+    }
+
+    fn sample_log_at(replica: ReplicaId) -> TraceLog {
         let t = RequestTrace {
             id: 4,
             class: "browse",
@@ -296,17 +342,26 @@ mod tests {
                 TraceEvent {
                     at: SimTime::from_millis(101),
                     kind: TraceEventKind::SynDrop {
-                        tier: 1,
+                        tier: TierId(1),
+                        replica,
                         retransmit_no: 0,
                     },
                 },
                 TraceEvent {
                     at: SimTime::from_millis(3_101),
-                    kind: TraceEventKind::ServiceStart { tier: 1, visit: 0 },
+                    kind: TraceEventKind::ServiceStart {
+                        tier: TierId(1),
+                        replica,
+                        visit: 0,
+                    },
                 },
                 TraceEvent {
                     at: SimTime::from_millis(3_150),
-                    kind: TraceEventKind::ServiceEnd { tier: 1, visit: 0 },
+                    kind: TraceEventKind::ServiceEnd {
+                        tier: TierId(1),
+                        replica,
+                        visit: 0,
+                    },
                 },
             ],
         };
@@ -343,12 +398,26 @@ mod tests {
     }
 
     #[test]
+    fn chrome_json_qualifies_nonzero_replicas() {
+        let json = chrome_trace_json(&sample_log_at(ReplicaId(2)), &names());
+        assert!(json.contains("\"name\":\"app#2 v0\""), "{json}");
+        assert!(json.contains("syn_drop app#2 #0"), "{json}");
+    }
+
+    #[test]
     fn events_csv_has_one_row_per_event() {
         let csv = events_csv(&sample_log());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[0].starts_with("trace_id,"));
-        assert!(lines[2].contains("syn_drop"));
+        assert!(lines[2].contains("syn_drop,1,0"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn events_csv_site_labels_nonzero_replicas() {
+        let csv = events_csv(&sample_log_at(ReplicaId(1)));
+        assert!(csv.contains("syn_drop,1#1,0"), "{csv}");
+        assert!(csv.contains("service_start,1#1,0"), "{csv}");
     }
 
     #[test]

@@ -127,13 +127,28 @@ impl Default for TraceSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ntier_des::ids::{ReplicaId, TierId};
 
     #[test]
     fn begin_record_end_roundtrip() {
         let sink = TraceSink::new();
         sink.begin(7, "burst");
-        sink.record(7, TraceEventKind::ServiceStart { tier: 0, visit: 0 });
-        sink.record(7, TraceEventKind::ServiceEnd { tier: 0, visit: 0 });
+        sink.record(
+            7,
+            TraceEventKind::ServiceStart {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+                visit: 0,
+            },
+        );
+        sink.record(
+            7,
+            TraceEventKind::ServiceEnd {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+                visit: 0,
+            },
+        );
         sink.end(7, TerminalClass::Completed);
         let log = sink.log();
         assert_eq!(log.traces.len(), 1);
@@ -146,7 +161,13 @@ mod tests {
     #[test]
     fn unknown_ids_and_unfinished_requests_are_tolerated() {
         let sink = TraceSink::new();
-        sink.record(99, TraceEventKind::Enqueue { tier: 1 }); // never began
+        sink.record(
+            99,
+            TraceEventKind::Enqueue {
+                tier: TierId(1),
+                replica: ReplicaId(0),
+            },
+        ); // never began
         sink.begin(1, "burst"); // never ends
         sink.begin(2, "burst");
         sink.end(2, TerminalClass::Shed);

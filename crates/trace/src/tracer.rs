@@ -387,6 +387,7 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ntier_des::ids::{ReplicaId, TierId};
 
     fn rng() -> SimRng {
         SimRng::seed_from(7).fork("trace-sample")
@@ -401,7 +402,14 @@ mod tests {
         let mut tr = Tracer::new(TraceConfig::disabled(), rng());
         let h = tr.start(t(0), "browse");
         assert_eq!(h, TRACE_NONE);
-        tr.record(h, t(1), TraceEventKind::Enqueue { tier: 0 });
+        tr.record(
+            h,
+            t(1),
+            TraceEventKind::Enqueue {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+            },
+        );
         tr.set_terminal(
             h,
             t(2),
@@ -441,7 +449,8 @@ mod tests {
             slow,
             t(10),
             TraceEventKind::SynDrop {
-                tier: 1,
+                tier: TierId(1),
+                replica: ReplicaId(0),
                 retransmit_no: 0,
             },
         );
@@ -481,7 +490,14 @@ mod tests {
         );
         tr.release(h);
         assert_eq!(tr.ring.len(), 0, "still one holder");
-        tr.record(h, t(12), TraceEventKind::CancelReap { tier: 2 });
+        tr.record(
+            h,
+            t(12),
+            TraceEventKind::CancelReap {
+                tier: TierId(2),
+                replica: ReplicaId(0),
+            },
+        );
         tr.release(h);
         assert_eq!(tr.ring.len(), 1);
         let log = tr.into_log().expect("enabled");
@@ -493,9 +509,32 @@ mod tests {
     fn events_are_time_sorted_with_stable_ties() {
         let mut tr = Tracer::new(TraceConfig::always(), rng());
         let h = tr.start(t(0), "browse");
-        tr.record(h, t(20), TraceEventKind::ServiceStart { tier: 1, visit: 0 });
-        tr.record(h, t(5), TraceEventKind::Enqueue { tier: 0 });
-        tr.record(h, t(5), TraceEventKind::ServiceStart { tier: 0, visit: 0 });
+        tr.record(
+            h,
+            t(20),
+            TraceEventKind::ServiceStart {
+                tier: TierId(1),
+                replica: ReplicaId(0),
+                visit: 0,
+            },
+        );
+        tr.record(
+            h,
+            t(5),
+            TraceEventKind::Enqueue {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+            },
+        );
+        tr.record(
+            h,
+            t(5),
+            TraceEventKind::ServiceStart {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+                visit: 0,
+            },
+        );
         tr.set_terminal(
             h,
             t(30),
@@ -506,14 +545,28 @@ mod tests {
         let log = tr.into_log().expect("enabled");
         let ev = &log.traces[0].events;
         assert_eq!(ev[0].at, t(0));
-        assert_eq!(ev[1].kind, TraceEventKind::Enqueue { tier: 0 });
+        assert_eq!(
+            ev[1].kind,
+            TraceEventKind::Enqueue {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+            }
+        );
         assert_eq!(
             ev[2].kind,
-            TraceEventKind::ServiceStart { tier: 0, visit: 0 }
+            TraceEventKind::ServiceStart {
+                tier: TierId(0),
+                replica: ReplicaId(0),
+                visit: 0,
+            }
         );
         assert_eq!(
             ev[3].kind,
-            TraceEventKind::ServiceStart { tier: 1, visit: 0 }
+            TraceEventKind::ServiceStart {
+                tier: TierId(1),
+                replica: ReplicaId(0),
+                visit: 0,
+            }
         );
     }
 

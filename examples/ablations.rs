@@ -15,8 +15,10 @@
 //!
 //! Run with: `cargo run --release --example ablations`
 
+#![deny(deprecated)]
+
 use ntier_core::engine::{Engine, Workload};
-use ntier_core::{SystemConfig, TierConfig};
+use ntier_core::{SystemConfig, TierSpec, Topology};
 use ntier_des::prelude::*;
 use ntier_interference::StallSchedule;
 use ntier_net::RetransmitPolicy;
@@ -27,10 +29,10 @@ const RATE: f64 = 1_000.0;
 fn base_system(stall_ms: u64, web_threads: usize, backlog: usize) -> SystemConfig {
     let stalls =
         StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
-    SystemConfig::three_tier(
-        TierConfig::sync("Web", web_threads, backlog).with_stalls(stalls),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+    Topology::three_tier(
+        TierSpec::sync("Web", web_threads, backlog).with_stalls(stalls),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     )
 }
 

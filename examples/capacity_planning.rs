@@ -9,9 +9,11 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
+#![deny(deprecated)]
+
 use ntier_core::conditions::DynamicConditions;
 use ntier_core::engine::{Engine, Workload};
-use ntier_core::{SystemConfig, TierConfig};
+use ntier_core::{TierSpec, Topology};
 use ntier_des::prelude::*;
 use ntier_interference::StallSchedule;
 use ntier_workload::RequestMix;
@@ -19,12 +21,12 @@ use ntier_workload::RequestMix;
 const RATE: f64 = 1_000.0;
 const STALL: SimDuration = SimDuration::from_millis(600);
 
-fn verify(web: TierConfig, label: &str) -> u64 {
+fn verify(web: TierSpec, label: &str) -> u64 {
     let stalls = StallSchedule::at_marks([SimTime::from_secs(5)], STALL);
-    let sys = SystemConfig::three_tier(
+    let sys = Topology::three_tier(
         web.with_stalls(stalls),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     );
     let arrivals: Vec<SimTime> = (0..15_000).map(SimTime::from_millis).collect();
     let report = Engine::new(
@@ -63,27 +65,27 @@ fn main() {
     println!("\n-- verification by simulation (stall injected at t = 5 s) --");
     // Paper default: 150 threads + 128 backlog = 278 < 600 → drops.
     verify(
-        TierConfig::sync("Web", 150, 128),
+        TierSpec::sync("Web", 150, 128),
         "sync 150+128 = 278 (paper default)",
     );
     // The "RPC purist" fix: enough threads. 600+128 = 728 > 600+convoy.
     verify(
-        TierConfig::sync("Web", 640, 128),
+        TierSpec::sync("Web", 640, 128),
         "sync 640+128 = 768 (purist fix)",
     );
     // Slightly under-provisioned: the drain convoy still bites.
     verify(
-        TierConfig::sync("Web", 480, 128),
+        TierSpec::sync("Web", 480, 128),
         "sync 480+128 = 608 (cutting it close)",
     );
     // Event-driven front with the paper's LiteQDepth.
     verify(
-        TierConfig::asynchronous("Web", 65_535, 4),
+        TierSpec::asynchronous("Web", 65_535, 4),
         "async LiteQDepth 65535 (Nginx-style)",
     );
     // Event-driven but under-provisioned: bounded stages drop too.
     verify(
-        TierConfig::asynchronous("Web", 500, 4),
+        TierSpec::asynchronous("Web", 500, 4),
         "async LiteQDepth 500 (too small!)",
     );
 

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example deep_chains`
 
+#![deny(deprecated)]
+
 use ntier_core::experiment;
 use ntier_runner::{default_threads, sweep};
 

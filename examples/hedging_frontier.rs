@@ -9,6 +9,8 @@
 //! cargo run --release --example hedging_frontier
 //! ```
 
+#![deny(deprecated)]
+
 use ntier_core::experiment::{hedging_frontier, HedgingLoad, HedgingVariant};
 use ntier_des::time::SimDuration;
 

@@ -9,9 +9,11 @@
 //!
 //! Run with: `cargo run --release --example live_testbed`
 
+#![deny(deprecated)]
+
 use std::time::Duration;
 
-use ntier_live::chain::{ChainBuilder, TierSpec};
+use ntier_live::chain::{ChainBuilder, LiveTier};
 use ntier_live::harness::fire_burst_with_rto;
 use ntier_live::stall::StallGate;
 
@@ -24,16 +26,16 @@ fn run(label: &str, sync: bool) {
     let builder = ChainBuilder::new(RTO);
     let chain = if sync {
         builder
-            .tier(TierSpec::sync("web", 2, 2, SERVICE))
-            .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
-            .tier(TierSpec::sync("db", 2, 2, SERVICE))
+            .tier(LiveTier::sync("web", 2, 2, SERVICE))
+            .tier(LiveTier::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::sync("db", 2, 2, SERVICE))
             .build()
             .expect("spawn chain")
     } else {
         builder
-            .tier(TierSpec::asynchronous("web", 4_096, 2, SERVICE))
-            .tier(TierSpec::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
-            .tier(TierSpec::asynchronous("db", 4_096, 2, SERVICE))
+            .tier(LiveTier::asynchronous("web", 4_096, 2, SERVICE))
+            .tier(LiveTier::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
+            .tier(LiveTier::asynchronous("db", 4_096, 2, SERVICE))
             .build()
             .expect("spawn chain")
     };

@@ -6,6 +6,8 @@
 //! cargo run --example retry_storm_probe
 //! ```
 
+#![deny(deprecated)]
+
 use ntier_core::experiment::{retry_storm, RetryStormVariant};
 
 fn main() {

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --example servlet_transformation`
 
+#![deny(deprecated)]
+
 use ntier_core::servlet::{run_sync, AsyncServlet, EventQueue, MapDatabase};
 
 fn main() {

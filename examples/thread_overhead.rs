@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example thread_overhead`
 
+#![deny(deprecated)]
+
 use ntier_core::experiment::{self, FIG12_CONCURRENCIES};
 use ntier_telemetry::render;
 

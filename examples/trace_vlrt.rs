@@ -13,6 +13,8 @@
 //!
 //! [`RootCause`]: ntier_trace::RootCause
 
+#![deny(deprecated)]
+
 use ntier_core::experiment;
 use ntier_trace::{chrome_trace_json, RootCause};
 

@@ -5,6 +5,8 @@
 //! All presets are fanned across the deterministic parallel runner — the
 //! printed numbers are identical to serial runs for every worker count.
 
+#![deny(deprecated)]
+
 use ntier_core::analysis;
 use ntier_core::experiment as exp;
 use ntier_des::prelude::*;

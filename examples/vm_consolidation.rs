@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example vm_consolidation`
 
+#![deny(deprecated)]
+
 use ntier_bench::{figure_seconds, print_timeline, series_second_sums};
 use ntier_core::experiment;
 

@@ -1,8 +1,10 @@
 //! Assertion-backed versions of the ablation sweeps: the CTQO mechanism
 //! responds to each design knob exactly as the theory says.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::engine::{Engine, Workload};
-use ntier_repro::core::{RunReport, SystemConfig, TierConfig};
+use ntier_repro::core::{RunReport, SystemConfig, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
 use ntier_repro::net::RetransmitPolicy;
@@ -14,10 +16,10 @@ fn system(stall_ms: u64, web_threads: usize, backlog: usize) -> SystemConfig {
     } else {
         StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms))
     };
-    SystemConfig::three_tier(
-        TierConfig::sync("Web", web_threads, backlog).with_stalls(stalls),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+    Topology::three_tier(
+        TierSpec::sync("Web", web_threads, backlog).with_stalls(stalls),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     )
 }
 
@@ -125,7 +127,7 @@ fn dvfs_slowdown_is_a_millibottleneck_too() {
     let dip = DvfsSlowdown::new(0.1, SimDuration::from_millis(1))
         .over(SimTime::from_secs(5), SimDuration::from_millis(700));
     let mut sys = system(0, 150, 128);
-    sys.tiers[0] = TierConfig::sync("Web", 150, 128);
+    sys.tiers[0] = TierSpec::sync("Web", 150, 128);
     sys.tiers[1] = sys.tiers[1].clone().with_stalls(dip);
     let r = run(sys, RetransmitPolicy::default());
     assert!(r.drops_total > 0, "{}", r.summary());
@@ -139,10 +141,10 @@ fn async_front_is_immune_to_any_of_these_knobs() {
     for stall_ms in [400u64, 800, 1_600] {
         let stalls =
             StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(stall_ms));
-        let sys = SystemConfig::three_tier(
-            TierConfig::asynchronous("Web", 65_535, 4).with_stalls(stalls),
-            TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-            TierConfig::sync("Db", 4_000, 4_000),
+        let sys = Topology::three_tier(
+            TierSpec::asynchronous("Web", 65_535, 4).with_stalls(stalls),
+            TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+            TierSpec::sync("Db", 4_000, 4_000),
         );
         let r = run(sys, RetransmitPolicy::default());
         assert_eq!(
@@ -161,18 +163,18 @@ fn bounded_lightweight_queues_drop_too() {
     // exceeds it — LiteQDepth must actually cover λ·d. 1000 req/s × 0.8 s
     // = 800 > 300.
     let stalls = StallSchedule::at_marks([SimTime::from_secs(5)], SimDuration::from_millis(800));
-    let bounded = SystemConfig::three_tier(
-        TierConfig::asynchronous("Web", 300, 4).with_stalls(stalls.clone()),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+    let bounded = Topology::three_tier(
+        TierSpec::asynchronous("Web", 300, 4).with_stalls(stalls.clone()),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     );
     let r = run(bounded, RetransmitPolicy::default());
     assert!(r.tiers[0].drops_total > 0, "{}", r.summary());
     // the paper-sized queue absorbs the same stall
-    let roomy = SystemConfig::three_tier(
-        TierConfig::asynchronous("Web", 65_535, 4).with_stalls(stalls),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+    let roomy = Topology::three_tier(
+        TierSpec::asynchronous("Web", 65_535, 4).with_stalls(stalls),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     );
     let r = run(roomy, RetransmitPolicy::default());
     assert_eq!(r.tiers[0].drops_total, 0, "{}", r.summary());

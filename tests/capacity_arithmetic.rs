@@ -6,9 +6,11 @@
 //! configuration and check the simulation agrees with the closed form —
 //! including the no-drop side of the threshold.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::conditions::DynamicConditions;
 use ntier_repro::core::engine::{Engine, Workload};
-use ntier_repro::core::{SystemConfig, TierConfig};
+use ntier_repro::core::{SystemConfig, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
 use ntier_repro::workload::{PoissonProcess, RequestMix};
@@ -17,10 +19,10 @@ use ntier_repro::workload::{PoissonProcess, RequestMix};
 /// tier's capacity matters).
 fn system_with_web_stall(stall: SimDuration) -> SystemConfig {
     let stalls = StallSchedule::at_marks([SimTime::from_secs(5)], stall);
-    SystemConfig::three_tier(
-        TierConfig::sync("Web", 150, 128).with_stalls(stalls),
-        TierConfig::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
-        TierConfig::sync("Db", 4_000, 4_000),
+    Topology::three_tier(
+        TierSpec::sync("Web", 150, 128).with_stalls(stalls),
+        TierSpec::sync("App", 4_000, 4_000).with_downstream_pool(4_000),
+        TierSpec::sync("Db", 4_000, 4_000),
     )
 }
 

@@ -2,8 +2,10 @@
 //! workload, burstiness or stall layout, requests are conserved and the
 //! accounting stays coherent.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::engine::{Engine, Workload};
-use ntier_repro::core::{SystemConfig, TierConfig};
+use ntier_repro::core::{SystemConfig, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
 use ntier_repro::resilience::{
@@ -13,13 +15,13 @@ use ntier_repro::resilience::{
 use ntier_repro::workload::{BurstSchedule, ClosedLoopSpec, RequestMix};
 use proptest::prelude::*;
 
-fn arb_tier(name: &'static str) -> impl Strategy<Value = TierConfig> {
+fn arb_tier(name: &'static str) -> impl Strategy<Value = TierSpec> {
     (any::<bool>(), 1usize..12, 0usize..8, 1usize..40).prop_map(
         move |(is_async, threads, backlog, lite_q)| {
             if is_async {
-                TierConfig::asynchronous(name, lite_q * 8, 2)
+                TierSpec::asynchronous(name, lite_q * 8, 2)
             } else {
-                TierConfig::sync(name, threads, backlog)
+                TierSpec::sync(name, threads, backlog)
             }
         },
     )
@@ -45,7 +47,7 @@ fn arb_system() -> impl Strategy<Value = SystemConfig> {
                     SimTime::from_millis(s * 100 + d),
                 )
             }));
-            let mut sys = SystemConfig::three_tier(web, app.with_stalls(schedule), db);
+            let mut sys = Topology::three_tier(web, app.with_stalls(schedule), db);
             sys.tiers[0] = sys.tiers[0].clone();
             sys
         })
@@ -302,10 +304,10 @@ proptest! {
     fn seeded_determinism(seed in any::<u64>()) {
         let mk = |s| {
             Engine::new(
-                SystemConfig::three_tier(
-                    TierConfig::sync("Web", 3, 2),
-                    TierConfig::sync("App", 3, 2).with_downstream_pool(2),
-                    TierConfig::sync("Db", 3, 2),
+                Topology::three_tier(
+                    TierSpec::sync("Web", 3, 2),
+                    TierSpec::sync("App", 3, 2).with_downstream_pool(2),
+                    TierSpec::sync("Db", 3, 2),
                 ),
                 Workload::Closed {
                     spec: ClosedLoopSpec::rubbos(30),
@@ -330,12 +332,12 @@ fn vlrt_counts_are_consistent() {
     // vlrt_total == histogram count above 3 s == windowed completion sum
     let stall = StallSchedule::at_marks([SimTime::from_secs(2)], SimDuration::from_millis(800));
     let report = Engine::new(
-        SystemConfig::three_tier(
-            TierConfig::sync("Web", 6, 4),
-            TierConfig::sync("App", 6, 4)
+        Topology::three_tier(
+            TierSpec::sync("Web", 6, 4),
+            TierSpec::sync("App", 6, 4)
                 .with_downstream_pool(4)
                 .with_stalls(stall),
-            TierConfig::sync("Db", 6, 4),
+            TierSpec::sync("Db", 6, 4),
         ),
         Workload::Open {
             arrivals: (0..600)

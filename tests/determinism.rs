@@ -5,8 +5,10 @@
 //! landed. Seeded runs must keep reproducing them bit-for-bit: the hot-path
 //! work is pure mechanics, not a model change.
 
+#![deny(deprecated)]
+
 use ntier_core::engine::{Engine, Workload};
-use ntier_core::{experiment, SystemConfig, TierConfig};
+use ntier_core::{experiment, TierSpec, Topology};
 use ntier_des::prelude::*;
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
@@ -45,10 +47,10 @@ fn fingerprint(r: &ntier_core::RunReport) -> Golden {
 }
 
 fn closed_50(seed: u64) -> ntier_core::RunReport {
-    let system = SystemConfig::three_tier(
-        TierConfig::sync("Web", 4, 2),
-        TierConfig::sync("App", 4, 2).with_downstream_pool(2),
-        TierConfig::sync("Db", 4, 2),
+    let system = Topology::three_tier(
+        TierSpec::sync("Web", 4, 2),
+        TierSpec::sync("App", 4, 2).with_downstream_pool(2),
+        TierSpec::sync("Db", 4, 2),
     );
     let workload = Workload::Closed {
         spec: ClosedLoopSpec::rubbos(50),

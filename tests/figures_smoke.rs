@@ -2,6 +2,8 @@
 //! asserting the headline property of each figure. These are the slowest
 //! tests in the suite; each runs one full experiment.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::analysis::{self, CtqoClass};
 use ntier_repro::core::experiment as exp;
 use ntier_repro::des::prelude::*;

@@ -3,9 +3,11 @@
 //! Runs the live (wall-clock, OS-thread) chains and checks that the drop
 //! site moves exactly as the simulator — and the paper — say it should.
 
+#![deny(deprecated)]
+
 use std::time::Duration;
 
-use ntier_repro::live::chain::{ChainBuilder, TierSpec};
+use ntier_repro::live::chain::{ChainBuilder, LiveTier};
 use ntier_repro::live::harness::fire_burst_with_rto;
 use ntier_repro::live::stall::StallGate;
 
@@ -30,9 +32,9 @@ fn stall_and_burst(
 fn live_sync_chain_exhibits_upstream_ctqo() {
     let gate = StallGate::new();
     let chain = ChainBuilder::new(RTO)
-        .tier(TierSpec::sync("web", 2, 2, SERVICE))
-        .tier(TierSpec::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
-        .tier(TierSpec::sync("db", 2, 2, SERVICE))
+        .tier(LiveTier::sync("web", 2, 2, SERVICE))
+        .tier(LiveTier::sync("app", 2, 2, SERVICE).with_gate(gate.clone()))
+        .tier(LiveTier::sync("db", 2, 2, SERVICE))
         .build()
         .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 20);
@@ -50,9 +52,9 @@ fn live_sync_chain_exhibits_upstream_ctqo() {
 fn live_async_chain_absorbs_the_same_stall() {
     let gate = StallGate::new();
     let chain = ChainBuilder::new(RTO)
-        .tier(TierSpec::asynchronous("web", 4_096, 2, SERVICE))
-        .tier(TierSpec::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
-        .tier(TierSpec::asynchronous("db", 4_096, 2, SERVICE))
+        .tier(LiveTier::asynchronous("web", 4_096, 2, SERVICE))
+        .tier(LiveTier::asynchronous("app", 4_096, 2, SERVICE).with_gate(gate.clone()))
+        .tier(LiveTier::asynchronous("db", 4_096, 2, SERVICE))
         .build()
         .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 20);
@@ -68,14 +70,14 @@ fn live_nx1_pushes_drops_downstream() {
     // stalled sync tier — the paper's NX=1 result on real threads.
     let gate = StallGate::new();
     let chain = ChainBuilder::new(RTO)
-        .tier(TierSpec::asynchronous(
+        .tier(LiveTier::asynchronous(
             "web",
             4_096,
             4,
             Duration::from_micros(50),
         ))
-        .tier(TierSpec::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
-        .tier(TierSpec::sync("db", 2, 4, SERVICE))
+        .tier(LiveTier::sync("app", 1, 2, Duration::from_millis(1)).with_gate(gate.clone()))
+        .tier(LiveTier::sync("db", 2, 4, SERVICE))
         .build()
         .expect("spawn chain");
     let outcome = stall_and_burst(&chain, &gate, 24);

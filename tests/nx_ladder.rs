@@ -5,6 +5,8 @@
 //! debug-build test stays fast while crossing every `MaxSysQDepth`
 //! threshold: 286 req/s × 1.6 s ≈ 457 arrivals > 428 ≥ 293 ≥ 278 ≥ 228.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::analysis::{self, CtqoClass};
 use ntier_repro::core::engine::{Engine, Workload};
 use ntier_repro::core::{presets, RunReport, SystemConfig};

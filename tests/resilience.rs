@@ -4,9 +4,11 @@
 //! with request conservation (including the shed/failed classes) holding in
 //! every arm.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::engine::{Engine, Workload};
 use ntier_repro::core::experiment::{retry_storm, RetryStormVariant};
-use ntier_repro::core::{RunReport, SystemConfig, TierConfig};
+use ntier_repro::core::{RunReport, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::resilience::{BreakerConfig, CallerPolicy, FaultPlan, RetryBudget, RetryPolicy};
 use ntier_repro::workload::RequestMix;
@@ -128,10 +130,10 @@ fn crash_window_with_hardened_client_resolves_every_request() {
         hedge: None,
         cancel: None,
     };
-    let mut sys = SystemConfig::three_tier(
-        TierConfig::sync("Web", 8, 16),
-        TierConfig::sync("App", 8, 16).with_downstream_pool(8),
-        TierConfig::sync("Db", 8, 16),
+    let mut sys = Topology::three_tier(
+        TierSpec::sync("Web", 8, 16),
+        TierSpec::sync("App", 8, 16).with_downstream_pool(8),
+        TierSpec::sync("Db", 8, 16),
     )
     .with_client_policy(policy)
     .with_faults(FaultPlan::none().crash(1, SimTime::from_secs(1), SimTime::from_secs(3)));

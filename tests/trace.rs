@@ -14,9 +14,11 @@
 //!    is identical to the report with tracing off, and traced runs are
 //!    bit-identical whether the runner uses 1 thread or 8.
 
+#![deny(deprecated)]
+
 use ntier_repro::core::engine::{Engine, Workload};
 use ntier_repro::core::experiment as exp;
-use ntier_repro::core::{RunReport, SystemConfig, TierConfig};
+use ntier_repro::core::{RunReport, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::trace::{
     chrome_trace_json, CulpritKind, RootCause, TerminalClass, TraceConfig, TraceLog,
@@ -29,10 +31,10 @@ use proptest::prelude::*;
 /// into a tiny sync chain overflows the Web backlog, so the retransmitted
 /// wave lands 3 s (or 6/9 s) late — a handful of VLRT requests per run.
 fn traced_burst(seed: u64, trace: TraceConfig) -> RunReport {
-    let system = SystemConfig::three_tier(
-        TierConfig::sync("Web", 4, 2),
-        TierConfig::sync("App", 4, 2).with_downstream_pool(2),
-        TierConfig::sync("Db", 4, 2),
+    let system = Topology::three_tier(
+        TierSpec::sync("Web", 4, 2),
+        TierSpec::sync("App", 4, 2).with_downstream_pool(2),
+        TierSpec::sync("Db", 4, 2),
     )
     .with_trace(trace);
     let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 24)]);
@@ -65,11 +67,12 @@ proptest! {
 
         for chain in &analysis.chains {
             let trace = log.get(chain.trace_id).expect("chain has a trace");
-            let drops: Vec<(SimTime, u8, u8)> = trace.syn_drops().collect();
+            let drops: Vec<_> = trace.syn_drops().collect();
             prop_assert_eq!(chain.steps.len(), drops.len());
-            for (step, &(at, tier, ordinal)) in chain.steps.iter().zip(&drops) {
+            for (step, &(at, tier, replica, ordinal)) in chain.steps.iter().zip(&drops) {
                 prop_assert_eq!(step.drop_at, at);
-                prop_assert_eq!(step.tier, tier as usize);
+                prop_assert_eq!(step.tier, tier.index());
+                prop_assert_eq!(step.replica, replica);
                 prop_assert_eq!(step.retransmit_no, ordinal);
                 prop_assert_eq!(
                     step.window,
