@@ -1,0 +1,45 @@
+//! Closed-loop control plane for the n-tier CTQO study.
+//!
+//! The paper's tails emerge from millibottleneck interactions no operator
+//! sees in averages; PR 4's RootCause analyzer explains them post-hoc. This
+//! crate closes the loop: a deterministic controller observes per-replica
+//! telemetry at millibottleneck timescales and actuates back through the
+//! engine. Related work shows such loops are double-edged — reactive
+//! control at the right timescale damps tails, while scaling that ignores
+//! the load regime flips from helpful to harmful — so the same machinery
+//! must be able to express both the damping and the amplifying side of
+//! that frontier.
+//!
+//! Three actuators, all optional and independently configured:
+//!
+//! * [`AutoscalerConfig`] — replica autoscaling with a configurable
+//!   provisioning lag (capacity decided now arrives later) and
+//!   drain-before-remove semantics (a replica leaves the balancer's
+//!   eligible set first and is retired only once idle).
+//! * [`TunerConfig`] — policy auto-tuning: hedge delay re-targeted to a
+//!   recent latency quantile, AIMD admission bounds tightened or widened
+//!   as the observed p99 crosses thresholds.
+//! * [`GovernorConfig`] — an overload governor that detects retry-storm /
+//!   metastable onset (goodput falling while offered work rises, sustained
+//!   retransmit-ordinal growth) and brakes admission to force recovery.
+//!
+//! The crate is **pure and clock-agnostic**: [`Controller::tick`] maps an
+//! [`Observation`] to a list of [`Directive`]s and records a [`Decision`]
+//! for every action taken. The DES engine drives it step-synchronously
+//! from a `ControllerTick` event; the live harness drives the identical
+//! type from a wall-clock sampling thread. Determinism rules: the
+//! controller consumes randomness only from the `SimRng` fork handed to
+//! `tick` (the engine forks it as `"control"`), so controlled runs stay
+//! bit-identical across worker-pool sizes.
+
+pub mod config;
+pub mod controller;
+pub mod decision;
+pub mod observe;
+
+pub use config::{
+    AimdTuner, AutoscalerConfig, ControlConfig, GovernorConfig, HedgeTuner, TunerConfig,
+};
+pub use controller::{Controller, Directive};
+pub use decision::{Action, ControlLog, Decision};
+pub use observe::{Observation, ReplicaObs, TierObs};

@@ -291,6 +291,10 @@ pub struct SystemConfig {
     /// Per-request tracing; disabled by default (and strictly free on the
     /// engine hot path while disabled).
     pub trace: TraceConfig,
+    /// Closed-loop control plane (autoscaling, policy auto-tuning, overload
+    /// governor); `None` by default. Uncontrolled runs take exactly the
+    /// pre-control code paths, so their event streams stay bit-identical.
+    pub control: Option<ntier_control::ControlConfig>,
 }
 
 impl SystemConfig {
@@ -306,6 +310,7 @@ impl SystemConfig {
             hop_delay: SimDuration::from_micros(50),
             faults: FaultPlan::none(),
             trace: TraceConfig::disabled(),
+            control: None,
         }
     }
 
@@ -363,6 +368,33 @@ impl SystemConfig {
     /// Enables per-request tracing with the given config.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Installs a closed-loop control plane (see [`ntier_control`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the autoscaler, AIMD tuner, or governor targets a tier
+    /// outside the chain.
+    pub fn with_control(mut self, control: ntier_control::ControlConfig) -> Self {
+        let n = self.tiers.len();
+        if let Some(a) = &control.autoscaler {
+            assert!(a.tier < n, "autoscaler targets tier {} of {n}", a.tier);
+        }
+        if let Some(t) = &control.tuner {
+            if let Some(a) = &t.aimd {
+                assert!(a.tier < n, "AIMD tuner targets tier {} of {n}", a.tier);
+            }
+        }
+        if let Some(g) = &control.governor {
+            assert!(
+                g.brake_tier < n,
+                "governor brakes tier {} of {n}",
+                g.brake_tier
+            );
+        }
+        self.control = Some(control);
         self
     }
 

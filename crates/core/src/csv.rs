@@ -32,6 +32,10 @@ use crate::report::RunReport;
 /// * `trace_events.csv` — one row per retained span event;
 /// * `trace_chains.csv` — the root-cause analysis: one row per attributed
 ///   3 s step of every VLRT/failed trace, with the culprit window.
+///
+/// Controlled runs (`report.control` is `Some`) append
+/// `control_decisions.csv` — one row per controller decision with its
+/// timestamp, tier scope, action label and the evidence that justified it.
 pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
     let mut files = Vec::with_capacity(report.tiers.len() + 3);
 
@@ -168,6 +172,25 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
         files.push((
             "trace_chains.csv".to_string(),
             ntier_trace::chains_csv(&analysis, &tier_data),
+        ));
+    }
+
+    if let Some(log) = &report.control {
+        let rows: Vec<Vec<String>> = log
+            .decisions
+            .iter()
+            .map(|d| {
+                vec![
+                    (d.at.as_micros() as f64 / 1_000.0).to_string(),
+                    d.action.tier().map_or(String::new(), |t| t.to_string()),
+                    d.action.label(),
+                    d.reason.clone(),
+                ]
+            })
+            .collect();
+        files.push((
+            "control_decisions.csv".to_string(),
+            to_csv(&["at_ms", "tier", "action", "reason"], &rows),
         ));
     }
     files
@@ -392,6 +415,24 @@ mod tests {
                 .count() as u64,
             report.completed
         );
+    }
+
+    #[test]
+    fn controlled_run_appends_decision_file() {
+        use crate::experiment::{control_frontier, ControlVariant};
+        let report = control_frontier(ControlVariant::Damped, 7).run();
+        let bundle = csv_bundle(&report);
+        let (name, content) = bundle.last().expect("non-empty bundle");
+        assert_eq!(name, "control_decisions.csv");
+        assert_eq!(
+            content.lines().count(),
+            report.control.as_ref().unwrap().decisions.len() + 1,
+            "one row per decision plus the header"
+        );
+        assert!(content.contains("scale-up"), "{content}");
+        // Uncontrolled runs must not grow the bundle.
+        let base = csv_bundle(&control_frontier(ControlVariant::Uncontrolled, 7).run());
+        assert!(base.iter().all(|(n, _)| n != "control_decisions.csv"));
     }
 
     #[test]

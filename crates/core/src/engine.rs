@@ -60,6 +60,7 @@
 
 use std::collections::HashMap;
 
+use ntier_control::{Controller, Directive, Observation, ReplicaObs, TierObs};
 use ntier_des::prelude::*;
 use ntier_net::{Backlog, RetransmitState, RetryDecision};
 use ntier_resilience::{
@@ -67,11 +68,11 @@ use ntier_resilience::{
 };
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
-use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_telemetry::{HistogramSnapshot, LatencyHistogram, UtilizationSeries, WindowedSeries};
 use ntier_trace::{TerminalClass, TraceEventKind, TraceHandle, Tracer, TRACE_NONE};
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
-use crate::config::{SystemConfig, TierKind};
+use crate::config::{SystemConfig, TierKind, TierSpec};
 use crate::plan::Plan;
 use crate::report::{ClassReport, DropRecord, ReplicaReport, RunReport, TierReport};
 use crate::topology::Balancer;
@@ -185,6 +186,15 @@ enum Event {
     /// chase if the reply already raced past upstream.
     CancelArrive {
         req: ReqId,
+        tier: u8,
+    },
+    /// The control plane's step-synchronous tick. Scheduled only when the
+    /// run has a control config, so uncontrolled event streams (and their
+    /// golden fingerprints) stay byte-identical to the pre-control engine.
+    ControllerTick,
+    /// A provisioned replica's lag elapsed: it comes online at `tier` and
+    /// starts receiving balancer picks on the next fresh connection.
+    ReplicaReady {
         tier: u8,
     },
 }
@@ -377,6 +387,44 @@ enum TierState {
     Async(EventLoop),
 }
 
+/// Lifecycle of one replica under the control plane. Every replica of an
+/// uncontrolled run stays `Active` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaLife {
+    /// In the balancer's eligible set.
+    Active,
+    /// Removed from balancing but finishing its admitted work; kernel SYN
+    /// retransmits still land here (the L4 5-tuple pin outlives the drain).
+    Draining,
+    /// Drained to idle. Never picked again; a pinned retransmit that races
+    /// the retirement resolves to [`ReplicaGone`] and re-balances.
+    Retired,
+}
+
+/// A kernel SYN retransmit targeted a replica the control plane retired
+/// after the original drop (the L4 pin outlived the instance). The engine
+/// recovers by re-balancing the connection; this type exists so the
+/// condition is an inspectable error, never an invalid-index panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaGone {
+    /// Tier whose replica set no longer serves the pin.
+    pub tier: usize,
+    /// The retired replica index the retransmit targeted.
+    pub replica: usize,
+}
+
+impl std::fmt::Display for ReplicaGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retransmit pinned to retired replica {} of tier {}",
+            self.replica, self.tier
+        )
+    }
+}
+
+impl std::error::Error for ReplicaGone {}
+
 /// One instance of a (possibly replicated) tier: its own admission state,
 /// backlog, CPU, downstream connection pool and telemetry. An unreplicated
 /// tier is a [`NodeRuntime`] with exactly one `Replica`.
@@ -392,6 +440,7 @@ struct Replica {
     vlrt: WindowedSeries,
     drops_total: u64,
     peak_queue: usize,
+    life: ReplicaLife,
 }
 
 impl Replica {
@@ -416,6 +465,10 @@ impl Replica {
 #[derive(Debug)]
 struct NodeRuntime {
     replicas: Vec<Replica>,
+    /// Replicas currently draining or retired. While 0 — always, for
+    /// uncontrolled runs — `pick_replica` takes the exact pre-control code
+    /// paths, which keeps existing runs bit-identical.
+    inactive: usize,
     /// Round-robin cursor for [`Balancer::RoundRobin`].
     rr_next: u32,
     /// Dedicated stream for balancer policies that draw ([`Balancer::P2c`]).
@@ -443,6 +496,34 @@ enum Admit {
     Backlogged,
     /// The message was dropped.
     Dropped,
+}
+
+/// Everything the engine keeps per controlled run: the pure controller,
+/// its dedicated rng fork, and the previous tick's counter snapshots (the
+/// controller consumes per-window deltas, not run-to-date totals).
+#[derive(Debug)]
+struct ControlRuntime {
+    ctl: Controller,
+    /// The control plane's only randomness source (drain-victim
+    /// tie-breaks), forked off the run seed as `"control"`.
+    rng: SimRng,
+    tick: SimDuration,
+    /// The hedge tuner's quantile, when armed; read per tick from the
+    /// recent-window histogram delta.
+    hedge_q: Option<f64>,
+    prev_injected: u64,
+    prev_completed: u64,
+    prev_retries: u64,
+    prev_hedges: u64,
+    /// Per-tier, per-replica `drops_total` at the previous tick.
+    prev_drops: Vec<Vec<u64>>,
+    prev_shed: Vec<u64>,
+    /// Worst retransmit ordinal among this window's drops (1 = an original
+    /// send dropped, climbing values mean the 3/6/9 s ladder).
+    window_max_ordinal: u8,
+    /// Completion-histogram snapshot at the previous tick; quantile deltas
+    /// against it see only this window's completions.
+    hist_base: HistogramSnapshot,
 }
 
 /// The simulation engine for one run.
@@ -498,6 +579,13 @@ pub struct Engine {
     /// Per-request span recorder; every call is a no-op compare against
     /// [`TRACE_NONE`] when tracing is disabled.
     tracer: Tracer,
+    /// Closed-loop control plane state; `None` for uncontrolled runs.
+    control: Option<Box<ControlRuntime>>,
+    /// Per-tier admission ceiling installed by the overload governor
+    /// (`None` = unbraked).
+    governor_limit: Vec<Option<usize>>,
+    /// Controller-set hedge delay overriding the configured policy.
+    hedge_override: Option<SimDuration>,
 }
 
 impl Engine {
@@ -541,51 +629,17 @@ impl Engine {
         }
         let root = SimRng::seed_from(seed);
         let bal_root = root.fork("balancer");
-        let tiers = cfg
+        let tiers: Vec<NodeRuntime> = cfg
             .tiers
             .iter()
             .enumerate()
             .map(|(i, tc)| {
                 let replicas = (0..tc.replicas.max(1))
-                    .map(|r| {
-                        let stalls = StallTimeline::from_intervals(
-                            tc.stalls_for(r).intervals().iter().copied(),
-                        );
-                        let (state, backlog_cap) = match &tc.kind {
-                            TierKind::Sync {
-                                threads,
-                                backlog,
-                                max_processes,
-                                spawn_delay,
-                            } => (
-                                TierState::Sync(ProcessGroup::new(
-                                    *threads,
-                                    *max_processes,
-                                    *spawn_delay,
-                                )),
-                                *backlog,
-                            ),
-                            TierKind::Async {
-                                lite_q_depth,
-                                workers,
-                            } => (TierState::Async(EventLoop::new(*lite_q_depth, *workers)), 0),
-                        };
-                        Replica {
-                            state,
-                            backlog: Backlog::new(backlog_cap),
-                            cpu: CpuModel::new(tc.cores, stalls),
-                            conn_pool: tc.downstream_pool.map(ConnectionPool::new),
-                            util: UtilizationSeries::paper_default_for(tc.cores, horizon),
-                            queue_depth: WindowedSeries::paper_default_for(horizon),
-                            drops: WindowedSeries::paper_default_for(horizon),
-                            vlrt: WindowedSeries::paper_default_for(horizon),
-                            drops_total: 0,
-                            peak_queue: 0,
-                        }
-                    })
+                    .map(|r| Self::make_replica(tc, r, horizon))
                     .collect();
                 NodeRuntime {
                     replicas,
+                    inactive: 0,
                     rr_next: 0,
                     rng: bal_root.fork(&format!("node-{i}")),
                     hop_breaker: tc
@@ -616,6 +670,23 @@ impl Engine {
             .map(|b| TokenBucket::new(b, SimTime::ZERO));
         let trace_cfg = cfg.trace;
         let has_fanout = cfg.shape.has_fanout();
+        let latency = LatencyHistogram::paper_default();
+        let control = cfg.control.map(|c| {
+            Box::new(ControlRuntime {
+                rng: root.fork("control"),
+                tick: c.tick,
+                hedge_q: c.tuner.as_ref().and_then(|t| t.hedge.as_ref()).map(|h| h.q),
+                prev_injected: 0,
+                prev_completed: 0,
+                prev_retries: 0,
+                prev_hedges: 0,
+                prev_drops: tiers.iter().map(|n| vec![0; n.replicas.len()]).collect(),
+                prev_shed: vec![0; n_tiers],
+                window_max_ordinal: 0,
+                hist_base: latency.snapshot(),
+                ctl: Controller::new(c),
+            })
+        });
         Engine {
             cfg,
             workload,
@@ -633,7 +704,7 @@ impl Engine {
             events_handled: 0,
             rng_mix: root.fork("mix"),
             rng_clients: root.fork("clients"),
-            latency: LatencyHistogram::paper_default(),
+            latency,
             vlrt_by_completion: WindowedSeries::paper_default_for(horizon),
             injected: 0,
             completed: 0,
@@ -652,6 +723,44 @@ impl Engine {
             extra_hop: vec![SimDuration::ZERO; n_tiers],
             stuck_acquired: vec![0; n_faults],
             tracer: Tracer::new(trace_cfg, root.fork("trace-sample")),
+            control,
+            governor_limit: vec![None; n_tiers],
+            hedge_override: None,
+        }
+    }
+
+    /// Builds one replica instance of `tc` (replica index `r` selects its
+    /// stall schedule). Used for the initial set and for autoscaler
+    /// provisioning mid-run.
+    fn make_replica(tc: &TierSpec, r: usize, horizon: SimDuration) -> Replica {
+        let stalls = StallTimeline::from_intervals(tc.stalls_for(r).intervals().iter().copied());
+        let (state, backlog_cap) = match &tc.kind {
+            TierKind::Sync {
+                threads,
+                backlog,
+                max_processes,
+                spawn_delay,
+            } => (
+                TierState::Sync(ProcessGroup::new(*threads, *max_processes, *spawn_delay)),
+                *backlog,
+            ),
+            TierKind::Async {
+                lite_q_depth,
+                workers,
+            } => (TierState::Async(EventLoop::new(*lite_q_depth, *workers)), 0),
+        };
+        Replica {
+            state,
+            backlog: Backlog::new(backlog_cap),
+            cpu: CpuModel::new(tc.cores, stalls),
+            conn_pool: tc.downstream_pool.map(ConnectionPool::new),
+            util: UtilizationSeries::paper_default_for(tc.cores, horizon),
+            queue_depth: WindowedSeries::paper_default_for(horizon),
+            drops: WindowedSeries::paper_default_for(horizon),
+            vlrt: WindowedSeries::paper_default_for(horizon),
+            drops_total: 0,
+            peak_queue: 0,
+            life: ReplicaLife::Active,
         }
     }
 
@@ -700,6 +809,10 @@ impl Engine {
                 }
             }
         }
+        if let Some(cr) = &self.control {
+            self.queue
+                .push(SimTime::ZERO + cr.tick, Event::ControllerTick);
+        }
     }
 
     fn handle(&mut self, ev: Event) {
@@ -720,7 +833,134 @@ impl Engine {
             Event::HedgeFire { logical, lgen } => self.on_hedge_fire(logical, lgen),
             Event::LogicalDeadline { logical, lgen } => self.on_logical_deadline(logical, lgen),
             Event::CancelArrive { req, tier } => self.on_cancel_arrive(req, tier as usize),
+            Event::ControllerTick => self.on_controller_tick(),
+            Event::ReplicaReady { tier } => self.on_replica_ready(tier as usize),
         }
+    }
+
+    /// The control plane's step-synchronous tick: build the per-window
+    /// observation, run the pure controller, actuate its directives, and
+    /// retire drained replicas that reached idle. All control-plane
+    /// randomness comes from the dedicated `"control"` fork, so controlled
+    /// runs stay bit-identical across worker-thread counts and uncontrolled
+    /// runs never reach this path.
+    fn on_controller_tick(&mut self) {
+        let Some(mut cr) = self.control.take() else {
+            return;
+        };
+        let retries_now: u64 = self.tiers.iter().map(|t| t.res.retries).sum();
+        let hedges_now = self.tiers[0].res.hedges;
+        let mut tiers_obs = Vec::with_capacity(self.tiers.len());
+        for (t, node) in self.tiers.iter().enumerate() {
+            let replicas = node
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(r, rep)| ReplicaObs {
+                    depth: rep.depth(),
+                    draining: rep.life == ReplicaLife::Draining,
+                    retired: rep.life == ReplicaLife::Retired,
+                    drops_delta: rep.drops_total - cr.prev_drops[t][r],
+                })
+                .collect();
+            tiers_obs.push(TierObs {
+                replicas,
+                shed_delta: node.res.shed - cr.prev_shed[t],
+            });
+        }
+        let obs = Observation {
+            now: self.now,
+            injected_delta: self.injected - cr.prev_injected,
+            completed_delta: self.completed - cr.prev_completed,
+            retries_delta: retries_now - cr.prev_retries,
+            hedges_delta: hedges_now - cr.prev_hedges,
+            max_retrans_ordinal: cr.window_max_ordinal,
+            recent_p50: self.latency.quantile_since(&cr.hist_base, 0.50),
+            recent_p99: self.latency.quantile_since(&cr.hist_base, 0.99),
+            recent_hedge_q: cr
+                .hedge_q
+                .and_then(|q| self.latency.quantile_since(&cr.hist_base, q)),
+            tiers: tiers_obs,
+        };
+        let directives = cr.ctl.tick(&obs, &mut cr.rng);
+        for d in directives {
+            self.apply_directive(&mut cr, d);
+        }
+        // Drain-before-remove: a draining replica retires only once its
+        // last in-flight visit and backlog entry have run to completion.
+        for t in 0..self.tiers.len() {
+            for r in 0..self.tiers[t].replicas.len() {
+                let rep = &mut self.tiers[t].replicas[r];
+                if rep.life == ReplicaLife::Draining && rep.depth() == 0 {
+                    rep.life = ReplicaLife::Retired;
+                    cr.ctl.note_replica_retired(self.now, t, r);
+                }
+            }
+        }
+        cr.prev_injected = self.injected;
+        cr.prev_completed = self.completed;
+        cr.prev_retries = retries_now;
+        cr.prev_hedges = hedges_now;
+        for (t, node) in self.tiers.iter().enumerate() {
+            cr.prev_drops[t].clear();
+            cr.prev_drops[t].extend(node.replicas.iter().map(|r| r.drops_total));
+            cr.prev_shed[t] = node.res.shed;
+        }
+        cr.window_max_ordinal = 0;
+        cr.hist_base = self.latency.snapshot();
+        let next = self.now + cr.tick;
+        if next <= SimTime::ZERO + self.horizon {
+            self.queue.push(next, Event::ControllerTick);
+        }
+        self.control = Some(cr);
+    }
+
+    /// Actuates one controller directive against the plant.
+    fn apply_directive(&mut self, cr: &mut ControlRuntime, d: Directive) {
+        match d {
+            Directive::AddReplica { tier } => {
+                let lag = cr
+                    .ctl
+                    .config()
+                    .autoscaler
+                    .as_ref()
+                    .map(|a| a.provisioning_lag)
+                    .unwrap_or(SimDuration::ZERO);
+                self.queue
+                    .push(self.now + lag, Event::ReplicaReady { tier: tier as u8 });
+            }
+            Directive::DrainReplica { tier, replica } => {
+                let rep = &mut self.tiers[tier].replicas[replica];
+                if rep.life == ReplicaLife::Active {
+                    rep.life = ReplicaLife::Draining;
+                    self.tiers[tier].inactive += 1;
+                }
+            }
+            Directive::SetHedgeDelay { delay } => self.hedge_override = Some(delay),
+            Directive::SetAimdBounds { tier, min, max } => {
+                if let Some(lim) = self.tiers[tier].aimd.as_mut() {
+                    lim.set_bounds(min, max);
+                }
+            }
+            Directive::SetBrake { tier, depth } => self.governor_limit[tier] = depth,
+        }
+    }
+
+    /// A provisioned replica's lag elapsed: it joins the tier's replica set
+    /// and becomes eligible on the next fresh connection. Replica ids are
+    /// `u8`, so provisioning saturates at 255 instances per tier.
+    fn on_replica_ready(&mut self, tier: usize) {
+        let Some(mut cr) = self.control.take() else {
+            return;
+        };
+        let r = self.tiers[tier].replicas.len();
+        if r < u8::MAX as usize {
+            let rep = Self::make_replica(&self.cfg.tiers[tier], r, self.horizon);
+            self.tiers[tier].replicas.push(rep);
+            cr.prev_drops[tier].push(0);
+            cr.ctl.note_replica_online(self.now, tier, r);
+        }
+        self.control = Some(cr);
     }
 
     /// Resolves a handle to its slab index, or `None` if the slot has been
@@ -1000,11 +1240,18 @@ impl Engine {
         if l.hedges_launched >= hedge.max_hedges {
             return;
         }
-        let observed = match hedge.delay {
-            HedgeDelay::Quantile { q, .. } => self.latency.quantile(q),
-            HedgeDelay::Fixed(_) => None,
+        // A controller-set delay overrides the configured policy (the
+        // tuner already clamped it into the tuner's floor/cap band).
+        let delay = match self.hedge_override {
+            Some(d) => d,
+            None => {
+                let observed = match hedge.delay {
+                    HedgeDelay::Quantile { q, .. } => self.latency.quantile(q),
+                    HedgeDelay::Fixed(_) => None,
+                };
+                hedge.delay.resolve(observed)
+            }
         };
-        let delay = hedge.delay.resolve(observed);
         let lgen = l.gen;
         self.queue
             .push(self.now + delay, Event::HedgeFire { logical: lid, lgen });
@@ -1234,17 +1481,82 @@ impl Engine {
         if n == 1 {
             return 0;
         }
+        if node.inactive == 0 {
+            // Every replica eligible: the exact pre-control code paths, so
+            // uncontrolled runs stay bit-identical to their goldens.
+            return match self.cfg.tiers[tier].balancer {
+                Balancer::RoundRobin => {
+                    let r = (node.rr_next as usize % n) as u8;
+                    node.rr_next = node.rr_next.wrapping_add(1);
+                    r
+                }
+                Balancer::LeastOutstanding => {
+                    let mut best = 0usize;
+                    let mut best_depth = node.replicas[0].depth();
+                    for (r, rep) in node.replicas.iter().enumerate().skip(1) {
+                        let d = rep.depth();
+                        if d < best_depth {
+                            best = r;
+                            best_depth = d;
+                        }
+                    }
+                    best as u8
+                }
+                Balancer::Jsq => {
+                    let mut best = 0usize;
+                    let mut best_len = node.replicas[0].backlog.len();
+                    for (r, rep) in node.replicas.iter().enumerate().skip(1) {
+                        let l = rep.backlog.len();
+                        if l < best_len {
+                            best = r;
+                            best_len = l;
+                        }
+                    }
+                    best as u8
+                }
+                Balancer::P2c => {
+                    let a = node.rng.below(n as u64) as usize;
+                    let mut b = node.rng.below(n as u64 - 1) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    if node.replicas[b].depth() < node.replicas[a].depth() {
+                        b as u8
+                    } else {
+                        a as u8
+                    }
+                }
+            };
+        }
+        // The control plane drained or retired some replicas: the same
+        // balancing policies over the active subset only.
+        let eligible: Vec<usize> = node
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.life == ReplicaLife::Active)
+            .map(|(r, _)| r)
+            .collect();
+        debug_assert!(
+            !eligible.is_empty(),
+            "replica 0 is never drained, so at least one replica is active"
+        );
+        if eligible.len() == 1 {
+            return eligible[0] as u8;
+        }
         match self.cfg.tiers[tier].balancer {
-            Balancer::RoundRobin => {
-                let r = (node.rr_next as usize % n) as u8;
+            Balancer::RoundRobin => loop {
+                let r = node.rr_next as usize % n;
                 node.rr_next = node.rr_next.wrapping_add(1);
-                r
-            }
+                if node.replicas[r].life == ReplicaLife::Active {
+                    return r as u8;
+                }
+            },
             Balancer::LeastOutstanding => {
-                let mut best = 0usize;
-                let mut best_depth = node.replicas[0].depth();
-                for (r, rep) in node.replicas.iter().enumerate().skip(1) {
-                    let d = rep.depth();
+                let mut best = eligible[0];
+                let mut best_depth = node.replicas[best].depth();
+                for &r in &eligible[1..] {
+                    let d = node.replicas[r].depth();
                     if d < best_depth {
                         best = r;
                         best_depth = d;
@@ -1253,10 +1565,10 @@ impl Engine {
                 best as u8
             }
             Balancer::Jsq => {
-                let mut best = 0usize;
-                let mut best_len = node.replicas[0].backlog.len();
-                for (r, rep) in node.replicas.iter().enumerate().skip(1) {
-                    let l = rep.backlog.len();
+                let mut best = eligible[0];
+                let mut best_len = node.replicas[best].backlog.len();
+                for &r in &eligible[1..] {
+                    let l = node.replicas[r].backlog.len();
                     if l < best_len {
                         best = r;
                         best_len = l;
@@ -1265,17 +1577,30 @@ impl Engine {
                 best as u8
             }
             Balancer::P2c => {
-                let a = node.rng.below(n as u64) as usize;
-                let mut b = node.rng.below(n as u64 - 1) as usize;
-                if b >= a {
-                    b += 1;
+                let m = eligible.len() as u64;
+                let ai = node.rng.below(m) as usize;
+                let mut bi = node.rng.below(m - 1) as usize;
+                if bi >= ai {
+                    bi += 1;
                 }
+                let (a, b) = (eligible[ai], eligible[bi]);
                 if node.replicas[b].depth() < node.replicas[a].depth() {
                     b as u8
                 } else {
                     a as u8
                 }
             }
+        }
+    }
+
+    /// Resolves the kernel-pinned replica for a SYN retransmit; fails with
+    /// [`ReplicaGone`] when the pin outlived the instance.
+    fn pinned_replica(&self, i: usize, tier: usize) -> Result<usize, ReplicaGone> {
+        let rep = self.requests[i].replica[tier] as usize;
+        if self.tiers[tier].replicas[rep].life == ReplicaLife::Retired {
+            Err(ReplicaGone { tier, replica: rep })
+        } else {
+            Ok(rep)
         }
     }
 
@@ -1287,7 +1612,17 @@ impl Engine {
         // pinned replica (L4 5-tuple affinity); everything else — fresh
         // sends and app-level hop retries — re-picks through the balancer.
         let rep = if self.requests[i].retrans.attempts() > 0 {
-            self.requests[i].replica[tier] as usize
+            match self.pinned_replica(i, tier) {
+                Ok(r) => r,
+                Err(_gone) => {
+                    // The pinned instance retired mid-RTO: the SYN meets a
+                    // closed endpoint and the connection re-balances with a
+                    // fresh pin instead of indexing a dead replica.
+                    let r = self.pick_replica(tier);
+                    self.requests[i].replica[tier] = r;
+                    r as usize
+                }
+            }
         } else {
             let r = self.pick_replica(tier);
             self.requests[i].replica[tier] = r;
@@ -1322,6 +1657,15 @@ impl Engine {
         // in-system count reaches the current (latency-derived) limit.
         if let Some(lim) = self.tiers[tier].aimd.as_ref() {
             if self.tiers[tier].replicas[rep].depth() >= lim.limit() {
+                self.shed_request(req, tier, rep);
+                return;
+            }
+        }
+        // The overload governor's brake: a hard admission ceiling installed
+        // at retry-storm onset, shedding excess work to break the storm's
+        // sustained-overload fixed point.
+        if let Some(cap) = self.governor_limit[tier] {
+            if self.tiers[tier].replicas[rep].depth() >= cap {
                 self.shed_request(req, tier, rep);
                 return;
             }
@@ -1734,6 +2078,12 @@ impl Engine {
                 retransmit_no,
             },
         );
+        // The governor watches the retransmit *ordinal* (1-based: 1 = an
+        // original send dropped); a climbing window maximum is the 3/6/9 s
+        // ladder being climbed by the same connections.
+        if let Some(cr) = self.control.as_mut() {
+            cr.window_max_ordinal = cr.window_max_ordinal.max(retransmit_no.saturating_add(1));
+        }
         // A caller policy on an inner hop replaces the kernel retransmit
         // schedule with app-controlled backoff + budget + breaker.
         if app_hop {
@@ -2215,6 +2565,7 @@ impl Engine {
 
     fn into_report(mut self) -> RunReport {
         let window = SimDuration::from_millis(ntier_telemetry::MONITOR_WINDOW_MS);
+        let control = self.control.take().map(|cr| cr.ctl.into_log());
         // Harvest breaker transition counts into the per-hop counters, then
         // aggregate the whole-run view.
         for rt in &mut self.tiers {
@@ -2357,6 +2708,7 @@ impl Engine {
             classes,
             resilience,
             trace: self.tracer.into_log(),
+            control,
         }
     }
 }

@@ -752,6 +752,196 @@ pub fn replication_ladder_sweep(seed: u64) -> Vec<ExperimentSpec> {
     specs
 }
 
+/// Which control-plane arm of the [`control_frontier`] experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlVariant {
+    /// No controller: the naive retry client's amplification of each stall's
+    /// drop burst goes unchecked — the open-loop baseline every other arm is
+    /// measured against.
+    Uncontrolled,
+    /// The damping controller: a fast autoscaler (150 ms provisioning lag)
+    /// dilutes the sick replica's round-robin share while the overload
+    /// governor brakes web admission the moment goodput collapses or the
+    /// retransmit ladder starts climbing.
+    Damped,
+    /// The harmful controller: scale-down-happy thresholds drain the healthy
+    /// replica during the pre-stall calm, and a 2.5 s provisioning lag means
+    /// the panic scale-up arrives *into* the retry flood its own drain
+    /// caused — the metastable retry-storm regime.
+    Amplified,
+    /// Policy auto-tuning on a hedged, cancelling caller: the hedge delay
+    /// follows the recent p95 and the web AIMD bounds tighten when recent
+    /// p99 crosses 2 s — closed-loop versions of the PR-4 static policies.
+    Tuned,
+}
+
+impl ControlVariant {
+    /// Stable label for tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlVariant::Uncontrolled => "uncontrolled",
+            ControlVariant::Damped => "damped",
+            ControlVariant::Amplified => "amplified",
+            ControlVariant::Tuned => "tuned",
+        }
+    }
+
+    /// All four arms, in table order.
+    pub const ALL: [ControlVariant; 4] = [
+        ControlVariant::Uncontrolled,
+        ControlVariant::Damped,
+        ControlVariant::Amplified,
+        ControlVariant::Tuned,
+    ];
+}
+
+/// **Extension (not in the paper):** the control frontier — where a
+/// closed-loop controller damps CTQO below the uncontrolled baseline, and
+/// where the *same actuators* with the wrong set-points manufacture the
+/// metastable failure they exist to prevent.
+///
+/// The plant is [`hedging_frontier`]'s moderate operating point (~571 req/s,
+/// the Fig. 1 ~43% utilization) with the app tier split into a 2-replica
+/// round-robin set (2 × 32 threads + 32 backlog ≡ the unreplicated 64 + 64)
+/// and the two 1.8 s millibottlenecks pinned to replica 0 — one sick
+/// instance behind a healthy peer. The web tier keeps the shallow 16-slot
+/// backlog, so congestion overflows into SYN drops and the kernel 3/6/9 s
+/// ladder, and (except [`ControlVariant::Tuned`]) the client runs the
+/// PR-1 naive retry policy — the storm fuel. Tracing is sampled like
+/// [`trace_vlrt`], and controller decisions land in the same log, so
+/// [`ntier_trace::RootCause::analyze_with_actions`] can place scale-ups,
+/// drains and brakes on each VLRT request's causal chain.
+///
+/// * [`ControlVariant::Damped`] must put VLRT *strictly below* the
+///   uncontrolled baseline: scale-ups dilute the sick replica's share of
+///   fresh arrivals within ~200 ms of the stall, and the governor's
+///   admission brake converts would-be 3 s RTO victims into fast sheds.
+/// * [`ControlVariant::Amplified`] shows the flip: by the time the stall
+///   hits, its drain has concentrated *all* traffic on the sick replica, the
+///   naive retries re-drop and climb the retransmit ladder, and replacement
+///   capacity is still in its 2.5 s provisioning pipe.
+pub fn control_frontier(variant: ControlVariant, seed: u64) -> ExperimentSpec {
+    use ntier_control::{
+        AimdTuner, AutoscalerConfig, ControlConfig, GovernorConfig, HedgeTuner, TunerConfig,
+    };
+    use ntier_resilience::{
+        AimdConfig, CallerPolicy, CancelPolicy, HedgePolicy, RetryBudget, ShedPolicy,
+    };
+    use ntier_trace::TraceConfig;
+    let stall = StallSchedule::at_marks(
+        [SimTime::from_secs(2), SimTime::from_millis(5_500)],
+        SimDuration::from_millis(1_800),
+    );
+    let web = TierSpec::sync("Web", 64, 16);
+    let web = match variant {
+        // The tuner needs knobs to turn: a budgeted cancelling hedger (its
+        // fire delay is the hedge tuner's actuator) and an AIMD admission
+        // limit (its bounds are the aimd tuner's actuator).
+        ControlVariant::Tuned => web
+            .with_caller_policy(
+                CallerPolicy::hedged(
+                    SimDuration::from_secs(12),
+                    HedgePolicy::fixed(SimDuration::from_millis(1_100), 2)
+                        .with_budget(RetryBudget::new(4_000.0, 500.0)),
+                )
+                .with_cancel(CancelPolicy::new(SimDuration::from_micros(50))),
+            )
+            .with_shed_policy(ShedPolicy::adaptive(AimdConfig::new(64.0, 8.0, 512.0))),
+        _ => web.with_caller_policy(CallerPolicy::naive(SimDuration::from_secs(2), 4)),
+    };
+    let app = TierSpec::sync("App", 32, 32)
+        .replicas(2)
+        .balancer(Balancer::RoundRobin)
+        .with_replica_stalls(0, stall);
+    let db = TierSpec::sync("Db", 64, 64);
+    let system = Topology::three_tier(web, app, db)
+        .with_trace(TraceConfig::sampled(0.01).with_ring_capacity(32_768));
+    let system = match variant {
+        ControlVariant::Uncontrolled => system,
+        ControlVariant::Damped => system.with_control(
+            ControlConfig::every(SimDuration::from_millis(50))
+                .with_autoscaler(AutoscalerConfig {
+                    tier: 1,
+                    min_replicas: 2,
+                    max_replicas: 4,
+                    up_depth: 8.0,
+                    down_depth: 0.5,
+                    provisioning_lag: SimDuration::from_millis(150),
+                    cooldown: SimDuration::from_millis(250),
+                })
+                .with_governor(GovernorConfig {
+                    min_offered: 40,
+                    goodput_ratio: 0.5,
+                    ordinal_floor: 2,
+                    arm_after: 2,
+                    brake_tier: 0,
+                    brake_depth: 48,
+                    hold: SimDuration::from_secs(1),
+                    release_ratio: 0.7,
+                }),
+        ),
+        // down_depth 4.0 sits *above* the calm-traffic depth, so the drain
+        // fires in the first cooldown-free window; up_depth 48 only trips
+        // once the lone survivor is already wedged, and by then the new
+        // capacity is 2.5 s away.
+        ControlVariant::Amplified => system.with_control(
+            ControlConfig::every(SimDuration::from_millis(50)).with_autoscaler(AutoscalerConfig {
+                tier: 1,
+                min_replicas: 1,
+                max_replicas: 4,
+                up_depth: 48.0,
+                down_depth: 4.0,
+                provisioning_lag: SimDuration::from_millis(2_500),
+                cooldown: SimDuration::from_millis(200),
+            }),
+        ),
+        ControlVariant::Tuned => system.with_control(
+            ControlConfig::every(SimDuration::from_millis(50)).with_tuner(TunerConfig {
+                // Floor at 1 s, not lower: recent quantiles are survivor-
+                // biased during a stall (the stuck requests aren't
+                // completing, so p95 stays low), and an eager floor would
+                // hedge straight into the storm.
+                hedge: Some(HedgeTuner {
+                    q: 0.95,
+                    floor: SimDuration::from_secs(1),
+                    cap: SimDuration::from_secs(2),
+                }),
+                aimd: Some(AimdTuner {
+                    tier: 0,
+                    low: SimDuration::from_millis(500),
+                    high: SimDuration::from_secs(3),
+                    tight: (16.0, 96.0),
+                    wide: (8.0, 512.0),
+                }),
+            }),
+        ),
+    };
+    // ~571 req/s open-loop for 8 s (the Fig. 1 WL 4000 point); the horizon
+    // leaves room for the 3/6/9 s retransmit tail and the naive retries.
+    let arrivals: Vec<SimTime> = (0..8_000_000 / 1_750u64)
+        .map(|i| SimTime::from_micros(i * 1_750))
+        .collect();
+    ExperimentSpec {
+        name: "ext-control-frontier",
+        system,
+        workload: Workload::Open {
+            arrivals,
+            mix: RequestMix::view_story(),
+        },
+        horizon: SimDuration::from_secs(25),
+        seed,
+    }
+}
+
+/// All four control-frontier arms for one seed, shaped for
+/// `ntier_runner::run_all` and the EXPERIMENTS.md frontier table.
+pub fn control_frontier_sweep(seed: u64) -> Vec<ExperimentSpec> {
+    ControlVariant::ALL
+        .into_iter()
+        .map(|v| control_frontier(v, seed))
+        .collect()
+}
+
 /// **Extension (not in the paper):** scatter-gather fan-out. A synchronous
 /// front tier scatters every request to three shard subtrees and replies
 /// once a 2-of-3 quorum answers; shard 0 is additionally a 2-replica set

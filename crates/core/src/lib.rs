@@ -63,7 +63,7 @@ pub use analysis::{CtqoClass, CtqoEpisode};
 #[allow(deprecated)]
 pub use config::TierConfig;
 pub use config::{SystemConfig, TierKind, TierSpec};
-pub use engine::{Engine, Workload};
+pub use engine::{Engine, ReplicaGone, Workload};
 pub use experiment::ExperimentSpec;
 pub use plan::Plan;
 pub use report::{ReplicaReport, RunReport, TierReport};

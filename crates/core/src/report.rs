@@ -1,11 +1,12 @@
 //! Run reports: everything the paper's figures plot, in one structure.
 
+use ntier_control::ControlLog;
 use ntier_des::ids::{ReplicaId, TierId};
 use ntier_des::time::{SimDuration, SimTime};
 use ntier_resilience::ResilienceStats;
 use ntier_telemetry::histogram::Mode;
 use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
-use ntier_trace::{TierData, TraceLog};
+use ntier_trace::{ControlAction, TierData, TraceLog};
 
 /// Per-replica measurements for one instance of a replica set. Only
 /// populated on [`TierReport::replicas`] when the tier runs more than one
@@ -135,6 +136,9 @@ pub struct RunReport {
     /// Retained per-request traces, when the run had tracing enabled
     /// (`None` for untraced runs — the common case).
     pub trace: Option<TraceLog>,
+    /// The control plane's decision log, when the run had a controller
+    /// (`None` for uncontrolled runs).
+    pub control: Option<ControlLog>,
 }
 
 impl RunReport {
@@ -211,6 +215,9 @@ impl RunReport {
                 ));
             }
         }
+        if let Some(c) = &self.control {
+            s.push_str(&format!("control: {}\n", c.summary()));
+        }
         for t in &self.tiers {
             s.push_str(&format!(
                 "  {:<8} [{}] cap {:>5}  peak queue {:>5}  drops {:>5}  mean CPU {:>5.1}%  spawns {}\n",
@@ -270,6 +277,25 @@ impl RunReport {
                     .collect(),
             })
             .collect()
+    }
+
+    /// The controller's decisions in the shape the trace analyzer joins
+    /// against ([`ntier_trace::RootCause::analyze_with_actions`]); empty
+    /// for uncontrolled runs.
+    pub fn control_actions(&self) -> Vec<ControlAction> {
+        self.control
+            .as_ref()
+            .map(|log| {
+                log.decisions
+                    .iter()
+                    .map(|d| ControlAction {
+                        at: d.at,
+                        tier: d.action.tier(),
+                        label: d.action.label(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 

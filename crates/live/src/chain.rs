@@ -304,6 +304,24 @@ impl Chain {
         }
     }
 
+    /// Per-tier instantaneous queue depths, front first (replica sets
+    /// report the sum over their members; see [`Chain::replica_depths`]
+    /// for the breakdown). This is the signal the control plane samples.
+    pub fn depths(&self) -> Vec<usize> {
+        self.tiers.iter().map(|t| t.as_tier().depth()).collect()
+    }
+
+    /// Per-replica instantaneous queue depths of tier `idx`, or `None` when
+    /// that tier is a single instance.
+    pub fn replica_depths(&self, idx: usize) -> Option<Vec<usize>> {
+        match &self.tiers[idx] {
+            Built::Set { members, .. } => {
+                Some(members.iter().map(|m| m.as_tier().depth()).collect())
+            }
+            _ => None,
+        }
+    }
+
     /// Per-tier downstream retransmission counts, front first.
     pub fn retransmits(&self) -> Vec<u64> {
         self.tiers.iter().map(Built::retransmits).collect()

@@ -54,6 +54,12 @@
 //! abandon it in retransmission limbo) instead of servicing orphans, and
 //! report the reclaimed work via [`chain::Chain::reaped`].
 //!
+//! The closed-loop control plane mirrors the same way: a
+//! [`control::LiveController`] samples a running chain on a wall clock and
+//! feeds the *same pure* [`ntier_control::Controller`] the DES engine
+//! ticks step-synchronously, so decision streams from live and simulated
+//! runs diff directly.
+//!
 //! Per-request tracing mirrors the simulator's span vocabulary on a wall
 //! clock: build the chain with [`chain::ChainBuilder::trace`] and drive it
 //! with [`harness::fire_burst_traced`], both sharing one
@@ -62,12 +68,14 @@
 //! exporters and root-cause analyzer.
 
 pub mod chain;
+pub mod control;
 pub mod harness;
 pub mod policy;
 pub mod stall;
 pub mod tier;
 
 pub use chain::{Chain, ChainBuilder, LiveTier};
+pub use control::{LiveController, LiveCounters};
 pub use harness::{
     fire_burst, fire_burst_traced, fire_burst_with_policy, BurstOutcome, PolicyOutcome,
 };

@@ -490,6 +490,23 @@ impl AimdLimiter {
     pub fn min_rtt(&self) -> Option<SimDuration> {
         self.min_rtt
     }
+
+    /// Re-clamps the limiter's bounds in place — the control plane's
+    /// auto-tuning actuation. The current limit is clamped into the new
+    /// `[min, max]` immediately (tightening takes effect on the very next
+    /// admission check; it does not wait for a congestion sample), while
+    /// learned state (`min_rtt`) is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min < 1` or `min > max`.
+    pub fn set_bounds(&mut self, min: f64, max: f64) {
+        assert!(min >= 1.0, "min limit must admit at least one request");
+        assert!(min <= max, "limits must satisfy min <= max");
+        self.cfg.min_limit = min;
+        self.cfg.max_limit = max;
+        self.limit = self.limit.clamp(min, max);
+    }
 }
 
 /// Load-shedding policy for a tier's admission point: reject fast instead
@@ -826,6 +843,30 @@ mod tests {
             l.on_sample(SimDuration::from_millis(100));
         }
         assert_eq!(l.limit(), 2, "limit should hit the floor");
+    }
+
+    #[test]
+    fn aimd_set_bounds_clamps_current_limit_and_keeps_min_rtt() {
+        let mut l = AimdLimiter::new(AimdConfig::new(40.0, 2.0, 100.0));
+        l.on_sample(SimDuration::from_millis(10));
+        // Tighten: the live limit snaps into the new ceiling immediately.
+        l.set_bounds(4.0, 16.0);
+        assert_eq!(l.limit(), 16);
+        assert_eq!(l.min_rtt(), Some(SimDuration::from_millis(10)));
+        // Widen again: the limit stays where it is but may now grow past 16.
+        l.set_bounds(2.0, 100.0);
+        assert_eq!(l.limit(), 16);
+        for _ in 0..50 {
+            l.on_sample(SimDuration::from_millis(10));
+        }
+        assert!(l.limit() > 16, "growth resumes under the wider ceiling");
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn aimd_set_bounds_rejects_inverted_bounds() {
+        let mut l = AimdLimiter::new(AimdConfig::new(10.0, 2.0, 100.0));
+        l.set_bounds(8.0, 4.0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod render;
 pub mod series;
 pub mod stats;
 
-pub use histogram::LatencyHistogram;
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use series::{UtilizationSeries, WindowedSeries};
 
 /// The paper's monitoring window: 50 ms.

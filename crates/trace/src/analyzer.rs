@@ -103,6 +103,19 @@ pub struct CausalStep {
     pub culprit: Option<Culprit>,
 }
 
+/// One control-plane actuation, as exported from a controller decision log
+/// (the trace crate stays decoupled from the control crate's types: the
+/// label carries the rendered action, e.g. `scale-up(t1 -> 3)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlAction {
+    /// When the controller actuated.
+    pub at: SimTime,
+    /// Tier the action touched, when tier-scoped.
+    pub tier: Option<usize>,
+    /// Rendered action label.
+    pub label: String,
+}
+
 /// The full causal chain for one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CausalChain {
@@ -111,6 +124,11 @@ pub struct CausalChain {
     pub outcome: TerminalClass,
     pub latency: SimDuration,
     pub steps: Vec<CausalStep>,
+    /// Controller actions that landed inside this request's causal window
+    /// (from the lookback before its first drop to its terminal instant),
+    /// in time order. Empty for uncontrolled runs or when analyzed without
+    /// a decision log — see [`RootCause::analyze_with_actions`].
+    pub control: Vec<ControlAction>,
 }
 
 impl CausalChain {
@@ -160,6 +178,29 @@ impl CausalChain {
                 }
                 None => {
                     let _ = write!(out, " <- unattributed");
+                }
+            }
+        }
+        if let Some(first_drop) = self.steps.first().map(|s| s.drop_at) {
+            for a in &self.control {
+                let _ = write!(
+                    out,
+                    "\n  controller: {} at t={:.3}s ",
+                    a.label,
+                    a.at.as_secs_f64()
+                );
+                if a.at >= first_drop {
+                    let _ = write!(
+                        out,
+                        "(+{:.2}s after first drop)",
+                        a.at.saturating_since(first_drop).as_secs_f64()
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        "({:.2}s before first drop)",
+                        first_drop.saturating_since(a.at).as_secs_f64()
+                    );
                 }
             }
         }
@@ -251,6 +292,21 @@ impl Default for RootCause {
 impl RootCause {
     /// Analyzes every VLRT trace in the log against the tier series.
     pub fn analyze(&self, log: &TraceLog, tiers: &[TierData]) -> Analysis {
+        self.analyze_with_actions(log, tiers, &[])
+    }
+
+    /// Like [`RootCause::analyze`], but joins a controller decision log:
+    /// each causal chain picks up the [`ControlAction`]s that landed inside
+    /// its causal window — from `lookback` windows before its first drop to
+    /// its terminal instant — so narration can state facts like "scale-up
+    /// arrived 400 ms after the millibottleneck". `actions` must be in time
+    /// order (decision logs are appended in actuation order, so they are).
+    pub fn analyze_with_actions(
+        &self,
+        log: &TraceLog,
+        tiers: &[TierData],
+        actions: &[ControlAction],
+    ) -> Analysis {
         let mut chains = Vec::new();
         let mut unattributed = Vec::new();
         let mut vlrt_total = 0;
@@ -260,12 +316,14 @@ impl RootCause {
             if steps.is_empty() {
                 unattributed.push(trace.id);
             } else {
+                let control = self.actions_in_window(&steps, trace.terminal_at, actions);
                 chains.push(CausalChain {
                     trace_id: trace.id,
                     class: trace.class,
                     outcome: trace.outcome,
                     latency: trace.latency,
                     steps,
+                    control,
                 });
             }
         }
@@ -274,6 +332,25 @@ impl RootCause {
             unattributed,
             vlrt_total,
         }
+    }
+
+    /// Actions inside a chain's causal window (lookback before the first
+    /// drop through the terminal instant).
+    fn actions_in_window(
+        &self,
+        steps: &[CausalStep],
+        terminal_at: SimTime,
+        actions: &[ControlAction],
+    ) -> Vec<ControlAction> {
+        let Some(first) = steps.first() else {
+            return Vec::new();
+        };
+        let lo_window = first.window.saturating_sub(self.lookback);
+        actions
+            .iter()
+            .filter(|a| a.at.window_index(self.window) >= lo_window && a.at <= terminal_at)
+            .cloned()
+            .collect()
     }
 
     fn steps_for(&self, trace: &crate::event::RequestTrace, tiers: &[TierData]) -> Vec<CausalStep> {
@@ -590,6 +667,48 @@ mod tests {
         assert_eq!(c.kind, CulpritKind::Millibottleneck);
         let text = a.chains[0].narrate(&[tier("web", 1), app]);
         assert!(text.contains("millibottleneck at app#1"), "{text}");
+    }
+
+    #[test]
+    fn control_actions_join_only_inside_the_causal_window() {
+        // Drop at window 20 (t=1.0s), terminal at t≈4.0s, lookback 12
+        // windows (600 ms): the window is [t=0.4s, t=4.01s].
+        let mut web = tier("web", 64);
+        web.drops[20] = 1.0;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let act = |ms: u64, label: &str| ControlAction {
+            at: SimTime::from_millis(ms),
+            tier: Some(1),
+            label: label.into(),
+        };
+        let actions = vec![
+            act(100, "early"),      // before the lookback: excluded
+            act(500, "pre-drop"),   // inside the lookback
+            act(1_400, "late"),     // between drop and terminal
+            act(9_000, "too-late"), // after terminal: excluded
+        ];
+        let a = RootCause::default().analyze_with_actions(&log, &[web], &actions);
+        let chain = &a.chains[0];
+        let labels: Vec<&str> = chain.control.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["pre-drop", "late"]);
+        let text = chain.narrate(&[tier("web", 1)]);
+        assert!(
+            text.contains("controller: pre-drop at t=0.500s (0.50s before first drop)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("controller: late at t=1.400s (+0.40s after first drop)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn analyze_without_actions_leaves_chains_action_free() {
+        let mut web = tier("web", 64);
+        web.drops[20] = 1.0;
+        let log = log_of(vec![vlrt_trace(0, 1_000, 0)]);
+        let a = RootCause::default().analyze(&log, &[web]);
+        assert!(a.chains[0].control.is_empty());
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod export;
 pub mod sink;
 pub mod tracer;
 
-pub use analyzer::{Analysis, CausalChain, CausalStep, Culprit, CulpritKind, RootCause, TierData};
+pub use analyzer::{
+    Analysis, CausalChain, CausalStep, ControlAction, Culprit, CulpritKind, RootCause, TierData,
+};
 pub use event::{RequestTrace, TerminalClass, TraceEvent, TraceEventKind};
 pub use export::{chains_csv, chrome_trace_json, events_csv};
 pub use sink::TraceSink;

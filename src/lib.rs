@@ -4,6 +4,7 @@
 //! one import root. Library users should normally depend on [`ntier_core`]
 //! directly.
 
+pub use ntier_control as control;
 pub use ntier_core as core;
 pub use ntier_des as des;
 pub use ntier_interference as interference;
