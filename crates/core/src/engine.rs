@@ -62,6 +62,7 @@ use std::collections::HashMap;
 
 use ntier_control::{Controller, Directive, Observation, ReplicaObs, TierObs};
 use ntier_des::prelude::*;
+use ntier_des::shard::ShardedQueue;
 use ntier_net::{Backlog, RetransmitState, RetryDecision};
 use ntier_resilience::{
     AimdLimiter, CircuitBreaker, Fault, HedgeDelay, ResilienceStats, ShedPolicy, TokenBucket,
@@ -75,6 +76,7 @@ use ntier_workload::{ClosedLoopSpec, RequestMix};
 use crate::config::{SystemConfig, TierKind, TierSpec};
 use crate::plan::Plan;
 use crate::report::{ClassReport, DropRecord, ReplicaReport, RunReport, TierReport};
+use crate::shard::ShardPlan;
 use crate::topology::Balancer;
 
 /// The workload driving a run.
@@ -199,6 +201,80 @@ enum Event {
     },
 }
 
+/// The engine's event schedule: one flat calendar queue, or — under
+/// [`Engine::run_sharded`] — per-shard calendar queues partitioned by the
+/// event's home tier and merged back in global `(time, stamp)` order.
+///
+/// The sharded variant is *bit-identical* to the single queue by
+/// construction: [`ShardedQueue`] stamps every push with one global
+/// sequence counter and always pops the smallest `(time, stamp)` across
+/// shards, which is exactly the single queue's `(time, seq)` order (pinned
+/// by `matches_single_queue` in `ntier_des::shard`). Routing therefore
+/// only decides *locality* — which shard's calendar a tier's events live
+/// on, the partition a conservative-parallel pass over the cut works from
+/// (see DESIGN.md §14) — never order.
+#[derive(Debug)]
+enum EngineQueue {
+    Single(EventQueue<Event>),
+    Sharded {
+        q: ShardedQueue<Event>,
+        plan: ShardPlan,
+    },
+}
+
+impl EngineQueue {
+    fn push(&mut self, at: SimTime, ev: Event) {
+        match self {
+            EngineQueue::Single(q) => q.push(at, ev),
+            EngineQueue::Sharded { q, plan } => {
+                let shard = Self::home_shard(&ev, plan).min(q.shard_count() - 1);
+                q.push(shard, at, ev);
+            }
+        }
+    }
+
+    /// Pops the earliest event and drains the *rest* of its equal-time run
+    /// (up to `max` total) into `batch`. Runs of one — the common case —
+    /// return without touching `batch` at all.
+    fn pop_run(&mut self, batch: &mut Vec<Event>, max: usize) -> Option<(SimTime, Event)> {
+        match self {
+            EngineQueue::Single(q) => q.pop_run(batch, max),
+            EngineQueue::Sharded { q, .. } => {
+                let (_, t, ev) = q.pop()?;
+                while batch.len() + 1 < max && q.peek_time() == Some(t) {
+                    let (_, _, ev2) = q.pop().expect("peeked front");
+                    batch.push(ev2);
+                }
+                Some((t, ev))
+            }
+        }
+    }
+
+    /// The shard whose calendar holds `ev`: tier-addressed events live with
+    /// their tier, everything client-side (injection, client timers, retry
+    /// backoffs, hedges, faults, the controller) with the root's shard 0.
+    fn home_shard(ev: &Event, plan: &ShardPlan) -> usize {
+        match ev {
+            Event::Arrival { tier, .. }
+            | Event::SliceDone { tier, .. }
+            | Event::ReplyArrive { tier, .. }
+            | Event::SpawnDone { tier, .. }
+            | Event::CancelArrive { tier, .. }
+            | Event::ReplicaReady { tier } => plan.shard_of_tier(*tier as usize),
+            Event::ClientSend { .. }
+            | Event::Inject { .. }
+            | Event::ArmReply { .. }
+            | Event::AttemptTimeout { .. }
+            | Event::RetryFire { .. }
+            | Event::FaultBegin { .. }
+            | Event::FaultEnd { .. }
+            | Event::HedgeFire { .. }
+            | Event::LogicalDeadline { .. }
+            | Event::ControllerTick => 0,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     req: ReqId,
@@ -231,6 +307,10 @@ enum Occupancy {
 
 /// Sentinel for "this attempt belongs to no hedged logical request".
 const LOGICAL_NONE: u32 = u32::MAX;
+
+/// Cap on events applied per same-timestamp batch drain in [`Engine::run`]
+/// (bounds the reusable batch buffer; order is unaffected).
+const EVENT_BATCH: usize = 64;
 
 /// One *logical* request under a hedged caller: the primary attempt plus up
 /// to K backups race down the chain; the first completion wins and the
@@ -335,25 +415,14 @@ struct RequestState {
     occupying: Vec<Occupancy>,
     /// Whether this request currently holds a pooled connection at tier i.
     conn_held: Vec<bool>,
-    /// Slot generation; a [`ReqId`] is live iff its `gen` matches. Bumped
-    /// when the slot is freed, which invalidates every outstanding handle.
-    gen: u32,
     /// 0-based client attempt index (retries clone the plan with +1).
     attempt: u32,
-    /// The client's attempt timer fired: this attempt keeps consuming
-    /// resources but its terminal outcome no longer counts.
-    orphan: bool,
     /// App-level retries of the current in-flight message (inner-hop caller
     /// policies); reset on successful admission like `retrans`.
     hop_attempts: u32,
     /// Index into `Engine::logicals` when this attempt belongs to a hedged
     /// logical request; [`LOGICAL_NONE`] otherwise.
     logical: u32,
-    /// The deepest tier this attempt's front is currently at (queued,
-    /// executing, in flight towards, or waiting out a retransmit at) — the
-    /// coordinate a cancel chase homes in on. Updated on every send and
-    /// every reply hop.
-    head: u8,
     /// When the in-flight message was admitted at each tier (backlog entry
     /// or visit start) — feeds the AIMD limiter's latency samples.
     arrived_at: Vec<SimTime>,
@@ -379,6 +448,28 @@ struct RequestState {
     /// The attempt's trace handle ([`TRACE_NONE`] when tracing is off).
     /// Shared with the logical slot and retry ticket via refcounts.
     trace: TraceHandle,
+}
+
+/// The per-slot request fields the dispatch hot path touches, split out of
+/// [`RequestState`] structure-of-arrays style: the generation check in
+/// [`Engine::live`] runs on nearly every event pop, and `head`/`orphan`
+/// flip on the timeout/cancel/hedge paths. A [`RequestState`] is several
+/// cache lines of mostly cold plan/telemetry data; packing the hot triple
+/// into 8 bytes keeps ~8 slots' liveness state per cache line instead of
+/// one.
+#[derive(Debug, Clone, Copy)]
+struct HotSlot {
+    /// Slot generation; a [`ReqId`] is live iff its `gen` matches. Bumped
+    /// when the slot is freed, which invalidates every outstanding handle.
+    gen: u32,
+    /// The deepest tier this attempt's front is currently at (queued,
+    /// executing, in flight towards, or waiting out a retransmit at) — the
+    /// coordinate a cancel chase homes in on. Updated on every send and
+    /// every reply hop.
+    head: u8,
+    /// The client's attempt timer fired: this attempt keeps consuming
+    /// resources but its terminal outcome no longer counts.
+    orphan: bool,
 }
 
 #[derive(Debug)]
@@ -532,7 +623,7 @@ pub struct Engine {
     cfg: SystemConfig,
     workload: Workload,
     horizon: SimDuration,
-    queue: EventQueue<Event>,
+    queue: EngineQueue,
     now: SimTime,
     tiers: Vec<NodeRuntime>,
     /// Cached `cfg.shape.has_fanout()`: fan-out runs pay the plan/shape
@@ -542,6 +633,8 @@ pub struct Engine {
     /// reaches a terminal outcome, so steady-state memory tracks the peak
     /// in-flight population instead of the total injected count.
     requests: Vec<RequestState>,
+    /// Hot fields of the slab, same indexing as `requests` (see [`HotSlot`]).
+    hot: Vec<HotSlot>,
     free_slots: Vec<u32>,
     /// Granted-but-not-yet-fired client retries (see [`RetryTicket`]).
     tickets: Vec<RetryTicket>,
@@ -691,11 +784,12 @@ impl Engine {
             cfg,
             workload,
             horizon,
-            queue: EventQueue::with_capacity(1 << 16),
+            queue: EngineQueue::Single(EventQueue::with_capacity(1 << 16)),
             now: SimTime::ZERO,
             tiers,
             has_fanout,
             requests: Vec::with_capacity(1024),
+            hot: Vec::with_capacity(1024),
             free_slots: Vec::new(),
             tickets: Vec::new(),
             logicals: Vec::new(),
@@ -765,18 +859,59 @@ impl Engine {
     }
 
     /// Runs the simulation to the horizon and returns the report.
+    ///
+    /// The loop drains events in *runs* sharing one timestamp: the batch
+    /// comes off the calendar's active ring in O(1) per event without
+    /// re-touching the wheel, and events the handlers schedule take later
+    /// sequence numbers, so batch application reproduces the one-pop-at-a-
+    /// time order bit-for-bit.
     pub fn run(mut self) -> RunReport {
         self.schedule_workload();
         let end = SimTime::ZERO + self.horizon;
-        while let Some((t, ev)) = self.queue.pop() {
+        let mut batch = Vec::with_capacity(EVENT_BATCH);
+        while let Some((t, ev)) = self.queue.pop_run(&mut batch, EVENT_BATCH) {
             if t > end {
                 break;
             }
             self.now = t;
             self.events_handled += 1;
             self.handle(ev);
+            if !batch.is_empty() {
+                // Anything the first handler scheduled at `t` carries a
+                // later seq than the drained run, so applying the batch
+                // before re-polling the queue is exactly the serial order.
+                for ev in batch.drain(..) {
+                    self.events_handled += 1;
+                    self.handle(ev);
+                }
+            }
         }
         self.into_report()
+    }
+
+    /// Runs the simulation with the event schedule spatially partitioned
+    /// into `shards` per-subtree calendar queues (see [`ShardPlan`] for the
+    /// preorder cut and DESIGN.md §14 for the synchronization design).
+    ///
+    /// The report is **bit-identical** to [`Self::run`] at any shard
+    /// count: `shards == 1` *is* the single-queue engine, and the sharded
+    /// merge preserves the global `(time, seq)` order by construction —
+    /// the property `tests/determinism.rs` pins field-for-field on the
+    /// golden presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn run_sharded(mut self, shards: usize) -> RunReport {
+        assert!(shards > 0, "a run needs at least one shard");
+        if shards > 1 {
+            let plan = ShardPlan::cut(&self.cfg.shape, shards, self.cfg.hop_delay);
+            self.queue = EngineQueue::Sharded {
+                q: ShardedQueue::new(shards),
+                plan,
+            };
+        }
+        self.run()
     }
 
     fn schedule_workload(&mut self) {
@@ -969,7 +1104,7 @@ impl Engine {
     #[inline]
     fn live(&self, id: ReqId) -> Option<usize> {
         let i = id.slot as usize;
-        (self.requests[i].gen == id.gen).then_some(i)
+        (self.hot[i].gen == id.gen).then_some(i)
     }
 
     /// [`Self::live`] for paths where a stale handle would mean a resource
@@ -1005,10 +1140,8 @@ impl Engine {
             r.occupying.fill(Occupancy::None);
             r.conn_held.fill(false);
             r.attempt = attempt;
-            r.orphan = false;
             r.hop_attempts = 0;
             r.logical = LOGICAL_NONE;
-            r.head = 0;
             r.arrived_at.fill(SimTime::ZERO);
             r.replica.fill(0);
             r.arm_parent = None;
@@ -1017,7 +1150,10 @@ impl Engine {
             r.fan_live = 0;
             r.fan_node = 0;
             r.trace = TRACE_NONE;
-            ReqId { slot, gen: r.gen }
+            let h = &mut self.hot[slot as usize];
+            h.head = 0;
+            h.orphan = false;
+            ReqId { slot, gen: h.gen }
         } else {
             let n = self.tiers.len();
             let slot = self.requests.len() as u32;
@@ -1033,12 +1169,9 @@ impl Engine {
                 drops: DropLog::new(),
                 occupying: vec![Occupancy::None; n],
                 conn_held: vec![false; n],
-                gen: 0,
                 attempt,
-                orphan: false,
                 hop_attempts: 0,
                 logical: LOGICAL_NONE,
-                head: 0,
                 arrived_at: vec![SimTime::ZERO; n],
                 replica: vec![0; n],
                 arm_parent: None,
@@ -1047,6 +1180,11 @@ impl Engine {
                 fan_live: 0,
                 fan_node: 0,
                 trace: TRACE_NONE,
+            });
+            self.hot.push(HotSlot {
+                gen: 0,
+                head: 0,
+                orphan: false,
             });
             ReqId { slot, gen: 0 }
         }
@@ -1120,7 +1258,7 @@ impl Engine {
     fn free_request(&mut self, i: usize) {
         let h = self.requests[i].trace;
         self.requests[i].trace = TRACE_NONE;
-        self.requests[i].gen = self.requests[i].gen.wrapping_add(1);
+        self.hot[i].gen = self.hot[i].gen.wrapping_add(1);
         self.free_slots.push(i as u32);
         // The slot's release is the attempt's single release point; the
         // trace survives while a logical slot or retry ticket still holds it.
@@ -1339,7 +1477,7 @@ impl Engine {
         let attempts = self.logicals[lid as usize].attempts.clone();
         for att in attempts {
             if let Some(i) = self.live(att) {
-                self.requests[i].orphan = true;
+                self.hot[i].orphan = true;
                 if cancel.is_some() {
                     self.start_cancel(att);
                 }
@@ -1374,7 +1512,7 @@ impl Engine {
             return; // the attempt terminated on its own before the cancel landed
         };
         self.tiers[tier].res.cancels_propagated += 1;
-        let head = self.requests[i].head as usize;
+        let head = self.hot[i].head as usize;
         if head > tier {
             let hop = self.cfg.tiers[0]
                 .caller_policy
@@ -1459,7 +1597,7 @@ impl Engine {
         // dropped tier, which is exactly what lets a cancel catch an attempt
         // stuck in RTO limbo.
         let i = self.live_expect(req);
-        self.requests[i].head = tier as u8;
+        self.hot[i].head = tier as u8;
         let at = self.now + self.cfg.hop_delay + self.extra_hop[tier];
         self.queue.push(
             at,
@@ -1490,15 +1628,18 @@ impl Engine {
                     node.rr_next = node.rr_next.wrapping_add(1);
                     r
                 }
+                // The min scans run branchless: arithmetic selects instead
+                // of a compare-and-branch the predictor loses on balanced
+                // queue depths. Strict `<` keeps ties on the lowest index,
+                // exactly the branchy scan's answer.
                 Balancer::LeastOutstanding => {
                     let mut best = 0usize;
                     let mut best_depth = node.replicas[0].depth();
                     for (r, rep) in node.replicas.iter().enumerate().skip(1) {
                         let d = rep.depth();
-                        if d < best_depth {
-                            best = r;
-                            best_depth = d;
-                        }
+                        let take = usize::from(d < best_depth);
+                        best = take * r + (1 - take) * best;
+                        best_depth = take * d + (1 - take) * best_depth;
                     }
                     best as u8
                 }
@@ -1507,24 +1648,18 @@ impl Engine {
                     let mut best_len = node.replicas[0].backlog.len();
                     for (r, rep) in node.replicas.iter().enumerate().skip(1) {
                         let l = rep.backlog.len();
-                        if l < best_len {
-                            best = r;
-                            best_len = l;
-                        }
+                        let take = usize::from(l < best_len);
+                        best = take * r + (1 - take) * best;
+                        best_len = take * l + (1 - take) * best_len;
                     }
                     best as u8
                 }
                 Balancer::P2c => {
                     let a = node.rng.below(n as u64) as usize;
                     let mut b = node.rng.below(n as u64 - 1) as usize;
-                    if b >= a {
-                        b += 1;
-                    }
-                    if node.replicas[b].depth() < node.replicas[a].depth() {
-                        b as u8
-                    } else {
-                        a as u8
-                    }
+                    b += usize::from(b >= a);
+                    let take = usize::from(node.replicas[b].depth() < node.replicas[a].depth());
+                    (take * b + (1 - take) * a) as u8
                 }
             };
         }
@@ -1557,10 +1692,9 @@ impl Engine {
                 let mut best_depth = node.replicas[best].depth();
                 for &r in &eligible[1..] {
                     let d = node.replicas[r].depth();
-                    if d < best_depth {
-                        best = r;
-                        best_depth = d;
-                    }
+                    let take = usize::from(d < best_depth);
+                    best = take * r + (1 - take) * best;
+                    best_depth = take * d + (1 - take) * best_depth;
                 }
                 best as u8
             }
@@ -1569,10 +1703,9 @@ impl Engine {
                 let mut best_len = node.replicas[best].backlog.len();
                 for &r in &eligible[1..] {
                     let l = node.replicas[r].backlog.len();
-                    if l < best_len {
-                        best = r;
-                        best_len = l;
-                    }
+                    let take = usize::from(l < best_len);
+                    best = take * r + (1 - take) * best;
+                    best_len = take * l + (1 - take) * best_len;
                 }
                 best as u8
             }
@@ -1580,15 +1713,10 @@ impl Engine {
                 let m = eligible.len() as u64;
                 let ai = node.rng.below(m) as usize;
                 let mut bi = node.rng.below(m - 1) as usize;
-                if bi >= ai {
-                    bi += 1;
-                }
+                bi += usize::from(bi >= ai);
                 let (a, b) = (eligible[ai], eligible[bi]);
-                if node.replicas[b].depth() < node.replicas[a].depth() {
-                    b as u8
-                } else {
-                    a as u8
-                }
+                let take = usize::from(node.replicas[b].depth() < node.replicas[a].depth());
+                (take * b + (1 - take) * a) as u8
             }
         }
     }
@@ -1963,7 +2091,7 @@ impl Engine {
             // The reply heads upstream: a cancel arriving at this tier or
             // deeper has been outrun.
             let up = self.cfg.shape.parent[tier].expect("non-root tier has a parent");
-            self.requests[i].head = up as u8;
+            self.hot[i].head = up as u8;
             self.queue.push(
                 self.now + self.cfg.hop_delay,
                 Event::ReplyArrive {
@@ -2170,10 +2298,10 @@ impl Engine {
         let Some(i) = self.live(req) else {
             return;
         };
-        if self.requests[i].orphan {
+        if self.hot[i].orphan {
             return;
         }
-        self.requests[i].orphan = true;
+        self.hot[i].orphan = true;
         self.tiers[0].res.timeouts += 1;
         let h = self.requests[i].trace;
         let attempt = self.requests[i].attempt;
@@ -2303,7 +2431,7 @@ impl Engine {
             self.free_request(i);
             return;
         }
-        if !self.requests[i].orphan {
+        if !self.hot[i].orphan {
             self.shed += 1;
             self.class_stats
                 .entry(self.requests[i].class)
@@ -2406,7 +2534,7 @@ impl Engine {
             self.free_request(i);
             return;
         }
-        if !self.requests[i].orphan {
+        if !self.hot[i].orphan {
             if self.cfg.tiers[0].caller_policy.is_some() {
                 let now = self.now;
                 if let Some(br) = self.tiers[0].hop_breaker.as_mut() {
@@ -2468,7 +2596,7 @@ impl Engine {
 
     fn complete_request(&mut self, req: ReqId) {
         let i = self.live_expect(req);
-        if self.requests[i].orphan {
+        if self.hot[i].orphan {
             // The reply nobody is waiting for: all that work was wasted.
             self.tiers[0].res.orphan_completions += 1;
             self.unlink_from_logical(req);
@@ -2494,7 +2622,7 @@ impl Engine {
                 .and_then(|p| p.cancel);
             for loser in losers {
                 if let Some(j) = self.live(loser) {
-                    self.requests[j].orphan = true;
+                    self.hot[j].orphan = true;
                     if cancel.is_some() {
                         self.start_cancel(loser);
                     }

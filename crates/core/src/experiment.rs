@@ -52,6 +52,14 @@ impl ExperimentSpec {
     pub fn run(self) -> RunReport {
         Engine::new(self.system, self.workload, self.horizon, self.seed).run()
     }
+
+    /// Runs the experiment with the event schedule partitioned into
+    /// `shards` per-subtree calendar queues (see
+    /// [`Engine::run_sharded`]). The report is bit-identical to
+    /// [`Self::run`] at any shard count.
+    pub fn run_sharded(self, shards: usize) -> RunReport {
+        Engine::new(self.system, self.workload, self.horizon, self.seed).run_sharded(shards)
+    }
 }
 
 /// Millibottleneck trains for the Fig. 1 endurance runs: clusters of 2–3

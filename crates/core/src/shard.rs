@@ -1,0 +1,128 @@
+//! Spatial partitioning of a topology for sharded single-run execution.
+//!
+//! A [`ShardPlan`] assigns every call-graph node (tier) to a shard. Node
+//! ids are depth-first preorder (see [`crate::TopologyShape`]), so a
+//! *contiguous* range of ids always covers whole subtrees except where a
+//! range boundary cuts one parent→child edge — the natural cut line for an
+//! n-tier system, because all cross-cut traffic is request/reply hops on
+//! those few edges. The plan also derives the conservative-synchronization
+//! lookahead for the cut: every cross-tier message takes at least one
+//! network hop (`SystemConfig::hop_delay`), so a shard processing events at
+//! time `t` cannot receive anything timestamped before `t + hop_delay`; the
+//! 3 s SYN/RTO retransmit granularity only ever stretches that window
+//! (retransmit arrivals are full RTO steps in the future). See DESIGN.md
+//! §14 for the full derivation and the merge-order proof sketch.
+
+use ntier_des::time::SimDuration;
+
+use crate::topology::TopologyShape;
+
+/// An assignment of topology nodes to shards, plus the lookahead the cut
+/// supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shard_of_tier: Vec<u8>,
+    shards: usize,
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Cuts `shape` into at most `shards` contiguous preorder ranges of
+    /// near-equal node count. Node 0 (the client-facing root, which also
+    /// hosts all client-side timers) is always on shard 0. `hop_delay` is
+    /// the minimum cross-tier message latency and becomes the plan's
+    /// lookahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn cut(shape: &TopologyShape, shards: usize, hop_delay: SimDuration) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        let n = shape.len();
+        let effective = shards.min(n.max(1));
+        // Contiguous near-equal ranges: tier t lands in shard
+        // floor(t * effective / n), the standard balanced split. Preorder
+        // contiguity keeps each shard a union of subtree fragments with a
+        // minimal cross-cut edge count.
+        let shard_of_tier = (0..n).map(|t| ((t * effective) / n.max(1)) as u8).collect();
+        ShardPlan {
+            shard_of_tier,
+            shards,
+            lookahead: hop_delay,
+        }
+    }
+
+    /// The shard owning tier `t`.
+    #[inline]
+    pub fn shard_of_tier(&self, t: usize) -> usize {
+        self.shard_of_tier[t] as usize
+    }
+
+    /// The shard count this plan was cut for (shards may be empty when the
+    /// topology has fewer tiers than shards).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The conservative lookahead the cut supports: the minimum latency of
+    /// any cross-shard message.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Number of parent→child edges the cut severs — the cross-shard
+    /// traffic surface, reported by the shard bench.
+    pub fn cut_edges(&self, shape: &TopologyShape) -> usize {
+        (0..shape.len())
+            .filter(|&t| {
+                shape.parent[t].is_some_and(|p| self.shard_of_tier[p] != self.shard_of_tier[t])
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_splits_into_contiguous_ranges() {
+        let shape = TopologyShape::linear(6);
+        let plan = ShardPlan::cut(&shape, 3, SimDuration::from_micros(50));
+        let got: Vec<usize> = (0..6).map(|t| plan.shard_of_tier(t)).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(plan.cut_edges(&shape), 2);
+        assert_eq!(plan.lookahead(), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn root_is_always_on_shard_zero() {
+        for shards in 1..8 {
+            for n in 1..10 {
+                let shape = TopologyShape::linear(n);
+                let plan = ShardPlan::cut(&shape, shards, SimDuration::from_micros(1));
+                assert_eq!(plan.shard_of_tier(0), 0, "n={n} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_tiers_leaves_upper_shards_empty() {
+        let shape = TopologyShape::linear(3);
+        let plan = ShardPlan::cut(&shape, 8, SimDuration::from_micros(50));
+        let got: Vec<usize> = (0..3).map(|t| plan.shard_of_tier(t)).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(plan.shards(), 8);
+    }
+
+    #[test]
+    fn assignment_is_monotone_in_preorder() {
+        let shape = TopologyShape::linear(11);
+        let plan = ShardPlan::cut(&shape, 4, SimDuration::from_micros(50));
+        let got: Vec<usize> = (0..11).map(|t| plan.shard_of_tier(t)).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted, "contiguous preorder ranges must be monotone");
+        assert_eq!(plan.cut_edges(&shape), 3);
+    }
+}

@@ -1,0 +1,591 @@
+//! Spatially sharded event scheduling with conservative synchronization.
+//!
+//! Two layers live here, both deterministic by construction:
+//!
+//! * [`ShardedQueue`] — N per-shard calendar queues behind one façade that
+//!   preserves the **global** `(time, stamp)` pop order: every push takes a
+//!   globally monotone stamp, each shard's [`EventQueue`] pops its own
+//!   entries in `(time, stamp)` order (stamps are monotone per shard), and
+//!   `pop` merges by the smallest `(time, stamp)` across shards. The merged
+//!   stream is therefore *bit-identical* to a single [`EventQueue`] fed the
+//!   same push sequence, at any shard count — the invariant the engine's
+//!   golden reports ride on (see the `matches_single_queue` proptest).
+//!
+//! * [`run_conservative`] — a window-synchronous conservative parallel
+//!   executor (the classic bounded-lag / YAWNS scheme): each shard owns its
+//!   queue and state and runs on its own thread; cross-shard messages ride
+//!   bounded SPSC channels stamped with `(time, sender, seq)`; a barrier
+//!   advances all shards to `min(next event) + lookahead` per round. A
+//!   message sent while processing time `t` must be timestamped `≥ t +
+//!   lookahead`, so everything a shard processes inside the granted window
+//!   is already in its queue — no rollback, no stragglers. Delivery order
+//!   is made deterministic by sorting each window's staged messages on
+//!   `(time, sender, seq)` before insertion, so results are identical for
+//!   any worker interleaving.
+//!
+//! The lookahead is model-derived: for the n-tier engine it is the one-way
+//! hop delay (every cross-tier message takes at least one hop), and the 3 s
+//! SYN/RTO granularity stretches the safe window further whenever a shard
+//! is parked in retransmit limbo. See `DESIGN.md` §14 for why the engine
+//! integrates through [`ShardedQueue`]'s deterministic merge rather than
+//! running its handlers inside `run_conservative` directly.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// N per-shard event queues that pop in global `(time, stamp)` order.
+///
+/// # Example
+///
+/// ```
+/// use ntier_des::prelude::*;
+/// use ntier_des::shard::ShardedQueue;
+///
+/// let mut q = ShardedQueue::new(2);
+/// q.push(0, SimTime::from_millis(5), "b");
+/// q.push(1, SimTime::from_millis(1), "a");
+/// q.push(1, SimTime::from_millis(5), "c");
+/// let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    shards: Vec<EventQueue<(u64, E)>>,
+    next_stamp: u64,
+    len: usize,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Creates a queue with `shards` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded queue needs at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| EventQueue::new()).collect(),
+            next_stamp: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedules `event` on `shard` at `time`, stamped with the next global
+    /// sequence number.
+    pub fn push(&mut self, shard: usize, time: SimTime, event: E) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.len += 1;
+        self.shards[shard].push(time, (stamp, event));
+    }
+
+    /// Removes and returns the globally earliest `(shard, time, event)`.
+    ///
+    /// Ties across shards break on the global stamp, so the pop order is
+    /// exactly the order a single [`EventQueue`] would produce.
+    pub fn pop(&mut self) -> Option<(usize, SimTime, E)> {
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (s, q) in self.shards.iter_mut().enumerate() {
+            if let Some((t, &(stamp, _))) = q.peek() {
+                if best.is_none_or(|(_, bt, bs)| (t, stamp) < (bt, bs)) {
+                    best = Some((s, t, stamp));
+                }
+            }
+        }
+        let (s, _, _) = best?;
+        let (t, (_, ev)) = self.shards[s].pop().expect("peeked entry must pop");
+        self.len -= 1;
+        Some((s, t, ev))
+    }
+
+    /// Number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever scheduled (the global stamp high-water mark).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_stamp
+    }
+
+    /// The globally earliest pending timestamp, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.shards
+            .iter_mut()
+            .filter_map(|q| q.peek().map(|(t, _)| t))
+            .min()
+    }
+
+    /// The earliest pending timestamp on each shard (`None` = idle shard):
+    /// the per-shard clocks a conservative barrier would synchronize on.
+    pub fn shard_fronts(&mut self) -> Vec<Option<SimTime>> {
+        self.shards
+            .iter_mut()
+            .map(|q| q.peek().map(|(t, _)| t))
+            .collect()
+    }
+}
+
+/// One shard's behaviour under [`run_conservative`]: local state plus an
+/// event handler that may schedule locally (any future time) and emit
+/// cross-shard messages (at least `lookahead` ahead of `now`).
+pub trait ShardLogic: Send {
+    /// The event type exchanged between shards.
+    type Ev: Send;
+
+    /// Handles one event at `now`. Local follow-ups go through
+    /// [`Outbox::local`]; cross-shard messages through [`Outbox::remote`].
+    fn handle(&mut self, now: SimTime, ev: Self::Ev, out: &mut Outbox<Self::Ev>);
+}
+
+/// Scheduling surface handed to [`ShardLogic::handle`].
+#[derive(Debug)]
+pub struct Outbox<E> {
+    now: SimTime,
+    lookahead: SimDuration,
+    local: Vec<(SimTime, E)>,
+    remote: Vec<(usize, SimTime, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// Schedules a follow-up on this shard (no lookahead constraint).
+    pub fn local(&mut self, at: SimTime, ev: E) {
+        debug_assert!(
+            at >= self.now,
+            "local events may not be scheduled in the past"
+        );
+        self.local.push((at, ev));
+    }
+
+    /// Sends a message to `shard`, arriving at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `at < now + lookahead` — the conservative
+    /// synchronization contract every model must uphold.
+    pub fn remote(&mut self, shard: usize, at: SimTime, ev: E) {
+        debug_assert!(
+            at >= self.now + self.lookahead,
+            "cross-shard message at {at} violates lookahead {} from {}",
+            self.lookahead,
+            self.now
+        );
+        self.remote.push((shard, at, ev));
+    }
+}
+
+/// A cross-shard message in flight: `(arrival time, sender shard, sender's
+/// running message seq, payload)` — the stamp that makes delivery order
+/// deterministic regardless of channel timing.
+type Wire<E> = (SimTime, usize, u64, E);
+type WireTx<E> = crossbeam::channel::Sender<Wire<E>>;
+type WireRx<E> = crossbeam::channel::Receiver<Wire<E>>;
+
+/// Coordinator -> worker: advance to `end` (exclusive), or halt.
+enum Ctl {
+    Advance(SimTime),
+    Halt,
+}
+
+/// Worker -> coordinator after each window: earliest remaining local event
+/// and earliest message it put in flight this window.
+struct Done {
+    next_local: Option<SimTime>,
+    outbound_min: Option<SimTime>,
+}
+
+/// One SPSC edge of the cross-shard mesh: `mesh[i][j]` carries `i -> j`.
+type MeshEdge<E> = (WireTx<E>, WireRx<E>);
+
+/// Everything a worker thread takes ownership of at spawn.
+type WorkerSlot<E, L> = (
+    EventQueue<E>,
+    L,
+    Vec<WireTx<E>>,
+    Vec<WireRx<E>>,
+    crossbeam::channel::Receiver<Ctl>,
+    crossbeam::channel::Sender<Done>,
+);
+
+/// Runs `shards` to `horizon` under window-synchronous conservative
+/// synchronization with the given `lookahead`, one OS thread per shard, and
+/// returns the final shard states in shard order.
+///
+/// Results are a deterministic function of the inputs: identical across
+/// repeated runs and across any scheduler interleaving (see module docs for
+/// the ordering argument).
+///
+/// # Panics
+///
+/// Panics if `lookahead` is zero with more than one shard (the safe window
+/// would be empty and no shard could ever advance), or if a worker thread
+/// panics.
+pub fn run_conservative<L: ShardLogic>(
+    shards: Vec<(EventQueue<L::Ev>, L)>,
+    lookahead: SimDuration,
+    horizon: SimTime,
+) -> Vec<L> {
+    assert!(
+        shards.len() == 1 || lookahead > SimDuration::ZERO,
+        "conservative synchronization needs a non-zero lookahead beyond one shard"
+    );
+    let n = shards.len();
+    // Coordinator <-> worker control channels plus a full SPSC mesh for
+    // cross-shard messages: mesh[i][j] carries i -> j. Bounded: a window
+    // cannot legitimately emit unboundedly many messages, and a full
+    // channel indicates a runaway model rather than a tuning problem.
+    let mesh: Vec<Vec<MeshEdge<L::Ev>>> = (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| crossbeam::channel::bounded(1 << 16))
+                .collect()
+        })
+        .collect();
+    // Split the mesh into per-worker send rows and receive columns.
+    let mut senders: Vec<Vec<WireTx<L::Ev>>> = mesh
+        .iter()
+        .map(|row| row.iter().map(|(s, _)| s.clone()).collect())
+        .collect();
+    let mut receivers: Vec<Vec<WireRx<L::Ev>>> = (0..n)
+        .map(|j| mesh.iter().map(|row| row[j].1.clone()).collect())
+        .collect();
+    drop(mesh);
+
+    let mut ctl_tx = Vec::with_capacity(n);
+    let mut done_rx = Vec::with_capacity(n);
+    let mut workers: Vec<Option<WorkerSlot<L::Ev, L>>> = Vec::with_capacity(n);
+    for (shard, (queue, logic)) in shards.into_iter().enumerate() {
+        let (ctx, crx) = crossbeam::channel::unbounded::<Ctl>();
+        let (dtx, drx) = crossbeam::channel::unbounded::<Done>();
+        ctl_tx.push(ctx);
+        done_rx.push(drx);
+        let outs = std::mem::take(&mut senders[shard]);
+        let ins = std::mem::take(&mut receivers[shard]);
+        workers.push(Some((queue, logic, outs, ins, crx, dtx)));
+    }
+
+    let states: Vec<(usize, L)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, slot)| {
+                let (mut queue, mut logic, outs, ins, crx, dtx) =
+                    slot.take().expect("worker consumed once");
+                scope.spawn(move |_| {
+                    let mut msg_seq = 0u64;
+                    let mut staged: Vec<Wire<L::Ev>> = Vec::new();
+                    while let Ok(ctl) = crx.recv() {
+                        match ctl {
+                            Ctl::Advance(end) => {
+                                // Everything sent before the coordinator
+                                // granted this window is in the channels:
+                                // drain, then order deterministically.
+                                staged.clear();
+                                for rx in &ins {
+                                    while let Some(m) = rx.try_recv_opt() {
+                                        staged.push(m);
+                                    }
+                                }
+                                staged.sort_by_key(|m| (m.0, m.1, m.2));
+                                for (at, _, _, ev) in staged.drain(..) {
+                                    queue.push(at, ev);
+                                }
+                                let mut outbound_min: Option<SimTime> = None;
+                                while queue.peek_time().is_some_and(|t| t < end) {
+                                    let (now, ev) = queue.pop().expect("peeked");
+                                    let mut out = Outbox {
+                                        now,
+                                        lookahead,
+                                        local: Vec::new(),
+                                        remote: Vec::new(),
+                                    };
+                                    logic.handle(now, ev, &mut out);
+                                    for (at, ev) in out.local {
+                                        queue.push(at, ev);
+                                    }
+                                    for (target, at, ev) in out.remote {
+                                        outbound_min =
+                                            Some(outbound_min.map_or(at, |m: SimTime| m.min(at)));
+                                        if outs[target].send((at, shard, msg_seq, ev)).is_err() {
+                                            panic!("mesh channel closed mid-run");
+                                        }
+                                        msg_seq += 1;
+                                    }
+                                }
+                                let done = Done {
+                                    next_local: queue.peek_time(),
+                                    outbound_min,
+                                };
+                                if dtx.send(done).is_err() {
+                                    break;
+                                }
+                            }
+                            Ctl::Halt => break,
+                        }
+                    }
+                    (shard, logic)
+                })
+            })
+            .collect();
+
+        // Coordinator: barrier rounds until every shard is idle (or the
+        // horizon is reached) with nothing in flight.
+        let mut fronts: Vec<Option<SimTime>> = vec![Some(SimTime::ZERO); n];
+        let mut in_flight_min: Option<SimTime> = None;
+        loop {
+            let next = fronts.iter().flatten().copied().chain(in_flight_min).min();
+            let Some(next) = next.filter(|t| *t <= horizon) else {
+                for tx in &ctl_tx {
+                    let _ = tx.send(Ctl::Halt);
+                }
+                break;
+            };
+            let end = next + lookahead;
+            for tx in &ctl_tx {
+                if tx.send(Ctl::Advance(end)).is_err() {
+                    panic!("worker died mid-run");
+                }
+            }
+            in_flight_min = None;
+            for (s, rx) in done_rx.iter().enumerate() {
+                let done = rx.recv().expect("worker died mid-window");
+                fronts[s] = done.next_local;
+                if let Some(m) = done.outbound_min {
+                    in_flight_min = Some(in_flight_min.map_or(m, |x: SimTime| x.min(m)));
+                }
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+    .expect("shard scope panicked");
+
+    let mut states = states;
+    states.sort_by_key(|(shard, _)| *shard);
+    states.into_iter().map(|(_, l)| l).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_shard_matches_plain_queue() {
+        let mut sq = ShardedQueue::new(1);
+        let mut q = EventQueue::new();
+        for (i, t) in [5u64, 1, 5, 3, 1].iter().enumerate() {
+            sq.push(0, SimTime::from_millis(*t), i);
+            q.push(SimTime::from_millis(*t), i);
+        }
+        while let Some((_, t, e)) = sq.pop() {
+            assert_eq!(q.pop(), Some((t, e)));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn shard_fronts_report_per_shard_clocks() {
+        let mut sq = ShardedQueue::new(3);
+        sq.push(0, SimTime::from_millis(9), 'a');
+        sq.push(2, SimTime::from_millis(4), 'b');
+        assert_eq!(
+            sq.shard_fronts(),
+            vec![
+                Some(SimTime::from_millis(9)),
+                None,
+                Some(SimTime::from_millis(4))
+            ]
+        );
+    }
+
+    proptest! {
+        /// The tentpole invariant: a sharded queue pops the exact global
+        /// `(time, stamp)` sequence of one flat queue fed the same pushes,
+        /// for any shard count and any routing of events to shards.
+        #[test]
+        fn matches_single_queue(
+            shards in 1usize..5,
+            ops in proptest::collection::vec((0u64..20_000_000, 0usize..5), 1..300),
+        ) {
+            let mut sq = ShardedQueue::new(shards);
+            let mut q = EventQueue::new();
+            for (i, (t, s)) in ops.iter().enumerate() {
+                sq.push(s % shards, SimTime::from_micros(*t), i);
+                q.push(SimTime::from_micros(*t), i);
+            }
+            prop_assert_eq!(sq.len(), q.len());
+            loop {
+                let (a, b) = (sq.pop(), q.pop());
+                match (a, b) {
+                    (Some((_, ta, ea)), Some((tb, eb))) => {
+                        prop_assert_eq!((ta, ea), (tb, eb));
+                    }
+                    (None, None) => break,
+                    (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+
+        /// Interleaved pushes and pops preserve the merge order too (pops
+        /// can interleave with pushes in the engine's run loop).
+        #[test]
+        fn interleaved_ops_match(
+            shards in 1usize..4,
+            ops in proptest::collection::vec((0u32..10, 0u64..10_000, 0usize..4), 1..200),
+        ) {
+            let mut sq = ShardedQueue::new(shards);
+            let mut q = EventQueue::new();
+            for (i, (op, t, s)) in ops.iter().enumerate() {
+                if *op < 7 {
+                    sq.push(s % shards, SimTime::from_micros(*t), i);
+                    q.push(SimTime::from_micros(*t), i);
+                } else {
+                    let a = sq.pop().map(|(_, t, e)| (t, e));
+                    prop_assert_eq!(a, q.pop());
+                }
+            }
+        }
+    }
+
+    /// A shard of the token-ring model: holds a counter, and every token it
+    /// receives it re-emits to the next shard one lookahead later, until
+    /// the token's hop budget is spent.
+    struct Ring {
+        shard: usize,
+        shards: usize,
+        seen: Vec<(u64, u32)>, // (time µs, hops left) — the full local history
+    }
+
+    impl ShardLogic for Ring {
+        type Ev = u32;
+
+        fn handle(&mut self, now: SimTime, hops_left: u32, out: &mut Outbox<u32>) {
+            self.seen.push((now.as_micros(), hops_left));
+            if hops_left > 0 {
+                let target = (self.shard + 1) % self.shards;
+                let at = now + SimDuration::from_micros(70); // ≥ lookahead
+                if target == self.shard {
+                    out.local(at, hops_left - 1);
+                } else {
+                    out.remote(target, at, hops_left - 1);
+                }
+            }
+        }
+    }
+
+    /// Serial reference for the ring model: one flat queue, same routing.
+    fn ring_serial(shards: usize, tokens: &[(u64, u32)]) -> Vec<Vec<(u64, u32)>> {
+        let mut q = EventQueue::new();
+        for (i, (t, hops)) in tokens.iter().enumerate() {
+            q.push(SimTime::from_micros(*t), (i % shards, *hops));
+        }
+        let mut seen: Vec<Vec<(u64, u32)>> = vec![Vec::new(); shards];
+        while let Some((now, (shard, hops_left))) = q.pop() {
+            seen[shard].push((now.as_micros(), hops_left));
+            if hops_left > 0 {
+                let target = (shard + 1) % shards;
+                q.push(now + SimDuration::from_micros(70), (target, hops_left - 1));
+            }
+        }
+        seen
+    }
+
+    /// The conservative runner (real threads, SPSC mesh, lookahead barrier)
+    /// reproduces the serial reference exactly, for several shard counts.
+    #[test]
+    fn conservative_runner_matches_serial_reference() {
+        let tokens: Vec<(u64, u32)> = (0..40)
+            .map(|i| (i * 13 % 500, 3 + (i % 5) as u32))
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let expect = ring_serial(shards, &tokens);
+            let mut parts: Vec<(EventQueue<u32>, Ring)> = (0..shards)
+                .map(|s| {
+                    (
+                        EventQueue::new(),
+                        Ring {
+                            shard: s,
+                            shards,
+                            seen: Vec::new(),
+                        },
+                    )
+                })
+                .collect();
+            for (i, (t, hops)) in tokens.iter().enumerate() {
+                parts[i % shards].0.push(SimTime::from_micros(*t), *hops);
+            }
+            let states = run_conservative(
+                parts,
+                SimDuration::from_micros(50),
+                SimTime::from_secs(3_600),
+            );
+            let got: Vec<Vec<(u64, u32)>> = states.into_iter().map(|r| r.seen).collect();
+            assert_eq!(got, expect, "diverged at {shards} shards");
+        }
+    }
+
+    /// Repeated parallel runs are identical — worker interleaving is
+    /// invisible in the output.
+    #[test]
+    fn conservative_runner_is_deterministic_across_runs() {
+        let tokens: Vec<(u64, u32)> = (0..60).map(|i| (i * 7 % 300, 4)).collect();
+        let run = || {
+            let shards = 3;
+            let mut parts: Vec<(EventQueue<u32>, Ring)> = (0..shards)
+                .map(|s| {
+                    (
+                        EventQueue::new(),
+                        Ring {
+                            shard: s,
+                            shards,
+                            seen: Vec::new(),
+                        },
+                    )
+                })
+                .collect();
+            for (i, (t, hops)) in tokens.iter().enumerate() {
+                parts[i % shards].0.push(SimTime::from_micros(*t), *hops);
+            }
+            run_conservative(
+                parts,
+                SimDuration::from_micros(50),
+                SimTime::from_secs(3_600),
+            )
+            .into_iter()
+            .map(|r| r.seen)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero lookahead")]
+    fn zero_lookahead_with_multiple_shards_rejected() {
+        let parts: Vec<(EventQueue<u32>, Ring)> = (0..2)
+            .map(|s| {
+                (
+                    EventQueue::new(),
+                    Ring {
+                        shard: s,
+                        shards: 2,
+                        seen: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        let _ = run_conservative(parts, SimDuration::ZERO, SimTime::from_secs(1));
+    }
+}

@@ -196,6 +196,28 @@ impl WindowedSeries {
             self.windows.resize(idx + 1, WindowAgg::default());
         }
     }
+
+    /// Pools partitions of one logical series — per-shard slices of a
+    /// sharded run, or per-replica views of a tier — into a single series:
+    /// the window-wise [`absorb`](Self::absorb) fold over every partition,
+    /// in iteration order (pass shards in shard-id order so the `last`
+    /// sample resolves deterministically). Returns `None` for an empty
+    /// iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions disagree on window size.
+    pub fn merged<'a, I>(parts: I) -> Option<WindowedSeries>
+    where
+        I: IntoIterator<Item = &'a WindowedSeries>,
+    {
+        let mut it = parts.into_iter();
+        let mut acc = it.next()?.clone();
+        for p in it {
+            acc.absorb(p);
+        }
+        Some(acc)
+    }
 }
 
 /// Busy-time accounting per window, yielding utilization timelines.
@@ -400,6 +422,23 @@ mod tests {
         assert_eq!(points[0].0, ms(0));
         assert_eq!(points[1].0, ms(100));
         assert_eq!(points[1].1.sum, 1.0);
+    }
+
+    #[test]
+    fn merged_pools_shard_partitions() {
+        // Three shards each hold a slice of one logical drop series; the
+        // merge must equal the series a single-shard run would have built.
+        let mut whole = WindowedSeries::paper_default();
+        let mut parts: Vec<WindowedSeries> =
+            (0..3).map(|_| WindowedSeries::paper_default()).collect();
+        for (i, t) in [5u64, 60, 110, 140, 260, 300].iter().enumerate() {
+            whole.add(ms(*t), 1.0);
+            parts[i % 3].add(ms(*t), 1.0);
+        }
+        let merged = WindowedSeries::merged(parts.iter()).expect("non-empty");
+        assert_eq!(merged.sums(), whole.sums());
+        assert_eq!(merged.total(), whole.total());
+        assert!(WindowedSeries::merged(std::iter::empty()).is_none());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Sharded-schedule smoke run: the Fig. 1 operating point and the full
+//! control frontier executed with the event schedule partitioned into
+//! per-subtree calendar queues, checked bit-for-bit against the
+//! single-queue engine.
+//!
+//! `run_sharded(n)` cuts the topology's preorder into `n` contiguous
+//! subtree ranges, gives each its own calendar queue, and merges the
+//! per-shard streams back in global `(time, stamp)` order — so the shard
+//! count must be invisible in every report field. This example is the CI
+//! smoke for that contract: it runs each preset at 1 and at the requested
+//! shard count (default 2), compares a wide fingerprint, and prints the
+//! wall-clock for both so regressions in the sharded path are visible in
+//! the log.
+//!
+//! Run with: `cargo run --release --example shard_smoke [shards] [seed]`
+
+#![deny(deprecated)]
+
+use ntier_core::experiment::{self, ExperimentSpec};
+use ntier_core::RunReport;
+use std::time::Instant;
+
+fn fingerprint(r: &RunReport) -> String {
+    use std::fmt::Write;
+    let q = |p: f64| {
+        r.latency
+            .quantile(p)
+            .map_or(0, ntier_des::time::SimDuration::as_micros)
+    };
+    let mut s = format!(
+        "ev={} inj={} comp={} fail={} shed={} canc={} vlrt={} drops={} mean={} \
+         q50={} q99={} q9999={}",
+        r.events,
+        r.injected,
+        r.completed,
+        r.failed,
+        r.shed,
+        r.cancelled,
+        r.vlrt_total,
+        r.drops_total,
+        r.latency.mean().as_micros(),
+        q(0.50),
+        q(0.99),
+        q(0.9999),
+    );
+    for t in &r.tiers {
+        write!(
+            s,
+            " | {} peak={} drops={} dsum={:?}",
+            t.name,
+            t.peak_queue,
+            t.drops_total,
+            t.drops.sums(),
+        )
+        .unwrap();
+    }
+    if let Some(log) = &r.control {
+        write!(s, " | control={}", log.summary()).unwrap();
+    }
+    s
+}
+
+fn presets(seed: u64) -> Vec<(&'static str, ExperimentSpec)> {
+    let mut v = vec![(
+        "fig1_wl7000",
+        experiment::fig1(7_000, ntier_des::time::SimDuration::from_secs(20), seed),
+    )];
+    for spec in experiment::control_frontier_sweep(seed) {
+        v.push(("control_frontier", spec));
+    }
+    v
+}
+
+fn main() {
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    println!("shard smoke (seed {seed}): single queue vs {shards} shards, bit-identity required");
+    println!(
+        "\n{:<17} {:>9} {:>11} {:>11} {:>9}",
+        "preset", "completed", "1-shard(s)", "sharded(s)", "verdict"
+    );
+
+    let mut diverged = 0;
+    for ((name, single_spec), (_, sharded_spec)) in presets(seed).into_iter().zip(presets(seed)) {
+        let t = Instant::now();
+        let single = single_spec.run_sharded(1);
+        let single_wall = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let sharded = sharded_spec.run_sharded(shards);
+        let sharded_wall = t.elapsed().as_secs_f64();
+        let ok = fingerprint(&single) == fingerprint(&sharded);
+        diverged += u32::from(!ok);
+        println!(
+            "{name:<17} {:>9} {single_wall:>11.3} {sharded_wall:>11.3} {:>9}",
+            single.completed,
+            if ok { "identical" } else { "DIVERGED" }
+        );
+    }
+    assert_eq!(
+        diverged, 0,
+        "sharded runs must be bit-identical to the single queue"
+    );
+    println!("\nall presets bit-identical at {shards} shard(s)");
+}

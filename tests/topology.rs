@@ -135,6 +135,50 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharding the event schedule of an arbitrary replicated tree across
+    /// 2–6 per-subtree calendar queues neither loses nor invents requests
+    /// — and in fact reproduces the single-queue report field for field,
+    /// per-replica ledgers included. Shard counts beyond the tier count
+    /// exercise the clamp path.
+    #[test]
+    fn conservation_over_random_trees_and_shard_counts(
+        system in arb_topology(),
+        batch in 1u64..40,
+        demand_us in 100u64..2_000,
+        shards in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let demands = vec![SimDuration::from_micros(demand_us); system.shape.len()];
+        let plan = Plan::tree_pipeline(&system.shape, &demands);
+        let arrivals: Vec<(SimTime, Plan)> = (0..batch)
+            .map(|i| (SimTime::from_millis(200 + i * 20), plan.share()))
+            .collect();
+        let run = |shards: usize| {
+            Engine::new(
+                system.clone(),
+                Workload::OpenPlans {
+                    arrivals: arrivals.iter().map(|(t, p)| (*t, p.share())).collect(),
+                },
+                SimDuration::from_secs(15),
+                seed,
+            )
+            .run_sharded(shards)
+        };
+        let sharded = run(shards);
+        prop_assert!(sharded.is_conserved(), "{}", sharded.summary());
+        prop_assert_eq!(sharded.injected, batch);
+        prop_assert_eq!(
+            deep_fingerprint(&run(1)),
+            deep_fingerprint(&sharded),
+            "report diverged at {} shards",
+            shards
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // 2. Quorum semantics
 // ---------------------------------------------------------------------------
