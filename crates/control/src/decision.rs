@@ -30,6 +30,11 @@ pub enum Action {
     Brake { tier: usize, depth: usize },
     /// Released the overload brake.
     Release { tier: usize },
+    /// Ejected a replica from balancer eligibility on gray-failure
+    /// evidence; in-flight and RTO-limbo work still drains to it.
+    Ejected { tier: usize, replica: usize },
+    /// Reinstated an ejected replica after a clean probation.
+    Reinstated { tier: usize, replica: usize },
 }
 
 impl Action {
@@ -42,7 +47,9 @@ impl Action {
             | Action::Retire { tier, .. }
             | Action::SetAimdBounds { tier, .. }
             | Action::Brake { tier, .. }
-            | Action::Release { tier } => Some(tier),
+            | Action::Release { tier }
+            | Action::Ejected { tier, .. }
+            | Action::Reinstated { tier, .. } => Some(tier),
             Action::SetHedgeDelay { .. } => None,
         }
     }
@@ -62,6 +69,8 @@ impl Action {
             }
             Action::Brake { tier, depth } => format!("brake(t{tier} depth<={depth})"),
             Action::Release { tier } => format!("release(t{tier})"),
+            Action::Ejected { tier, replica } => format!("eject(t{tier}#{replica})"),
+            Action::Reinstated { tier, replica } => format!("reinstate(t{tier}#{replica})"),
         }
     }
 }
@@ -104,10 +113,13 @@ impl ControlLog {
     }
 
     /// One-line per-kind tally, e.g. `ticks=400 up=2 online=2 drain=1
-    /// retire=1 brake=1 release=1 hedge=3 aimd=2`.
+    /// retire=1 brake=1 release=1 hedge=3 aimd=2`. Health tallies
+    /// (`eject=… reinstate=…`) are appended only when at least one health
+    /// decision was logged, so runs without a health detector keep the
+    /// historical format byte for byte.
     pub fn summary(&self) -> String {
         let k = |f: fn(&Action) -> bool| self.count(f);
-        format!(
+        let mut s = format!(
             "ticks={} up={} online={} drain={} retire={} brake={} release={} hedge={} aimd={}",
             self.ticks,
             k(|a| matches!(a, Action::ScaleUp { .. })),
@@ -118,7 +130,13 @@ impl ControlLog {
             k(|a| matches!(a, Action::Release { .. })),
             k(|a| matches!(a, Action::SetHedgeDelay { .. })),
             k(|a| matches!(a, Action::SetAimdBounds { .. })),
-        )
+        );
+        let eject = k(|a| matches!(a, Action::Ejected { .. }));
+        let reinstate = k(|a| matches!(a, Action::Reinstated { .. }));
+        if eject + reinstate > 0 {
+            s.push_str(&format!(" eject={eject} reinstate={reinstate}"));
+        }
+        s
     }
 }
 
@@ -157,6 +175,32 @@ mod tests {
         assert_eq!(
             log.summary(),
             "ticks=10 up=0 online=0 drain=0 retire=0 brake=1 release=1 hedge=0 aimd=0"
+        );
+    }
+
+    #[test]
+    fn health_actions_are_labelled_and_only_then_tallied() {
+        let e = Action::Ejected {
+            tier: 1,
+            replica: 2,
+        };
+        assert_eq!(e.label(), "eject(t1#2)");
+        assert_eq!(e.tier(), Some(1));
+        let r = Action::Reinstated {
+            tier: 1,
+            replica: 2,
+        };
+        assert_eq!(r.label(), "reinstate(t1#2)");
+        let mut log = ControlLog {
+            ticks: 5,
+            ..Default::default()
+        };
+        log.push(SimTime::ZERO, e, "score 1.8 z 2.1".into());
+        log.push(SimTime::from_secs(4), r, "probation clean".into());
+        assert_eq!(
+            log.summary(),
+            "ticks=5 up=0 online=0 drain=0 retire=0 brake=0 release=0 hedge=0 aimd=0 \
+             eject=1 reinstate=1"
         );
     }
 }

@@ -295,6 +295,11 @@ pub struct SystemConfig {
     /// governor); `None` by default. Uncontrolled runs take exactly the
     /// pre-control code paths, so their event streams stay bit-identical.
     pub control: Option<ntier_control::ControlConfig>,
+    /// Gray-failure detection (passive health scoring + outlier ejection)
+    /// on one replicated tier; `None` by default. Undetected runs take
+    /// exactly the pre-health code paths — no `HealthTick` events, no rng
+    /// fork consumption — so their event streams stay bit-identical.
+    pub health: Option<ntier_resilience::HealthPolicy>,
 }
 
 impl SystemConfig {
@@ -311,6 +316,7 @@ impl SystemConfig {
             faults: FaultPlan::none(),
             trace: TraceConfig::disabled(),
             control: None,
+            health: None,
         }
     }
 
@@ -395,6 +401,24 @@ impl SystemConfig {
             );
         }
         self.control = Some(control);
+        self
+    }
+
+    /// Installs gray-failure detection on the policy's tier (see
+    /// [`ntier_resilience::health`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid or targets a tier outside the chain.
+    pub fn with_health(mut self, health: ntier_resilience::HealthPolicy) -> Self {
+        health.validate();
+        let n = self.tiers.len();
+        assert!(
+            health.tier < n,
+            "health detector targets tier {} of {n}",
+            health.tier
+        );
+        self.health = Some(health);
         self
     }
 

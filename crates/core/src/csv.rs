@@ -36,10 +36,13 @@ use crate::report::RunReport;
 /// Controlled runs (`report.control` is `Some`) append
 /// `control_decisions.csv` — one row per controller decision with its
 /// timestamp, tier scope, action label and the evidence that justified it.
+/// Gray-failure detector verdicts ride in the same log, so `eject`/
+/// `reinstate` decisions land there too, and `summary.csv` gains a
+/// `health_decisions` row when (and only when) at least one was made.
 pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
     let mut files = Vec::with_capacity(report.tiers.len() + 3);
 
-    let summary_rows = vec![
+    let mut summary_rows = vec![
         vec![
             "horizon_secs".into(),
             format!("{:.3}", report.horizon.as_secs_f64()),
@@ -81,6 +84,23 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
             report.resilience.wasted_work_saved.to_string(),
         ],
     ];
+    // Gray-failure detection tally, appended only when the run actually
+    // ejected or reinstated a replica so undetected bundles stay byte
+    // for byte what they were.
+    let health_decisions = report.control.as_ref().map_or(0, |log| {
+        log.count(|a| {
+            matches!(
+                a,
+                ntier_control::Action::Ejected { .. } | ntier_control::Action::Reinstated { .. }
+            )
+        })
+    });
+    if health_decisions > 0 {
+        summary_rows.push(vec![
+            "health_decisions".into(),
+            health_decisions.to_string(),
+        ]);
+    }
     files.push((
         "summary.csv".to_string(),
         to_csv(&["metric", "value"], &summary_rows),
@@ -432,6 +452,41 @@ mod tests {
         assert!(content.contains("scale-up"), "{content}");
         // Uncontrolled runs must not grow the bundle.
         let base = csv_bundle(&control_frontier(ControlVariant::Uncontrolled, 7).run());
+        assert!(base.iter().all(|(n, _)| n != "control_decisions.csv"));
+    }
+
+    #[test]
+    fn health_run_adds_summary_row_and_decision_file() {
+        use crate::experiment::{detection_frontier, DetectionVariant};
+        let report = detection_frontier(DetectionVariant::Tuned, 7).run();
+        let bundle = csv_bundle(&report);
+        let summary = &bundle
+            .iter()
+            .find(|(n, _)| n == "summary.csv")
+            .expect("summary always present")
+            .1;
+        let ejections = report
+            .control
+            .as_ref()
+            .expect("health runs carry a decision log")
+            .decisions
+            .len();
+        assert!(ejections > 0, "the tuned arm must actually eject");
+        assert!(
+            summary.contains(&format!("health_decisions,{ejections}")),
+            "{summary}"
+        );
+        let (name, content) = bundle.last().expect("non-empty bundle");
+        assert_eq!(name, "control_decisions.csv");
+        assert!(content.contains("eject(t1#0)"), "{content}");
+        // Undetected runs keep the historical summary rows, byte for byte.
+        let base = csv_bundle(&detection_frontier(DetectionVariant::Undetected, 7).run());
+        let base_summary = &base
+            .iter()
+            .find(|(n, _)| n == "summary.csv")
+            .expect("summary always present")
+            .1;
+        assert!(!base_summary.contains("health_decisions"), "{base_summary}");
         assert!(base.iter().all(|(n, _)| n != "control_decisions.csv"));
     }
 

@@ -60,12 +60,13 @@
 
 use std::collections::HashMap;
 
-use ntier_control::{Controller, Directive, Observation, ReplicaObs, TierObs};
+use ntier_control::{Action, ControlLog, Controller, Directive, Observation, ReplicaObs, TierObs};
 use ntier_des::prelude::*;
 use ntier_des::shard::ShardedQueue;
 use ntier_net::{Backlog, RetransmitState, RetryDecision};
 use ntier_resilience::{
-    AimdLimiter, CircuitBreaker, Fault, HedgeDelay, ResilienceStats, ShedPolicy, TokenBucket,
+    AimdLimiter, CircuitBreaker, Fault, HealthDetector, HealthVerdict, HedgeDelay, ResilienceStats,
+    ShedPolicy, TokenBucket,
 };
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
@@ -194,6 +195,10 @@ enum Event {
     /// run has a control config, so uncontrolled event streams (and their
     /// golden fingerprints) stay byte-identical to the pre-control engine.
     ControllerTick,
+    /// The gray-failure detector's scoring tick. Scheduled only when the
+    /// run has a [`ntier_resilience::HealthPolicy`], so undetected event
+    /// streams stay byte-identical to the pre-health engine.
+    HealthTick,
     /// A provisioned replica's lag elapsed: it comes online at `tier` and
     /// starts receiving balancer picks on the next fresh connection.
     ReplicaReady {
@@ -270,7 +275,8 @@ impl EngineQueue {
             | Event::FaultEnd { .. }
             | Event::HedgeFire { .. }
             | Event::LogicalDeadline { .. }
-            | Event::ControllerTick => 0,
+            | Event::ControllerTick
+            | Event::HealthTick => 0,
         }
     }
 }
@@ -532,6 +538,11 @@ struct Replica {
     drops_total: u64,
     peak_queue: usize,
     life: ReplicaLife,
+    /// Health-ejected: out of the balancer's eligible set on gray-failure
+    /// evidence, but *not* draining — admitted work, backlog entries and
+    /// kernel-pinned retransmits all still land here, and reinstatement
+    /// flips the flag back without any replacement-capacity machinery.
+    ejected: bool,
 }
 
 impl Replica {
@@ -540,6 +551,15 @@ impl Replica {
             TierState::Sync(pg) => pg.busy() + self.backlog.len(),
             TierState::Async(el) => el.in_flight(),
         }
+    }
+
+    /// The one eligibility predicate every balancer pick path shares:
+    /// a replica takes fresh connections only while `Active` *and* not
+    /// health-ejected. Drain, retire and ejection all flow through here,
+    /// so a policy cannot disagree with its peers about who is pickable.
+    #[inline]
+    fn is_eligible(&self) -> bool {
+        self.life == ReplicaLife::Active && !self.ejected
     }
 
     fn spawns(&self) -> u64 {
@@ -556,9 +576,10 @@ impl Replica {
 #[derive(Debug)]
 struct NodeRuntime {
     replicas: Vec<Replica>,
-    /// Replicas currently draining or retired. While 0 — always, for
-    /// uncontrolled runs — `pick_replica` takes the exact pre-control code
-    /// paths, which keeps existing runs bit-identical.
+    /// Replicas currently ineligible for fresh picks: draining, retired or
+    /// health-ejected (`!`[`Replica::is_eligible`]). While 0 — always, for
+    /// uncontrolled and undetected runs — `pick_replica` takes the exact
+    /// pre-control code paths, which keeps existing runs bit-identical.
     inactive: usize,
     /// Round-robin cursor for [`Balancer::RoundRobin`].
     rr_next: u32,
@@ -615,6 +636,27 @@ struct ControlRuntime {
     /// Completion-histogram snapshot at the previous tick; quantile deltas
     /// against it see only this window's completions.
     hist_base: HistogramSnapshot,
+}
+
+/// Everything the engine keeps per health-monitored run: the pure detector,
+/// its dedicated rng fork, and the decision log its verdicts land in. The
+/// log is merged with the controller's (when both run) in `into_report`, so
+/// `Ejected`/`Reinstated` ride the same CSV/`RootCause` joins as scale-ups
+/// and brakes.
+#[derive(Debug)]
+struct HealthRuntime {
+    det: HealthDetector,
+    /// The detection plane's only randomness source (trickle-probe
+    /// routing), forked off the run seed as `"health"`. Consumed only when
+    /// a probation replica exists, so detection on a healthy run draws
+    /// nothing.
+    rng: SimRng,
+    /// Copied out of the policy so the pick hot path reads them without
+    /// reaching through the detector.
+    tier: usize,
+    tick: SimDuration,
+    probe: f64,
+    log: ControlLog,
 }
 
 /// The simulation engine for one run.
@@ -674,6 +716,17 @@ pub struct Engine {
     tracer: Tracer,
     /// Closed-loop control plane state; `None` for uncontrolled runs.
     control: Option<Box<ControlRuntime>>,
+    /// Gray-failure detection state; `None` when no `HealthPolicy` is set.
+    health: Option<Box<HealthRuntime>>,
+    /// Per-tier, per-replica service-rate multiplier from gray-degradation
+    /// windows (1.0 = nominal). A slice's effective demand is scaled by it,
+    /// and the scale is skipped entirely at exactly 1.0 so fault-free runs
+    /// keep exact demands.
+    rate_mult: Vec<Vec<f64>>,
+    /// Per-tier, per-replica message-loss probability from flaky-link
+    /// windows (0.0 = clean). Checked after replica resolution; the rng is
+    /// drawn only while a window is open.
+    replica_drop: Vec<Vec<f64>>,
     /// Per-tier admission ceiling installed by the overload governor
     /// (`None` = unbraked).
     governor_limit: Vec<Option<usize>>,
@@ -719,6 +772,16 @@ impl Engine {
                 max < cfg.tiers.len(),
                 "fault targets tier {max} outside the chain"
             );
+        }
+        for f in cfg.faults.faults() {
+            if let Some(r) = f.replica() {
+                let t = f.tier();
+                let n = cfg.tiers[t].replicas.max(1);
+                assert!(
+                    r < n,
+                    "gray fault targets replica {r} of tier {t}, which has {n} replicas"
+                );
+            }
         }
         let root = SimRng::seed_from(seed);
         let bal_root = root.fork("balancer");
@@ -780,6 +843,27 @@ impl Engine {
                 ctl: Controller::new(c),
             })
         });
+        let health = cfg.health.clone().map(|h| {
+            assert!(
+                h.tier < tiers.len(),
+                "health detector targets tier {} of {}",
+                h.tier,
+                tiers.len()
+            );
+            let replicas = tiers[h.tier].replicas.len();
+            Box::new(HealthRuntime {
+                rng: root.fork("health"),
+                tier: h.tier,
+                tick: h.tick,
+                probe: h.probe_fraction,
+                log: ControlLog::default(),
+                det: HealthDetector::new(h, replicas),
+            })
+        });
+        let tiers_rate_mult: Vec<Vec<f64>> =
+            tiers.iter().map(|n| vec![1.0; n.replicas.len()]).collect();
+        let tiers_replica_drop: Vec<Vec<f64>> =
+            tiers.iter().map(|n| vec![0.0; n.replicas.len()]).collect();
         Engine {
             cfg,
             workload,
@@ -818,6 +902,9 @@ impl Engine {
             stuck_acquired: vec![0; n_faults],
             tracer: Tracer::new(trace_cfg, root.fork("trace-sample")),
             control,
+            health,
+            rate_mult: tiers_rate_mult,
+            replica_drop: tiers_replica_drop,
             governor_limit: vec![None; n_tiers],
             hedge_override: None,
         }
@@ -855,6 +942,7 @@ impl Engine {
             drops_total: 0,
             peak_queue: 0,
             life: ReplicaLife::Active,
+            ejected: false,
         }
     }
 
@@ -948,6 +1036,9 @@ impl Engine {
             self.queue
                 .push(SimTime::ZERO + cr.tick, Event::ControllerTick);
         }
+        if let Some(hr) = &self.health {
+            self.queue.push(SimTime::ZERO + hr.tick, Event::HealthTick);
+        }
     }
 
     fn handle(&mut self, ev: Event) {
@@ -970,6 +1061,7 @@ impl Engine {
             Event::CancelArrive { req, tier } => self.on_cancel_arrive(req, tier as usize),
             Event::ControllerTick => self.on_controller_tick(),
             Event::ReplicaReady { tier } => self.on_replica_ready(tier as usize),
+            Event::HealthTick => self.on_health_tick(),
         }
     }
 
@@ -1068,7 +1160,12 @@ impl Engine {
                 let rep = &mut self.tiers[tier].replicas[replica];
                 if rep.life == ReplicaLife::Active {
                     rep.life = ReplicaLife::Draining;
-                    self.tiers[tier].inactive += 1;
+                    // An ejected replica is already counted ineligible; the
+                    // drain must not double-count it (`inactive` counts
+                    // replicas, not reasons).
+                    if !rep.ejected {
+                        self.tiers[tier].inactive += 1;
+                    }
                 }
             }
             Directive::SetHedgeDelay { delay } => self.hedge_override = Some(delay),
@@ -1093,9 +1190,75 @@ impl Engine {
             let rep = Self::make_replica(&self.cfg.tiers[tier], r, self.horizon);
             self.tiers[tier].replicas.push(rep);
             cr.prev_drops[tier].push(0);
+            self.rate_mult[tier].push(1.0);
+            self.replica_drop[tier].push(0.0);
+            if let Some(hr) = self.health.as_mut() {
+                if hr.tier == tier {
+                    hr.det.on_replica_added();
+                }
+            }
             cr.ctl.note_replica_online(self.now, tier, r);
         }
         self.control = Some(cr);
+    }
+
+    /// The gray-failure detector's scoring tick: run the pure detector over
+    /// the monitored tier's passive signals and actuate its verdicts.
+    /// Ejection only removes the replica from the shared eligibility mask —
+    /// admitted work, backlog entries and kernel-pinned retransmits keep
+    /// draining to it (ejected ≠ retired), so no in-flight state is ever
+    /// invalidated. Undetected runs never reach this path.
+    fn on_health_tick(&mut self) {
+        let Some(mut hr) = self.health.take() else {
+            return;
+        };
+        hr.log.ticks += 1;
+        let tier = hr.tier;
+        let active: Vec<bool> = self.tiers[tier]
+            .replicas
+            .iter()
+            .map(|r| r.life == ReplicaLife::Active)
+            .collect();
+        for v in hr.det.tick(self.now, &active) {
+            match v {
+                HealthVerdict::Eject { replica, score, z } => {
+                    let rep = &mut self.tiers[tier].replicas[replica];
+                    // A re-eject of an already-benched replica is a failed
+                    // probation (the detector restarted its clock); narrate
+                    // it as such rather than as a fresh outlier call.
+                    let reason = if rep.ejected {
+                        format!("probation failed at score {score:.2}")
+                    } else {
+                        rep.ejected = true;
+                        if rep.life == ReplicaLife::Active {
+                            self.tiers[tier].inactive += 1;
+                        }
+                        format!("health score {score:.2} with peer z {z:.2}")
+                    };
+                    hr.log
+                        .push(self.now, Action::Ejected { tier, replica }, reason);
+                }
+                HealthVerdict::Reinstate { replica, score } => {
+                    let rep = &mut self.tiers[tier].replicas[replica];
+                    if rep.ejected {
+                        rep.ejected = false;
+                        if rep.life == ReplicaLife::Active {
+                            self.tiers[tier].inactive -= 1;
+                        }
+                    }
+                    hr.log.push(
+                        self.now,
+                        Action::Reinstated { tier, replica },
+                        format!("probation clean at score {score:.2}"),
+                    );
+                }
+            }
+        }
+        let next = self.now + hr.tick;
+        if next <= SimTime::ZERO + self.horizon {
+            self.queue.push(next, Event::HealthTick);
+        }
+        self.health = Some(hr);
     }
 
     /// Resolves a handle to its slab index, or `None` if the slot has been
@@ -1613,7 +1776,28 @@ impl Engine {
     /// per the tier's [`Balancer`]. A single-instance tier short-circuits to
     /// replica 0 without consuming randomness, which keeps replica-count-1
     /// topologies bit-identical to the pre-replication engine.
+    ///
+    /// Ineligibility — drain, retirement, health ejection — is one shared
+    /// predicate ([`Replica::is_eligible`]) checked the same way by every
+    /// policy; `inactive == 0` is just the cached "mask is all-ones" fast
+    /// path.
     fn pick_replica(&mut self, tier: usize) -> u8 {
+        if self.tiers[tier].replicas.len() > 1 {
+            // Trickle probes: a probation replica receives `probe_fraction`
+            // of fresh picks so reinstatement evidence can accrue without
+            // re-exposing real traffic to a still-sick instance. The draw
+            // comes from the dedicated "health" fork and only happens while
+            // somebody is on probation.
+            if let Some(hr) = self.health.as_mut() {
+                if hr.tier == tier {
+                    if let Some(p) = hr.det.probe_candidate() {
+                        if hr.rng.chance(hr.probe) {
+                            return p as u8;
+                        }
+                    }
+                }
+            }
+        }
         let node = &mut self.tiers[tier];
         let n = node.replicas.len();
         if n == 1 {
@@ -1663,13 +1847,23 @@ impl Engine {
                 }
             };
         }
-        // The control plane drained or retired some replicas: the same
-        // balancing policies over the active subset only.
-        let eligible: Vec<usize> = node
-            .replicas
+        // Some replicas are drained, retired or ejected: every policy works
+        // from the same eligibility mask, built once per pick.
+        let mut mask: Vec<bool> = node.replicas.iter().map(Replica::is_eligible).collect();
+        if !mask.iter().any(|&m| m) {
+            // The detector never ejects the last healthy replica, but a
+            // controller drain can race an ejection into an empty mask.
+            // Fresh work then has to go *somewhere*: an ejected-but-active
+            // replica is the least-bad destination (a draining one is on
+            // its way out and would strand the pin).
+            for (r, rep) in node.replicas.iter().enumerate() {
+                mask[r] = rep.life == ReplicaLife::Active;
+            }
+        }
+        let eligible: Vec<usize> = mask
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.life == ReplicaLife::Active)
+            .filter(|&(_, &m)| m)
             .map(|(r, _)| r)
             .collect();
         debug_assert!(
@@ -1683,7 +1877,7 @@ impl Engine {
             Balancer::RoundRobin => loop {
                 let r = node.rr_next as usize % n;
                 node.rr_next = node.rr_next.wrapping_add(1);
-                if node.replicas[r].life == ReplicaLife::Active {
+                if mask[r] {
                     return r as u8;
                 }
             },
@@ -1770,6 +1964,14 @@ impl Engine {
                 self.drop_message(req, tier, rep, visit);
                 return;
             }
+        }
+        // A flaky-link burst targets one replica's ingress: checked after
+        // replica resolution, and the rng is drawn only while a window is
+        // open, so clean runs consume nothing from the fault stream.
+        let rp = self.replica_drop[tier][rep];
+        if rp > 0.0 && self.rng_faults.chance(rp) {
+            self.drop_message(req, tier, rep, visit);
+            return;
         }
         // Admission-time load shedding: reject fast instead of queueing
         // work that is already doomed. Depth is the chosen replica's.
@@ -1901,6 +2103,16 @@ impl Engine {
         let effective = self.cfg.tiers[tier]
             .overhead
             .effective_demand(demand, active);
+        // Gray degradation stretches this replica's service time by the
+        // window's rate multiplier. The scale is skipped entirely at the
+        // nominal 1.0 so ungraded slices keep their exact demands.
+        let m = self.rate_mult[tier][rep];
+        let effective = if m == 1.0 {
+            effective
+        } else {
+            SimDuration::from_micros((effective.as_micros() as f64 * m) as u64)
+        };
+        let rt = &mut self.tiers[tier].replicas[rep];
         // Busy segments stream straight into the utilization series; no
         // per-slice segment Vec is built.
         let util = &mut rt.util;
@@ -2061,6 +2273,15 @@ impl Engine {
             },
         );
         self.requests[i].occupying[tier] = Occupancy::None;
+        // A finished visit at the monitored tier is a passive reply signal:
+        // residence time (admission → visit done) feeds the detector's
+        // latency EWMA and its phi-accrual inter-reply clock.
+        if let Some(hr) = self.health.as_mut() {
+            if hr.tier == tier {
+                let sample = self.now.saturating_since(self.requests[i].arrived_at[tier]);
+                hr.det.on_reply(rep, self.now, sample);
+            }
+        }
         // Feed the per-tier residence time (admission → visit done) to the
         // AIMD limiter: congestion shows up as inflated residence.
         if self.tiers[tier].aimd.is_some() {
@@ -2176,6 +2397,13 @@ impl Engine {
 
     fn drop_message(&mut self, req: ReqId, tier: usize, rep: usize, visit: u16) {
         let i = self.live_expect(req);
+        // A drop at the monitored tier is a passive error signal: the
+        // detector's error EWMA moves toward 1 for the dropping replica.
+        if let Some(hr) = self.health.as_mut() {
+            if hr.tier == tier {
+                hr.det.on_drop(rep, self.now);
+            }
+        }
         self.drops_total += 1;
         self.tiers[tier].replicas[rep].drops_total += 1;
         self.tiers[tier].replicas[rep].drops.add(self.now, 1.0);
@@ -2459,6 +2687,22 @@ impl Engine {
             Fault::Crash { tier, .. } => self.tier_down[tier] = true,
             Fault::DropMessages { tier, prob, .. } => self.drop_prob[tier] = prob,
             Fault::SlowHops { tier, extra, .. } => self.extra_hop[tier] += extra,
+            // Gray windows are stepped piecewise-constant: each window
+            // *sets* its level (no stacking), and the plan's push order
+            // stamps an adjacent window's End before the next Begin at a
+            // shared boundary, so ramps hand over cleanly.
+            Fault::SlowReplica {
+                tier,
+                replica,
+                factor,
+                ..
+            } => self.rate_mult[tier][replica] = factor,
+            Fault::FlakyReplica {
+                tier,
+                replica,
+                prob,
+                ..
+            } => self.replica_drop[tier][replica] = prob,
             Fault::StuckWorkers { tier, count, .. } => {
                 // Wedge up to `count` workers by occupying their slots; the
                 // tier may already be too busy to give up that many. On a
@@ -2488,6 +2732,8 @@ impl Engine {
         match self.cfg.faults.faults()[idx] {
             Fault::Crash { tier, .. } => self.tier_down[tier] = false,
             Fault::DropMessages { tier, .. } => self.drop_prob[tier] = 0.0,
+            Fault::SlowReplica { tier, replica, .. } => self.rate_mult[tier][replica] = 1.0,
+            Fault::FlakyReplica { tier, replica, .. } => self.replica_drop[tier][replica] = 0.0,
             Fault::SlowHops { tier, extra, .. } => {
                 self.extra_hop[tier] = self.extra_hop[tier].saturating_sub(extra);
             }
@@ -2682,6 +2928,29 @@ impl Engine {
         }
     }
 
+    /// Folds the health detector's decision log into the controller's: one
+    /// time-ordered stream (controller first on ties), summed ticks. A run
+    /// with either plane alone passes its log through untouched, and a run
+    /// with neither yields `None` — existing reports unchanged.
+    fn merge_logs(ctl: Option<ControlLog>, health: Option<ControlLog>) -> Option<ControlLog> {
+        let (mut c, h) = match (ctl, health) {
+            (Some(c), Some(h)) => (c, h),
+            (c, h) => return c.or(h),
+        };
+        let mut merged = Vec::with_capacity(c.decisions.len() + h.decisions.len());
+        let mut rest = h.decisions.into_iter().peekable();
+        for d in c.decisions {
+            while rest.peek().is_some_and(|x| x.at < d.at) {
+                merged.push(rest.next().expect("peeked"));
+            }
+            merged.push(d);
+        }
+        merged.extend(rest);
+        c.decisions = merged;
+        c.ticks += h.ticks;
+        Some(c)
+    }
+
     fn record_queue(&mut self, tier: usize, rep: usize) {
         let r = &mut self.tiers[tier].replicas[rep];
         let depth = r.depth();
@@ -2693,7 +2962,10 @@ impl Engine {
 
     fn into_report(mut self) -> RunReport {
         let window = SimDuration::from_millis(ntier_telemetry::MONITOR_WINDOW_MS);
-        let control = self.control.take().map(|cr| cr.ctl.into_log());
+        let control = Self::merge_logs(
+            self.control.take().map(|cr| cr.ctl.into_log()),
+            self.health.take().map(|hr| hr.log),
+        );
         // Harvest breaker transition counts into the per-hop counters, then
         // aggregate the whole-run view.
         for rt in &mut self.tiers {

@@ -950,6 +950,177 @@ pub fn control_frontier_sweep(seed: u64) -> Vec<ExperimentSpec> {
         .collect()
 }
 
+/// Which arm of the [`detection_frontier`] experiment to run. The four arms
+/// span the sweep's axes — ejection threshold (none / 1.0 / none / 0.3),
+/// probation (— / 2 s / — / 4 s) and load (~571 vs ~870 req/s) — and pair
+/// into the two regimes the frontier demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionVariant {
+    /// Gray-degraded replica at moderate load, no detector: the balancer
+    /// keeps feeding the slow instance, its backlog overflows, and the
+    /// 3/6/9 s ladder mints VLRT — the baseline the tuned arm must beat.
+    Undetected,
+    /// The same gray plant with [`ntier_resilience::HealthPolicy::monitor`]
+    /// defaults: the
+    /// sick replica's latency/error score crosses 1.0 with peer agreement,
+    /// ejection reroutes fresh picks to the healthy peer, and probation
+    /// reinstates the replica once its envelope recovers.
+    Tuned,
+    /// High load, *no* fault, no detector: the clean baseline the
+    /// hair-trigger arm is measured against.
+    CleanHot,
+    /// High load, *no* fault, hair-trigger policy (threshold 0.3 against a
+    /// 3 ms latency reference, 4 s probation): ordinary ~2 ms queueing
+    /// residence reads as sickness, log-normal variance between two
+    /// equally loaded replicas clears the weak peer gate, a healthy
+    /// replica is falsely ejected, and the survivor — now oversubscribed —
+    /// drops, ladders and feeds the naive retry client. Detection
+    /// manufactures the storm it exists to prevent.
+    HairTrigger,
+}
+
+impl DetectionVariant {
+    /// Stable label for tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectionVariant::Undetected => "undetected",
+            DetectionVariant::Tuned => "tuned",
+            DetectionVariant::CleanHot => "clean-hot",
+            DetectionVariant::HairTrigger => "hair-trigger",
+        }
+    }
+
+    /// All four arms, in table order.
+    pub const ALL: [DetectionVariant; 4] = [
+        DetectionVariant::Undetected,
+        DetectionVariant::Tuned,
+        DetectionVariant::CleanHot,
+        DetectionVariant::HairTrigger,
+    ];
+}
+
+/// **Extension (not in the paper):** the detection frontier — where
+/// gray-failure ejection suppresses the very-long-response-time tail, and
+/// where the *same detector* with a hair-trigger threshold under load
+/// manufactures the tail by falsely ejecting healthy capacity.
+///
+/// The plant is [`control_frontier`]'s 2-replica round-robin app tier
+/// behind the shallow-backlog web tier and the PR-1 naive retry client,
+/// driven by the multi-class [`RequestMix::rubbos_browse`] browse mix
+/// (log-normal demands give passive health scoring real replica-to-replica
+/// spread to measure — and to mis-measure). The app backlog is deepened to
+/// 128 so a wedged replica's residence climbs past the detector's 1 s
+/// latency reference *before* overflow drops begin — latent, then loud.
+/// The sick instance is *gray*, not stalled: a
+/// [`ntier_resilience::FaultPlan::gray_degradation`] envelope ramps
+/// App#0's service time to 10× nominal over 0.5 s, holds the plateau for
+/// 6 s and recovers — the replica keeps answering, just slowly (capacity
+/// ≈ 110 req/s against ~240 offered), so nothing but passive
+/// latency/error/phi evidence distinguishes it from its peer. Tracing is
+/// sampled and health verdicts land in the control log, so
+/// [`ntier_trace::RootCause::analyze_with_actions`] places each
+/// `eject(t1#0)`/`reinstate(t1#0)` on the causal chain of every VLRT
+/// request it bounded (or caused).
+///
+/// * [`DetectionVariant::Tuned`] must put VLRT *strictly below*
+///   [`DetectionVariant::Undetected`]: the wedged replica's residence and
+///   drop EWMAs push its score past the default 1.0 threshold within a few
+///   ticks of the plateau, fresh picks drain to the healthy peer (~43 %
+///   utilized), and trickle probes reinstate the replica after its
+///   envelope recovers.
+/// * [`DetectionVariant::HairTrigger`] must put VLRT *above*
+///   [`DetectionVariant::CleanHot`]: with no fault present at all, the
+///   0.3 threshold against a 3 ms reference reads ordinary ~2 ms queueing
+///   residence as sickness, log-normal variance clears the weak peer
+///   gate, and dropping one of two replicas at ~54 % utilization leaves
+///   the survivor ~107 % subscribed — the retry-storm recipe of
+///   `retry_storm` all over again, i.e. false-ejection amplification.
+pub fn detection_frontier(variant: DetectionVariant, seed: u64) -> ExperimentSpec {
+    use ntier_resilience::{CallerPolicy, FaultPlan, GrayEnvelope, HealthPolicy};
+    use ntier_trace::TraceConfig;
+    let web = TierSpec::sync("Web", 64, 16)
+        .with_caller_policy(CallerPolicy::naive(SimDuration::from_secs(2), 4));
+    let app = TierSpec::sync("App", 32, 128)
+        .replicas(2)
+        .balancer(Balancer::RoundRobin);
+    let db = TierSpec::sync("Db", 64, 64);
+    let horizon = SimDuration::from_secs(25);
+    let system = Topology::three_tier(web, app, db)
+        .with_trace(TraceConfig::sampled(0.01).with_ring_capacity(32_768));
+    let system = match variant {
+        DetectionVariant::Undetected | DetectionVariant::Tuned => {
+            // App#0 turns gray at t=2 s: ramp to 10× service time over
+            // 0.5 s, 6 s plateau, 0.5 s recovery.
+            let plan = FaultPlan::none()
+                .gray_degradation(
+                    1,
+                    0,
+                    SimTime::from_secs(2),
+                    GrayEnvelope::new(
+                        SimDuration::from_millis(500),
+                        SimDuration::from_secs(6),
+                        SimDuration::from_millis(500),
+                        10.0,
+                    ),
+                )
+                .expect("a single gray envelope is a valid plan");
+            plan.validate(horizon).expect("envelope fits the horizon");
+            system.with_faults(plan)
+        }
+        DetectionVariant::CleanHot | DetectionVariant::HairTrigger => system,
+    };
+    let system = match variant {
+        DetectionVariant::Undetected | DetectionVariant::CleanHot => system,
+        DetectionVariant::Tuned => system.with_health(HealthPolicy::monitor(1)),
+        DetectionVariant::HairTrigger => {
+            let mut hair = HealthPolicy::monitor(1)
+                .with_eject_score(0.3)
+                .with_probation(SimDuration::from_secs(4));
+            // A 3 ms latency reference barely above the plant's ~2 ms
+            // queueing residence reads health as near-sickness
+            // everywhere, and the weak peer-agreement gate lets
+            // log-normal service variance between two equally loaded
+            // replicas clear the z-score.
+            hair.lat_ref = SimDuration::from_millis(3);
+            hair.eject_z = 0.2;
+            hair.warmup_replies = 4;
+            system.with_health(hair)
+        }
+    };
+    // Moderate arms run the control-frontier operating point (~571 req/s,
+    // ~21 % per-replica app utilization — but ~2.2× the sick replica's
+    // plateau capacity); the hot arms push ~1 430 req/s (~54 %), where
+    // losing a replica leaves the survivor oversubscribed. 12 s of
+    // arrivals leave post-recovery traffic for the probation probes, and
+    // the horizon leaves room for the 3/6/9 s retransmit tail.
+    let gap_us = match variant {
+        DetectionVariant::Undetected | DetectionVariant::Tuned => 1_750u64,
+        DetectionVariant::CleanHot | DetectionVariant::HairTrigger => 700,
+    };
+    let arrivals: Vec<SimTime> = (0..12_000_000 / gap_us)
+        .map(|i| SimTime::from_micros(i * gap_us))
+        .collect();
+    ExperimentSpec {
+        name: "ext-detection-frontier",
+        system,
+        workload: Workload::Open {
+            arrivals,
+            mix: RequestMix::rubbos_browse(),
+        },
+        horizon,
+        seed,
+    }
+}
+
+/// All four detection-frontier arms for one seed, shaped for
+/// `ntier_runner::run_all` and the EXPERIMENTS.md frontier table.
+pub fn detection_frontier_sweep(seed: u64) -> Vec<ExperimentSpec> {
+    DetectionVariant::ALL
+        .into_iter()
+        .map(|v| detection_frontier(v, seed))
+        .collect()
+}
+
 /// **Extension (not in the paper):** scatter-gather fan-out. A synchronous
 /// front tier scatters every request to three shard subtrees and replies
 /// once a 2-of-3 quorum answers; shard 0 is additionally a 2-replica set

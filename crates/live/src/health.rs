@@ -1,0 +1,218 @@
+//! Wall-clock mirror of the simulator's gray-failure detector.
+//!
+//! The DES engine feeds [`ntier_resilience::HealthDetector`] from its
+//! step-synchronous reply/drop hooks and a `HealthTick` event; the live
+//! testbed feeds the *same pure detector* from real time. One scoring
+//! path, two clocks — the arrangement [`crate::control::LiveController`]
+//! gives the control plane and `policy::WallClock` gives the resilience
+//! policies.
+//!
+//! The live chain's replica sets do not expose a mutable eligibility mask
+//! mid-run, so — like the structural directives of the live controller —
+//! ejection verdicts are returned to the caller as *advice*: the harness
+//! routes fresh work away from replicas for which [`LiveHealth::ejected`]
+//! holds (trickling [`LiveHealth::probe_candidate`] picks through during
+//! probation) and keeps draining whatever it already enqueued. Tests
+//! assert on the decision stream, the part the simulator and testbed must
+//! agree on.
+
+use ntier_control::{Action, ControlLog};
+use ntier_des::time::SimDuration;
+use ntier_resilience::{HealthDetector, HealthPolicy, HealthVerdict};
+use std::time::Duration;
+
+use crate::policy::WallClock;
+
+/// The wall-clock health loop: one [`HealthDetector`] fed passive signals
+/// by the harness.
+#[derive(Debug)]
+pub struct LiveHealth {
+    det: HealthDetector,
+    clock: WallClock,
+    log: ControlLog,
+    tier: usize,
+}
+
+impl LiveHealth {
+    /// Builds the detector over `replicas` instances of the monitored tier
+    /// (`policy.tier` — kept for log labels; the live wrapper scores
+    /// whichever replica set the harness feeds it).
+    pub fn new(policy: HealthPolicy, replicas: usize) -> Self {
+        let tier = policy.tier;
+        LiveHealth {
+            det: HealthDetector::new(policy, replicas),
+            clock: WallClock::new(),
+            log: ControlLog::default(),
+            tier,
+        }
+    }
+
+    /// Records a completed request against `replica` with its observed
+    /// residence time (queue wait + service), the live analogue of the
+    /// engine's visit-completion hook.
+    pub fn on_reply(&mut self, replica: usize, residence: Duration) {
+        let now = self.clock.now();
+        self.det.on_reply(
+            replica,
+            now,
+            SimDuration::from_micros(residence.as_micros() as u64),
+        );
+    }
+
+    /// Records a rejected send (full backlog) against `replica`.
+    pub fn on_drop(&mut self, replica: usize) {
+        let now = self.clock.now();
+        self.det.on_drop(replica, now);
+    }
+
+    /// One scoring pass over every replica. Call this every `policy.tick`
+    /// of wall time (the pacing is the caller's, typically the harness's
+    /// sampling thread). Verdicts are logged and returned as advice.
+    pub fn tick(&mut self) -> Vec<HealthVerdict> {
+        let now = self.clock.now();
+        self.log.ticks += 1;
+        let active = vec![true; self.det.replicas()];
+        let verdicts = self.det.tick(now, &active);
+        for v in &verdicts {
+            match *v {
+                HealthVerdict::Eject { replica, score, z } => self.log.push(
+                    now,
+                    Action::Ejected {
+                        tier: self.tier,
+                        replica,
+                    },
+                    format!("health score {score:.2} with peer z {z:.2}"),
+                ),
+                HealthVerdict::Reinstate { replica, score } => self.log.push(
+                    now,
+                    Action::Reinstated {
+                        tier: self.tier,
+                        replica,
+                    },
+                    format!("probation clean at score {score:.2}"),
+                ),
+            }
+        }
+        verdicts
+    }
+
+    /// Whether `replica` is currently benched (ejected or on probation):
+    /// the harness should route fresh work elsewhere.
+    pub fn ejected(&self, replica: usize) -> bool {
+        self.det.ejected(replica)
+    }
+
+    /// A benched replica currently owed a trickle probe, if any.
+    pub fn probe_candidate(&self) -> Option<usize> {
+        self.det.probe_candidate()
+    }
+
+    /// Read access to the underlying pure detector (scores, phi).
+    pub fn detector(&self) -> &HealthDetector {
+        &self.det
+    }
+
+    /// The decision history so far.
+    pub fn log(&self) -> &ControlLog {
+        &self.log
+    }
+
+    /// Consumes the loop, yielding its decision history.
+    pub fn into_log(self) -> ControlLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    /// A policy scaled to wall-clock test budgets: millisecond latencies,
+    /// a 5 ms tick and a 30 ms probation.
+    fn fast_policy() -> HealthPolicy {
+        let mut p = HealthPolicy::monitor(1)
+            .with_eject_score(0.6)
+            .with_probation(SimDuration::from_millis(30));
+        p.tick = SimDuration::from_millis(5);
+        p.lat_ref = SimDuration::from_millis(10);
+        p.warmup_replies = 4;
+        p
+    }
+
+    #[test]
+    fn healthy_replicas_yield_no_verdicts() {
+        let mut h = LiveHealth::new(fast_policy(), 2);
+        for _ in 0..8 {
+            h.on_reply(0, Duration::from_millis(1));
+            h.on_reply(1, Duration::from_millis(1));
+        }
+        assert!(h.tick().is_empty());
+        assert_eq!(h.log().decisions.len(), 0);
+        assert_eq!(h.log().ticks, 1);
+    }
+
+    #[test]
+    fn sick_replica_is_ejected_probed_and_reinstated() {
+        let mut h = LiveHealth::new(fast_policy(), 2);
+        // Replica 0 answers at 3x the latency reference; replica 1 is fast.
+        for _ in 0..8 {
+            h.on_reply(0, Duration::from_millis(30));
+            h.on_reply(1, Duration::from_millis(1));
+        }
+        let verdicts = h.tick();
+        assert!(
+            matches!(
+                verdicts.as_slice(),
+                [HealthVerdict::Eject { replica: 0, .. }]
+            ),
+            "{verdicts:?}"
+        );
+        assert!(h.ejected(0));
+        assert!(!h.ejected(1));
+        // Probation opens after the (wall-clock) probation delay; clean
+        // probes then reinstate.
+        sleep(Duration::from_millis(35));
+        h.tick();
+        assert_eq!(h.probe_candidate(), Some(0));
+        // Enough clean probes for the 30 ms latency EWMA to decay under
+        // the reinstatement hysteresis (0.5 * 0.6 * 10 ms = 3 ms). The
+        // healthy peer keeps answering too, else its phi-accrual reads
+        // the sleep as silence and ejects it.
+        for _ in 0..12 {
+            h.on_reply(0, Duration::from_millis(1));
+            h.on_reply(1, Duration::from_millis(1));
+        }
+        let verdicts = h.tick();
+        assert!(
+            matches!(
+                verdicts.as_slice(),
+                [HealthVerdict::Reinstate { replica: 0, .. }]
+            ),
+            "{verdicts:?}"
+        );
+        assert!(!h.ejected(0));
+        let log = h.into_log();
+        assert_eq!(log.decisions.len(), 2);
+        assert_eq!(log.decisions[0].action.label(), "eject(t1#0)");
+        assert_eq!(log.decisions[1].action.label(), "reinstate(t1#0)");
+    }
+
+    #[test]
+    fn last_healthy_replica_is_never_ejected() {
+        let mut h = LiveHealth::new(fast_policy(), 2);
+        for _ in 0..8 {
+            h.on_reply(0, Duration::from_millis(30));
+            h.on_reply(1, Duration::from_millis(1));
+        }
+        h.tick();
+        assert!(h.ejected(0));
+        // Now the survivor goes just as sick: the fraction guard holds it.
+        for _ in 0..8 {
+            h.on_reply(1, Duration::from_millis(30));
+        }
+        let verdicts = h.tick();
+        assert!(verdicts.is_empty(), "{verdicts:?}");
+        assert!(!h.ejected(1));
+    }
+}

@@ -58,7 +58,10 @@
 //! [`control::LiveController`] samples a running chain on a wall clock and
 //! feeds the *same pure* [`ntier_control::Controller`] the DES engine
 //! ticks step-synchronously, so decision streams from live and simulated
-//! runs diff directly.
+//! runs diff directly. Gray-failure detection follows suit: a
+//! [`health::LiveHealth`] feeds the *same pure*
+//! [`ntier_resilience::HealthDetector`] from wall-clock reply/drop
+//! signals, returning ejection verdicts as routing advice.
 //!
 //! Per-request tracing mirrors the simulator's span vocabulary on a wall
 //! clock: build the chain with [`chain::ChainBuilder::trace`] and drive it
@@ -70,6 +73,7 @@
 pub mod chain;
 pub mod control;
 pub mod harness;
+pub mod health;
 pub mod policy;
 pub mod stall;
 pub mod tier;
@@ -79,6 +83,7 @@ pub use control::{LiveController, LiveCounters};
 pub use harness::{
     fire_burst, fire_burst_traced, fire_burst_with_policy, BurstOutcome, PolicyOutcome,
 };
+pub use health::LiveHealth;
 pub use ntier_core::{Balancer, TierSpec};
 pub use ntier_trace::TraceSink;
 pub use policy::WallClock;

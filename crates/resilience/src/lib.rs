@@ -6,12 +6,22 @@
 //! do about it, and how their reaction either amplifies or bounds the
 //! long tail.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! * [`fault`] — a [`FaultPlan`](fault::FaultPlan): scheduled tier crashes,
 //!   probabilistic message drops, stuck workers, and added hop latency,
 //!   declared as absolute windows the same way `StallTimeline` declares
-//!   millibottlenecks.
+//!   millibottlenecks — plus *gray* faults: per-replica service-rate
+//!   degradation with ramp/plateau/recover envelopes
+//!   ([`FaultPlan::gray_degradation`](fault::FaultPlan::gray_degradation)),
+//!   flaky-link loss bursts, and zone-correlated multi-replica windows,
+//!   with structural validation returning a typed
+//!   [`FaultPlanError`](fault::FaultPlanError).
+//! * [`health`] — passive gray-failure detection: per-replica health
+//!   scoring (latency/error EWMAs plus a phi-accrual failure detector over
+//!   inter-reply gaps) feeding an outlier-ejection policy with peer
+//!   z-score agreement, a max-ejected-fraction guard, and
+//!   probation/trickle-probe reinstatement.
 //! * [`policy`] — per-hop caller policies: attempt timeouts, bounded
 //!   retries with capped exponential backoff and deterministic jitter,
 //!   token-bucket retry budgets, a closed/open/half-open circuit breaker,
@@ -33,10 +43,12 @@
 //! the overload it was meant to dodge.
 
 pub mod fault;
+pub mod health;
 pub mod policy;
 pub mod stats;
 
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, FaultPlanError, GrayEnvelope};
+pub use health::{HealthDetector, HealthPolicy, HealthVerdict};
 pub use policy::{
     AimdConfig, AimdLimiter, BreakerConfig, BreakerState, CallerPolicy, CancelPolicy,
     CircuitBreaker, HedgeDelay, HedgePolicy, RetryBudget, RetryPolicy, ShedPolicy, TokenBucket,

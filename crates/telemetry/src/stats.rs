@@ -40,6 +40,85 @@ pub fn max(values: &[f64]) -> Option<f64> {
         .max_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"))
 }
 
+/// An exponentially weighted moving average with smoothing factor `alpha`.
+///
+/// The first observation seeds the average directly (no zero bias). Plain
+/// data, like everything in this crate: callers decide what an observation
+/// means and when to sample the value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A new average with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must be in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// The current average, or `default` before any observation.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// `true` once at least one observation has been folded in.
+    pub fn is_seeded(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Upper tail `P(X > x)` of a normal distribution with the given `mean` and
+/// standard deviation, via a rational complementary-error-function
+/// approximation (fractional error everywhere below ~1.2e-7).
+///
+/// `std` is floored at a tiny positive value, so a degenerate distribution
+/// yields a step function rather than NaN. This is the tail the phi-accrual
+/// failure detector turns into a suspicion level: `phi = -log10(P(gap > t))`.
+pub fn normal_tail(x: f64, mean: f64, std: f64) -> f64 {
+    let std = std.max(1e-9);
+    let z = (x - mean) / (std * std::f64::consts::SQRT_2);
+    0.5 * erfc(z)
+}
+
+/// Complementary error function (Chebyshev-fitted rational approximation).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let poly = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        poly
+    } else {
+        2.0 - poly
+    }
+}
+
 /// Index of dispersion of counts (variance / mean) — the burstiness measure
 /// behind the paper's "burst index" knob ([Mi et al., ICAC'09]).
 ///
@@ -95,6 +174,45 @@ mod tests {
         assert!((index_of_dispersion(&v) - (1.0 / 3.0)).abs() < 1e-12);
         assert_eq!(index_of_dispersion(&[]), 0.0);
         assert_eq!(index_of_dispersion(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn ewma_seeds_on_first_observation_and_tracks() {
+        let mut e = Ewma::new(0.5);
+        assert!(!e.is_seeded());
+        assert_eq!(e.value_or(7.0), 7.0);
+        e.observe(10.0);
+        assert_eq!(e.value_or(0.0), 10.0);
+        e.observe(20.0);
+        assert_eq!(e.value_or(0.0), 15.0);
+        assert!(e.is_seeded());
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor must be in (0, 1]")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn normal_tail_matches_known_points() {
+        // P(X > mean) = 0.5; one-sigma upper tail ≈ 0.1587.
+        assert!((normal_tail(0.0, 0.0, 1.0) - 0.5).abs() < 1e-6);
+        assert!((normal_tail(1.0, 0.0, 1.0) - 0.158_655).abs() < 1e-4);
+        assert!((normal_tail(-1.0, 0.0, 1.0) - 0.841_345).abs() < 1e-4);
+        // Degenerate std behaves like a step, not NaN.
+        assert!(normal_tail(1.0, 0.0, 0.0) < 1e-12);
+        assert!(normal_tail(-1.0, 0.0, 0.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn normal_tail_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in -40..=40 {
+            let t = normal_tail(i as f64 / 10.0, 0.0, 1.0);
+            assert!(t <= prev + 1e-12, "tail not monotone at {i}");
+            prev = t;
+        }
     }
 
     #[test]

@@ -5,12 +5,13 @@
 #![deny(deprecated)]
 
 use ntier_repro::core::engine::{Engine, Workload};
+use ntier_repro::core::Balancer;
 use ntier_repro::core::{SystemConfig, TierSpec, Topology};
 use ntier_repro::des::prelude::*;
 use ntier_repro::interference::StallSchedule;
 use ntier_repro::resilience::{
-    AimdConfig, BreakerConfig, CallerPolicy, CancelPolicy, FaultPlan, HedgePolicy, RetryBudget,
-    RetryPolicy, ShedPolicy,
+    AimdConfig, BreakerConfig, CallerPolicy, CancelPolicy, FaultPlan, GrayEnvelope, HealthPolicy,
+    HedgePolicy, RetryBudget, RetryPolicy, ShedPolicy,
 };
 use ntier_repro::workload::{BurstSchedule, ClosedLoopSpec, RequestMix};
 use proptest::prelude::*;
@@ -296,6 +297,89 @@ proptest! {
         // large relative variance, hence the multiplicative and additive slack.
         let bound = f64::from(clients) / 7.0 * 1.8 + 1.0;
         prop_assert!(report.throughput <= bound, "tput {} bound {}", report.throughput, bound);
+    }
+
+    /// Chaos conservation under gray failure: random gray-degradation /
+    /// zone / flaky-link plans against random topologies with a replicated
+    /// app tier under every balancer, detector on or off — requests are
+    /// conserved, the terminal classes stay mutually exclusive, and the
+    /// decision log stays coherent (reinstatements never outnumber
+    /// ejections, decisions in time order).
+    #[test]
+    fn conservation_under_gray_failure(
+        system in arb_system(),
+        replicas in 2usize..4,
+        balancer_idx in 0usize..4,
+        grays in proptest::collection::vec(
+            (0usize..3, 0usize..4, 1u64..45, 1u64..15, 2f64..12.0, 0.05f64..0.9),
+            0..3,
+        ),
+        health in proptest::option::of((0.3f64..2.0, 200u64..3_000, 0.0f64..0.2)),
+        batch in 1u32..80,
+        seed in any::<u64>(),
+    ) {
+        let mut system = system;
+        let balancer = [
+            Balancer::RoundRobin,
+            Balancer::LeastOutstanding,
+            Balancer::P2c,
+            Balancer::Jsq,
+        ][balancer_idx];
+        system.tiers[1] = system.tiers[1].clone().replicas(replicas).balancer(balancer);
+        let mut plan = FaultPlan::none();
+        for (kind, rep, start, len, factor, prob) in grays {
+            let rep = rep % replicas;
+            let from = SimTime::from_millis(start * 100);
+            let env = GrayEnvelope::new(
+                SimDuration::from_millis(50 + len * 10),
+                SimDuration::from_millis(len * 150),
+                SimDuration::from_millis(50 + len * 10),
+                factor,
+            );
+            // Random plans may collide with themselves (overlapping
+            // windows, bad envelopes); an invalid addition is skipped, the
+            // engine must digest whatever survives.
+            plan = match kind {
+                0 => plan.clone().gray_degradation(1, rep, from, env).unwrap_or(plan),
+                1 => plan.clone().zone_gray(1, &[0, rep], from, env).unwrap_or(plan),
+                _ => plan
+                    .clone()
+                    .flaky_link(1, rep, prob, &[from], SimDuration::from_millis(len * 100))
+                    .unwrap_or(plan),
+            };
+        }
+        let mut system = system.with_faults(plan);
+        if let Some((score, probation_ms, probe)) = health {
+            let policy = HealthPolicy::monitor(1)
+                .with_eject_score(score)
+                .with_probation(SimDuration::from_millis(probation_ms));
+            let mut policy = policy;
+            policy.probe_fraction = probe;
+            system = system.with_health(policy);
+        }
+        let health_on = system.health.is_some();
+        let burst = BurstSchedule::from_bursts([
+            (SimTime::from_millis(200), batch),
+            (SimTime::from_millis(2_500), batch / 2 + 1),
+        ]);
+        let report = Engine::new(
+            system,
+            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            SimDuration::from_secs(15),
+            seed,
+        )
+        .run();
+        prop_assert!(report.is_conserved(), "{}", report.summary());
+        prop_assert_eq!(report.injected, u64::from(batch + batch / 2 + 1));
+        prop_assert!(report.completed + report.failed + report.shed <= report.injected);
+        prop_assert_eq!(report.control.is_some(), health_on);
+        if let Some(log) = &report.control {
+            let ejects = log.count(|a| matches!(a, ntier_repro::control::Action::Ejected { .. }));
+            let reinstates =
+                log.count(|a| matches!(a, ntier_repro::control::Action::Reinstated { .. }));
+            prop_assert!(reinstates <= ejects, "{} reinstates vs {} ejects", reinstates, ejects);
+            prop_assert!(log.decisions.windows(2).all(|w| w[0].at <= w[1].at));
+        }
     }
 
     /// Determinism: equal seeds give byte-equal headline numbers; and a

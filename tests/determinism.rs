@@ -173,6 +173,65 @@ fn golden_retry_storm_naive_seed_7() {
     );
 }
 
+/// Passive gray-failure monitoring must never perturb the simulation: a
+/// detector whose threshold is unreachable observes every reply and drop,
+/// ticks on schedule, and the run stays byte-identical to one with no
+/// detector at all — the "byte-identical when disabled" contract extended
+/// to "byte-identical while silent".
+#[test]
+fn silent_health_monitoring_never_perturbs_the_run() {
+    use ntier_resilience::{FaultPlan, GrayEnvelope, HealthPolicy};
+    let mk = |monitored: bool| {
+        let plan = FaultPlan::none()
+            .gray_degradation(
+                1,
+                0,
+                SimTime::from_secs(2),
+                GrayEnvelope::new(
+                    SimDuration::from_millis(400),
+                    SimDuration::from_secs(3),
+                    SimDuration::from_millis(400),
+                    6.0,
+                ),
+            )
+            .expect("valid envelope");
+        let mut system = Topology::three_tier(
+            TierSpec::sync("Web", 8, 8),
+            TierSpec::sync("App", 8, 8).replicas(2),
+            TierSpec::sync("Db", 8, 8),
+        )
+        .with_faults(plan);
+        if monitored {
+            // Scores are capped at 3.0 by construction, so 1e9 never fires.
+            system = system.with_health(HealthPolicy::monitor(1).with_eject_score(1e9));
+        }
+        Engine::new(
+            system,
+            Workload::Open {
+                arrivals: (0..2_000)
+                    .map(|i| SimTime::from_millis(500 + i * 4))
+                    .collect(),
+                mix: RequestMix::rubbos_browse(),
+            },
+            SimDuration::from_secs(15),
+            7,
+        )
+        .run()
+    };
+    let plain = mk(false);
+    let silent = mk(true);
+    assert_eq!(fingerprint(&plain), fingerprint(&silent));
+    // The degradation must actually bite for this to mean anything.
+    assert!(
+        plain.vlrt_total > 0 || plain.drops_total > 0 || plain.latency.mean().as_micros() > 2_000
+    );
+    // The monitored run still carries its (empty) decision log.
+    let log = silent.control.expect("monitored run logs ticks");
+    assert!(log.decisions.is_empty());
+    assert!(log.ticks > 0);
+    assert!(plain.control.is_none());
+}
+
 /// Deep chains exercise OpenPlans workloads and multi-epoch event queues
 /// (the +3 s retransmit tail crosses calendar epochs).
 #[test]
