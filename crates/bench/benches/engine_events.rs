@@ -76,6 +76,20 @@ fn committed_sharded_events_per_sec() -> Option<f64> {
         .ok()
 }
 
+/// The metered `events_per_sec` recorded in the committed `metrics`
+/// section, if present — the regression floor for the metrics-enabled
+/// hot path (per-completion sketch/ring records plus one tick per second).
+fn committed_metrics_events_per_sec() -> Option<f64> {
+    let json = std::fs::read_to_string(BENCH_JSON_PATH).ok()?;
+    let section = &json[json.find("\"metrics\"")?..];
+    let tail = &section[section.find("\"events_per_sec\"")? + "\"events_per_sec\"".len()..];
+    tail.trim_start_matches([':', ' '])
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
 fn fig12_sweep_specs() -> Vec<ExperimentSpec> {
     [1u64, 2, 3].into_iter().flat_map(exp::fig12_grid).collect()
 }
@@ -163,6 +177,78 @@ fn measure(c: &mut Criterion) {
         assert!(
             traced_wall <= fig1_wall * 1.5,
             "sampled tracing overhead {traced_wall:.3}s vs {fig1_wall:.3}s"
+        );
+    }
+
+    // --- Metrics overhead: the streaming plane must observe, not tax ---
+    // Per completion the plane records into the run sketch, the tick-window
+    // sketch and the ring; per simulated second one MetricsTick freezes a
+    // snapshot. Everything else about the run must be untouched — each tick
+    // is itself one engine event, so the event count grows by exactly one
+    // per snapshot and nothing else moves.
+    let (mut metered_wall, metered_report) = best_of(fig1_reps, || {
+        let mut spec = exp::fig1(7_000, fig1_horizon, 1);
+        spec.system = spec
+            .system
+            .with_metrics(ntier_telemetry::MetricsConfig::paper_default());
+        spec
+    });
+    assert_eq!(
+        metered_report.completed, fig1_report.completed,
+        "metrics changed the simulation"
+    );
+    let snapshots = metered_report
+        .metrics
+        .as_ref()
+        .expect("metered run keeps its registry")
+        .snapshots()
+        .len() as u64;
+    assert_eq!(
+        metered_report.events,
+        fig1_report.events + snapshots,
+        "the only extra events are the ticks themselves"
+    );
+    // Throughput gate (full mode): metered events/s must stay within 5% of
+    // its committed floor, same extra-sample policy as the fig1 gate;
+    // `ENGINE_BENCH_REBASELINE=1` exempts an intentional rebaseline.
+    let metrics_baseline = (!quick && !rebaseline())
+        .then(committed_metrics_events_per_sec)
+        .flatten();
+    if let Some(baseline) = metrics_baseline {
+        let mut extra = 0;
+        while metered_report.events as f64 / metered_wall < baseline * 0.95 && extra < 12 {
+            let (w, _) = best_of(1, || {
+                let mut spec = exp::fig1(7_000, fig1_horizon, 1);
+                spec.system = spec
+                    .system
+                    .with_metrics(ntier_telemetry::MetricsConfig::paper_default());
+                spec
+            });
+            metered_wall = metered_wall.min(w);
+            extra += 1;
+        }
+        let eps = metered_report.events as f64 / metered_wall;
+        assert!(
+            eps >= baseline * 0.95,
+            "metered fig1 throughput {eps:.0} ev/s fell more than 5% below the committed \
+             metrics baseline {baseline:.0} ev/s \
+             (rerun with ENGINE_BENCH_REBASELINE=1 only for an intentional change)"
+        );
+    }
+    let metrics_eps = metered_report.events as f64 / metered_wall;
+    let metrics_overhead = metered_wall / fig1_wall - 1.0;
+    println!(
+        "engine_events metrics: 1s-tick wall {metered_wall:.3}s  {} snapshots  \
+         overhead {:+.1}% vs disabled",
+        snapshots,
+        metrics_overhead * 100.0
+    );
+    if quick {
+        // CI smoke: coarse sanity only, as for tracing — a once-a-second
+        // tick plus O(1) per-completion records must never cost 50%.
+        assert!(
+            metered_wall <= fig1_wall * 1.5,
+            "metrics overhead {metered_wall:.3}s vs {fig1_wall:.3}s"
         );
     }
 
@@ -308,6 +394,18 @@ fn measure(c: &mut Criterion) {
         json,
         "    \"overhead_vs_disabled\": {:.4}",
         tracing_overhead
+    );
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"metrics\": {{");
+    let _ = writeln!(json, "    \"interval_s\": 1,");
+    let _ = writeln!(json, "    \"wall_s_best\": {metered_wall:.4},");
+    let _ = writeln!(json, "    \"events\": {},", metered_report.events);
+    let _ = writeln!(json, "    \"snapshots\": {snapshots},");
+    let _ = writeln!(json, "    \"events_per_sec\": {metrics_eps:.0},");
+    let _ = writeln!(
+        json,
+        "    \"overhead_vs_disabled\": {:.4}",
+        metrics_overhead
     );
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"single_run_parallel\": {{");

@@ -300,6 +300,15 @@ pub struct SystemConfig {
     /// exactly the pre-health code paths — no `HealthTick` events, no rng
     /// fork consumption — so their event streams stay bit-identical.
     pub health: Option<ntier_resilience::HealthPolicy>,
+    /// Streaming metrics plane (periodic [`MetricsSnapshot`] emission plus
+    /// run-wide latency sketch and bounded ring series); `None` by default.
+    /// Unmetered runs take exactly the pre-metrics code paths — no
+    /// `MetricsTick` events — so their event streams stay bit-identical,
+    /// and the tick itself only *reads* engine state, so enabling it never
+    /// perturbs the simulation.
+    ///
+    /// [`MetricsSnapshot`]: ntier_telemetry::MetricsSnapshot
+    pub metrics: Option<ntier_telemetry::MetricsConfig>,
 }
 
 impl SystemConfig {
@@ -317,6 +326,7 @@ impl SystemConfig {
             trace: TraceConfig::disabled(),
             control: None,
             health: None,
+            metrics: None,
         }
     }
 
@@ -419,6 +429,15 @@ impl SystemConfig {
             health.tier
         );
         self.health = Some(health);
+        self
+    }
+
+    /// Enables the streaming metrics plane (see
+    /// [`ntier_telemetry::metrics`]): periodic snapshots at the config's
+    /// interval, collected into the run report and optionally streamed to
+    /// a JSONL sink attached via `Engine::with_metrics_sink`.
+    pub fn with_metrics(mut self, metrics: ntier_telemetry::MetricsConfig) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 

@@ -39,6 +39,10 @@ use crate::report::RunReport;
 /// Gray-failure detector verdicts ride in the same log, so `eject`/
 /// `reinstate` decisions land there too, and `summary.csv` gains a
 /// `health_decisions` row when (and only when) at least one was made.
+///
+/// Metered runs (`report.metrics` is `Some`) append `metrics.csv` — one row
+/// per [`ntier_telemetry::MetricsSnapshot`] in tick order. Unmetered
+/// bundles are unchanged, byte for byte.
 pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
     let mut files = Vec::with_capacity(report.tiers.len() + 3);
 
@@ -212,6 +216,10 @@ pub fn csv_bundle(report: &RunReport) -> Vec<(String, String)> {
             "control_decisions.csv".to_string(),
             to_csv(&["at_ms", "tier", "action", "reason"], &rows),
         ));
+    }
+
+    if let Some(reg) = &report.metrics {
+        files.push(("metrics.csv".to_string(), reg.csv()));
     }
     files
 }
@@ -488,6 +496,40 @@ mod tests {
             .1;
         assert!(!base_summary.contains("health_decisions"), "{base_summary}");
         assert!(base.iter().all(|(n, _)| n != "control_decisions.csv"));
+    }
+
+    #[test]
+    fn metered_run_appends_metrics_file() {
+        let report = Engine::new(
+            Topology::three_tier(
+                TierSpec::sync("Web", 4, 2),
+                TierSpec::sync("App", 4, 2),
+                TierSpec::sync("Db", 4, 2),
+            )
+            .with_metrics(ntier_telemetry::MetricsConfig::every(
+                SimDuration::from_millis(500),
+            )),
+            Workload::Open {
+                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                mix: RequestMix::view_story(),
+            },
+            SimDuration::from_secs(2),
+            1,
+        )
+        .run();
+        let bundle = csv_bundle(&report);
+        let (name, content) = bundle.last().expect("non-empty bundle");
+        assert_eq!(name, "metrics.csv");
+        let ticks = report.metrics.as_ref().unwrap().snapshots().len();
+        assert!(ticks > 0, "a 2 s run at 500 ms ticks must snapshot");
+        assert_eq!(
+            content.lines().count(),
+            ticks + 1,
+            "one row per snapshot plus the header"
+        );
+        // Unmetered runs must not grow the bundle.
+        let base = csv_bundle(&small_report());
+        assert!(base.iter().all(|(n, _)| n != "metrics.csv"));
     }
 
     #[test]

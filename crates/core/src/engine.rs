@@ -70,7 +70,10 @@ use ntier_resilience::{
 };
 use ntier_server::conn_pool::Lease;
 use ntier_server::{ConnectionPool, CpuModel, EventLoop, ProcessGroup, StallTimeline};
-use ntier_telemetry::{HistogramSnapshot, LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_telemetry::metrics::{MetricsSample, ReplicaSample, TierSample};
+use ntier_telemetry::{
+    LatencyHistogram, MetricsRegistry, QuantileSketch, UtilizationSeries, WindowedSeries,
+};
 use ntier_trace::{TerminalClass, TraceEventKind, TraceHandle, Tracer, TRACE_NONE};
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
@@ -204,6 +207,13 @@ enum Event {
     ReplicaReady {
         tier: u8,
     },
+    /// The streaming metrics plane's snapshot tick. Scheduled only when the
+    /// run has a [`ntier_telemetry::MetricsConfig`], so unmetered event
+    /// streams stay byte-identical to the pre-metrics engine. The handler
+    /// only *reads* engine state — it never touches an rng or schedules
+    /// anything but its own successor — so even metered runs simulate the
+    /// exact same system.
+    MetricsTick,
 }
 
 /// The engine's event schedule: one flat calendar queue, or — under
@@ -276,7 +286,19 @@ impl EngineQueue {
             | Event::HedgeFire { .. }
             | Event::LogicalDeadline { .. }
             | Event::ControllerTick
-            | Event::HealthTick => 0,
+            | Event::HealthTick
+            | Event::MetricsTick => 0,
+        }
+    }
+
+    /// Events ever scheduled on this queue (the global stamp counter).
+    /// `scheduled_total() - events_handled` is the calendar occupancy — a
+    /// read that, unlike a raw queue length, is invariant across shard
+    /// counts and the hot path's equal-time batch pre-pops.
+    fn scheduled_total(&self) -> u64 {
+        match self {
+            EngineQueue::Single(q) => q.scheduled_total(),
+            EngineQueue::Sharded { q, .. } => q.scheduled_total(),
         }
     }
 }
@@ -621,7 +643,7 @@ struct ControlRuntime {
     rng: SimRng,
     tick: SimDuration,
     /// The hedge tuner's quantile, when armed; read per tick from the
-    /// recent-window histogram delta.
+    /// recent-window sketch.
     hedge_q: Option<f64>,
     prev_injected: u64,
     prev_completed: u64,
@@ -633,9 +655,10 @@ struct ControlRuntime {
     /// Worst retransmit ordinal among this window's drops (1 = an original
     /// send dropped, climbing values mean the 3/6/9 s ladder).
     window_max_ordinal: u8,
-    /// Completion-histogram snapshot at the previous tick; quantile deltas
-    /// against it see only this window's completions.
-    hist_base: HistogramSnapshot,
+    /// Completions since the previous tick, sketched: the controller's
+    /// recent-latency quantiles come from here (cleared per tick), not
+    /// from run-wide histogram deltas — O(1) state, ~0.4 % error.
+    window: QuantileSketch,
 }
 
 /// Everything the engine keeps per health-monitored run: the pure detector,
@@ -732,6 +755,20 @@ pub struct Engine {
     governor_limit: Vec<Option<usize>>,
     /// Controller-set hedge delay overriding the configured policy.
     hedge_override: Option<SimDuration>,
+    /// Streaming metrics plane; `None` for unmetered runs.
+    metrics: Option<Box<MetricsRegistry>>,
+    /// Optional live JSONL sink: each frozen snapshot is written as one
+    /// line *during* the run (attach via [`Engine::with_metrics_sink`]).
+    metrics_sink: Option<MetricsSink>,
+}
+
+/// A streaming destination for metrics snapshots (opaque in debug output).
+struct MetricsSink(Box<dyn std::io::Write + Send>);
+
+impl std::fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsSink(..)")
+    }
 }
 
 impl Engine {
@@ -839,7 +876,7 @@ impl Engine {
                 prev_drops: tiers.iter().map(|n| vec![0; n.replicas.len()]).collect(),
                 prev_shed: vec![0; n_tiers],
                 window_max_ordinal: 0,
-                hist_base: latency.snapshot(),
+                window: QuantileSketch::new(),
                 ctl: Controller::new(c),
             })
         });
@@ -860,6 +897,7 @@ impl Engine {
                 det: HealthDetector::new(h, replicas),
             })
         });
+        let metrics = cfg.metrics.map(|m| Box::new(MetricsRegistry::new(&m)));
         let tiers_rate_mult: Vec<Vec<f64>> =
             tiers.iter().map(|n| vec![1.0; n.replicas.len()]).collect();
         let tiers_replica_drop: Vec<Vec<f64>> =
@@ -907,7 +945,19 @@ impl Engine {
             replica_drop: tiers_replica_drop,
             governor_limit: vec![None; n_tiers],
             hedge_override: None,
+            metrics,
+            metrics_sink: None,
         }
+    }
+
+    /// Attaches a streaming JSONL sink: every metrics snapshot is written
+    /// as one line the moment it is frozen, so long runs can be observed
+    /// (and tailed) while they execute. A no-op unless the config enables
+    /// the metrics plane via [`SystemConfig::with_metrics`].
+    #[must_use]
+    pub fn with_metrics_sink(mut self, sink: Box<dyn std::io::Write + Send>) -> Self {
+        self.metrics_sink = Some(MetricsSink(sink));
+        self
     }
 
     /// Builds one replica instance of `tc` (replica index `r` selects its
@@ -1039,6 +1089,10 @@ impl Engine {
         if let Some(hr) = &self.health {
             self.queue.push(SimTime::ZERO + hr.tick, Event::HealthTick);
         }
+        if let Some(m) = &self.metrics {
+            self.queue
+                .push(SimTime::ZERO + m.interval(), Event::MetricsTick);
+        }
     }
 
     fn handle(&mut self, ev: Event) {
@@ -1062,7 +1116,66 @@ impl Engine {
             Event::ControllerTick => self.on_controller_tick(),
             Event::ReplicaReady { tier } => self.on_replica_ready(tier as usize),
             Event::HealthTick => self.on_health_tick(),
+            Event::MetricsTick => self.on_metrics_tick(),
         }
+    }
+
+    /// The metrics plane's snapshot tick: read the engine's gauges into a
+    /// [`MetricsSample`], freeze a snapshot in the registry, stream it to
+    /// the sink if one is attached, and reschedule. Strictly read-only
+    /// against the simulation — no rng draws, no state mutations outside
+    /// the registry — so metered and unmetered runs simulate the exact
+    /// same system (pinned by `tests/metrics.rs`).
+    fn on_metrics_tick(&mut self) {
+        let Some(mut reg) = self.metrics.take() else {
+            return;
+        };
+        let elapsed = self.now.as_micros();
+        let tiers = self
+            .tiers
+            .iter()
+            .map(|node| TierSample {
+                replicas: node
+                    .replicas
+                    .iter()
+                    .map(|rep| ReplicaSample {
+                        depth: rep.depth() as u64,
+                        drops: rep.drops_total,
+                        util_ppm: if elapsed == 0 {
+                            0
+                        } else {
+                            rep.util.total_busy_micros() * 1_000_000
+                                / (u64::from(rep.cpu.cores()) * elapsed)
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        let sample = MetricsSample {
+            now: self.now,
+            events_handled: self.events_handled,
+            events_scheduled: self.queue.scheduled_total(),
+            slab_live: (self.requests.len() - self.free_slots.len()) as u64,
+            slab_slots: self.requests.len() as u64,
+            injected: self.injected,
+            completed: self.completed,
+            failed: self.failed,
+            shed: self.shed,
+            drops_total: self.drops_total,
+            retries: self.tiers.iter().map(|t| t.res.retries).sum(),
+            hedges: self.tiers[0].res.hedges,
+            tiers,
+        };
+        let snap = reg.tick(sample);
+        if let Some(MetricsSink(w)) = &mut self.metrics_sink {
+            use std::io::Write as _;
+            writeln!(w, "{}", snap.jsonl()).expect("metrics sink write failed");
+        }
+        let next = self.now + reg.interval();
+        if next <= SimTime::ZERO + self.horizon {
+            self.queue.push(next, Event::MetricsTick);
+        }
+        self.metrics = Some(reg);
     }
 
     /// The control plane's step-synchronous tick: build the per-window
@@ -1102,11 +1215,9 @@ impl Engine {
             retries_delta: retries_now - cr.prev_retries,
             hedges_delta: hedges_now - cr.prev_hedges,
             max_retrans_ordinal: cr.window_max_ordinal,
-            recent_p50: self.latency.quantile_since(&cr.hist_base, 0.50),
-            recent_p99: self.latency.quantile_since(&cr.hist_base, 0.99),
-            recent_hedge_q: cr
-                .hedge_q
-                .and_then(|q| self.latency.quantile_since(&cr.hist_base, q)),
+            recent_p50: cr.window.quantile(0.50),
+            recent_p99: cr.window.quantile(0.99),
+            recent_hedge_q: cr.hedge_q.and_then(|q| cr.window.quantile(q)),
             tiers: tiers_obs,
         };
         let directives = cr.ctl.tick(&obs, &mut cr.rng);
@@ -1134,7 +1245,7 @@ impl Engine {
             cr.prev_shed[t] = node.res.shed;
         }
         cr.window_max_ordinal = 0;
-        cr.hist_base = self.latency.snapshot();
+        cr.window.clear();
         let next = self.now + cr.tick;
         if next <= SimTime::ZERO + self.horizon {
             self.queue.push(next, Event::ControllerTick);
@@ -2888,6 +2999,12 @@ impl Engine {
             latency,
         );
         self.latency.record(latency);
+        if let Some(cr) = self.control.as_mut() {
+            cr.window.record(latency);
+        }
+        if let Some(reg) = self.metrics.as_mut() {
+            reg.record_latency(self.now, latency);
+        }
         let stats = self.class_stats.entry(self.requests[i].class).or_default();
         stats.completed += 1;
         stats.latency_sum_us += u128::from(latency.as_micros());
@@ -3109,6 +3226,7 @@ impl Engine {
             resilience,
             trace: self.tracer.into_log(),
             control,
+            metrics: self.metrics.map(|m| *m),
         }
     }
 }

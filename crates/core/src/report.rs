@@ -5,7 +5,7 @@ use ntier_des::ids::{ReplicaId, TierId};
 use ntier_des::time::{SimDuration, SimTime};
 use ntier_resilience::ResilienceStats;
 use ntier_telemetry::histogram::Mode;
-use ntier_telemetry::{LatencyHistogram, UtilizationSeries, WindowedSeries};
+use ntier_telemetry::{LatencyHistogram, MetricsRegistry, UtilizationSeries, WindowedSeries};
 use ntier_trace::{ControlAction, TierData, TraceLog};
 
 /// Per-replica measurements for one instance of a replica set. Only
@@ -139,6 +139,10 @@ pub struct RunReport {
     /// The control plane's decision log, when the run had a controller
     /// (`None` for uncontrolled runs).
     pub control: Option<ControlLog>,
+    /// The streaming metrics registry — periodic snapshots, the run-level
+    /// quantile sketch and the bounded-memory ring series — when the run
+    /// had the metrics plane enabled (`None` for unmetered runs).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RunReport {

@@ -19,6 +19,7 @@ use ntier_control::{
     ControlConfig, ControlLog, Controller, Directive, Observation, ReplicaObs, TierObs,
 };
 use ntier_des::rng::SimRng;
+use ntier_telemetry::QuantileSketch;
 
 use crate::chain::Chain;
 use crate::policy::WallClock;
@@ -47,6 +48,10 @@ pub struct LiveController {
     prev: LiveCounters,
     prev_drops: Vec<Vec<u64>>,
     prev_retransmits: Vec<u64>,
+    /// Per-tick latency window — the same mergeable sketch the DES engine
+    /// feeds its controller from, here fed wall-clock durations.
+    window: QuantileSketch,
+    hedge_q: Option<f64>,
 }
 
 impl LiveController {
@@ -62,6 +67,11 @@ impl LiveController {
                     .unwrap_or_else(|| vec![chain.drops()[i]])
             })
             .collect();
+        let hedge_q = cfg
+            .tuner
+            .as_ref()
+            .and_then(|t| t.hedge.as_ref())
+            .map(|h| h.q);
         LiveController {
             ctl: Controller::new(cfg),
             rng: SimRng::seed_from(seed).fork("control"),
@@ -69,7 +79,17 @@ impl LiveController {
             prev: LiveCounters::default(),
             prev_drops,
             prev_retransmits: chain.retransmits(),
+            window: QuantileSketch::new(),
+            hedge_q,
         }
+    }
+
+    /// Feeds one completed request's wall-clock latency into the current
+    /// tick window. The harness calls this per completion; the next
+    /// [`LiveController::tick`] reads the window's quantiles and resets it.
+    pub fn observe_latency(&mut self, latency: std::time::Duration) {
+        self.window
+            .record_micros(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// One observation/decision step against the running chain. Call this
@@ -130,14 +150,15 @@ impl LiveController {
             retries_delta: counters.retries.saturating_sub(self.prev.retries),
             hedges_delta: counters.hedges.saturating_sub(self.prev.hedges),
             max_retrans_ordinal,
-            recent_p50: None,
-            recent_p99: None,
-            recent_hedge_q: None,
+            recent_p50: self.window.quantile(0.50),
+            recent_p99: self.window.quantile(0.99),
+            recent_hedge_q: self.hedge_q.and_then(|q| self.window.quantile(q)),
             tiers,
         };
         self.prev = counters;
         self.prev_drops = drops_now;
         self.prev_retransmits = retransmits;
+        self.window.clear();
         self.ctl.tick(&obs, &mut self.rng)
     }
 
@@ -258,6 +279,41 @@ mod tests {
         // must see none.
         let dirs = lc.tick(&chain, c);
         assert!(dirs.is_empty());
+        chain.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn observed_latencies_retarget_the_hedge_delay() {
+        use ntier_control::{Directive, HedgeTuner, TunerConfig};
+        let cfg = ControlConfig::every(SimDuration::from_millis(20)).with_tuner(TunerConfig {
+            hedge: Some(HedgeTuner {
+                q: 0.95,
+                floor: SimDuration::from_micros(50),
+                cap: SimDuration::from_millis(10),
+            }),
+            aimd: None,
+        });
+        let chain = ChainBuilder::new(Duration::from_millis(50))
+            .tier(LiveTier::sync("web", 4, 4, Duration::from_micros(100)))
+            .build()
+            .expect("spawn chain");
+        let mut lc = LiveController::new(cfg, &chain, 7);
+        // Sub-128 µs latencies land in the sketch's exact buckets, so the
+        // tuner must read back precisely the observed q95.
+        for _ in 0..100 {
+            lc.observe_latency(Duration::from_micros(100));
+        }
+        let dirs = lc.tick(&chain, LiveCounters::default());
+        assert_eq!(
+            dirs,
+            vec![Directive::SetHedgeDelay {
+                delay: SimDuration::from_micros(100)
+            }]
+        );
+        // The tick cleared the window: an empty window yields None
+        // quantiles and the tuner holds rather than re-deciding.
+        let dirs = lc.tick(&chain, LiveCounters::default());
+        assert!(dirs.is_empty(), "empty window must not retune: {dirs:?}");
         chain.shutdown().expect("clean shutdown");
     }
 

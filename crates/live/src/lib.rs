@@ -63,6 +63,13 @@
 //! [`ntier_resilience::HealthDetector`] from wall-clock reply/drop
 //! signals, returning ejection verdicts as routing advice.
 //!
+//! The observability plane mirrors too: a [`metrics::MetricsServer`]
+//! serves whatever Prometheus-text exposition the harness renders (e.g.
+//! via [`ntier_telemetry::MetricsSnapshot::prometheus`]) at a loopback
+//! `GET /metrics`, and [`control::LiveController::observe_latency`] feeds
+//! per-tick wall-clock latencies through the *same*
+//! [`ntier_telemetry::QuantileSketch`] the engine's controller reads.
+//!
 //! Per-request tracing mirrors the simulator's span vocabulary on a wall
 //! clock: build the chain with [`chain::ChainBuilder::trace`] and drive it
 //! with [`harness::fire_burst_traced`], both sharing one
@@ -74,6 +81,7 @@ pub mod chain;
 pub mod control;
 pub mod harness;
 pub mod health;
+pub mod metrics;
 pub mod policy;
 pub mod stall;
 pub mod tier;
@@ -84,6 +92,7 @@ pub use harness::{
     fire_burst, fire_burst_traced, fire_burst_with_policy, BurstOutcome, PolicyOutcome,
 };
 pub use health::LiveHealth;
+pub use metrics::MetricsServer;
 pub use ntier_core::{Balancer, TierSpec};
 pub use ntier_trace::TraceSink;
 pub use policy::WallClock;

@@ -1,0 +1,201 @@
+//! Live metrics exposition: a minimal Prometheus-text HTTP endpoint.
+//!
+//! The DES engine streams [`ntier_telemetry::MetricsSnapshot`]s to a JSONL
+//! sink; the wall-clock mirror is a scrape endpoint. [`MetricsServer`]
+//! binds a loopback TCP listener, serves the most recently
+//! [`MetricsServer::publish`]ed exposition body at `GET /metrics`, and
+//! shuts down cleanly on drop or [`MetricsServer::shutdown`].
+//!
+//! The server is deliberately tiny — a nonblocking accept loop on one
+//! thread, no HTTP library, no keep-alive — because the testbed only needs
+//! *a* scrapable surface, not a web framework. The exposition body is
+//! whatever the caller renders; pair it with
+//! [`ntier_telemetry::MetricsSnapshot::prometheus`] to expose the standard
+//! metric families.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::LiveError;
+
+/// A loopback HTTP server exposing the latest published metrics body.
+///
+/// # Example
+///
+/// ```
+/// use ntier_live::metrics::MetricsServer;
+///
+/// let server = MetricsServer::bind().expect("bind loopback");
+/// server.publish("ntier_up 1\n".to_string());
+/// let addr = server.local_addr();
+/// // ... point a scraper at http://{addr}/metrics ...
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds a fresh loopback listener on an OS-assigned port and starts
+    /// the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::Spawn`] when the listener cannot be bound or
+    /// the server thread cannot be spawned.
+    pub fn bind() -> Result<Self, LiveError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(LiveError::Spawn)?;
+        listener.set_nonblocking(true).map_err(LiveError::Spawn)?;
+        let addr = listener.local_addr().map_err(LiveError::Spawn)?;
+        let body = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let body = Arc::clone(&body);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("metrics-http".into())
+                .spawn(move || serve(&listener, &body, &stop))
+                .map_err(LiveError::Spawn)?
+        };
+        Ok(MetricsServer {
+            addr,
+            body,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (always loopback; port OS-assigned).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the exposition body served at `/metrics`.
+    pub fn publish(&self, exposition: String) {
+        *self.body.lock().expect("metrics body lock") = exposition;
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: &TcpListener, body: &Mutex<String>, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, body),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, body: &Mutex<String>) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    // Read the request head; path is all we route on.
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let path = head.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content) = if path == "/metrics" {
+        ("200 OK", body.lock().expect("metrics body lock").clone())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{content}",
+        content.len()
+    );
+    stream.write_all(response.as_bytes()).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_published_exposition_at_metrics() {
+        let server = MetricsServer::bind().expect("bind");
+        server.publish("ntier_up 1\n".to_string());
+        let response = get(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("ntier_up 1\n"), "{response}");
+        // Re-publish replaces the body wholesale.
+        server.publish("ntier_up 0\n".to_string());
+        let response = get(server.local_addr(), "/metrics");
+        assert!(response.contains("ntier_up 0\n"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = MetricsServer::bind().expect("bind");
+        let response = get(server.local_addr(), "/other");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_the_server_thread() {
+        let server = MetricsServer::bind().expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh connect must fail (or be refused
+        // immediately); either way no thread is left serving.
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // Some platforms accept briefly into a dead backlog; a read
+                // then sees EOF rather than a response.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").ok();
+                s.set_read_timeout(Some(Duration::from_millis(200))).ok();
+                let mut out = String::new();
+                s.read_to_string(&mut out).is_err() || out.is_empty()
+            }
+        );
+    }
+}

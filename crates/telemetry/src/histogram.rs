@@ -143,64 +143,6 @@ impl LatencyHistogram {
         Some(self.max)
     }
 
-    /// Freezes the current counters for later delta reads via
-    /// [`LatencyHistogram::quantile_since`].
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            counts: self.counts.clone(),
-            overflow: self.overflow,
-            total: self.total,
-        }
-    }
-
-    /// Samples recorded since `base` was taken.
-    pub fn total_since(&self, base: &HistogramSnapshot) -> u64 {
-        self.total - base.total
-    }
-
-    /// Overflow samples recorded since `base` was taken.
-    pub fn overflow_since(&self, base: &HistogramSnapshot) -> u64 {
-        self.overflow - base.overflow
-    }
-
-    /// An approximate quantile over only the samples recorded since `base`
-    /// — the "recent latency" read a controller needs, where the run-wide
-    /// [`LatencyHistogram::quantile`] would dilute a millibottleneck under
-    /// minutes of healthy history.
-    ///
-    /// Returns `None` when **no samples landed since the snapshot**: an
-    /// unpopulated window has no quantile, and callers adapting policies
-    /// (hedge delay, AIMD bounds) must hold rather than act on garbage.
-    /// Overflow deltas resolve to [`LatencyHistogram::max`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `base` was taken from a histogram with a different bucket
-    /// count.
-    pub fn quantile_since(&self, base: &HistogramSnapshot, q: f64) -> Option<SimDuration> {
-        assert_eq!(
-            base.counts.len(),
-            self.counts.len(),
-            "snapshot shape mismatch"
-        );
-        let total = self.total - base.total;
-        if total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let target = (q * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, (c, b)) in self.counts.iter().zip(&base.counts).enumerate() {
-            seen += c - b;
-            if seen >= target {
-                return Some(SimDuration::from_micros(
-                    (i as u64 + 1) * self.bucket_width.as_micros(),
-                ));
-            }
-        }
-        Some(self.max)
-    }
-
     /// Detects latency *modes*: contiguous runs of non-empty buckets
     /// separated by at least `min_gap` of empty time, each holding at least
     /// `min_count` samples. Returns the peak-bucket start time and the run's
@@ -251,14 +193,6 @@ impl LatencyHistogram {
             count: r.total,
         }
     }
-}
-
-/// Frozen counters for [`LatencyHistogram::quantile_since`] delta reads.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    counts: Vec<u64>,
-    overflow: u64,
-    total: u64,
 }
 
 #[derive(Debug)]
@@ -340,39 +274,6 @@ mod tests {
         assert_eq!(h.quantile(0.5).unwrap(), ms(50)); // first bucket upper edge
         assert!(h.quantile(0.999).unwrap() >= SimDuration::from_secs(3));
         assert_eq!(LatencyHistogram::paper_default().quantile(0.5), None);
-    }
-
-    #[test]
-    fn quantile_since_sees_only_recent_samples() {
-        let mut h = LatencyHistogram::paper_default();
-        // A long healthy history that would dominate the run-wide quantile.
-        for _ in 0..10_000 {
-            h.record(ms(10));
-        }
-        let base = h.snapshot();
-        assert_eq!(
-            h.quantile_since(&base, 0.5),
-            None,
-            "unpopulated window must read as None, not a stale quantile"
-        );
-        assert_eq!(h.total_since(&base), 0);
-        // A millibottleneck window: 10 slow completions.
-        for _ in 0..10 {
-            h.record(ms(3_010));
-        }
-        assert_eq!(h.total_since(&base), 10);
-        // The run-wide read still says "healthy"; the delta read sees it.
-        assert_eq!(h.quantile(0.5).unwrap(), ms(50));
-        assert!(h.quantile_since(&base, 0.5).unwrap() >= SimDuration::from_secs(3));
-    }
-
-    #[test]
-    fn quantile_since_overflow_resolves_to_max() {
-        let mut h = LatencyHistogram::new(ms(50), 2);
-        h.record(ms(10));
-        let base = h.snapshot();
-        h.record(ms(5_000));
-        assert_eq!(h.quantile_since(&base, 0.99).unwrap(), ms(5_000));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   (the CPU-utilization timelines in Figs. 3, 5, 7–11);
 //! * [`histogram::LatencyHistogram`] — response-time histograms with
 //!   multi-modal cluster detection (Fig. 1's 0/3/6/9 s peaks);
+//! * [`sketch::QuantileSketch`] — a deterministic, mergeable log-linear
+//!   quantile sketch: the streaming/hot-path alternative to full
+//!   histograms, with a documented relative-error bound;
+//! * [`ring::RingSeries`] — bounded-memory windowed series via tiered
+//!   downsampling (recent 50 ms windows, older collapsed 10:1);
+//! * [`metrics`] — the streaming metrics plane: periodic
+//!   [`metrics::MetricsSnapshot`]s rendered as JSONL/CSV/Prometheus text;
 //! * [`stats`] — summary statistics (means, percentiles);
 //! * [`render`] — ASCII/CSV output used by examples and the bench harness.
 //!
@@ -18,12 +25,18 @@
 //! explicit CSV writers.
 
 pub mod histogram;
+pub mod metrics;
 pub mod render;
+pub mod ring;
 pub mod series;
+pub mod sketch;
 pub mod stats;
 
-pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use histogram::LatencyHistogram;
+pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSample, MetricsSnapshot};
+pub use ring::RingSeries;
 pub use series::{UtilizationSeries, WindowedSeries};
+pub use sketch::QuantileSketch;
 
 /// The paper's monitoring window: 50 ms.
 pub const MONITOR_WINDOW_MS: u64 = 50;

@@ -6,6 +6,13 @@
 
 use ntier_des::time::{SimDuration, SimTime};
 
+/// Horizon past which [`WindowedSeries::reserve_through`] and
+/// [`UtilizationSeries::paper_default_for`] stop preallocating: 10 minutes
+/// of simulated time. Longer runs grow lazily (and long-horizon telemetry
+/// should stream through [`crate::RingSeries`] instead) — O(horizon)
+/// preallocation is exactly what capped runs at Fig.-1 scale.
+pub const PREALLOC_HORIZON_CAP: SimDuration = SimDuration::from_secs(600);
+
 /// Aggregates accumulated within one window.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WindowAgg {
@@ -83,9 +90,22 @@ impl WindowedSeries {
     }
 
     /// Reserves capacity for every window up to `horizon` (plus one spill
-    /// window for events that land exactly at the horizon).
+    /// window for events that land exactly at the horizon), capped at
+    /// [`PREALLOC_HORIZON_CAP`]: past the cap only the first 10 minutes'
+    /// worth is reserved and later windows grow lazily.
     pub fn reserve_through(&mut self, horizon: SimDuration) {
-        let n = (horizon.as_micros() / self.window.as_micros()) as usize + 2;
+        let want = (horizon.as_micros() / self.window.as_micros()) as usize + 2;
+        let cap = (PREALLOC_HORIZON_CAP.as_micros() / self.window.as_micros()) as usize + 2;
+        if want > cap {
+            // Pre-cap behavior reserved O(horizon) here — 1.7 GB of windows
+            // for a simulated day at 50 ms. Trip in debug builds so the
+            // fallback is visible, not silent.
+            debug_assert!(
+                horizon > PREALLOC_HORIZON_CAP,
+                "cap binds only past the preallocation horizon"
+            );
+        }
+        let n = want.min(cap);
         self.windows.reserve(n.saturating_sub(self.windows.len()));
     }
 
@@ -267,12 +287,27 @@ impl UtilizationSeries {
 
     /// Like [`UtilizationSeries::paper_default`], but with busy-time storage
     /// reserved for a run of length `horizon` (capacity only — observable
-    /// state is identical to the on-demand series).
+    /// state is identical to the on-demand series). Reservation is capped
+    /// at [`PREALLOC_HORIZON_CAP`], like
+    /// [`WindowedSeries::reserve_through`].
     pub fn paper_default_for(cores: u32, horizon: SimDuration) -> Self {
         let mut s = UtilizationSeries::paper_default(cores);
-        let n = (horizon.as_micros() / s.window.as_micros()) as usize + 2;
-        s.busy_micros.reserve(n);
+        let want = (horizon.as_micros() / s.window.as_micros()) as usize + 2;
+        let cap = (PREALLOC_HORIZON_CAP.as_micros() / s.window.as_micros()) as usize + 2;
+        if want > cap {
+            debug_assert!(
+                horizon > PREALLOC_HORIZON_CAP,
+                "cap binds only past the preallocation horizon"
+            );
+        }
+        s.busy_micros.reserve(want.min(cap));
         s
+    }
+
+    /// Total busy time recorded across all windows, in microseconds — the
+    /// integer numerator behind the metrics plane's `util_ppm` gauges.
+    pub fn total_busy_micros(&self) -> u64 {
+        self.busy_micros.iter().sum()
     }
 
     /// Accounts one core as busy over `[start, end)`.
@@ -439,6 +474,34 @@ mod tests {
         assert_eq!(merged.sums(), whole.sums());
         assert_eq!(merged.total(), whole.total());
         assert!(WindowedSeries::merged(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn preallocation_is_capped_past_ten_minutes() {
+        let day = SimDuration::from_secs(24 * 3_600);
+        let capped = (PREALLOC_HORIZON_CAP.as_micros()
+            / SimDuration::from_millis(crate::MONITOR_WINDOW_MS).as_micros())
+            as usize
+            + 2;
+        let s = WindowedSeries::paper_default_for(day);
+        assert!(
+            s.windows.capacity() <= 2 * capped,
+            "capacity {}",
+            s.windows.capacity()
+        );
+        let u = UtilizationSeries::paper_default_for(2, day);
+        assert!(u.busy_micros.capacity() <= 2 * capped);
+        // short horizons still get their exact reservation
+        let short = WindowedSeries::paper_default_for(SimDuration::from_secs(20));
+        assert!(short.windows.capacity() >= 400);
+    }
+
+    #[test]
+    fn total_busy_micros_sums_windows() {
+        let mut u = UtilizationSeries::paper_default(1);
+        u.record_busy(ms(25), ms(75));
+        u.record_busy(ms(100), ms(110));
+        assert_eq!(u.total_busy_micros(), 60_000);
     }
 
     #[test]
