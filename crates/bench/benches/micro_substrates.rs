@@ -111,10 +111,7 @@ fn bench_engine(c: &mut Criterion) {
                 .collect();
             Engine::new(
                 sys,
-                Workload::Open {
-                    arrivals,
-                    mix: RequestMix::rubbos_browse(),
-                },
+                Workload::open(arrivals, RequestMix::rubbos_browse()),
                 SimDuration::from_secs(12),
                 7,
             )

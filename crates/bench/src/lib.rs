@@ -176,12 +176,12 @@ mod tests {
         );
         Engine::new(
             sys,
-            Workload::Open {
-                arrivals: (0..100)
+            Workload::open(
+                (0..100)
                     .map(|i| ntier_des::time::SimTime::from_millis(10_000 + i * 20))
                     .collect(),
-                mix: RequestMix::view_story(),
-            },
+                RequestMix::view_story(),
+            ),
             SimDuration::from_secs(13),
             1,
         )

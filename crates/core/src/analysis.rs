@@ -158,10 +158,7 @@ mod tests {
             .collect();
         let report = Engine::new(
             sys.clone(),
-            Workload::Open {
-                arrivals,
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(arrivals, RequestMix::view_story()),
             SimDuration::from_secs(10),
             1,
         )
@@ -194,10 +191,7 @@ mod tests {
         let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 30)]);
         let report = Engine::new(
             sys.clone(),
-            Workload::Open {
-                arrivals: burst.arrivals(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(burst.arrivals(), RequestMix::view_story()),
             SimDuration::from_secs(8),
             1,
         )
@@ -226,10 +220,7 @@ mod tests {
             .collect();
         let report = Engine::new(
             sys.clone(),
-            Workload::Open {
-                arrivals,
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(arrivals, RequestMix::view_story()),
             SimDuration::from_secs(12),
             1,
         )

@@ -306,10 +306,10 @@ mod tests {
                 TierSpec::sync("App", 4, 2),
                 TierSpec::sync("Db", 4, 2),
             ),
-            Workload::Open {
-                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(
+                (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                RequestMix::view_story(),
+            ),
             SimDuration::from_secs(2),
             1,
         )
@@ -341,10 +341,10 @@ mod tests {
                 TierSpec::sync("App", 2, 2).replicas(2),
                 TierSpec::sync("Db", 4, 2),
             ),
-            Workload::Open {
-                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(
+                (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                RequestMix::view_story(),
+            ),
             SimDuration::from_secs(2),
             1,
         )
@@ -420,10 +420,10 @@ mod tests {
                 TierSpec::sync("Db", 4, 2),
             )
             .with_trace(ntier_trace::TraceConfig::always()),
-            Workload::Open {
-                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(
+                (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                RequestMix::view_story(),
+            ),
             SimDuration::from_secs(2),
             1,
         )
@@ -509,10 +509,10 @@ mod tests {
             .with_metrics(ntier_telemetry::MetricsConfig::every(
                 SimDuration::from_millis(500),
             )),
-            Workload::Open {
-                arrivals: (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(
+                (0..20).map(|i| SimTime::from_millis(i * 10)).collect(),
+                RequestMix::view_story(),
+            ),
             SimDuration::from_secs(2),
             1,
         )

@@ -39,7 +39,7 @@
 //!
 //! Chains of any depth ≥ 1 remain the common case: the paper's 3-tier
 //! experiments use [`crate::presets`]; deeper chains (and per-request custom
-//! plans) use [`crate::Topology::chain`] with [`Workload::OpenPlans`].
+//! plans) use [`crate::Topology::chain`] with [`Workload::open_plans`].
 //!
 //! # Example
 //!
@@ -75,8 +75,10 @@ use ntier_telemetry::{
     LatencyHistogram, MetricsRegistry, QuantileSketch, UtilizationSeries, WindowedSeries,
 };
 use ntier_trace::{TerminalClass, TraceEventKind, TraceHandle, Tracer, TRACE_NONE};
+use ntier_workload::source::ArrivalSource;
 use ntier_workload::{ClosedLoopSpec, RequestMix};
 
+use crate::arrivals::SourcedRequest;
 use crate::config::{SystemConfig, TierKind, TierSpec};
 use crate::plan::Plan;
 use crate::report::{ClassReport, DropRecord, ReplicaReport, RunReport, TierReport};
@@ -84,7 +86,13 @@ use crate::shard::ShardPlan;
 use crate::topology::Balancer;
 
 /// The workload driving a run.
-#[derive(Debug)]
+///
+/// Construct workloads through the builders — [`Workload::closed`],
+/// [`Workload::open`], [`Workload::open_plans`], [`Workload::from_source`] —
+/// rather than naming variants directly. The materialized `Open`/`OpenPlans`
+/// variants hold every arrival in memory up front and are deprecated as
+/// construction targets; [`Workload::from_source`] streams arrivals on
+/// demand, keeping memory proportional to the *active* request population.
 pub enum Workload {
     /// Closed-loop clients (RUBBoS style): each completes, thinks, resends.
     /// Requires a 3-tier system (plans come from the request mix).
@@ -96,6 +104,10 @@ pub enum Workload {
     },
     /// Open-loop: requests injected at the given (pre-generated) times.
     /// Requires a 3-tier system.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct via Workload::open(..), or stream with Workload::from_source(..)"
+    )]
     Open {
         /// Sorted injection times.
         arrivals: Vec<SimTime>,
@@ -104,11 +116,126 @@ pub enum Workload {
     },
     /// Open-loop with explicit per-request plans — supports chains of any
     /// depth (the plan depth must equal the system depth).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct via Workload::open_plans(..), or stream with Workload::from_source(..)"
+    )]
     OpenPlans {
         /// `(injection time, plan)` pairs.
         arrivals: Vec<(SimTime, Plan)>,
     },
+    /// Streaming arrivals pulled lazily from an [`ArrivalSource`] (built
+    /// with [`Workload::from_source`]): the engine holds at most one
+    /// pending arrival, so memory is O(active requests) no matter how many
+    /// arrivals the source ultimately emits.
+    Source(WorkloadSource),
 }
+
+/// A boxed streaming arrival source (opaque in debug output).
+///
+/// All of the source's randomness — arrival gaps, mix samples, demand
+/// multipliers — is drawn from the engine's dedicated `"arrival-source"`
+/// rng fork at pull time, on the single thread driving the event loop, so
+/// streamed runs stay bit-identical across runner thread counts and engine
+/// shard counts.
+pub struct WorkloadSource(Box<dyn ArrivalSource<Payload = SourcedRequest> + Send>);
+
+impl std::fmt::Debug for WorkloadSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WorkloadSource(..)")
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        #[allow(deprecated)]
+        match self {
+            Workload::Closed { spec, mix } => f
+                .debug_struct("Closed")
+                .field("spec", spec)
+                .field("mix", mix)
+                .finish(),
+            Workload::Open { arrivals, mix } => f
+                .debug_struct("Open")
+                .field("arrivals", arrivals)
+                .field("mix", mix)
+                .finish(),
+            Workload::OpenPlans { arrivals } => f
+                .debug_struct("OpenPlans")
+                .field("arrivals", arrivals)
+                .finish(),
+            Workload::Source(s) => f.debug_tuple("Source").field(s).finish(),
+        }
+    }
+}
+
+impl Workload {
+    /// A closed-loop population driving a 3-tier mix.
+    pub fn closed(spec: ClosedLoopSpec, mix: RequestMix) -> Workload {
+        Workload::Closed { spec, mix }
+    }
+
+    /// Open-loop arrivals at pre-generated `arrivals` times, each compiled
+    /// from one `mix` sample. The times are materialized eagerly; prefer
+    /// [`Workload::from_source`] for long runs.
+    #[allow(deprecated)]
+    pub fn open(arrivals: Vec<SimTime>, mix: RequestMix) -> Workload {
+        Workload::Open { arrivals, mix }
+    }
+
+    /// Open-loop arrivals with explicit per-request plans (any chain
+    /// depth). The table is materialized eagerly; prefer
+    /// [`Workload::from_source`] for long runs.
+    #[allow(deprecated)]
+    pub fn open_plans(arrivals: Vec<(SimTime, Plan)>) -> Workload {
+        Workload::OpenPlans { arrivals }
+    }
+
+    /// Streams arrivals lazily from `source`. The engine pulls one arrival
+    /// at a time from its `"arrival-source"` rng fork; the source must
+    /// emit non-decreasing times and stay exhausted after returning
+    /// `None`. A source-reported fault (e.g. a trace parse error) ends the
+    /// stream and is surfaced in
+    /// [`RunReport::workload_fault`](crate::report::RunReport::workload_fault).
+    pub fn from_source(
+        source: impl ArrivalSource<Payload = SourcedRequest> + Send + 'static,
+    ) -> Workload {
+        Workload::Source(WorkloadSource(Box::new(source)))
+    }
+}
+
+/// Typed rejection of a workload/system pairing — the workload analogue of
+/// [`crate::TopologyError`], returned by [`Engine::try_new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A mix-based workload (closed-loop, or open with a request mix) was
+    /// paired with a system that is not a plain 3-tier chain, so its
+    /// sampled requests cannot compile into plans.
+    MixRequiresThreeTier {
+        /// Tiers in the offending config.
+        tiers: usize,
+        /// Whether the config's shape was a linear chain.
+        linear: bool,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::MixRequiresThreeTier { tiers, linear } => {
+                let shape = if *linear { "linear" } else { "non-linear" };
+                write!(
+                    f,
+                    "mix-based workloads compile 3-tier plans, but the system is a \
+                     {shape} topology with {tiers} tiers; use Workload::open_plans or \
+                     Workload::from_source for other shapes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Generational handle into the request slab: `slot` indexes
 /// `Engine::requests`, and the handle is *live* only while `gen` matches the
@@ -760,6 +887,17 @@ pub struct Engine {
     /// Optional live JSONL sink: each frozen snapshot is written as one
     /// line *during* the run (attach via [`Engine::with_metrics_sink`]).
     metrics_sink: Option<MetricsSink>,
+    /// Dedicated rng fork feeding [`Workload::Source`] pulls, so streamed
+    /// arrivals consume randomness independently of every other plane.
+    rng_source: SimRng,
+    /// The one arrival pulled ahead under [`Workload::Source`] (its
+    /// `Inject` event is already queued).
+    pending_arrival: Option<SourcedRequest>,
+    /// Last streamed arrival time, for the monotonicity guard.
+    last_arrival: SimTime,
+    /// A fault reported by the arrival source (or the engine's own
+    /// monotonicity guard); copied into the report.
+    workload_fault: Option<String>,
 }
 
 /// A streaming destination for metrics snapshots (opaque in debug output).
@@ -777,12 +915,44 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` has no tiers, if a tier declares a downstream pool
-    /// without exactly one downstream, or if a mix-based workload is paired
-    /// with a system that is not a plain 3-tier chain. (Configs built
-    /// through [`crate::TopologyBuilder`] are already validated; these
-    /// asserts catch hand-assembled configs.)
+    /// Panics where [`Engine::try_new`] would return an error, and if `cfg`
+    /// has no tiers or a tier declares a downstream pool without exactly
+    /// one downstream. (Configs built through [`crate::TopologyBuilder`]
+    /// are already validated; these asserts catch hand-assembled configs.)
     pub fn new(cfg: SystemConfig, workload: Workload, horizon: SimDuration, seed: u64) -> Self {
+        Self::try_new(cfg, workload, horizon, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Engine::new`] with typed workload validation: a mix-based workload
+    /// paired with a system that cannot compile its plans returns a
+    /// [`WorkloadError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::MixRequiresThreeTier`] when a closed-loop
+    /// or open-mix workload is paired with anything but a plain 3-tier
+    /// chain.
+    ///
+    /// # Panics
+    ///
+    /// Config-structure violations (empty tier list, dangling downstream
+    /// pool, fault targets outside the chain) still panic, as in
+    /// [`Engine::new`].
+    #[allow(deprecated)]
+    pub fn try_new(
+        cfg: SystemConfig,
+        workload: Workload,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<Self, WorkloadError> {
+        if matches!(workload, Workload::Closed { .. } | Workload::Open { .. })
+            && !(cfg.tiers.len() == 3 && cfg.shape.is_linear())
+        {
+            return Err(WorkloadError::MixRequiresThreeTier {
+                tiers: cfg.tiers.len(),
+                linear: cfg.shape.is_linear(),
+            });
+        }
         assert!(!cfg.tiers.is_empty(), "a system needs at least one tier");
         assert_eq!(
             cfg.shape.len(),
@@ -796,12 +966,6 @@ impl Engine {
                 tc.downstream_pool.is_none() || cfg.shape.children[i].len() == 1,
                 "tier {}: a downstream connection pool requires exactly one downstream",
                 tc.name
-            );
-        }
-        if matches!(workload, Workload::Closed { .. } | Workload::Open { .. }) {
-            assert!(
-                cfg.tiers.len() == 3 && cfg.shape.is_linear(),
-                "mix-based workloads compile 3-tier plans; use Workload::OpenPlans for other depths"
             );
         }
         if let Some(max) = cfg.faults.max_tier() {
@@ -902,7 +1066,7 @@ impl Engine {
             tiers.iter().map(|n| vec![1.0; n.replicas.len()]).collect();
         let tiers_replica_drop: Vec<Vec<f64>> =
             tiers.iter().map(|n| vec![0.0; n.replicas.len()]).collect();
-        Engine {
+        Ok(Engine {
             cfg,
             workload,
             horizon,
@@ -947,7 +1111,11 @@ impl Engine {
             hedge_override: None,
             metrics,
             metrics_sink: None,
-        }
+            rng_source: root.fork("arrival-source"),
+            pending_arrival: None,
+            last_arrival: SimTime::ZERO,
+            workload_fault: None,
+        })
     }
 
     /// Attaches a streaming JSONL sink: every metrics snapshot is written
@@ -1052,6 +1220,7 @@ impl Engine {
         self.run()
     }
 
+    #[allow(deprecated)]
     fn schedule_workload(&mut self) {
         for (i, fault) in self.cfg.faults.faults().iter().enumerate() {
             let (from, until) = fault.window();
@@ -1081,6 +1250,7 @@ impl Engine {
                     self.queue.push(*t, Event::Inject { idx: i as u32 });
                 }
             }
+            Workload::Source(_) => self.pull_next_arrival(),
         }
         if let Some(cr) = &self.control {
             self.queue
@@ -1539,17 +1709,57 @@ impl Engine {
         self.tracer.release(h);
     }
 
+    /// Pulls one arrival from the streaming source, queues its `Inject`,
+    /// and parks the payload in `pending_arrival`. On exhaustion the
+    /// source's fault (if any) is recorded; a time regression trips the
+    /// engine's own monotonicity guard and ends the stream the same way.
+    fn pull_next_arrival(&mut self) {
+        let Workload::Source(src) = &mut self.workload else {
+            return;
+        };
+        if self.workload_fault.is_some() {
+            return;
+        }
+        match src.0.next_arrival(&mut self.rng_source) {
+            Some((t, req)) => {
+                if t < self.last_arrival {
+                    self.workload_fault = Some(format!(
+                        "arrival source emitted {t} after {}: times must be non-decreasing",
+                        self.last_arrival
+                    ));
+                    return;
+                }
+                self.last_arrival = t;
+                self.pending_arrival = Some(req);
+                self.queue.push(t, Event::Inject { idx: u32::MAX });
+            }
+            None => {
+                self.workload_fault = src.0.fault().map(str::to_owned);
+            }
+        }
+    }
+
+    #[allow(deprecated)]
     fn inject(&mut self, client: Option<u32>, idx: u32) {
-        let (class, plan) = match &self.workload {
-            Workload::Closed { mix, .. } => {
-                let s = mix.sample(&mut self.rng_mix);
-                (s.class, Plan::compile(&s))
+        let (class, plan) = if matches!(self.workload, Workload::Source(_)) {
+            let Some(req) = self.pending_arrival.take() else {
+                return;
+            };
+            // Pull the successor before processing this arrival: the next
+            // Inject takes an earlier sequence number than anything this
+            // request schedules at the same timestamp, matching the order
+            // the eager paths produce by pushing all arrivals up front.
+            self.pull_next_arrival();
+            (req.class, req.plan)
+        } else {
+            match &self.workload {
+                Workload::Closed { mix, .. } | Workload::Open { mix, .. } => {
+                    let s = mix.sample(&mut self.rng_mix);
+                    (s.class, Plan::compile(&s))
+                }
+                Workload::OpenPlans { arrivals } => ("custom", arrivals[idx as usize].1.share()),
+                Workload::Source(_) => unreachable!("handled above"),
             }
-            Workload::Open { mix, .. } => {
-                let s = mix.sample(&mut self.rng_mix);
-                (s.class, Plan::compile(&s))
-            }
-            Workload::OpenPlans { arrivals } => ("custom", arrivals[idx as usize].1.share()),
         };
         assert_eq!(
             plan.depth(),
@@ -3227,6 +3437,7 @@ impl Engine {
             trace: self.tracer.into_log(),
             control,
             metrics: self.metrics.map(|m| *m),
+            workload_fault: self.workload_fault,
         }
     }
 }
@@ -3248,10 +3459,7 @@ mod tests {
     }
 
     fn open_workload(arrivals: Vec<SimTime>) -> Workload {
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        }
+        Workload::open(arrivals, RequestMix::view_story())
     }
 
     #[test]
@@ -3378,10 +3586,7 @@ mod tests {
     #[test]
     fn closed_loop_obeys_interactive_law() {
         let sys = tiny_sync_system();
-        let workload = Workload::Closed {
-            spec: ClosedLoopSpec::rubbos(70),
-            mix: RequestMix::view_story(),
-        };
+        let workload = Workload::closed(ClosedLoopSpec::rubbos(70), RequestMix::view_story());
         let report = Engine::new(sys, workload, SimDuration::from_secs(60), 3).run();
         // N/(Z+R) = 70/7.0 ≈ 10 req/s
         assert!(
@@ -3397,10 +3602,7 @@ mod tests {
         let mk = || {
             Engine::new(
                 tiny_sync_system(),
-                Workload::Closed {
-                    spec: ClosedLoopSpec::rubbos(50),
-                    mix: RequestMix::rubbos_browse(),
-                },
+                Workload::closed(ClosedLoopSpec::rubbos(50), RequestMix::rubbos_browse()),
                 SimDuration::from_secs(20),
                 42,
             )
@@ -3474,7 +3676,7 @@ mod tests {
             .collect();
         let report = Engine::new(
             sys,
-            Workload::OpenPlans { arrivals },
+            Workload::open_plans(arrivals),
             SimDuration::from_secs(2),
             1,
         )
@@ -3504,7 +3706,7 @@ mod tests {
             .collect();
         let report = Engine::new(
             sys,
-            Workload::OpenPlans { arrivals },
+            Workload::open_plans(arrivals),
             SimDuration::from_secs(15),
             1,
         )

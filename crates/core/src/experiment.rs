@@ -26,10 +26,7 @@ pub const WARMUP: SimDuration = SimDuration::from_secs(10);
 fn rubbos_workload(clients: u32) -> Workload {
     // Ramp = mean think time: the ramp arrival rate N/Z equals the steady
     // rate, so there is no startup overload transient.
-    Workload::Closed {
-        spec: ClosedLoopSpec::rubbos(clients),
-        mix: RequestMix::rubbos_browse(),
-    }
+    Workload::closed(ClosedLoopSpec::rubbos(clients), RequestMix::rubbos_browse())
 }
 
 /// A fully specified, runnable experiment.
@@ -446,10 +443,7 @@ pub fn retry_storm(variant: RetryStormVariant, seed: u64) -> ExperimentSpec {
     ExperimentSpec {
         name: "ext-retry-storm",
         system,
-        workload: Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        workload: Workload::open(arrivals, RequestMix::view_story()),
         horizon: SimDuration::from_secs(25),
         seed,
     }
@@ -529,10 +523,7 @@ fn hedging_spec(web: TierSpec, load: HedgingLoad, seed: u64) -> ExperimentSpec {
     ExperimentSpec {
         name: "ext-hedging-frontier",
         system,
-        workload: Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        workload: Workload::open(arrivals, RequestMix::view_story()),
         horizon: SimDuration::from_secs(25),
         seed,
     }
@@ -693,7 +684,7 @@ pub fn chain_depth(depth: usize, async_front: bool, seed: u64) -> ExperimentSpec
     ExperimentSpec {
         name: "ext-chain-depth",
         system,
-        workload: Workload::OpenPlans { arrivals },
+        workload: Workload::open_plans(arrivals),
         horizon: SimDuration::from_secs(15),
         seed,
     }
@@ -932,10 +923,7 @@ pub fn control_frontier(variant: ControlVariant, seed: u64) -> ExperimentSpec {
     ExperimentSpec {
         name: "ext-control-frontier",
         system,
-        workload: Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        workload: Workload::open(arrivals, RequestMix::view_story()),
         horizon: SimDuration::from_secs(25),
         seed,
     }
@@ -1103,10 +1091,7 @@ pub fn detection_frontier(variant: DetectionVariant, seed: u64) -> ExperimentSpe
     ExperimentSpec {
         name: "ext-detection-frontier",
         system,
-        workload: Workload::Open {
-            arrivals,
-            mix: RequestMix::rubbos_browse(),
-        },
+        workload: Workload::open(arrivals, RequestMix::rubbos_browse()),
         horizon,
         seed,
     }
@@ -1159,8 +1144,101 @@ pub fn replicated_fanout(seed: u64) -> ExperimentSpec {
     ExperimentSpec {
         name: "ext-replicated-fanout",
         system,
-        workload: Workload::OpenPlans { arrivals },
+        workload: Workload::open_plans(arrivals),
         horizon: SimDuration::from_secs(15),
+        seed,
+    }
+}
+
+/// Which caller-policy arm of the [`trace_replay`] experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceReplayArm {
+    /// No client policy: the trace's submission surges overflow the app
+    /// tier's `MaxSysQDepth`, drops ride the kernel 3/6/9 s retransmit
+    /// ladder, and CTQO episodes appear even though average utilization
+    /// over the hour is modest.
+    Baseline,
+    /// The hardened caller stack from [`retry_storm`]: a 2 s attempt
+    /// timeout with budgeted capped retries, a circuit breaker that fails
+    /// fast while the surge drains, and a 10 s deadline shed. Requests
+    /// caught in a surge fail quickly instead of minting multi-second
+    /// retransmit latencies.
+    Hardened,
+}
+
+impl TraceReplayArm {
+    /// Stable label used in report names and CI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceReplayArm::Baseline => "baseline",
+            TraceReplayArm::Hardened => "hardened",
+        }
+    }
+}
+
+/// The bundled one-hour Alibaba-dialect cluster-trace fixture:
+/// `fixtures/alibaba_1h.csv`, ~720 batch tasks plus three submission
+/// surges, expanding to just over one million task instances.
+pub const TRACE_REPLAY_FIXTURE: &str = include_str!("../../../fixtures/alibaba_1h.csv");
+
+/// Replays the bundled one-hour cluster trace ([`TRACE_REPLAY_FIXTURE`])
+/// through the synchronous three-tier system, streaming arrivals from the
+/// CSV so memory stays proportional to the number of *active* requests
+/// rather than the trace length.
+///
+/// Each task instance becomes one request: [`TraceDemandModel::paper_default`]
+/// scales the paper's 3-tier demand vector by the task's normalized CPU
+/// request. The trace averages ~290 instances/s — about 25% of the app
+/// tier's capacity — but carries three 2 s submission surges at roughly
+/// 4 000 instances/s each. Under [`TraceReplayArm::Baseline`] those surges
+/// overflow the app tier's queue (threads + backlog = 128), dropped packets
+/// retransmit on the 3/6/9 s ladder, and the CTQO detector flags episodes;
+/// [`TraceReplayArm::Hardened`] converts them into fast failures.
+pub fn trace_replay(arm: TraceReplayArm, seed: u64) -> ExperimentSpec {
+    trace_replay_csv(TRACE_REPLAY_FIXTURE, arm, seed)
+}
+
+/// [`trace_replay`] over a caller-supplied Alibaba-dialect CSV. The rows
+/// must be sorted by start time; a malformed row truncates the run and
+/// surfaces in [`RunReport::workload_fault`] instead of panicking.
+pub fn trace_replay_csv(csv: &'static str, arm: TraceReplayArm, seed: u64) -> ExperimentSpec {
+    use crate::arrivals::{TraceDemandModel, TracePlans};
+    use ntier_resilience::{BreakerConfig, CallerPolicy, RetryBudget, RetryPolicy, ShedPolicy};
+    use ntier_workload::cluster_trace::{ClusterTraceReader, TraceArrivals, TraceDialect};
+
+    let reader = ClusterTraceReader::new(std::io::Cursor::new(csv), TraceDialect::Alibaba);
+    let source = TracePlans::new(
+        TraceArrivals::new(reader),
+        TraceDemandModel::paper_default(),
+    );
+
+    let web = TierSpec::sync("Web", 64, 128);
+    let web = match arm {
+        TraceReplayArm::Baseline => web,
+        TraceReplayArm::Hardened => web
+            .with_caller_policy(CallerPolicy::hardened(
+                SimDuration::from_secs(2),
+                RetryPolicy::capped(4, SimDuration::from_millis(100), SimDuration::from_secs(1))
+                    .with_jitter(0.2),
+                RetryBudget::new(10.0, 1.0),
+                BreakerConfig::new(8, SimDuration::from_secs(1)),
+            ))
+            .with_shed_policy(ShedPolicy::on_deadline(SimDuration::from_secs(10))),
+    };
+    let app = TierSpec::sync("App", 64, 64);
+    let db = TierSpec::sync("Db", 64, 64);
+    let system = Topology::three_tier(web, app, db);
+    let name = match arm {
+        TraceReplayArm::Baseline => "ext-trace-replay-baseline",
+        TraceReplayArm::Hardened => "ext-trace-replay-hardened",
+    };
+    ExperimentSpec {
+        name,
+        // One hour of trace time plus room for the retransmit tail of the
+        // final surge to complete.
+        horizon: SimDuration::from_secs(3_640),
+        system,
+        workload: Workload::from_source(source),
         seed,
     }
 }

@@ -35,10 +35,7 @@
 //! // The fully synchronous baseline under a small closed-loop workload.
 //! let report = Engine::new(
 //!     presets::sync_three_tier(),
-//!     Workload::Closed {
-//!         spec: ClosedLoopSpec::rubbos(100),
-//!         mix: RequestMix::rubbos_browse(),
-//!     },
+//!     Workload::closed(ClosedLoopSpec::rubbos(100), RequestMix::rubbos_browse()),
 //!     SimDuration::from_secs(10),
 //!     7,
 //! )
@@ -47,6 +44,7 @@
 //! ```
 
 pub mod analysis;
+pub mod arrivals;
 pub mod conditions;
 pub mod config;
 pub mod csv;
@@ -61,10 +59,13 @@ pub mod shard;
 pub mod topology;
 
 pub use analysis::{CtqoClass, CtqoEpisode};
+pub use arrivals::{
+    MixPlans, ParetoDemand, PlanStamped, SourcedRequest, TraceDemandModel, TracePlans,
+};
 #[allow(deprecated)]
 pub use config::TierConfig;
 pub use config::{SystemConfig, TierKind, TierSpec};
-pub use engine::{Engine, ReplicaGone, Workload};
+pub use engine::{Engine, ReplicaGone, Workload, WorkloadError, WorkloadSource};
 pub use experiment::ExperimentSpec;
 pub use plan::Plan;
 pub use report::{ReplicaReport, RunReport, TierReport};

@@ -281,6 +281,40 @@ impl Plan {
         }
     }
 
+    /// A deep copy with every CPU slice multiplied by `factor` — the
+    /// structure (visits, call points) is unchanged, only the demands
+    /// scale. Used to apply heavy-tailed per-request demand multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Plan {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let tiers = self
+            .tiers
+            .iter()
+            .map(|t| TierPlan {
+                visits: t
+                    .visits
+                    .iter()
+                    .map(|v| {
+                        v.iter()
+                            .map(|s| {
+                                SimDuration::from_micros(
+                                    (s.as_micros() as f64 * factor).round() as u64
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+        Plan { tiers }
+    }
+
     /// Number of tiers in the chain.
     pub fn depth(&self) -> usize {
         self.tiers.len()
@@ -393,6 +427,27 @@ mod tests {
         let p = Plan::compile(&req);
         assert_eq!(p.slices_at(1, 0), &[SimDuration::from_micros(500)]);
         assert_eq!(p.calls_from(1), 0);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_slice_and_keeps_structure() {
+        let req = SampledRequest {
+            class: "view_story",
+            kind: RequestKind::Dynamic,
+            web_demand: SimDuration::from_micros(100),
+            app_demand: SimDuration::from_micros(1_000),
+            db_demands: vec![SimDuration::from_micros(150), SimDuration::from_micros(200)],
+        };
+        let p = Plan::compile(&req);
+        let s = p.scaled(2.0);
+        assert_eq!(s.depth(), p.depth());
+        assert_eq!(s.queries(), p.queries());
+        assert_eq!(s.calls_from(1), p.calls_from(1));
+        assert_eq!(
+            s.total_demand(),
+            SimDuration::from_micros(2 * p.total_demand().as_micros())
+        );
+        assert_eq!(p.scaled(1.0), p, "identity scale is exact");
     }
 
     #[test]

@@ -143,6 +143,10 @@ pub struct RunReport {
     /// quantile sketch and the bounded-memory ring series — when the run
     /// had the metrics plane enabled (`None` for unmetered runs).
     pub metrics: Option<MetricsRegistry>,
+    /// A fault reported by a streaming workload source (e.g. a trace parse
+    /// error that truncated the arrival stream, or a non-monotone arrival
+    /// time). `None` for materialized workloads and clean streams.
+    pub workload_fault: Option<String>,
 }
 
 impl RunReport {

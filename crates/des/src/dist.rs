@@ -188,6 +188,69 @@ impl Distribution for Pareto {
     }
 }
 
+/// Truncated (bounded) Pareto on `[lo, hi]` with shape `alpha` — the
+/// standard heavy-tail model for per-request demand where the tail must
+/// stay finite (a single request cannot exceed the bound). Sampled by
+/// inverting the truncated CDF:
+///
+/// ```text
+/// x = L · (1 − U·(1 − (L/H)^α))^(−1/α)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// A bounded Pareto on `[lo_secs, hi_secs]` with shape `alpha`.
+    ///
+    /// Unlike the unbounded [`Pareto`], any `alpha > 0` is allowed — the
+    /// upper bound keeps every moment finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite with `0 < lo < hi`, or if
+    /// `alpha` is not strictly positive and finite.
+    pub fn new(lo_secs: f64, hi_secs: f64, alpha: f64) -> Self {
+        assert!(
+            lo_secs.is_finite() && hi_secs.is_finite() && lo_secs > 0.0 && lo_secs < hi_secs,
+            "bounded pareto needs 0 < lo < hi"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "bounded pareto alpha must be positive"
+        );
+        BoundedPareto {
+            lo: lo_secs,
+            hi: hi_secs,
+            alpha,
+        }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn sample_f64(&self, rng: &mut SimRng) -> f64 {
+        let ratio = (self.lo / self.hi).powf(self.alpha);
+        let u = rng.next_f64();
+        (self.lo * (1.0 - u * (1.0 - ratio)).powf(-1.0 / self.alpha)).min(self.hi)
+    }
+
+    fn mean_f64(&self) -> f64 {
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1 limit of the general formula
+            let la = l / (1.0 - l / h);
+            return la * (h / l).ln();
+        }
+        let la = l.powf(a);
+        (la / (1.0 - (l / h).powf(a)))
+            * (a / (a - 1.0))
+            * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+    }
+}
+
 /// Uniform distribution over `[lo, hi)` seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UniformRange {
@@ -273,6 +336,41 @@ mod tests {
             (m - expect).abs() / expect < 0.05,
             "mean = {m}, expect {expect}"
         );
+    }
+
+    #[test]
+    fn bounded_pareto_mean_converges_and_stays_in_bounds() {
+        let d = BoundedPareto::new(0.5, 20.0, 1.5);
+        let mut rng = SimRng::seed_from(29);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample_f64(&mut rng);
+            assert!((0.5..=20.0).contains(&x), "sample {x} out of bounds");
+            sum += x;
+        }
+        let m = sum / f64::from(n);
+        let expect = d.mean_f64();
+        assert!(
+            (m - expect).abs() / expect < 0.03,
+            "mean = {m}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_alpha_one_mean() {
+        let d = BoundedPareto::new(1.0, std::f64::consts::E, 1.0);
+        // mean = L/(1 − L/H) · ln(H/L) = 1/(1 − e⁻¹)
+        let expect = 1.0 / (1.0 - 1.0 / std::f64::consts::E);
+        assert!((d.mean_f64() - expect).abs() < 1e-9);
+        let m = empirical_mean(&d, 200_000, 31);
+        assert!((m - expect).abs() / expect < 0.03, "mean = {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn bounded_pareto_rejects_inverted_bounds() {
+        let _ = BoundedPareto::new(2.0, 1.0, 1.5);
     }
 
     #[test]

@@ -164,11 +164,18 @@ impl Mmpp2 {
         }
     }
 
-    /// Generates all arrival times in `[0, horizon)`.
-    pub fn arrivals(&mut self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
-        let mut out = Vec::new();
-        let end = SimTime::ZERO + horizon;
-        let mut t = SimTime::ZERO;
+    /// The next arrival strictly after `t` and before `end`, or `None` once
+    /// the walk crosses `end` — the incremental form behind both
+    /// [`Self::arrivals`] and the streaming
+    /// [`crate::source::MmppSource`]. The rng draw sequence (phase
+    /// sojourns interleaved with gap draws) is identical either way, so
+    /// the streamed and materialized arrival lists agree exactly.
+    pub fn next_before(
+        &mut self,
+        mut t: SimTime,
+        end: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
         loop {
             self.advance_phase(t, rng);
             let gap = SimDuration::from_secs_f64(-rng.next_f64_open().ln() / self.current_rate());
@@ -178,15 +185,25 @@ impl Mmpp2 {
             if candidate >= self.phase_ends {
                 t = self.phase_ends;
                 if t >= end {
-                    break;
+                    return None;
                 }
                 continue;
             }
-            t = candidate;
-            if t >= end {
-                break;
+            if candidate >= end {
+                return None;
             }
-            out.push(t);
+            return Some(candidate);
+        }
+    }
+
+    /// Generates all arrival times in `[0, horizon)`.
+    pub fn arrivals(&mut self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        while let Some(next) = self.next_before(t, end, rng) {
+            out.push(next);
+            t = next;
         }
         out
     }

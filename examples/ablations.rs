@@ -41,10 +41,7 @@ fn run(system: SystemConfig, policy: RetransmitPolicy, seed: u64) -> ntier_core:
     let arrivals = PoissonProcess::new(RATE).arrivals(SimDuration::from_secs(10), &mut rng);
     Engine::new(
         system.with_retransmit(policy),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(25),
         seed,
     )

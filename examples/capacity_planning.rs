@@ -31,10 +31,7 @@ fn verify(web: TierSpec, label: &str) -> u64 {
     let arrivals: Vec<SimTime> = (0..15_000).map(SimTime::from_millis).collect();
     let report = Engine::new(
         sys,
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(25),
         11,
     )

@@ -67,10 +67,7 @@ fn main() {
     let sink = BufWriter::new(File::create(outdir.join("metrics.jsonl")).expect("create sink"));
     let report = Engine::new(
         sys,
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         horizon,
         seed,
     )

@@ -36,10 +36,7 @@ fn main() {
         };
         let report = Engine::new(
             system.clone(),
-            Workload::Open {
-                arrivals,
-                mix: RequestMix::rubbos_browse(),
-            },
+            Workload::open(arrivals, RequestMix::rubbos_browse()),
             horizon,
             77,
         )

@@ -28,10 +28,7 @@ fn run(system: SystemConfig, policy: RetransmitPolicy) -> RunReport {
     let arrivals: Vec<SimTime> = (0..10_000).map(SimTime::from_millis).collect();
     Engine::new(
         system.with_retransmit(policy),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(25),
         7,
     )
@@ -193,10 +190,7 @@ fn gc_pauses_are_millibottlenecks_with_the_same_signature() {
     let arrivals: Vec<SimTime> = (0..110_000).map(SimTime::from_millis).collect();
     let report = Engine::new(
         sys.with_retransmit(RetransmitPolicy::default()),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(120),
         13,
     )

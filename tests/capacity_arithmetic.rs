@@ -31,10 +31,7 @@ fn run(stall: SimDuration, seed: u64) -> ntier_repro::core::RunReport {
     let arrivals = PoissonProcess::new(1_000.0).arrivals(SimDuration::from_secs(10), &mut rng);
     Engine::new(
         system_with_web_stall(stall),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(20),
         seed,
     )
@@ -87,10 +84,7 @@ fn critical_stall_matches_simulated_threshold() {
     let run_uniform = |stall_ms: u64| {
         Engine::new(
             system_with_web_stall(SimDuration::from_millis(stall_ms)),
-            Workload::Open {
-                arrivals: uniform.clone(),
-                mix: RequestMix::view_story(),
-            },
+            Workload::open(uniform.clone(), RequestMix::view_story()),
             SimDuration::from_secs(20),
             13,
         )

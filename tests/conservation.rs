@@ -197,7 +197,7 @@ proptest! {
         ]);
         let report = Engine::new(
             system,
-            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            Workload::open(burst.arrivals(), RequestMix::rubbos_browse()),
             SimDuration::from_secs(15),
             seed,
         )
@@ -239,7 +239,7 @@ proptest! {
         ]);
         let report = Engine::new(
             system,
-            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            Workload::open(burst.arrivals(), RequestMix::rubbos_browse()),
             SimDuration::from_secs(15),
             seed,
         )
@@ -264,7 +264,7 @@ proptest! {
         ]);
         let report = Engine::new(
             system,
-            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            Workload::open(burst.arrivals(), RequestMix::rubbos_browse()),
             SimDuration::from_secs(15),
             seed,
         )
@@ -364,7 +364,7 @@ proptest! {
         ]);
         let report = Engine::new(
             system,
-            Workload::Open { arrivals: burst.arrivals(), mix: RequestMix::rubbos_browse() },
+            Workload::open(burst.arrivals(), RequestMix::rubbos_browse()),
             SimDuration::from_secs(15),
             seed,
         )
@@ -423,12 +423,12 @@ fn vlrt_counts_are_consistent() {
                 .with_stalls(stall),
             TierSpec::sync("Db", 6, 4),
         ),
-        Workload::Open {
-            arrivals: (0..600)
+        Workload::open(
+            (0..600)
                 .map(|i| SimTime::from_millis(1_000 + i * 5))
                 .collect(),
-            mix: RequestMix::view_story(),
-        },
+            RequestMix::view_story(),
+        ),
         SimDuration::from_secs(20),
         3,
     )

@@ -330,7 +330,7 @@ proptest! {
             .collect();
         let report = Engine::new(
             system,
-            Workload::Open { arrivals, mix: RequestMix::view_story() },
+            Workload::open(arrivals, RequestMix::view_story()),
             SimDuration::from_secs(12),
             seed,
         )

@@ -207,12 +207,12 @@ fn silent_health_monitoring_never_perturbs_the_run() {
         }
         Engine::new(
             system,
-            Workload::Open {
-                arrivals: (0..2_000)
+            Workload::open(
+                (0..2_000)
                     .map(|i| SimTime::from_millis(500 + i * 4))
                     .collect(),
-                mix: RequestMix::rubbos_browse(),
-            },
+                RequestMix::rubbos_browse(),
+            ),
             SimDuration::from_secs(15),
             7,
         )
@@ -365,7 +365,8 @@ fn golden_presets_are_shard_count_invariant() {
                 "closed_50 seed {seed} diverged at {shards} shards"
             );
         }
-        let presets: [(&str, fn() -> experiment::ExperimentSpec); 3] = [
+        type PresetFn = fn() -> experiment::ExperimentSpec;
+        let presets: [(&str, PresetFn); 3] = [
             ("fig3", || experiment::fig3(3)),
             ("retry_storm", || {
                 experiment::retry_storm(experiment::RetryStormVariant::Naive, 7)

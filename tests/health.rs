@@ -105,12 +105,12 @@ fn gray_system() -> ntier_core::SystemConfig {
 }
 
 fn gray_workload() -> Workload {
-    Workload::Open {
-        arrivals: (0..5_000)
+    Workload::open(
+        (0..5_000)
             .map(|i| SimTime::from_micros(i * 1_750))
             .collect(),
-        mix: RequestMix::rubbos_browse(),
-    }
+        RequestMix::rubbos_browse(),
+    )
 }
 
 /// A run with both a controller and a health detector merges the two

@@ -143,10 +143,7 @@ fn crash_window_with_hardened_client_resolves_every_request() {
         .collect();
     let report = Engine::new(
         sys,
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(20),
         SEED,
     )

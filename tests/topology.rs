@@ -111,7 +111,7 @@ proptest! {
             .collect();
         let report = Engine::new(
             system,
-            Workload::OpenPlans { arrivals },
+            Workload::open_plans(arrivals),
             SimDuration::from_secs(15),
             seed,
         )
@@ -159,9 +159,7 @@ proptest! {
         let run = |shards: usize| {
             Engine::new(
                 system.clone(),
-                Workload::OpenPlans {
-                    arrivals: arrivals.iter().map(|(t, p)| (*t, p.share())).collect(),
-                },
+                Workload::open_plans(arrivals.iter().map(|(t, p)| (*t, p.share())).collect()),
                 SimDuration::from_secs(15),
                 seed,
             )
@@ -210,7 +208,7 @@ fn quorum_run(quorum: usize) -> RunReport {
         .collect();
     Engine::new(
         system,
-        Workload::OpenPlans { arrivals },
+        Workload::open_plans(arrivals),
         SimDuration::from_secs(30),
         9,
     )

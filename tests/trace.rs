@@ -40,10 +40,7 @@ fn traced_burst(seed: u64, trace: TraceConfig) -> RunReport {
     let burst = BurstSchedule::from_bursts([(SimTime::from_millis(10), 24)]);
     Engine::new(
         system,
-        Workload::Open {
-            arrivals: burst.arrivals(),
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(burst.arrivals(), RequestMix::view_story()),
         SimDuration::from_secs(12),
         seed,
     )

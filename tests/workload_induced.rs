@@ -19,10 +19,7 @@ use ntier_repro::workload::{BurstSchedule, Mmpp2, PoissonProcess, RequestMix};
 fn run_with_arrivals(arrivals: Vec<SimTime>, seed: u64) -> RunReport {
     Engine::new(
         presets::sync_three_tier(),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(30),
         seed,
     )
@@ -85,10 +82,7 @@ fn async_chain_absorbs_workload_bursts_too() {
     arrivals.sort();
     let report = Engine::new(
         presets::nx3(),
-        Workload::Open {
-            arrivals,
-            mix: RequestMix::view_story(),
-        },
+        Workload::open(arrivals, RequestMix::view_story()),
         SimDuration::from_secs(30),
         5,
     )
